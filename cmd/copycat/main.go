@@ -1,0 +1,278 @@
+// Command copycat runs the paper's §8 CIDR demonstration end-to-end on
+// the synthetic hurricane-relief world, narrating each SCP interaction
+// and rendering the workspace as ASCII (the stand-in for the Swing GUI):
+//
+//	copycat [-style table|list|grouped|paged|form] [-seed N] [-out DIR]
+//
+// The walkthrough covers: learning extractors from two pasted shelters,
+// row auto-completion, semantic type inference, column auto-completion
+// through the Zipcode Resolver and Geocoder services, record-linking the
+// contacts spreadsheet, tuple explanations via provenance, feedback, and
+// export to XML/CSV/GeoJSON/KML.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"copycat"
+	"copycat/internal/table"
+)
+
+func main() {
+	style := flag.String("style", "table", "shelter site style: table, list, grouped, paged, form")
+	seed := flag.Int64("seed", 42, "world generation seed")
+	out := flag.String("out", "", "directory to write exports into (optional)")
+	interactive := flag.Bool("interactive", false, "start an interactive session instead of the scripted demo")
+	flag.Parse()
+	if *interactive {
+		if err := repl(*seed, os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "copycat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*style, *seed, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "copycat:", err)
+		os.Exit(1)
+	}
+}
+
+func run(styleName string, seed int64, outDir string) error {
+	styles := map[string]copycat.SiteStyle{
+		"table": copycat.StyleTable, "list": copycat.StyleList,
+		"grouped": copycat.StyleGrouped, "paged": copycat.StylePaged,
+		"form": copycat.StyleForm,
+	}
+	style, ok := styles[styleName]
+	if !ok {
+		return fmt.Errorf("unknown style %q", styleName)
+	}
+	cfg := copycat.DefaultWorldConfig()
+	cfg.Seed = seed
+	sys := copycat.NewDemoSystem(cfg)
+	w := sys.World
+
+	section("1. Import mode — pasting two shelters from the TV-news site")
+	browser := sys.OpenBrowser(sys.ShelterSite(style))
+	if style == copycat.StyleForm {
+		if err := browser.SubmitForm(0, w.Cities[0].Name); err != nil {
+			return err
+		}
+		fmt.Printf("  (submitted the city-search form for %s)\n", w.Cities[0].Name)
+	}
+	s0, s1 := w.Shelters[0], w.Shelters[1]
+	sel, err := browser.CopyRows([][]string{
+		{s0.Name, s0.Street, s0.City},
+		{s1.Name, s1.Street, s1.City},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  copied %q and %q from %s\n", s0.Name, s1.Name, browser.Current().URL)
+	if err := sys.Workspace.Paste(sel); err != nil {
+		return err
+	}
+	if n := sys.Workspace.ExtendAcrossSite(); n > 0 {
+		fmt.Printf("  (extractor generalized across %d more pages of the site)\n", n)
+	}
+	info := sys.Workspace.RowSuggestions()
+	fmt.Printf("  CopyCat generalized the paste: %d suggested rows via %s (%d alternative hypotheses)\n",
+		info.Count, info.Description, info.Alternatives)
+	fmt.Println(indent(sys.Workspace.Render()))
+
+	section("2. Model learner — semantic types for the pasted columns")
+	tab := sys.Workspace.ActiveTab()
+	for i, c := range tab.Schema {
+		if ts, ok := sys.Workspace.RecognizedTypeFor(i); ok {
+			fmt.Printf("  column %q typed as %s (score %.2f)\n", c.Name, ts.Type, ts.Score)
+		}
+	}
+	if err := sys.Workspace.RenameColumn(0, "Name"); err != nil {
+		return err
+	}
+	fmt.Println("  user relabels the first column: Name")
+
+	section("3. Accepting the row auto-completion (feedback)")
+	if err := sys.Workspace.AcceptRows(); err != nil {
+		return err
+	}
+	fmt.Printf("  import committed: source %q with %d rows added to the catalog\n",
+		sys.Workspace.ActiveTab().SourceNode, len(sys.Workspace.ActiveTab().ConcreteRows()))
+
+	section("4. Integration mode — column auto-completions")
+	sys.Workspace.SetMode(copycat.ModeIntegration)
+	comps := sys.Workspace.RefreshColumnSuggestions()
+	for i, c := range comps {
+		fmt.Printf("  [%d] +%s via %s (cost %.2f)\n", i, colNames(c.NewCols), c.Edge.Label(), c.Cost)
+	}
+	zipIdx, geoIdx := -1, -1
+	for i, c := range comps {
+		switch c.Target {
+		case "Zipcode Resolver":
+			zipIdx = i
+		case "Geocoder":
+			geoIdx = i
+		}
+	}
+	if zipIdx < 0 {
+		return fmt.Errorf("no zip completion proposed")
+	}
+	expl, err := sys.Workspace.ExplainCompletion(zipIdx, 1)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  tuple explanation for the suggested Zip column:")
+	fmt.Println(indent(expl))
+	if err := sys.Workspace.AcceptColumn(zipIdx); err != nil {
+		return err
+	}
+	fmt.Println("  accepted: Zip column filled by the Zipcode Resolver dependent join")
+
+	comps = sys.Workspace.RefreshColumnSuggestions()
+	geoIdx = -1
+	for i, c := range comps {
+		if c.Target == "Geocoder" {
+			geoIdx = i
+		}
+	}
+	if geoIdx >= 0 {
+		if err := sys.Workspace.AcceptColumn(geoIdx); err != nil {
+			return err
+		}
+		fmt.Println("  accepted: Lat/Lon columns filled by the Geocoder")
+	}
+	fmt.Println(indent(head(sys.Workspace.Render(), 8)))
+
+	section("5. Record linking — attaching the contacts spreadsheet")
+	comps = sys.Workspace.RefreshColumnSuggestions()
+	linked := false
+	for i, c := range comps {
+		if c.Target == "Contacts" {
+			if err := sys.Workspace.AcceptColumn(i); err != nil {
+				return err
+			}
+			linked = true
+			break
+		}
+	}
+	if !linked {
+		// The contacts source isn't imported yet — import it first, the
+		// way the demo user loads the spreadsheet.
+		sheet := sys.OpenSpreadsheet(sys.ContactsSpreadsheet())
+		grid := sheet.Doc().Grid()
+		sel, err := sheet.CopyRange(1, 0, 2, len(grid[0])-1)
+		if err != nil {
+			return err
+		}
+		sys.Workspace.SelectTab("Contacts")
+		sys.Workspace.SetMode(copycat.ModeImport)
+		if err := sys.Workspace.Paste(sel); err != nil {
+			return err
+		}
+		if err := sys.Workspace.AcceptRows(); err != nil {
+			return err
+		}
+		ct := sys.Workspace.ActiveTab()
+		for i, c := range ct.Schema {
+			switch c.Name {
+			case "Organization":
+				sys.Workspace.SetColumnType(i, "PR-OrgName")
+			case "Contact":
+				sys.Workspace.SetColumnType(i, "PR-PersonName")
+			}
+		}
+		fmt.Printf("  imported spreadsheet source %q (%d rows)\n", ct.SourceNode, len(ct.ConcreteRows()))
+		sys.Workspace.SelectTab("Sheet1")
+		sys.Workspace.SetColumnType(0, "PR-OrgName")
+		sys.Workspace.SetMode(copycat.ModeIntegration)
+		comps = sys.Workspace.RefreshColumnSuggestions()
+		for i, c := range comps {
+			if c.Target == "Contacts" {
+				if err := sys.Workspace.AcceptColumn(i); err != nil {
+					return err
+				}
+				linked = true
+				break
+			}
+		}
+	}
+	if linked {
+		fmt.Println("  accepted: contact person linked to each shelter by approximate name matching")
+	} else {
+		fmt.Println("  (no contact link proposed for this style — continuing)")
+	}
+
+	section("6. Tuple explanation pane (provenance)")
+	expl, err = sys.Workspace.ExplainRow(0)
+	if err != nil {
+		return err
+	}
+	fmt.Println(indent(expl))
+
+	section("7. Export — the Google Maps mashup")
+	rel := sys.Workspace.ActiveTab().Relation()
+	kml, err := copycat.KML(rel)
+	if err != nil {
+		return err
+	}
+	geo, err := copycat.GeoJSON(rel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  final table: %d rows × %d columns\n", rel.Len(), len(rel.Schema))
+	fmt.Printf("  KML: %d placemarks; GeoJSON: %d bytes; XML and CSV also available\n",
+		strings.Count(kml, "<Placemark>"), len(geo))
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+		files := map[string]string{
+			"shelters.kml":     kml,
+			"shelters.geojson": geo,
+			"shelters.xml":     copycat.XML(rel),
+			"shelters.csv":     copycat.CSV(rel),
+		}
+		for name, content := range files {
+			if err := os.WriteFile(filepath.Join(outDir, name), []byte(content), 0o644); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("  wrote %d export files to %s\n", len(files), outDir)
+	}
+
+	section("Session effort")
+	fmt.Printf("  %s\n", sys.Workspace.Keys)
+	return nil
+}
+
+func section(title string) {
+	fmt.Printf("\n== %s ==\n", title)
+}
+
+func indent(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+func head(s string, n int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) > n {
+		lines = append(lines[:n], fmt.Sprintf("... (%d more rows)", len(lines)-n))
+	}
+	return strings.Join(lines, "\n")
+}
+
+func colNames(cols []table.Column) string {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ",")
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out strings.Builder
+		for {
+			n, err := r.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- out.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+func TestScriptedDemoAllStyles(t *testing.T) {
+	for _, style := range []string{"table", "grouped", "paged", "form", "list"} {
+		t.Run(style, func(t *testing.T) {
+			dir := t.TempDir()
+			out, err := captureStdout(t, func() error { return run(style, 42, dir) })
+			if err != nil {
+				t.Fatalf("demo failed: %v\n%s", err, tail(out))
+			}
+			for _, want := range []string{
+				"Import mode", "Model learner", "column auto-completions",
+				"Tuple explanation pane", "Google Maps", "Session effort",
+			} {
+				if !strings.Contains(out, want) {
+					t.Errorf("demo output missing %q", want)
+				}
+			}
+			for _, f := range []string{"shelters.kml", "shelters.geojson", "shelters.xml", "shelters.csv"} {
+				if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+					t.Errorf("export %s missing: %v", f, err)
+				}
+			}
+		})
+	}
+}
+
+func TestScriptedDemoBadStyle(t *testing.T) {
+	if err := run("hologram", 42, ""); err == nil {
+		t.Error("unknown style should error")
+	}
+}
+
+func tail(s string) string {
+	if len(s) > 800 {
+		return "..." + s[len(s)-800:]
+	}
+	return s
+}

@@ -1,0 +1,147 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// drive runs a scripted REPL session and returns its transcript.
+func drive(t *testing.T, script string) string {
+	t.Helper()
+	var out strings.Builder
+	if err := repl(42, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("repl: %v\n%s", err, out.String())
+	}
+	return out.String()
+}
+
+func TestReplFullSession(t *testing.T) {
+	dir := t.TempDir()
+	kml := filepath.Join(dir, "out.kml")
+	sess := filepath.Join(dir, "session.json")
+	script := strings.Join([]string{
+		"help",
+		"sites",
+		"open shelters",
+		"page",
+		"copy Sunset Recreation Center | 335 NW Copans Rd | Mangrove Lakes",
+		"paste",
+		"accept",
+		"mode integration",
+		"cols",
+		"acceptcol 0", // geocoder
+		"explain 0",
+		"export kml " + kml,
+		"save " + sess,
+		"summarize City count",
+		"tabs",
+		"effort",
+		"quit",
+	}, "\n")
+	out := drive(t, script)
+	for _, want := range []string{
+		"suggested rows",
+		"tab committed as source",
+		"Geocoder",
+		"joined from",
+		"wrote",
+		"session saved",
+		"Summary of Sheet1",
+		"keystrokes=",
+		"bye",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	if data, err := os.ReadFile(kml); err != nil || !strings.Contains(string(data), "<Placemark>") {
+		t.Errorf("kml export bad: %v", err)
+	}
+	if data, err := os.ReadFile(sess); err != nil || !strings.Contains(string(data), "Sheet1") {
+		t.Errorf("session save bad: %v", err)
+	}
+}
+
+func TestReplErrorsAreReportedNotFatal(t *testing.T) {
+	out := drive(t, strings.Join([]string{
+		"bogus-command",
+		"open nope",
+		"paste",
+		"copy x",
+		"acceptcol 0",
+		"mode warp",
+		"explain abc",
+		"undo",
+		"export pdf /tmp/x",
+		"quit",
+	}, "\n"))
+	if n := strings.Count(out, "error:"); n < 8 {
+		t.Errorf("want ≥8 reported errors, got %d:\n%s", n, out)
+	}
+	if !strings.Contains(out, "bye") {
+		t.Error("session should survive to quit")
+	}
+}
+
+func TestReplRejectAndUndo(t *testing.T) {
+	out := drive(t, strings.Join([]string{
+		"open shelters-grouped",
+		"copy Sunset Recreation Center | 335 NW Copans Rd | Mangrove Lakes",
+		"paste",
+		"reject",
+		"undo",
+		"show",
+		"quit",
+	}, "\n"))
+	if !strings.Contains(out, "next hypothesis") {
+		t.Errorf("reject should advance hypotheses:\n%s", out)
+	}
+	if !strings.Contains(out, "undone") {
+		t.Error("undo should work")
+	}
+}
+
+func TestReplSpreadsheetFlow(t *testing.T) {
+	out := drive(t, strings.Join([]string{
+		"copysheet 1 0 2 5",
+		"tab Contacts",
+		"paste",
+		"accept",
+		"show",
+		"quit",
+	}, "\n"))
+	if !strings.Contains(out, "copied spreadsheet range") {
+		t.Errorf("spreadsheet copy failed:\n%s", out)
+	}
+	if !strings.Contains(out, "tab committed as source \"Contacts\"") {
+		t.Errorf("contacts import failed:\n%s", out)
+	}
+}
+
+func TestReplSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sess := filepath.Join(dir, "s.json")
+	// Session 1: import and save.
+	drive(t, strings.Join([]string{
+		"open shelters",
+		"copy Sunset Recreation Center | 335 NW Copans Rd | Mangrove Lakes",
+		"paste", "accept",
+		"save " + sess,
+		"quit",
+	}, "\n"))
+	// Session 2: load and verify the source is back.
+	out := drive(t, strings.Join([]string{
+		"load " + sess,
+		"quit",
+	}, "\n"))
+	if !strings.Contains(out, "session restored") {
+		t.Errorf("load failed:\n%s", out)
+	}
+	// Missing file reports an error, not a crash.
+	out = drive(t, "load /nonexistent/file.json\nquit\n")
+	if !strings.Contains(out, "error:") {
+		t.Error("missing file should report an error")
+	}
+}

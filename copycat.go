@@ -1,0 +1,208 @@
+// Package copycat is the public API of the CopyCat smart-copy-and-paste
+// (SCP) data integration system — a from-scratch reproduction of the
+// CIDR 2009 paper "Interactive Data Integration through Smart Copy &
+// Paste" (Ives, Knoblock, Minton, et al.).
+//
+// CopyCat watches as a user copies data from applications — web pages,
+// spreadsheets, documents — and pastes it into a spreadsheet-like
+// workspace. It generalizes each paste into extraction rules (row
+// auto-completions), learns the semantic types of pasted columns,
+// proposes column auto-completions via associations to other sources and
+// services (joins, dependent joins, record linking), explains every
+// suggested tuple with data provenance, and learns from accept/reject
+// feedback using the MIRA online algorithm over a weighted source graph.
+//
+// A minimal session:
+//
+//	sys := copycat.NewDemoSystem(copycat.DefaultWorldConfig())
+//	browser := sys.OpenBrowser(sys.ShelterSite(copycat.StyleTable))
+//	sel, _ := browser.CopyRows([][]string{{name1, street1, city1}, {name2, street2, city2}})
+//	sys.Workspace.Paste(sel)          // rows auto-complete, columns get typed
+//	sys.Workspace.AcceptRows()        // commit the import
+//	sys.Workspace.SetMode(copycat.ModeIntegration)
+//	cols := sys.Workspace.RefreshColumnSuggestions()
+//	sys.Workspace.AcceptColumn(0)     // e.g. the suggested Zip column
+//	kml, _ := copycat.KML(sys.Workspace.ActiveTab().Relation())
+package copycat
+
+import (
+	"copycat/internal/catalog"
+	"copycat/internal/docmodel"
+	"copycat/internal/engine"
+	"copycat/internal/export"
+	"copycat/internal/modellearn"
+	"copycat/internal/persist"
+	"copycat/internal/services"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/table"
+	"copycat/internal/webworld"
+	"copycat/internal/workspace"
+	"copycat/internal/wrappers"
+)
+
+// Re-exported core types. The internal packages hold the implementations;
+// these aliases form the supported public surface.
+type (
+	// Workspace is the SCP workspace: tabs, modes, pastes, suggestions,
+	// feedback, and explanations.
+	Workspace = workspace.Workspace
+	// Tab is one workspace pane.
+	Tab = workspace.Tab
+	// Mode is the workspace interaction mode.
+	Mode = workspace.Mode
+	// Selection is a copied block of cells with its source context.
+	Selection = docmodel.Selection
+	// Document is a source document (HTML page, spreadsheet, text).
+	Document = docmodel.Document
+	// Site is a set of linked documents from one source.
+	Site = docmodel.Site
+	// Browser is the web-browser application wrapper.
+	Browser = wrappers.Browser
+	// Spreadsheet is the Excel-like application wrapper.
+	Spreadsheet = wrappers.Spreadsheet
+	// Catalog is the system catalog of sources and services.
+	Catalog = catalog.Catalog
+	// TypeLibrary holds learned semantic types.
+	TypeLibrary = modellearn.Library
+	// Relation is an in-memory table.
+	Relation = table.Relation
+	// Schema is an ordered list of typed columns.
+	Schema = table.Schema
+	// Service is a callable source with input binding restrictions.
+	Service = engine.Service
+	// WorldConfig sizes the synthetic demo world.
+	WorldConfig = webworld.Config
+	// World is the generated synthetic world.
+	World = webworld.World
+	// SiteStyle selects the shelter site's page complexity.
+	SiteStyle = webworld.SiteStyle
+)
+
+// Workspace modes.
+const (
+	ModeImport      = workspace.ModeImport
+	ModeIntegration = workspace.ModeIntegration
+	ModeCleaning    = workspace.ModeCleaning
+)
+
+// Shelter-site complexity styles (the E3 ladder).
+const (
+	StyleTable   = webworld.StyleTable
+	StyleList    = webworld.StyleList
+	StyleGrouped = webworld.StyleGrouped
+	StylePaged   = webworld.StylePaged
+	StyleForm    = webworld.StyleForm
+	StyleProse   = webworld.StyleProse
+)
+
+// System bundles a workspace with its catalog, type library, and (for
+// demo installations) the synthetic world.
+type System struct {
+	Workspace *Workspace
+	Catalog   *Catalog
+	Types     *TypeLibrary
+	// World is non-nil for demo systems built with NewDemoSystem.
+	World *World
+}
+
+// NewSystem creates an empty CopyCat installation: no sources, no
+// services, no trained types. Callers register services and train types
+// themselves.
+func NewSystem() *System {
+	cat := catalog.New()
+	types := modellearn.NewLibrary()
+	return &System{
+		Workspace: workspace.New(cat, types),
+		Catalog:   cat,
+		Types:     types,
+	}
+}
+
+// DefaultWorldConfig returns the standard demo world sizing.
+func DefaultWorldConfig() WorldConfig { return webworld.DefaultConfig() }
+
+// NewDemoSystem creates a CopyCat installation wired to a synthetic
+// hurricane-relief world: builtin services (zip resolver, geocoder,
+// shelter locator, reverse directory, converters) are registered and the
+// builtin semantic types are pre-trained — the "previously learned
+// knowledge" the prototype ships with.
+func NewDemoSystem(cfg WorldConfig) *System {
+	w := webworld.Generate(cfg)
+	cat := catalog.New()
+	for _, svc := range services.Builtin(w) {
+		cat.AddService(svc, "builtin")
+	}
+	types := modellearn.NewLibrary()
+	modellearn.TrainBuiltins(types, w)
+	return &System{
+		Workspace: workspace.New(cat, types),
+		Catalog:   cat,
+		Types:     types,
+		World:     w,
+	}
+}
+
+// RegisterService adds a callable service to the catalog and refreshes
+// the source graph's associations.
+func (s *System) RegisterService(svc Service, origin string) {
+	s.Catalog.AddService(svc, origin)
+}
+
+// ShelterSite renders the demo world's TV-news shelter site in the given
+// style. It panics if the system has no world.
+func (s *System) ShelterSite(style SiteStyle) *Site {
+	return s.World.ShelterSite(style)
+}
+
+// ContactsSpreadsheet returns the demo world's contact spreadsheet.
+func (s *System) ContactsSpreadsheet() *Document {
+	return s.World.ContactsSpreadsheet()
+}
+
+// OpenBrowser opens the browser application wrapper on a site, connected
+// to the workspace's clipboard.
+func (s *System) OpenBrowser(site *Site) *Browser {
+	return wrappers.NewBrowser(s.Workspace.Clip, site)
+}
+
+// OpenSpreadsheet opens the spreadsheet wrapper on a document.
+func (s *System) OpenSpreadsheet(doc *Document) *Spreadsheet {
+	return wrappers.NewSpreadsheet(s.Workspace.Clip, doc)
+}
+
+// SaveSession serializes the system's learned state — imported relations
+// (with semantic types and keys), the type library, and learned source
+// graph edge costs — as JSON (§1: integrations "persistently saved as an
+// integrated, mediated view").
+func (s *System) SaveSession() ([]byte, error) {
+	return persist.Save(s.Catalog, s.Types, s.Workspace.Int.Graph)
+}
+
+// LoadSession restores a saved session into this system: relations and
+// types are merged into the catalog/library, associations re-discovered,
+// and learned edge costs re-attached. Services are not serialized —
+// register them before loading.
+func (s *System) LoadSession(data []byte) error {
+	costs, err := persist.Load(data, s.Catalog, s.Types)
+	if err != nil {
+		return err
+	}
+	s.Workspace.Int.Graph.Discover(sourcegraph.DefaultOptions())
+	persist.ApplyCosts(s.Workspace.Int.Graph, costs)
+	for id, c := range costs {
+		s.Workspace.Int.Mira.SetWeight(id, c)
+	}
+	return nil
+}
+
+// Export helpers (the §8 "export to common application formats").
+var (
+	// XML renders a relation as XML.
+	XML = export.XML
+	// CSV renders a relation as CSV with a header row.
+	CSV = export.CSV
+	// GeoJSON renders geo-tagged rows as a FeatureCollection.
+	GeoJSON = export.GeoJSON
+	// KML renders geo-tagged rows as Google-Maps-compatible KML.
+	KML = export.KML
+)

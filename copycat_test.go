@@ -1,0 +1,103 @@
+package copycat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewSystemEmpty(t *testing.T) {
+	sys := NewSystem()
+	if sys.Workspace == nil || sys.Catalog == nil || sys.Types == nil {
+		t.Fatal("system components missing")
+	}
+	if sys.World != nil {
+		t.Error("plain system should have no world")
+	}
+	if sys.Catalog.Len() != 0 || len(sys.Types.Types()) != 0 {
+		t.Error("plain system should start empty")
+	}
+}
+
+func TestDemoSystemWiring(t *testing.T) {
+	sys := NewDemoSystem(DefaultWorldConfig())
+	if sys.World == nil {
+		t.Fatal("demo system needs a world")
+	}
+	if sys.Catalog.Len() != 6 {
+		t.Errorf("builtin services = %d want 6", sys.Catalog.Len())
+	}
+	if len(sys.Types.Types()) == 0 {
+		t.Error("builtin types not trained")
+	}
+}
+
+func TestEndToEndPublicAPI(t *testing.T) {
+	// The doc-comment session, executed.
+	sys := NewDemoSystem(DefaultWorldConfig())
+	browser := sys.OpenBrowser(sys.ShelterSite(StyleTable))
+	s0, s1 := sys.World.Shelters[0], sys.World.Shelters[1]
+	sel, err := browser.CopyRows([][]string{
+		{s0.Name, s0.Street, s0.City},
+		{s1.Name, s1.Street, s1.City},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Workspace.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Workspace.RowSuggestions().Count == 0 {
+		t.Fatal("no row auto-completions")
+	}
+	if err := sys.Workspace.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	sys.Workspace.SetMode(ModeIntegration)
+	cols := sys.Workspace.RefreshColumnSuggestions()
+	if len(cols) == 0 {
+		t.Fatal("no column completions")
+	}
+	geoIdx := -1
+	for i, c := range cols {
+		if c.Target == "Geocoder" {
+			geoIdx = i
+		}
+	}
+	if geoIdx < 0 {
+		t.Fatal("no geocoder completion")
+	}
+	if err := sys.Workspace.AcceptColumn(geoIdx); err != nil {
+		t.Fatal(err)
+	}
+	rel := sys.Workspace.ActiveTab().Relation()
+	kml, err := KML(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(kml, "<Placemark>") {
+		t.Error("KML has no placemarks")
+	}
+	geo, err := GeoJSON(rel)
+	if err != nil || !strings.Contains(geo, "FeatureCollection") {
+		t.Errorf("GeoJSON export failed: %v", err)
+	}
+	if !strings.Contains(XML(rel), "<row>") {
+		t.Error("XML export failed")
+	}
+	if !strings.Contains(CSV(rel), "Lat") {
+		t.Error("CSV export failed")
+	}
+}
+
+func TestOpenSpreadsheet(t *testing.T) {
+	sys := NewDemoSystem(DefaultWorldConfig())
+	sheet := sys.OpenSpreadsheet(sys.ContactsSpreadsheet())
+	sel, err := sheet.CopyRange(1, 0, 1, 2)
+	if err != nil || len(sel.Cells) != 1 {
+		t.Fatalf("spreadsheet copy failed: %v", err)
+	}
+	// The copy landed on the workspace's clipboard.
+	if cur, ok := sys.Workspace.Clip.Current(); !ok || cur.App != "excel" {
+		t.Error("clipboard not shared with the workspace")
+	}
+}

@@ -1,0 +1,87 @@
+// Quickstart: the smallest useful CopyCat session.
+//
+// A user copies two shelters from a web page into the workspace; CopyCat
+// generalizes the paste into a full extraction (row auto-completion),
+// types the columns, and — after a mode switch — suggests a Zip column
+// computed by a zip-resolution service, explained by provenance.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"copycat"
+)
+
+func main() {
+	// A demo system ships with builtin services and pre-trained semantic
+	// types over a deterministic synthetic world.
+	sys := copycat.NewDemoSystem(copycat.DefaultWorldConfig())
+	ws := sys.Workspace
+
+	// 1. Copy two shelters in the browser, paste into the workspace.
+	browser := sys.OpenBrowser(sys.ShelterSite(copycat.StyleTable))
+	s0, s1 := sys.World.Shelters[0], sys.World.Shelters[1]
+	sel, err := browser.CopyRows([][]string{
+		{s0.Name, s0.Street, s0.City},
+		{s1.Name, s1.Street, s1.City},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ws.Paste(sel); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. CopyCat generalizes: the rest of the page is suggested.
+	info := ws.RowSuggestions()
+	fmt.Printf("pasted 2 rows; CopyCat suggests %d more (%s)\n", info.Count, info.Description)
+	for i, c := range ws.ActiveTab().Schema {
+		if ts, ok := ws.RecognizedTypeFor(i); ok {
+			fmt.Printf("  column %q → %s\n", c.Name, ts.Type)
+		}
+	}
+
+	// 3. Accept the suggestion; the import is committed to the catalog.
+	if err := ws.AcceptRows(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Integration mode: accept the suggested Zip column.
+	ws.SetMode(copycat.ModeIntegration)
+	for i, c := range ws.RefreshColumnSuggestions() {
+		if c.Target == "Zipcode Resolver" {
+			if err := ws.AcceptColumn(i); err != nil {
+				log.Fatal(err)
+			}
+			break
+		}
+	}
+
+	// 5. Inspect the result and its provenance.
+	fmt.Println()
+	fmt.Print(head(ws.Render(), 6))
+	expl, err := ws.ExplainRow(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nwhy is the first row there?")
+	fmt.Print(expl)
+	fmt.Printf("\ntotal user effort: %s\n", ws.Keys)
+}
+
+func head(s string, n int) string {
+	out, lines := "", 0
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			lines++
+			if lines >= n {
+				return out + "...\n"
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+// Shelters: the paper's full §8 hurricane-relief integration task.
+//
+// FEMA needs shelters plotted on a map: a TV-news shelter list (grouped
+// by city, the Figure 1 ambiguity), a contacts spreadsheet with noisy
+// organization names (record linking), and geocoding services — all
+// integrated purely by copying and pasting, then exported as KML/GeoJSON.
+//
+//	go run ./examples/shelters
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"copycat"
+	"copycat/internal/table"
+)
+
+func main() {
+	sys := copycat.NewDemoSystem(copycat.DefaultWorldConfig())
+	ws := sys.Workspace
+	w := sys.World
+
+	// --- Source 1: the TV-news page, grouped by city --------------------
+	browser := sys.OpenBrowser(sys.ShelterSite(copycat.StyleGrouped))
+	city := w.Cities[0].Name
+	in := w.SheltersIn(city)
+	sel, err := browser.CopyRows([][]string{
+		{in[0].Name, in[0].Street, in[0].City},
+		{in[1].Name, in[1].Street, in[1].City},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ws.Paste(sel); err != nil {
+		log.Fatal(err)
+	}
+	// Both examples are from one city: the most-general hypothesis covers
+	// the whole page. Suppose the user wanted only this city — reject
+	// until the scoped hypothesis shows (feedback revises the extractor).
+	fmt.Printf("first hypothesis: %s\n", ws.RowSuggestions().Description)
+	for ws.RowSuggestions().Count != len(in)-2 && ws.RowSuggestions().Alternatives > 0 {
+		if err := ws.RejectRows(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("after feedback:  %s\n", ws.RowSuggestions().Description)
+	// Actually FEMA wants every shelter: paste a cross-city example and
+	// the scoped hypotheses die; the general one returns.
+	other := w.SheltersIn(w.Cities[1].Name)[0]
+	sel, err = browser.CopyRows([][]string{{other.Name, other.Street, other.City}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := ws.Paste(sel); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("after a cross-city paste: %s\n", ws.RowSuggestions().Description)
+	if err := ws.AcceptRows(); err != nil {
+		log.Fatal(err)
+	}
+	ws.RenameColumn(0, "Name")
+	ws.SetColumnType(0, "PR-OrgName")
+	fmt.Printf("imported %d shelters\n\n", len(ws.ActiveTab().ConcreteRows()))
+
+	// --- Source 2: the contacts spreadsheet ----------------------------
+	sheet := sys.OpenSpreadsheet(sys.ContactsSpreadsheet())
+	grid := sheet.Doc().Grid()
+	csel, err := sheet.CopyRange(1, 0, 2, len(grid[0])-1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws.SelectTab("Contacts")
+	ws.SetMode(copycat.ModeImport)
+	if err := ws.Paste(csel); err != nil {
+		log.Fatal(err)
+	}
+	if err := ws.AcceptRows(); err != nil {
+		log.Fatal(err)
+	}
+	for i, c := range ws.ActiveTab().Schema {
+		switch c.Name {
+		case "Organization":
+			ws.SetColumnType(i, "PR-OrgName")
+		case "Contact":
+			ws.SetColumnType(i, "PR-PersonName")
+		}
+	}
+	fmt.Printf("imported %d contacts from the spreadsheet\n\n", len(ws.ActiveTab().ConcreteRows()))
+
+	// --- Integration: zip, geocode, record-link ------------------------
+	ws.SelectTab("Sheet1")
+	ws.SetMode(copycat.ModeIntegration)
+	for _, target := range []string{"Zipcode Resolver", "Geocoder", "Contacts"} {
+		accepted := false
+		for i, c := range ws.RefreshColumnSuggestions() {
+			if c.Target == target {
+				if err := ws.AcceptColumn(i); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("accepted completion: +%s via %s\n", colNames(c.NewCols), target)
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			fmt.Printf("no completion to %s proposed\n", target)
+		}
+	}
+
+	// --- Explanation and export ----------------------------------------
+	expl, err := ws.ExplainRow(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ntuple explanation for row 0:")
+	fmt.Print(expl)
+
+	rel := ws.ActiveTab().Relation()
+	kml, err := copycat.KML(rel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile("shelters.kml", []byte(kml), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfinal table %d×%d → shelters.kml (%d placemarks)\n",
+		rel.Len(), len(rel.Schema), strings.Count(kml, "<Placemark>"))
+	fmt.Printf("session effort: %s\n", ws.Keys)
+}
+
+func colNames(cols []table.Column) string {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ",")
+}

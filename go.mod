@@ -1,0 +1,3 @@
+module copycat
+
+go 1.24

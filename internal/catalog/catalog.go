@@ -1,0 +1,209 @@
+// Package catalog implements CopyCat's system catalog (§2.2: "The
+// resulting source description gets added to a system catalog"). A source
+// description pairs a schema — with learned semantic types and binding
+// restrictions — with access to the source's data: either materialized
+// rows (extracted web/spreadsheet data) or a callable service.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"copycat/internal/engine"
+	"copycat/internal/table"
+)
+
+// SourceKind distinguishes how a source is accessed.
+type SourceKind uint8
+
+const (
+	// KindRelation is a fully materialized source: extracted web data,
+	// an imported spreadsheet, or a previously saved integration result.
+	KindRelation SourceKind = iota
+	// KindService is a callable source with input binding restrictions:
+	// a web form, geocoder, zip resolver, converter.
+	KindService
+)
+
+// String names the kind.
+func (k SourceKind) String() string {
+	if k == KindService {
+		return "service"
+	}
+	return "relation"
+}
+
+// Source is one catalog entry.
+type Source struct {
+	Name   string
+	Kind   SourceKind
+	Schema table.Schema // full schema: inputs ++ outputs for services
+	// Inputs is the number of leading schema columns that are required
+	// bindings (0 for materialized relations).
+	Inputs int
+	// Rel holds the data for KindRelation sources.
+	Rel *table.Relation
+	// Svc is the callable for KindService sources.
+	Svc engine.Service
+	// Origin records where the source came from (URL, file, "builtin").
+	Origin string
+	// Keys lists known foreign-key links: column name → "Source.Column".
+	Keys map[string]string
+}
+
+// OutputSchema returns the columns a service produces (the non-input
+// suffix); for relations it is the whole schema.
+func (s *Source) OutputSchema() table.Schema {
+	if s.Kind == KindService {
+		return s.Schema[s.Inputs:]
+	}
+	return s.Schema
+}
+
+// InputSchema returns the required binding columns (empty for relations).
+func (s *Source) InputSchema() table.Schema {
+	if s.Kind == KindService {
+		return s.Schema[:s.Inputs]
+	}
+	return nil
+}
+
+// Scan returns a plan scanning a materialized source.
+func (s *Source) Scan() (engine.Plan, error) {
+	if s.Kind != KindRelation || s.Rel == nil {
+		return nil, fmt.Errorf("catalog: source %s is not scannable", s.Name)
+	}
+	return engine.NewScan(s.Rel), nil
+}
+
+// Catalog is a concurrency-safe registry of sources.
+type Catalog struct {
+	mu      sync.RWMutex
+	sources map[string]*Source
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{sources: map[string]*Source{}}
+}
+
+// AddRelation registers (or replaces) a materialized source.
+func (c *Catalog) AddRelation(rel *table.Relation, origin string) *Source {
+	s := &Source{
+		Name:   rel.Name,
+		Kind:   KindRelation,
+		Schema: rel.Schema,
+		Rel:    rel,
+		Origin: origin,
+	}
+	c.put(s)
+	return s
+}
+
+// AddService registers (or replaces) a callable source. The catalog schema
+// is inputs ++ outputs.
+func (c *Catalog) AddService(svc engine.Service, origin string) *Source {
+	in := svc.InputSchema()
+	s := &Source{
+		Name:   svc.Name(),
+		Kind:   KindService,
+		Schema: append(in.Clone(), svc.OutputSchema()...),
+		Inputs: len(in),
+		Svc:    svc,
+		Origin: origin,
+	}
+	c.put(s)
+	return s
+}
+
+func (c *Catalog) put(s *Source) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sources[s.Name] = s
+}
+
+// Get returns the named source, or nil.
+func (c *Catalog) Get(name string) *Source {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sources[name]
+}
+
+// Remove deletes a source; it reports whether it existed.
+func (c *Catalog) Remove(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.sources[name]
+	delete(c.sources, name)
+	return ok
+}
+
+// Names lists all source names, sorted.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.sources))
+	for n := range c.sources {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// All returns all sources in name order.
+func (c *Catalog) All() []*Source {
+	names := c.Names()
+	out := make([]*Source, 0, len(names))
+	for _, n := range names {
+		out = append(out, c.Get(n))
+	}
+	return out
+}
+
+// Len reports the number of registered sources.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.sources)
+}
+
+// SetSemType records a learned semantic type on a source column. It errors
+// if the source or column is unknown.
+func (c *Catalog) SetSemType(source, column, semType string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sources[source]
+	if !ok {
+		return fmt.Errorf("catalog: no source %q", source)
+	}
+	i := s.Schema.Index(column)
+	if i < 0 {
+		return fmt.Errorf("catalog: source %q has no column %q", source, column)
+	}
+	s.Schema[i].SemType = semType
+	// Materialized relations share the schema slice; keep them in sync.
+	if s.Rel != nil && s.Rel.Schema.Index(column) == i {
+		s.Rel.Schema[i].SemType = semType
+	}
+	return nil
+}
+
+// AddKey records a foreign-key association from a column of one source to
+// a column of another ("known links or foreign keys", §4.1).
+func (c *Catalog) AddKey(source, column, targetSource, targetColumn string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.sources[source]
+	if !ok {
+		return fmt.Errorf("catalog: no source %q", source)
+	}
+	if s.Schema.Index(column) < 0 {
+		return fmt.Errorf("catalog: source %q has no column %q", source, column)
+	}
+	if s.Keys == nil {
+		s.Keys = map[string]string{}
+	}
+	s.Keys[column] = targetSource + "." + targetColumn
+	return nil
+}

@@ -1,0 +1,290 @@
+// Package docmodel defines the document abstraction the application
+// wrappers expose to CopyCat's learners: a Document is whatever a source
+// application displays (an HTML page, a spreadsheet, a plain-text file),
+// a Site groups linked documents (multi-page sources, form-gated sources),
+// and a Selection describes what the user copied, including its source
+// context (§2.2: "Monitored operations, as well as context information
+// like the document being displayed in the source application, are fed
+// into three learner modules").
+package docmodel
+
+import (
+	"fmt"
+	"strings"
+
+	"copycat/internal/htmldoc"
+)
+
+// DocKind enumerates the source application document kinds the prototype
+// supports (§2.3: browsers, Word, Excel).
+type DocKind uint8
+
+const (
+	// KindHTML is a web page.
+	KindHTML DocKind = iota
+	// KindSpreadsheet is tabular spreadsheet data.
+	KindSpreadsheet
+	// KindText is a plain-text document.
+	KindText
+)
+
+// String names the kind.
+func (k DocKind) String() string {
+	switch k {
+	case KindHTML:
+		return "html"
+	case KindSpreadsheet:
+		return "spreadsheet"
+	case KindText:
+		return "text"
+	}
+	return fmt.Sprintf("dockind(%d)", uint8(k))
+}
+
+// Document is one displayable source document.
+type Document struct {
+	URL   string
+	Kind  DocKind
+	Title string
+	// Raw is the source bytes as text: HTML markup, CSV, or plain text.
+	Raw string
+
+	// dom caches the parsed HTML tree for KindHTML documents.
+	dom *htmldoc.Node
+	// grid caches the parsed cell grid for KindSpreadsheet documents.
+	grid [][]string
+}
+
+// NewHTML wraps an HTML page.
+func NewHTML(url, title, raw string) *Document {
+	return &Document{URL: url, Kind: KindHTML, Title: title, Raw: raw}
+}
+
+// NewSpreadsheet wraps CSV-formatted spreadsheet content.
+func NewSpreadsheet(url, title, csv string) *Document {
+	return &Document{URL: url, Kind: KindSpreadsheet, Title: title, Raw: csv}
+}
+
+// NewText wraps a plain-text document.
+func NewText(url, title, raw string) *Document {
+	return &Document{URL: url, Kind: KindText, Title: title, Raw: raw}
+}
+
+// DOM parses and caches the HTML tree. It returns an empty document node
+// for non-HTML documents.
+func (d *Document) DOM() *htmldoc.Node {
+	if d.dom == nil {
+		if d.Kind == KindHTML {
+			d.dom = htmldoc.Parse(d.Raw)
+		} else {
+			d.dom = &htmldoc.Node{Type: htmldoc.DocumentNode}
+		}
+	}
+	return d.dom
+}
+
+// Grid returns the spreadsheet cell grid (rows of cells). For HTML and
+// text documents it derives a grid from lines split on tabs.
+func (d *Document) Grid() [][]string {
+	if d.grid != nil {
+		return d.grid
+	}
+	switch d.Kind {
+	case KindSpreadsheet:
+		d.grid = ParseCSV(d.Raw)
+	default:
+		var rows [][]string
+		for _, line := range strings.Split(d.Raw, "\n") {
+			if strings.TrimSpace(line) == "" {
+				continue
+			}
+			rows = append(rows, strings.Split(line, "\t"))
+		}
+		d.grid = rows
+	}
+	return d.grid
+}
+
+// Chunks returns the document's text chunks in reading order. For HTML the
+// chunks carry DOM context; for grids each cell is a chunk with a
+// row/column pseudo-path.
+func (d *Document) Chunks() []htmldoc.TextChunk {
+	switch d.Kind {
+	case KindHTML:
+		return d.DOM().TextChunks()
+	default:
+		var out []htmldoc.TextChunk
+		for r, row := range d.Grid() {
+			for c, cell := range row {
+				t := strings.TrimSpace(cell)
+				if t == "" {
+					continue
+				}
+				out = append(out, htmldoc.TextChunk{
+					Text:    t,
+					Path:    fmt.Sprintf("/grid/row[%d]/col[%d]", r, c),
+					TagPath: "/grid/row/col",
+				})
+			}
+		}
+		return out
+	}
+}
+
+// ParseCSV parses simple CSV: comma-separated, double-quote quoting with
+// "" escapes, one record per line. Sufficient for the synthetic
+// spreadsheets the world generates.
+func ParseCSV(s string) [][]string {
+	var rows [][]string
+	var row []string
+	var field strings.Builder
+	inQuotes := false
+	flushField := func() {
+		row = append(row, field.String())
+		field.Reset()
+	}
+	flushRow := func() {
+		flushField()
+		rows = append(rows, row)
+		row = nil
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if inQuotes {
+			if c == '"' {
+				if i+1 < len(s) && s[i+1] == '"' {
+					field.WriteByte('"')
+					i++
+				} else {
+					inQuotes = false
+				}
+			} else {
+				field.WriteByte(c)
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inQuotes = true
+		case ',':
+			flushField()
+		case '\r':
+			// swallow; \n handles the row break
+		case '\n':
+			flushRow()
+		default:
+			field.WriteByte(c)
+		}
+	}
+	if field.Len() > 0 || len(row) > 0 {
+		flushRow()
+	}
+	return rows
+}
+
+// FormatCSV renders a grid back to CSV with minimal quoting.
+func FormatCSV(rows [][]string) string {
+	var b strings.Builder
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Form models an HTML form on a page: a URL template with one input. The
+// structure learner discovers input bindings by finding forms whose
+// submission produces pages containing copied data.
+type Form struct {
+	PageURL   string // page the form appears on
+	Action    string // submission URL prefix; input value is appended
+	InputName string
+}
+
+// Site is a collection of linked documents from one source: a root page,
+// detail pages, paginated lists, and forms. Wrappers give learners the
+// whole site so extraction can generalize across the source hierarchy
+// (§3.1 "multi-page sources").
+type Site struct {
+	Name  string
+	Root  string // URL of the entry page
+	Pages map[string]*Document
+	Forms []Form
+}
+
+// NewSite creates an empty site.
+func NewSite(name, root string) *Site {
+	return &Site{Name: name, Root: root, Pages: map[string]*Document{}}
+}
+
+// Add registers a document by its URL.
+func (s *Site) Add(d *Document) { s.Pages[d.URL] = d }
+
+// Get returns the document at url, or nil.
+func (s *Site) Get(url string) *Document { return s.Pages[url] }
+
+// RootPage returns the entry document, or nil.
+func (s *Site) RootPage() *Document { return s.Pages[s.Root] }
+
+// Links returns the hrefs of all anchors on the given page that resolve to
+// documents within the site, in document order, deduplicated.
+func (s *Site) Links(from *Document) []string {
+	if from == nil || from.Kind != KindHTML {
+		return nil
+	}
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range from.DOM().FindAll("a") {
+		href := a.Attr("href")
+		if href == "" || seen[href] {
+			continue
+		}
+		if _, ok := s.Pages[href]; ok {
+			seen[href] = true
+			out = append(out, href)
+		}
+	}
+	return out
+}
+
+// Selection is one copy operation: the copied cell texts (a rectangular
+// block, row-major) plus the source context.
+type Selection struct {
+	Cells [][]string // the copied block; a single value is [][]string{{v}}
+	Doc   *Document  // document it was copied from
+	Site  *Site      // owning site, if the wrapper knows it
+	App   string     // source application name ("browser", "excel", ...)
+}
+
+// Flat returns all copied cell texts in reading order.
+func (sel Selection) Flat() []string {
+	var out []string
+	for _, row := range sel.Cells {
+		out = append(out, row...)
+	}
+	return out
+}
+
+// IsSingle reports whether exactly one cell was copied.
+func (sel Selection) IsSingle() bool {
+	return len(sel.Cells) == 1 && len(sel.Cells[0]) == 1
+}
+
+// SingleRow returns the selection as one row if it is row-shaped.
+func (sel Selection) SingleRow() ([]string, bool) {
+	if len(sel.Cells) == 1 {
+		return sel.Cells[0], true
+	}
+	return nil, false
+}

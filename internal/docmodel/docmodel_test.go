@@ -1,0 +1,163 @@
+package docmodel
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDocKindString(t *testing.T) {
+	if KindHTML.String() != "html" || KindSpreadsheet.String() != "spreadsheet" || KindText.String() != "text" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(DocKind(9).String(), "9") {
+		t.Error("unknown kind should embed number")
+	}
+}
+
+func TestHTMLDocumentDOMAndChunks(t *testing.T) {
+	d := NewHTML("http://x/", "Shelters", `<table><tr><td>North High</td><td>Coconut Creek</td></tr></table>`)
+	if d.Kind != KindHTML || d.Title != "Shelters" {
+		t.Error("constructor fields wrong")
+	}
+	dom := d.DOM()
+	if dom != d.DOM() {
+		t.Error("DOM should be cached")
+	}
+	chunks := d.Chunks()
+	if len(chunks) != 2 || chunks[0].Text != "North High" {
+		t.Errorf("chunks wrong: %v", chunks)
+	}
+	if chunks[1].TagPath != "/table/tr/td" {
+		t.Errorf("chunk tagpath = %s", chunks[1].TagPath)
+	}
+}
+
+func TestSpreadsheetGridAndChunks(t *testing.T) {
+	d := NewSpreadsheet("file:contacts.csv", "Contacts", "Name,Phone\nAl,555-0100\nBo,555-0101\n")
+	g := d.Grid()
+	if len(g) != 3 || g[1][1] != "555-0100" {
+		t.Fatalf("grid wrong: %v", g)
+	}
+	if &g[0] != &d.Grid()[0] {
+		t.Error("grid should be cached")
+	}
+	chunks := d.Chunks()
+	if len(chunks) != 6 {
+		t.Fatalf("chunk count = %d", len(chunks))
+	}
+	if chunks[2].Path != "/grid/row[1]/col[0]" || chunks[2].Text != "Al" {
+		t.Errorf("grid chunk wrong: %+v", chunks[2])
+	}
+}
+
+func TestTextDocumentGrid(t *testing.T) {
+	d := NewText("file:notes.txt", "Notes", "a\tb\n\nc\td\n")
+	g := d.Grid()
+	if len(g) != 2 || g[0][1] != "b" || g[1][0] != "c" {
+		t.Errorf("text grid wrong: %v", g)
+	}
+	if d.DOM().Children != nil {
+		t.Error("non-HTML DOM should be empty document node")
+	}
+}
+
+func TestParseCSVQuoting(t *testing.T) {
+	rows := ParseCSV("a,\"b,c\",\"say \"\"hi\"\"\"\nlast")
+	if len(rows) != 2 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][1] != "b,c" || rows[0][2] != `say "hi"` {
+		t.Errorf("quoting wrong: %v", rows[0])
+	}
+	if rows[1][0] != "last" {
+		t.Error("trailing row without newline lost")
+	}
+	if len(ParseCSV("")) != 0 {
+		t.Error("empty csv should have no rows")
+	}
+	// CRLF handling
+	rows = ParseCSV("a,b\r\nc,d\r\n")
+	if len(rows) != 2 || rows[0][1] != "b" || rows[1][0] != "c" {
+		t.Errorf("CRLF wrong: %v", rows)
+	}
+}
+
+func TestFormatCSVRoundTripProperty(t *testing.T) {
+	// Property: FormatCSV∘ParseCSV is identity on cell content (for
+	// non-empty rectangular string grids without trailing-empty rows).
+	f := func(cells [][]string) bool {
+		var grid [][]string
+		for _, row := range cells {
+			if len(row) == 0 {
+				continue
+			}
+			grid = append(grid, row)
+		}
+		if len(grid) == 0 {
+			return true
+		}
+		back := ParseCSV(FormatCSV(grid))
+		if len(back) != len(grid) {
+			return false
+		}
+		for i := range grid {
+			if len(back[i]) != len(grid[i]) {
+				return false
+			}
+			for j := range grid[i] {
+				// \r is normalized away by our parser; skip such inputs.
+				if strings.ContainsRune(grid[i][j], '\r') {
+					return true
+				}
+				if back[i][j] != grid[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSiteLinks(t *testing.T) {
+	s := NewSite("shelters", "http://tv/shelters")
+	root := NewHTML("http://tv/shelters", "Shelters",
+		`<a href="http://tv/shelters/2">next</a> <a href="http://elsewhere/">off-site</a> <a href="http://tv/shelters/2">dup</a>`)
+	page2 := NewHTML("http://tv/shelters/2", "Page 2", `<p>more</p>`)
+	s.Add(root)
+	s.Add(page2)
+	if s.RootPage() != root || s.Get("http://tv/shelters/2") != page2 || s.Get("nope") != nil {
+		t.Error("site lookup wrong")
+	}
+	links := s.Links(root)
+	if len(links) != 1 || links[0] != "http://tv/shelters/2" {
+		t.Errorf("Links should keep only in-site, deduped: %v", links)
+	}
+	if s.Links(nil) != nil || s.Links(NewSpreadsheet("u", "t", "a")) != nil {
+		t.Error("Links on nil/non-HTML should be nil")
+	}
+}
+
+func TestSelection(t *testing.T) {
+	sel := Selection{Cells: [][]string{{"a", "b"}, {"c", "d"}}}
+	if got := sel.Flat(); len(got) != 4 || got[3] != "d" {
+		t.Errorf("Flat wrong: %v", got)
+	}
+	if sel.IsSingle() {
+		t.Error("2x2 is not single")
+	}
+	if _, ok := sel.SingleRow(); ok {
+		t.Error("2x2 is not a single row")
+	}
+	one := Selection{Cells: [][]string{{"x"}}}
+	if !one.IsSingle() {
+		t.Error("1x1 is single")
+	}
+	row, ok := Selection{Cells: [][]string{{"x", "y"}}}.SingleRow()
+	if !ok || len(row) != 2 {
+		t.Error("SingleRow wrong")
+	}
+}

@@ -1,0 +1,254 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"copycat/internal/provenance"
+	"copycat/internal/table"
+)
+
+// AggFunc enumerates aggregate functions (§5 lists aggregation among the
+// "complex operations that are difficult to demonstrate"; the engine
+// supports them directly so advanced users can request them, as the
+// paper suggests).
+type AggFunc uint8
+
+const (
+	// AggCount counts rows in the group.
+	AggCount AggFunc = iota
+	// AggSum sums a numeric column.
+	AggSum
+	// AggMin takes the minimum value.
+	AggMin
+	// AggMax takes the maximum value.
+	AggMax
+	// AggAvg averages a numeric column.
+	AggAvg
+)
+
+// String names the function.
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAvg:
+		return "avg"
+	}
+	return fmt.Sprintf("agg(%d)", uint8(f))
+}
+
+// AggSpec is one aggregate column: Func over input column Col (ignored
+// for AggCount), labeled Name in the output.
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+	Name string
+}
+
+// Aggregate groups rows by the GroupBy columns and computes the Aggs.
+// Each output row's provenance is the ⊕ of its group members' — feedback
+// on an aggregate traces back to every contributing tuple.
+type Aggregate struct {
+	Input   Plan
+	GroupBy []int
+	Aggs    []AggSpec
+}
+
+// NewAggregateByName builds an aggregation from column names; agg specs
+// use "func(col)" or "count" strings, e.g. "count", "avg(Capacity)".
+func NewAggregateByName(input Plan, groupBy []string, aggExprs ...string) (*Aggregate, error) {
+	sch := input.Schema()
+	a := &Aggregate{Input: input}
+	for _, g := range groupBy {
+		i := sch.Index(g)
+		if i < 0 {
+			return nil, fmt.Errorf("engine: aggregate: no column %q", g)
+		}
+		a.GroupBy = append(a.GroupBy, i)
+	}
+	for _, expr := range aggExprs {
+		spec, err := parseAggExpr(sch, expr)
+		if err != nil {
+			return nil, err
+		}
+		a.Aggs = append(a.Aggs, spec)
+	}
+	if len(a.Aggs) == 0 {
+		return nil, fmt.Errorf("engine: aggregate: no aggregate columns")
+	}
+	return a, nil
+}
+
+func parseAggExpr(sch table.Schema, expr string) (AggSpec, error) {
+	e := strings.TrimSpace(expr)
+	if e == "count" || e == "count()" || e == "count(*)" {
+		return AggSpec{Func: AggCount, Col: -1, Name: "count"}, nil
+	}
+	open := strings.IndexByte(e, '(')
+	if open < 0 || !strings.HasSuffix(e, ")") {
+		return AggSpec{}, fmt.Errorf("engine: aggregate: bad expression %q", expr)
+	}
+	fn := strings.ToLower(e[:open])
+	col := strings.TrimSpace(e[open+1 : len(e)-1])
+	i := sch.Index(col)
+	if i < 0 {
+		return AggSpec{}, fmt.Errorf("engine: aggregate: no column %q", col)
+	}
+	var f AggFunc
+	switch fn {
+	case "sum":
+		f = AggSum
+	case "min":
+		f = AggMin
+	case "max":
+		f = AggMax
+	case "avg":
+		f = AggAvg
+	default:
+		return AggSpec{}, fmt.Errorf("engine: aggregate: unknown function %q", fn)
+	}
+	return AggSpec{Func: f, Col: i, Name: fn + "_" + col}, nil
+}
+
+// Schema implements Plan.
+func (a *Aggregate) Schema() table.Schema {
+	in := a.Input.Schema()
+	out := make(table.Schema, 0, len(a.GroupBy)+len(a.Aggs))
+	for _, g := range a.GroupBy {
+		out = append(out, in[g])
+	}
+	for _, spec := range a.Aggs {
+		kind := table.KindNumber
+		if spec.Func == AggMin || spec.Func == AggMax {
+			if spec.Col >= 0 && spec.Col < len(in) {
+				kind = in[spec.Col].Kind
+			}
+		}
+		out = append(out, table.Column{Name: spec.Name, Kind: kind})
+	}
+	return out
+}
+
+// group accumulates one group's state.
+type aggGroup struct {
+	key   table.Tuple
+	prov  provenance.Expr
+	count int
+	sums  []float64
+	nums  []int // numeric contributions per agg
+	mins  []table.Value
+	maxs  []table.Value
+	order int
+}
+
+// Execute implements Plan.
+func (a *Aggregate) Execute() (*Result, error) {
+	in, err := a.Input.Execute()
+	if err != nil {
+		return nil, err
+	}
+	groups := map[string]*aggGroup{}
+	var order []*aggGroup
+	for _, row := range in.Rows {
+		key := make(table.Tuple, len(a.GroupBy))
+		for i, g := range a.GroupBy {
+			if g < 0 || g >= len(row.Row) {
+				return nil, fmt.Errorf("engine: aggregate: group column %d out of range", g)
+			}
+			key[i] = row.Row[g]
+		}
+		k := key.Key()
+		grp, ok := groups[k]
+		if !ok {
+			grp = &aggGroup{
+				key:  key,
+				sums: make([]float64, len(a.Aggs)),
+				nums: make([]int, len(a.Aggs)),
+				mins: make([]table.Value, len(a.Aggs)),
+				maxs: make([]table.Value, len(a.Aggs)),
+			}
+			groups[k] = grp
+			grp.order = len(order)
+			order = append(order, grp)
+		}
+		grp.count++
+		grp.prov = provenance.Merge(grp.prov, row.Prov)
+		for i, spec := range a.Aggs {
+			if spec.Col < 0 {
+				continue
+			}
+			if spec.Col >= len(row.Row) {
+				return nil, fmt.Errorf("engine: aggregate: column %d out of range", spec.Col)
+			}
+			v := row.Row[spec.Col]
+			if f, ok := numeric(v); ok {
+				grp.sums[i] += f
+				grp.nums[i]++
+			}
+			switch spec.Func {
+			case AggMin:
+				if grp.mins[i].IsNull() || v.Compare(grp.mins[i]) < 0 {
+					grp.mins[i] = v
+				}
+			case AggMax:
+				if grp.maxs[i].IsNull() || v.Compare(grp.maxs[i]) > 0 {
+					grp.maxs[i] = v
+				}
+			}
+		}
+	}
+	out := &Result{Name: in.Name + "γ", Schema: a.Schema()}
+	for _, grp := range order {
+		row := grp.key.Clone()
+		for i, spec := range a.Aggs {
+			switch spec.Func {
+			case AggCount:
+				row = append(row, table.N(float64(grp.count)))
+			case AggSum:
+				row = append(row, table.N(grp.sums[i]))
+			case AggAvg:
+				if grp.nums[i] == 0 {
+					row = append(row, table.Null())
+				} else {
+					row = append(row, table.N(round6(grp.sums[i]/float64(grp.nums[i]))))
+				}
+			case AggMin:
+				row = append(row, grp.mins[i])
+			case AggMax:
+				row = append(row, grp.maxs[i])
+			}
+		}
+		out.Rows = append(out.Rows, provenance.Annotated{Row: row, Prov: grp.prov})
+	}
+	return out, nil
+}
+
+func numeric(v table.Value) (float64, bool) {
+	switch v.Kind() {
+	case table.KindNumber:
+		return v.Num(), true
+	case table.KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.Str()), 64)
+		return f, err == nil
+	}
+	return 0, false
+}
+
+func round6(f float64) float64 { return math.Round(f*1e6) / 1e6 }
+
+func (a *Aggregate) String() string {
+	parts := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		parts[i] = s.Name
+	}
+	return fmt.Sprintf("Aggregate%v[%s](%s)", a.GroupBy, strings.Join(parts, ","), a.Input)
+}

@@ -1,0 +1,144 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"copycat/internal/table"
+)
+
+func capRel() *table.Relation {
+	r := table.NewRelation("Caps", table.Schema{
+		{Name: "City", Kind: table.KindString},
+		{Name: "Capacity", Kind: table.KindNumber},
+	})
+	r.MustAppend(table.Tuple{table.S("Coconut Creek"), table.N(100)})
+	r.MustAppend(table.Tuple{table.S("Coconut Creek"), table.N(300)})
+	r.MustAppend(table.Tuple{table.S("Pompano Beach"), table.N(50)})
+	return r
+}
+
+func TestAggregateCountSumAvg(t *testing.T) {
+	agg, err := NewAggregateByName(NewScan(capRel()), []string{"City"}, "count", "sum(Capacity)", "avg(Capacity)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("groups = %d", len(res.Rows))
+	}
+	// Groups preserve first-seen order.
+	cc := res.Rows[0].Row
+	if cc[0].Str() != "Coconut Creek" || cc[1].Num() != 2 || cc[2].Num() != 400 || cc[3].Num() != 200 {
+		t.Errorf("coconut creek row = %v", cc.Texts())
+	}
+	pb := res.Rows[1].Row
+	if pb[1].Num() != 1 || pb[2].Num() != 50 {
+		t.Errorf("pompano row = %v", pb.Texts())
+	}
+	// Output schema: City, count, sum_Capacity, avg_Capacity.
+	if res.Schema[1].Name != "count" || res.Schema[2].Name != "sum_Capacity" {
+		t.Errorf("schema = %s", res.Schema)
+	}
+	// Provenance: the two-member group merges both base tuples.
+	if res.Rows[0].Prov.String() != "(Caps:0 + Caps:1)" {
+		t.Errorf("group prov = %s", res.Rows[0].Prov)
+	}
+	if !strings.Contains(agg.String(), "count") {
+		t.Error("String should list aggregates")
+	}
+}
+
+func TestAggregateMinMax(t *testing.T) {
+	agg, err := NewAggregateByName(NewScan(capRel()), []string{"City"}, "min(Capacity)", "max(Capacity)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := res.Rows[0].Row
+	if cc[1].Num() != 100 || cc[2].Num() != 300 {
+		t.Errorf("min/max = %v", cc.Texts())
+	}
+	// Min/max keep the input column's kind.
+	if res.Schema[1].Kind != table.KindNumber {
+		t.Error("min kind wrong")
+	}
+}
+
+func TestAggregateGlobalGroup(t *testing.T) {
+	// No group-by columns: one global group.
+	agg, err := NewAggregateByName(NewScan(capRel()), nil, "count", "sum(Capacity)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Execute()
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("global group rows = %d err %v", len(res.Rows), err)
+	}
+	if res.Rows[0].Row[0].Num() != 3 || res.Rows[0].Row[1].Num() != 450 {
+		t.Errorf("global aggregates = %v", res.Rows[0].Row.Texts())
+	}
+}
+
+func TestAggregateNonNumericAvg(t *testing.T) {
+	r := table.NewRelation("R", table.NewSchema("K", "V"))
+	r.MustAppend(table.FromStrings([]string{"a", "not-a-number"}))
+	agg, err := NewAggregateByName(NewScan(r), []string{"K"}, "avg(V)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := agg.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rows[0].Row[1].IsNull() {
+		t.Error("avg of non-numeric should be null")
+	}
+	// But numeric-looking strings do aggregate.
+	r2 := table.NewRelation("R2", table.NewSchema("K", "V"))
+	r2.MustAppend(table.FromStrings([]string{"a", "10"}))
+	r2.MustAppend(table.Tuple{table.S("a"), table.S(" 20 ")})
+	agg2, _ := NewAggregateByName(NewScan(r2), []string{"K"}, "sum(V)")
+	res2, _ := agg2.Execute()
+	if res2.Rows[0].Row[1].Num() != 30 {
+		t.Errorf("string-number sum = %v", res2.Rows[0].Row.Texts())
+	}
+}
+
+func TestAggregateErrors(t *testing.T) {
+	scan := NewScan(capRel())
+	if _, err := NewAggregateByName(scan, []string{"Nope"}, "count"); err == nil {
+		t.Error("bad group column should error")
+	}
+	if _, err := NewAggregateByName(scan, nil, "sum(Nope)"); err == nil {
+		t.Error("bad agg column should error")
+	}
+	if _, err := NewAggregateByName(scan, nil, "median(Capacity)"); err == nil {
+		t.Error("unknown function should error")
+	}
+	if _, err := NewAggregateByName(scan, nil, "garbage"); err == nil {
+		t.Error("malformed expression should error")
+	}
+	if _, err := NewAggregateByName(scan, nil); err == nil {
+		t.Error("no aggregates should error")
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	for f, want := range map[AggFunc]string{
+		AggCount: "count", AggSum: "sum", AggMin: "min", AggMax: "max", AggAvg: "avg",
+	} {
+		if f.String() != want {
+			t.Errorf("%d = %q", f, f.String())
+		}
+	}
+	if !strings.Contains(AggFunc(9).String(), "9") {
+		t.Error("unknown func should embed number")
+	}
+}

@@ -1,0 +1,421 @@
+package engine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"copycat/internal/provenance"
+	"copycat/internal/table"
+)
+
+func shelters() *table.Relation {
+	r := table.NewRelation("Shelters", table.NewSchema("Name", "Street", "City"))
+	r.MustAppend(table.FromStrings([]string{"North High", "1200 NW 42nd Ave", "Coconut Creek"}))
+	r.MustAppend(table.FromStrings([]string{"Creek Elem", "500 Ramblewood Dr", "Coconut Creek"}))
+	r.MustAppend(table.FromStrings([]string{"Beach Middle", "901 NE 3rd St", "Pompano Beach"}))
+	return r
+}
+
+func contacts() *table.Relation {
+	r := table.NewRelation("Contacts", table.NewSchema("City", "Phone"))
+	r.MustAppend(table.FromStrings([]string{"Coconut Creek", "555-0100"}))
+	r.MustAppend(table.FromStrings([]string{"Pompano Beach", "555-0200"}))
+	return r
+}
+
+// zipSvc is a toy zip-code resolver keyed on (Street, City).
+type zipSvc struct {
+	fail  bool
+	calls int
+}
+
+func (z *zipSvc) Name() string { return "ZipResolver" }
+func (z *zipSvc) InputSchema() table.Schema {
+	return table.NewSchema("Street", "City")
+}
+func (z *zipSvc) OutputSchema() table.Schema { return table.NewSchema("Zip") }
+func (z *zipSvc) Call(in table.Tuple) ([]table.Tuple, error) {
+	z.calls++
+	if z.fail {
+		return nil, errors.New("service down")
+	}
+	switch in[1].Str() {
+	case "Coconut Creek":
+		return []table.Tuple{{table.S("33066")}}, nil
+	case "Pompano Beach":
+		return []table.Tuple{{table.S("33060")}}, nil
+	}
+	return nil, nil
+}
+
+func TestScanAnnotatesLeaves(t *testing.T) {
+	res, err := NewScan(shelters()).Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	if res.Rows[1].Prov.String() != "Shelters:1" {
+		t.Errorf("prov = %s", res.Rows[1].Prov)
+	}
+	if res.Relation().Len() != 3 {
+		t.Error("Relation() lost rows")
+	}
+}
+
+func TestValues(t *testing.T) {
+	v := &Values{Name: "W", Schema_: table.NewSchema("A"),
+		Rows: []provenance.Annotated{{Row: table.Tuple{table.S("x")}, Prov: provenance.None{}}}}
+	res, err := v.Execute()
+	if err != nil || len(res.Rows) != 1 || res.Name != "W" {
+		t.Fatalf("values exec wrong: %v %v", res, err)
+	}
+	if !strings.Contains(v.String(), "W") {
+		t.Error("String should name the relation")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	p := &Select{
+		Input: NewScan(shelters()),
+		Pred:  func(r table.Tuple) bool { return r[2].Str() == "Coconut Creek" },
+		Desc:  "City=Coconut Creek",
+	}
+	res, err := p.Execute()
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("select: %v rows=%d", err, len(res.Rows))
+	}
+	if !strings.Contains(p.String(), "City=Coconut Creek") {
+		t.Error("Select.String should include the description")
+	}
+}
+
+func TestProjectByName(t *testing.T) {
+	p, err := NewProjectByName(NewScan(shelters()), "City", "Name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schema.Equal(table.NewSchema("City", "Name")) {
+		t.Errorf("schema = %s", res.Schema)
+	}
+	if res.Rows[0].Row[0].Str() != "Coconut Creek" || res.Rows[0].Row[1].Str() != "North High" {
+		t.Errorf("row = %v", res.Rows[0].Row.Texts())
+	}
+	// Provenance passes through projection.
+	if res.Rows[0].Prov.String() != "Shelters:0" {
+		t.Errorf("prov = %s", res.Rows[0].Prov)
+	}
+	if _, err := NewProjectByName(NewScan(shelters()), "Nope"); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := &Rename{Input: NewScan(shelters()), Name: "S2", Columns: []string{"", "Addr"}}
+	res, err := r.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Name != "S2" || res.Schema[0].Name != "Name" || res.Schema[1].Name != "Addr" {
+		t.Errorf("rename wrong: %s %s", res.Name, res.Schema)
+	}
+	// Empty name keeps the input's.
+	r2 := &Rename{Input: NewScan(shelters())}
+	res2, _ := r2.Execute()
+	if res2.Name != "Shelters" {
+		t.Error("empty rename should keep name")
+	}
+}
+
+func TestHashJoin(t *testing.T) {
+	j, err := NewHashJoinByName(NewScan(shelters()), NewScan(contacts()), [][2]string{{"City", "City"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := j.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("join rows = %d want 3", len(res.Rows))
+	}
+	// Output schema: Name Street City City_2 Phone (collision renamed).
+	if res.Schema.Index("City_2") < 0 || res.Schema.Index("Phone") < 0 {
+		t.Errorf("join schema = %s", res.Schema)
+	}
+	// Provenance is a Times of both sides.
+	if res.Rows[0].Prov.String() != "(Shelters:0 * Contacts:0)" {
+		t.Errorf("join prov = %s", res.Rows[0].Prov)
+	}
+	if _, err := NewHashJoinByName(NewScan(shelters()), NewScan(contacts()), [][2]string{{"Nope", "City"}}); err == nil {
+		t.Error("bad join column should error")
+	}
+	if _, err := NewHashJoinByName(NewScan(shelters()), NewScan(contacts()), nil); err == nil {
+		t.Error("empty join columns should error")
+	}
+}
+
+func TestDependentJoin(t *testing.T) {
+	svc := &zipSvc{}
+	dj, err := NewDependentJoinByName(NewScan(shelters()), svc, "Street", "City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dj.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	zipIdx := res.Schema.Index("Zip")
+	if zipIdx < 0 {
+		t.Fatalf("no Zip column: %s", res.Schema)
+	}
+	if res.Rows[0].Row[zipIdx].Str() != "33066" || res.Rows[2].Row[zipIdx].Str() != "33060" {
+		t.Errorf("zips wrong: %v", res.Rows[0].Row.Texts())
+	}
+	// Provenance mentions the service.
+	srcs := provenance.Sources(res.Rows[0].Prov)
+	if len(srcs) != 2 || srcs[1] != "ZipResolver" {
+		t.Errorf("prov sources = %v", srcs)
+	}
+	if _, err := NewDependentJoinByName(NewScan(shelters()), svc, "Street"); err == nil {
+		t.Error("wrong input arity should error")
+	}
+	if _, err := NewDependentJoinByName(NewScan(shelters()), svc, "Street", "Nope"); err == nil {
+		t.Error("missing column should error")
+	}
+}
+
+func TestDependentJoinCachesPerBinding(t *testing.T) {
+	svc := &zipSvc{}
+	// Two shelters share (different street) — no cache hits there, but
+	// duplicate rows do hit the cache.
+	rel := table.NewRelation("R", table.NewSchema("Street", "City"))
+	rel.MustAppend(table.FromStrings([]string{"1 Main", "Coconut Creek"}))
+	rel.MustAppend(table.FromStrings([]string{"1 Main", "Coconut Creek"}))
+	dj, _ := NewDependentJoinByName(NewScan(rel), svc, "Street", "City")
+	if _, err := dj.Execute(); err != nil {
+		t.Fatal(err)
+	}
+	if svc.calls != 1 {
+		t.Errorf("service called %d times, want 1 (cached)", svc.calls)
+	}
+}
+
+func TestDependentJoinOuterAndErrors(t *testing.T) {
+	rel := table.NewRelation("R", table.NewSchema("Street", "City"))
+	rel.MustAppend(table.FromStrings([]string{"9 Elm", "Unknown City"}))
+	rel.MustAppend(table.Tuple{table.S("1 Oak"), table.Null()})
+	svc := &zipSvc{}
+	inner, _ := NewDependentJoinByName(NewScan(rel), svc, "Street", "City")
+	res, err := inner.Execute()
+	if err != nil || len(res.Rows) != 0 {
+		t.Errorf("inner dependent join should drop unmatched rows: %d", len(res.Rows))
+	}
+	outer, _ := NewDependentJoinByName(NewScan(rel), svc, "Street", "City")
+	outer.Outer = true
+	res, err = outer.Execute()
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("outer dependent join should keep rows: %d %v", len(res.Rows), err)
+	}
+	if !res.Rows[0].Row[2].IsNull() {
+		t.Error("outer join should null-pad")
+	}
+	failing, _ := NewDependentJoinByName(NewScan(shelters()), &zipSvc{fail: true}, "Street", "City")
+	if _, err := failing.Execute(); err == nil {
+		t.Error("service failure should propagate")
+	}
+}
+
+func TestRecordLinkJoin(t *testing.T) {
+	left := table.NewRelation("L", table.NewSchema("Name"))
+	left.MustAppend(table.Tuple{table.S("North High School")})
+	right := table.NewRelation("R", table.NewSchema("Contact", "Phone"))
+	right.MustAppend(table.FromStrings([]string{"North High", "555-1"}))
+	right.MustAppend(table.FromStrings([]string{"South Annex", "555-2"}))
+	sim := func(a, b table.Tuple) float64 {
+		if strings.Contains(a[0].Str(), b[0].Str()) || strings.Contains(b[0].Str(), a[0].Str()) {
+			return 0.9
+		}
+		return 0.1
+	}
+	rl := &RecordLinkJoin{
+		Left: NewScan(left), Right: NewScan(right),
+		LeftCols: []int{0}, RightCols: []int{0},
+		Sim: sim, Threshold: 0.5, BestOnly: true,
+	}
+	res, err := rl.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0].Row[2].Str() != "555-1" {
+		t.Fatalf("record link wrong: %v", res.Rows)
+	}
+	if res.Rows[0].Prov.String() != "(L:0 * R:0)" {
+		t.Errorf("prov = %s", res.Rows[0].Prov)
+	}
+	// Without BestOnly and low threshold, both match.
+	rl.BestOnly = false
+	rl.Threshold = 0.05
+	res, _ = rl.Execute()
+	if len(res.Rows) != 2 {
+		t.Errorf("non-best link should keep all above threshold: %d", len(res.Rows))
+	}
+}
+
+func TestUnionMergesDuplicateProvenance(t *testing.T) {
+	a := table.NewRelation("A", table.NewSchema("X"))
+	a.MustAppend(table.Tuple{table.S("v")})
+	b := table.NewRelation("B", table.NewSchema("X"))
+	b.MustAppend(table.Tuple{table.S("v")})
+	b.MustAppend(table.Tuple{table.S("w")})
+	u := &Union{Inputs: []Plan{NewScan(a), NewScan(b)}}
+	res, err := u.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("union rows = %d want 2 (dup merged)", len(res.Rows))
+	}
+	if res.Rows[0].Prov.String() != "(A:0 + B:0)" {
+		t.Errorf("merged prov = %s", res.Rows[0].Prov)
+	}
+	// Arity mismatch errors.
+	c := table.NewRelation("C", table.NewSchema("X", "Y"))
+	c.MustAppend(table.FromStrings([]string{"1", "2"}))
+	bad := &Union{Inputs: []Plan{NewScan(a), NewScan(c)}}
+	if _, err := bad.Execute(); err == nil {
+		t.Error("union arity mismatch should error")
+	}
+	empty := &Union{}
+	if res, err := empty.Execute(); err != nil || len(res.Rows) != 0 {
+		t.Error("empty union should be empty")
+	}
+}
+
+func TestPadTo(t *testing.T) {
+	target := table.NewSchema("Name", "Street", "City", "Zip")
+	p := PadTo(NewScan(contacts()), target) // Contacts has City, Phone
+	res, err := p.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schema.Equal(target) {
+		t.Errorf("pad schema = %s", res.Schema)
+	}
+	row := res.Rows[0].Row
+	if !row[0].IsNull() || row[2].Str() != "Coconut Creek" || !row[3].IsNull() {
+		t.Errorf("pad row = %v", row.Texts())
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	a := table.NewRelation("A", table.NewSchema("X"))
+	a.MustAppend(table.Tuple{table.S("v")})
+	a.MustAppend(table.Tuple{table.S("v")})
+	a.MustAppend(table.Tuple{table.S("w")})
+	d := &Distinct{Input: NewScan(a)}
+	res, err := d.Execute()
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("distinct rows = %d", len(res.Rows))
+	}
+	if res.Rows[0].Prov.String() != "(A:0 + A:1)" {
+		t.Errorf("distinct should merge provenance: %s", res.Rows[0].Prov)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	l := &Limit{Input: NewScan(shelters()), N: 2}
+	res, err := l.Execute()
+	if err != nil || len(res.Rows) != 2 {
+		t.Fatalf("limit rows = %d", len(res.Rows))
+	}
+	l.N = 100
+	res, _ = l.Execute()
+	if len(res.Rows) != 3 {
+		t.Error("limit larger than input should keep all")
+	}
+}
+
+func TestEndToEndDependentJoinPipeline(t *testing.T) {
+	// The Figure 2 query: Shelters ⋈dep ZipResolver, projected to
+	// Name, City, Zip, restricted to Coconut Creek.
+	svc := &zipSvc{}
+	dj, err := NewDependentJoinByName(NewScan(shelters()), svc, "Street", "City")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := &Select{Input: dj, Pred: func(r table.Tuple) bool { return r[2].Str() == "Coconut Creek" }, Desc: "cc"}
+	proj, err := NewProjectByName(sel, "Name", "City", "Zip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proj.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("pipeline rows = %d", len(res.Rows))
+	}
+	for _, a := range res.Rows {
+		if a.Row[2].Str() != "33066" {
+			t.Errorf("zip = %s", a.Row[2].Str())
+		}
+		srcs := provenance.Sources(a.Prov)
+		if len(srcs) != 2 || srcs[0] != "Shelters" || srcs[1] != "ZipResolver" {
+			t.Errorf("pipeline prov sources = %v", srcs)
+		}
+	}
+	if !strings.Contains(proj.String(), "DepJoin[ZipResolver]") {
+		t.Errorf("plan string = %s", proj.String())
+	}
+}
+
+func TestPlanStrings(t *testing.T) {
+	s := NewScan(shelters())
+	plans := []Plan{
+		s,
+		&Select{Input: s, Pred: func(table.Tuple) bool { return true }, Desc: "all"},
+		&Project{Input: s, Cols: []int{0}},
+		&Rename{Input: s},
+		&Distinct{Input: s},
+		&Limit{Input: s, N: 1},
+		&Union{Inputs: []Plan{s, s}},
+		PadTo(s, table.NewSchema("Name")),
+		&RecordLinkJoin{Left: s, Right: s, Sim: func(a, b table.Tuple) float64 { return 0 }},
+	}
+	for _, p := range plans {
+		if p.String() == "" {
+			t.Errorf("%T has empty String()", p)
+		}
+		if p.Schema() == nil && len(p.Schema()) != 0 {
+			t.Errorf("%T has nil schema", p)
+		}
+	}
+}
+
+func TestValuesSchemaAndJoinString(t *testing.T) {
+	v := &Values{Name: "W", Schema_: table.NewSchema("A", "B")}
+	if !v.Schema().Equal(table.NewSchema("A", "B")) {
+		t.Error("Values.Schema wrong")
+	}
+	j, err := NewHashJoinByName(NewScan(shelters()), NewScan(contacts()), [][2]string{{"City", "City"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), "Join") {
+		t.Errorf("join string = %s", j.String())
+	}
+	dj, _ := NewDependentJoinByName(NewScan(shelters()), &zipSvc{}, "Street", "City")
+	if dj.Schema().Index("Zip") < 0 {
+		t.Error("dependent join schema missing service outputs")
+	}
+}

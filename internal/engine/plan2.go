@@ -1,0 +1,353 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"copycat/internal/provenance"
+	"copycat/internal/table"
+)
+
+// ---------------------------------------------------------------- DependentJoin
+
+// DependentJoin feeds selected input columns to a service per row and
+// appends the service's outputs (§2.1's Zipcode Resolver example; the
+// green-arrow dependent join of Figure 2). Rows with no service answer are
+// dropped unless Outer is set, in which case outputs are null-padded.
+type DependentJoin struct {
+	Input     Plan
+	Svc       Service
+	InputCols []int // positions in Input's schema feeding Svc, in Svc input order
+	Outer     bool
+}
+
+// NewDependentJoinByName binds a service's inputs to named input columns.
+func NewDependentJoinByName(input Plan, svc Service, cols ...string) (*DependentJoin, error) {
+	want := svc.InputSchema()
+	if len(cols) != len(want) {
+		return nil, fmt.Errorf("engine: dependent join: service %s needs %d inputs, got %d", svc.Name(), len(want), len(cols))
+	}
+	sch := input.Schema()
+	dj := &DependentJoin{Input: input, Svc: svc}
+	for _, n := range cols {
+		i := sch.Index(n)
+		if i < 0 {
+			return nil, fmt.Errorf("engine: dependent join: no column %q in %s", n, sch)
+		}
+		dj.InputCols = append(dj.InputCols, i)
+	}
+	return dj, nil
+}
+
+// Schema implements Plan.
+func (d *DependentJoin) Schema() table.Schema {
+	return d.Input.Schema().Concat(d.Svc.OutputSchema())
+}
+
+// Execute implements Plan.
+func (d *DependentJoin) Execute() (*Result, error) {
+	in, err := d.Input.Execute()
+	if err != nil {
+		return nil, err
+	}
+	outWidth := len(d.Svc.OutputSchema())
+	out := &Result{Name: in.Name + "→" + d.Svc.Name(), Schema: d.Schema()}
+	cache := map[string][]table.Tuple{}
+	for _, a := range in.Rows {
+		args := make(table.Tuple, len(d.InputCols))
+		skip := false
+		for i, c := range d.InputCols {
+			if c < 0 || c >= len(a.Row) {
+				return nil, fmt.Errorf("engine: dependent join: column %d out of range", c)
+			}
+			args[i] = a.Row[c]
+			if a.Row[c].IsNull() {
+				skip = true
+			}
+		}
+		var answers []table.Tuple
+		if !skip {
+			key := args.Key()
+			var ok bool
+			if answers, ok = cache[key]; !ok {
+				answers, err = d.Svc.Call(args)
+				if err != nil {
+					return nil, fmt.Errorf("engine: service %s: %w", d.Svc.Name(), err)
+				}
+				cache[key] = answers
+			}
+		}
+		if len(answers) == 0 {
+			if d.Outer {
+				row := a.Row.Clone()
+				for i := 0; i < outWidth; i++ {
+					row = append(row, table.Null())
+				}
+				out.Rows = append(out.Rows, provenance.Annotated{Row: row, Prov: a.Prov})
+			}
+			continue
+		}
+		for _, ans := range answers {
+			if len(ans) != outWidth {
+				return nil, fmt.Errorf("engine: service %s returned arity %d, want %d", d.Svc.Name(), len(ans), outWidth)
+			}
+			row := append(a.Row.Clone(), ans...)
+			leaf := provenance.Leaf{
+				ID:     table.TupleID(fmt.Sprintf("%s:(%s)", d.Svc.Name(), strings.Join(args.Texts(), "|"))),
+				Source: d.Svc.Name(),
+			}
+			out.Rows = append(out.Rows, provenance.Annotated{
+				Row:  row,
+				Prov: provenance.Join(a.Prov, leaf),
+			})
+		}
+	}
+	return out, nil
+}
+
+func (d *DependentJoin) String() string {
+	return fmt.Sprintf("DepJoin[%s]%v(%s)", d.Svc.Name(), d.InputCols, d.Input)
+}
+
+// ---------------------------------------------------------------- RecordLinkJoin
+
+// Similarity scores how well two tuples (restricted to the chosen columns)
+// refer to the same real-world entity; 0 = unrelated, 1 = identical.
+type Similarity func(a, b table.Tuple) float64
+
+// RecordLinkJoin is an approximate join: each left row is linked to the
+// best-scoring right row(s) above Threshold (§1's contact-matching
+// example). If BestOnly is set, only the argmax right row joins.
+type RecordLinkJoin struct {
+	Left, Right         Plan
+	LeftCols, RightCols []int
+	Sim                 Similarity // receives the restricted column tuples
+	Threshold           float64
+	BestOnly            bool
+}
+
+// Schema implements Plan.
+func (r *RecordLinkJoin) Schema() table.Schema {
+	return r.Left.Schema().Concat(r.Right.Schema())
+}
+
+// Execute implements Plan.
+func (r *RecordLinkJoin) Execute() (*Result, error) {
+	l, err := r.Left.Execute()
+	if err != nil {
+		return nil, err
+	}
+	rr, err := r.Right.Execute()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Name: l.Name + "≈" + rr.Name, Schema: r.Schema()}
+	for _, la := range l.Rows {
+		lkey, err := restrict(la.Row, r.LeftCols)
+		if err != nil {
+			return nil, err
+		}
+		best := -1.0
+		var matches []provenance.Annotated
+		for _, ra := range rr.Rows {
+			rkey, err := restrict(ra.Row, r.RightCols)
+			if err != nil {
+				return nil, err
+			}
+			s := r.Sim(lkey, rkey)
+			if s < r.Threshold {
+				continue
+			}
+			ann := provenance.Annotated{
+				Row:  append(la.Row.Clone(), ra.Row...),
+				Prov: provenance.Join(la.Prov, ra.Prov),
+			}
+			if r.BestOnly {
+				if s > best {
+					best = s
+					matches = matches[:0]
+					matches = append(matches, ann)
+				} else if s == best {
+					matches = append(matches, ann)
+				}
+			} else {
+				matches = append(matches, ann)
+			}
+		}
+		out.Rows = append(out.Rows, matches...)
+	}
+	return out, nil
+}
+
+func restrict(row table.Tuple, cols []int) (table.Tuple, error) {
+	out := make(table.Tuple, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(row) {
+			return nil, fmt.Errorf("engine: record link column %d out of range", c)
+		}
+		out[i] = row[c]
+	}
+	return out, nil
+}
+
+func (r *RecordLinkJoin) String() string {
+	return fmt.Sprintf("LinkJoin[θ=%.2f](%s, %s)", r.Threshold, r.Left, r.Right)
+}
+
+// ---------------------------------------------------------------- Union
+
+// Union concatenates inputs with identical arities; column names come from
+// the first input. Duplicate rows are merged with their provenance
+// combined by ⊕ — the semiring account of "this tuple has two
+// derivations".
+type Union struct {
+	Inputs []Plan
+}
+
+// Schema implements Plan.
+func (u *Union) Schema() table.Schema {
+	if len(u.Inputs) == 0 {
+		return nil
+	}
+	return u.Inputs[0].Schema()
+}
+
+// Execute implements Plan.
+func (u *Union) Execute() (*Result, error) {
+	if len(u.Inputs) == 0 {
+		return &Result{Name: "union"}, nil
+	}
+	out := &Result{Name: "union", Schema: u.Schema()}
+	index := map[string]int{} // tuple key -> position in out.Rows
+	arity := len(out.Schema)
+	for _, in := range u.Inputs {
+		res, err := in.Execute()
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range res.Rows {
+			if len(a.Row) != arity {
+				return nil, fmt.Errorf("engine: union arity mismatch: %d vs %d", len(a.Row), arity)
+			}
+			k := a.Row.Key()
+			if i, ok := index[k]; ok {
+				out.Rows[i].Prov = provenance.Merge(out.Rows[i].Prov, a.Prov)
+			} else {
+				index[k] = len(out.Rows)
+				out.Rows = append(out.Rows, a)
+			}
+		}
+	}
+	return out, nil
+}
+
+func (u *Union) String() string {
+	s := "Union("
+	for i, in := range u.Inputs {
+		if i > 0 {
+			s += ", "
+		}
+		s += in.String()
+	}
+	return s + ")"
+}
+
+// PadTo wraps a plan so its output matches a wider target schema, placing
+// each input column under the target column with the same name and
+// null-padding the rest. Union uses this to homogenize heterogeneous
+// completions (§4.2: "extending the schema and padding with nulls as
+// necessary to form a homogeneous schema").
+func PadTo(input Plan, target table.Schema) Plan {
+	return &pad{Input: input, Target: target}
+}
+
+type pad struct {
+	Input  Plan
+	Target table.Schema
+}
+
+func (p *pad) Schema() table.Schema { return p.Target }
+
+func (p *pad) Execute() (*Result, error) {
+	in, err := p.Input.Execute()
+	if err != nil {
+		return nil, err
+	}
+	mapping := make([]int, len(p.Target)) // target col -> input col or -1
+	for i, c := range p.Target {
+		mapping[i] = in.Schema.Index(c.Name)
+	}
+	out := &Result{Name: in.Name, Schema: p.Target}
+	for _, a := range in.Rows {
+		row := make(table.Tuple, len(p.Target))
+		for i, m := range mapping {
+			if m >= 0 && m < len(a.Row) {
+				row[i] = a.Row[m]
+			} else {
+				row[i] = table.Null()
+			}
+		}
+		out.Rows = append(out.Rows, provenance.Annotated{Row: row, Prov: a.Prov})
+	}
+	return out, nil
+}
+
+func (p *pad) String() string { return fmt.Sprintf("Pad(%s)", p.Input) }
+
+// ---------------------------------------------------------------- Distinct
+
+// Distinct removes duplicate rows, merging provenance with ⊕.
+type Distinct struct {
+	Input Plan
+}
+
+// Schema implements Plan.
+func (d *Distinct) Schema() table.Schema { return d.Input.Schema() }
+
+// Execute implements Plan.
+func (d *Distinct) Execute() (*Result, error) {
+	in, err := d.Input.Execute()
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Name: in.Name, Schema: in.Schema}
+	index := map[string]int{}
+	for _, a := range in.Rows {
+		k := a.Row.Key()
+		if i, ok := index[k]; ok {
+			out.Rows[i].Prov = provenance.Merge(out.Rows[i].Prov, a.Prov)
+		} else {
+			index[k] = len(out.Rows)
+			out.Rows = append(out.Rows, a)
+		}
+	}
+	return out, nil
+}
+
+func (d *Distinct) String() string { return fmt.Sprintf("Distinct(%s)", d.Input) }
+
+// ---------------------------------------------------------------- Limit
+
+// Limit keeps the first N rows.
+type Limit struct {
+	Input Plan
+	N     int
+}
+
+// Schema implements Plan.
+func (l *Limit) Schema() table.Schema { return l.Input.Schema() }
+
+// Execute implements Plan.
+func (l *Limit) Execute() (*Result, error) {
+	in, err := l.Input.Execute()
+	if err != nil {
+		return nil, err
+	}
+	rows := in.Rows
+	if l.N >= 0 && l.N < len(rows) {
+		rows = rows[:l.N]
+	}
+	return &Result{Name: in.Name, Schema: in.Schema, Rows: rows}, nil
+}
+
+func (l *Limit) String() string { return fmt.Sprintf("Limit[%d](%s)", l.N, l.Input) }

@@ -1,0 +1,197 @@
+package engine
+
+// Property tests on the engine's provenance invariants: every derived
+// tuple's provenance must mention exactly the base tuples it came from,
+// regardless of the data — the guarantee the feedback loop relies on.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"copycat/internal/provenance"
+	"copycat/internal/table"
+)
+
+// randRel builds a small relation from fuzz bytes.
+func randRel(name string, keys []uint8, width int) *table.Relation {
+	cols := make([]string, width)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("%s_c%d", name, i)
+	}
+	cols[0] = "K" // shared join column name
+	r := table.NewRelation(name, table.NewSchema(cols...))
+	for _, k := range keys {
+		row := make([]string, width)
+		row[0] = fmt.Sprint(k % 8) // small key domain → real join matches
+		for i := 1; i < width; i++ {
+			row[i] = fmt.Sprintf("%s-%d-%d", name, k, i)
+		}
+		r.MustAppend(table.FromStrings(row))
+	}
+	return r
+}
+
+func TestJoinProvenanceExactlyTwoLeavesProperty(t *testing.T) {
+	f := func(ks1, ks2 []uint8) bool {
+		l := randRel("L", ks1, 2)
+		r := randRel("R", ks2, 2)
+		j, err := NewHashJoinByName(NewScan(l), NewScan(r), [][2]string{{"K", "K"}})
+		if err != nil {
+			return false
+		}
+		res, err := j.Execute()
+		if err != nil {
+			return false
+		}
+		for _, a := range res.Rows {
+			leaves := a.Prov.Leaves(nil)
+			if len(leaves) != 2 {
+				return false
+			}
+			// One leaf per side.
+			srcs := provenance.Sources(a.Prov)
+			if len(srcs) != 2 || srcs[0] != "L" || srcs[1] != "R" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJoinCardinalityMatchesNestedLoopProperty(t *testing.T) {
+	f := func(ks1, ks2 []uint8) bool {
+		l := randRel("L", ks1, 2)
+		r := randRel("R", ks2, 2)
+		want := 0
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				if lr[0].Equal(rr[0]) {
+					want++
+				}
+			}
+		}
+		j, _ := NewHashJoinByName(NewScan(l), NewScan(r), [][2]string{{"K", "K"}})
+		res, err := j.Execute()
+		return err == nil && len(res.Rows) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionProvenancePreservesAllLeavesProperty(t *testing.T) {
+	// Every base tuple contributes exactly one leaf somewhere in the
+	// union's provenance (duplicates merge via ⊕, never drop).
+	f := func(ks1, ks2 []uint8) bool {
+		a := randRel("A", ks1, 2)
+		b := randRel("B", ks2, 2)
+		u := &Union{Inputs: []Plan{NewScan(a), NewScan(b)}}
+		res, err := u.Execute()
+		if err != nil {
+			return false
+		}
+		total := 0
+		for _, row := range res.Rows {
+			total += len(row.Prov.Leaves(nil))
+		}
+		return total == a.Len()+b.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistinctLosslessProperty(t *testing.T) {
+	// Distinct never loses a distinct row, and merges all duplicates'
+	// provenance.
+	f := func(ks []uint8) bool {
+		r := randRel("R", ks, 2)
+		d := &Distinct{Input: NewScan(r)}
+		res, err := d.Execute()
+		if err != nil {
+			return false
+		}
+		distinct := map[string]bool{}
+		for _, row := range r.Rows {
+			distinct[row.Key()] = true
+		}
+		if len(res.Rows) != len(distinct) {
+			return false
+		}
+		total := 0
+		for _, row := range res.Rows {
+			total += len(row.Prov.Leaves(nil))
+		}
+		return total == r.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateGroupCountInvariantProperty(t *testing.T) {
+	// Sum of group counts equals input size; group provenance leaf count
+	// equals group size.
+	f := func(ks []uint8) bool {
+		if len(ks) == 0 {
+			return true
+		}
+		r := randRel("R", ks, 2)
+		agg, err := NewAggregateByName(NewScan(r), []string{"K"}, "count")
+		if err != nil {
+			return false
+		}
+		res, err := agg.Execute()
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, row := range res.Rows {
+			n := row.Row[1].Num()
+			total += n
+			if len(row.Prov.Leaves(nil)) != int(n) {
+				return false
+			}
+		}
+		return int(total) == r.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectSelectPreserveProvenanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		keys := make([]uint8, n)
+		for i := range keys {
+			keys[i] = uint8(rng.Intn(50))
+		}
+		r := randRel("R", keys, 3)
+		sel := &Select{
+			Input: NewScan(r),
+			Pred:  func(row table.Tuple) bool { return row[0].Num() >= 3 },
+			Desc:  "K≥3",
+		}
+		proj, err := NewProjectByName(sel, "R_c1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := proj.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range res.Rows {
+			leaves := a.Prov.Leaves(nil)
+			if len(leaves) != 1 {
+				t.Fatalf("project/select should keep single-leaf provenance, got %v", leaves)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+// Package export renders workspace contents to external formats (§8:
+// "Exporting data to common application formats, including XML and,
+// perhaps more interestingly, the Google Maps interface"): XML, CSV,
+// GeoJSON, and KML. The map formats stand in for the live Google Maps
+// visualization — any GIS tool renders them.
+package export
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/htmldoc"
+	"copycat/internal/table"
+)
+
+// XML renders the relation as <relation><row><Col>…</Col></row>…</relation>,
+// with column names sanitized into valid element names.
+func XML(rel *table.Relation) string {
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	fmt.Fprintf(&b, "<relation name=%q>\n", rel.Name)
+	names := make([]string, len(rel.Schema))
+	for i, c := range rel.Schema {
+		names[i] = elementName(c.Name)
+	}
+	for _, row := range rel.Rows {
+		b.WriteString("  <row>\n")
+		for i, v := range row {
+			if i >= len(names) {
+				break
+			}
+			fmt.Fprintf(&b, "    <%s>%s</%s>\n", names[i], htmldoc.Escape(v.Text()), names[i])
+		}
+		b.WriteString("  </row>\n")
+	}
+	b.WriteString("</relation>\n")
+	return b.String()
+}
+
+// elementName sanitizes a column name into a valid XML element name.
+func elementName(name string) string {
+	var b strings.Builder
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r == '_' ||
+			r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-':
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "col"
+	}
+	s := b.String()
+	if s[0] >= '0' && s[0] <= '9' {
+		return "_" + s
+	}
+	return s
+}
+
+// CSV renders the relation with a header row.
+func CSV(rel *table.Relation) string {
+	rows := [][]string{rel.Schema.Names()}
+	for _, r := range rel.Rows {
+		rows = append(rows, r.Texts())
+	}
+	return docmodel.FormatCSV(rows)
+}
+
+// geoColumns locates latitude/longitude columns by semantic type first,
+// then by conventional names.
+func geoColumns(s table.Schema) (lat, lon int) {
+	lat, lon = s.IndexBySemType("PR-Lat"), s.IndexBySemType("PR-Lon")
+	if lat < 0 {
+		for _, n := range []string{"Lat", "Latitude", "lat"} {
+			if i := s.Index(n); i >= 0 {
+				lat = i
+				break
+			}
+		}
+	}
+	if lon < 0 {
+		for _, n := range []string{"Lon", "Lng", "Longitude", "lon"} {
+			if i := s.Index(n); i >= 0 {
+				lon = i
+				break
+			}
+		}
+	}
+	return lat, lon
+}
+
+// nameColumn picks the best column to label map features with.
+func nameColumn(s table.Schema) int {
+	for _, st := range []string{"PR-OrgName", "PR-PersonName"} {
+		if i := s.IndexBySemType(st); i >= 0 {
+			return i
+		}
+	}
+	for _, n := range []string{"Name", "Shelter", "Title"} {
+		if i := s.Index(n); i >= 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// GeoJSON renders rows with lat/lon columns as a FeatureCollection of
+// Points; all other columns become feature properties. Rows without
+// coordinates are skipped. It errors when no geo columns exist.
+func GeoJSON(rel *table.Relation) (string, error) {
+	lat, lon := geoColumns(rel.Schema)
+	if lat < 0 || lon < 0 {
+		return "", fmt.Errorf("export: relation %s has no Lat/Lon columns", rel.Name)
+	}
+	var b strings.Builder
+	b.WriteString(`{"type":"FeatureCollection","features":[`)
+	first := true
+	for _, row := range rel.Rows {
+		if lat >= len(row) || lon >= len(row) || row[lat].IsNull() || row[lon].IsNull() {
+			continue
+		}
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(`{"type":"Feature","geometry":{"type":"Point","coordinates":[`)
+		b.WriteString(numText(row[lon]))
+		b.WriteByte(',')
+		b.WriteString(numText(row[lat]))
+		b.WriteString(`]},"properties":{`)
+		pFirst := true
+		for i, c := range rel.Schema {
+			if i == lat || i == lon || i >= len(row) {
+				continue
+			}
+			if !pFirst {
+				b.WriteByte(',')
+			}
+			pFirst = false
+			fmt.Fprintf(&b, "%s:%s", jsonString(c.Name), jsonString(row[i].Text()))
+		}
+		b.WriteString(`}}`)
+	}
+	b.WriteString(`]}`)
+	return b.String(), nil
+}
+
+func numText(v table.Value) string {
+	if v.Kind() == table.KindNumber {
+		return strconv.FormatFloat(v.Num(), 'f', -1, 64)
+	}
+	if f, err := strconv.ParseFloat(strings.TrimSpace(v.Text()), 64); err == nil {
+		return strconv.FormatFloat(f, 'f', -1, 64)
+	}
+	return "0"
+}
+
+func jsonString(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			if r < 0x20 {
+				fmt.Fprintf(&b, `\u%04x`, r)
+			} else {
+				b.WriteRune(r)
+			}
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// KML renders rows with lat/lon as Placemarks — the format Google Maps
+// and Google Earth ingest directly (the paper's mashup-generator export).
+func KML(rel *table.Relation) (string, error) {
+	lat, lon := geoColumns(rel.Schema)
+	if lat < 0 || lon < 0 {
+		return "", fmt.Errorf("export: relation %s has no Lat/Lon columns", rel.Name)
+	}
+	nameIdx := nameColumn(rel.Schema)
+	var b strings.Builder
+	b.WriteString(`<?xml version="1.0" encoding="UTF-8"?>` + "\n")
+	b.WriteString(`<kml xmlns="http://www.opengis.net/kml/2.2"><Document>` + "\n")
+	fmt.Fprintf(&b, "<name>%s</name>\n", htmldoc.Escape(rel.Name))
+	for _, row := range rel.Rows {
+		if lat >= len(row) || lon >= len(row) || row[lat].IsNull() || row[lon].IsNull() {
+			continue
+		}
+		b.WriteString("<Placemark>")
+		fmt.Fprintf(&b, "<name>%s</name>", htmldoc.Escape(row[nameIdx].Text()))
+		var desc []string
+		for i, c := range rel.Schema {
+			if i == lat || i == lon || i == nameIdx || i >= len(row) {
+				continue
+			}
+			desc = append(desc, c.Name+": "+row[i].Text())
+		}
+		fmt.Fprintf(&b, "<description>%s</description>", htmldoc.Escape(strings.Join(desc, "; ")))
+		fmt.Fprintf(&b, "<Point><coordinates>%s,%s</coordinates></Point>", numText(row[lon]), numText(row[lat]))
+		b.WriteString("</Placemark>\n")
+	}
+	b.WriteString("</Document></kml>\n")
+	return b.String(), nil
+}

@@ -1,0 +1,201 @@
+package export
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/htmldoc"
+	"copycat/internal/table"
+)
+
+func geoRel() *table.Relation {
+	r := table.NewRelation("Shelters", table.Schema{
+		{Name: "Name", Kind: table.KindString, SemType: "PR-OrgName"},
+		{Name: "City", Kind: table.KindString},
+		{Name: "Lat", Kind: table.KindNumber, SemType: "PR-Lat"},
+		{Name: "Lon", Kind: table.KindNumber, SemType: "PR-Lon"},
+	})
+	r.MustAppend(table.Tuple{table.S("North High"), table.S("Coconut Creek"), table.N(26.25), table.N(-80.18)})
+	r.MustAppend(table.Tuple{table.S(`A "quoted" & <odd> name`), table.S("Pompano"), table.N(26.23), table.N(-80.12)})
+	r.MustAppend(table.Tuple{table.S("No Geo"), table.S("Lost"), table.Null(), table.Null()})
+	return r
+}
+
+func TestXML(t *testing.T) {
+	out := XML(geoRel())
+	for _, want := range []string{
+		`<relation name="Shelters">`,
+		"<Name>North High</Name>",
+		"<Lat>26.25</Lat>",
+		"&quot;quoted&quot; &amp; &lt;odd&gt;",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("XML missing %q:\n%s", want, out)
+		}
+	}
+	// Round trip through our HTML/XML parser preserves text.
+	doc := htmldoc.Parse(out)
+	rows := doc.FindAll("row")
+	if len(rows) != 3 {
+		t.Errorf("parsed rows = %d", len(rows))
+	}
+	if rows[0].Find("name") == nil {
+		t.Error("row elements missing")
+	}
+}
+
+func TestElementName(t *testing.T) {
+	cases := map[string]string{
+		"Name":        "Name",
+		"Zip Code":    "Zip_Code",
+		"lat-lon":     "lat_lon",
+		"42nd":        "_42nd",
+		"!!!":         "col",
+		"_private":    "_private",
+		"Mixed 2 Col": "Mixed_2_Col",
+	}
+	for in, want := range cases {
+		if got := elementName(in); got != want {
+			t.Errorf("elementName(%q) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	out := CSV(geoRel())
+	grid := docmodel.ParseCSV(out)
+	if len(grid) != 4 {
+		t.Fatalf("rows = %d", len(grid))
+	}
+	if grid[0][0] != "Name" || grid[1][0] != "North High" {
+		t.Errorf("csv content wrong: %v", grid[:2])
+	}
+	if grid[2][0] != `A "quoted" & <odd> name` {
+		t.Errorf("quoting broken: %q", grid[2][0])
+	}
+}
+
+func TestGeoJSON(t *testing.T) {
+	out, err := GeoJSON(geoRel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must be valid JSON.
+	var parsed struct {
+		Type     string `json:"type"`
+		Features []struct {
+			Geometry struct {
+				Type        string    `json:"type"`
+				Coordinates []float64 `json:"coordinates"`
+			} `json:"geometry"`
+			Properties map[string]string `json:"properties"`
+		} `json:"features"`
+	}
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if parsed.Type != "FeatureCollection" || len(parsed.Features) != 2 {
+		t.Fatalf("features = %d", len(parsed.Features))
+	}
+	f := parsed.Features[0]
+	if f.Geometry.Coordinates[0] != -80.18 || f.Geometry.Coordinates[1] != 26.25 {
+		t.Errorf("coords = %v (GeoJSON is lon,lat)", f.Geometry.Coordinates)
+	}
+	if f.Properties["Name"] != "North High" || f.Properties["City"] != "Coconut Creek" {
+		t.Errorf("properties = %v", f.Properties)
+	}
+	// The null-geo row is skipped; escaping held up.
+	if parsed.Features[1].Properties["Name"] != `A "quoted" & <odd> name` {
+		t.Errorf("escaped name = %q", parsed.Features[1].Properties["Name"])
+	}
+}
+
+func TestGeoJSONErrorsWithoutGeo(t *testing.T) {
+	r := table.NewRelation("NoGeo", table.NewSchema("A", "B"))
+	if _, err := GeoJSON(r); err == nil {
+		t.Error("missing geo columns should error")
+	}
+	if _, err := KML(r); err == nil {
+		t.Error("missing geo columns should error for KML too")
+	}
+}
+
+func TestGeoColumnsByName(t *testing.T) {
+	// Fallback: conventional names without semantic types.
+	r := table.NewRelation("R", table.NewSchema("Name", "Latitude", "Longitude"))
+	r.MustAppend(table.Tuple{table.S("X"), table.N(1), table.N(2)})
+	out, err := GeoJSON(r)
+	if err != nil || !strings.Contains(out, `[2,1]`) {
+		t.Errorf("name-based geo detection failed: %v %s", err, out)
+	}
+}
+
+func TestKML(t *testing.T) {
+	out, err := KML(geoRel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<kml xmlns=",
+		"<Placemark><name>North High</name>",
+		"<coordinates>-80.18,26.25</coordinates>",
+		"City: Coconut Creek",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("KML missing %q:\n%s", want, out)
+		}
+	}
+	// Two placemarks (null-geo row skipped).
+	if strings.Count(out, "<Placemark>") != 2 {
+		t.Errorf("placemark count = %d", strings.Count(out, "<Placemark>"))
+	}
+}
+
+func TestJSONStringEscapingProperty(t *testing.T) {
+	f := func(s string) bool {
+		var out string
+		if err := json.Unmarshal([]byte(jsonString(s)), &out); err != nil {
+			return false
+		}
+		return out == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumText(t *testing.T) {
+	if numText(table.N(26.25)) != "26.25" {
+		t.Error("number format wrong")
+	}
+	if numText(table.S(" 3.5 ")) != "3.5" {
+		t.Error("string parse wrong")
+	}
+	if numText(table.S("junk")) != "0" {
+		t.Error("junk should be 0")
+	}
+}
+
+func TestNameColumnPreferences(t *testing.T) {
+	// Semantic type beats conventional names; conventional names beat
+	// position; fallback is column 0.
+	s := table.Schema{
+		{Name: "X", Kind: table.KindString},
+		{Name: "Title", Kind: table.KindString},
+		{Name: "Who", Kind: table.KindString, SemType: "PR-PersonName"},
+	}
+	if nameColumn(s) != 2 {
+		t.Errorf("semtype name column = %d", nameColumn(s))
+	}
+	s[2].SemType = ""
+	if nameColumn(s) != 1 {
+		t.Errorf("conventional name column = %d", nameColumn(s))
+	}
+	s[1].Name = "Z"
+	if nameColumn(s) != 0 {
+		t.Errorf("fallback name column = %d", nameColumn(s))
+	}
+}

@@ -1,0 +1,312 @@
+package htmldoc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NodeType discriminates DOM node kinds.
+type NodeType uint8
+
+const (
+	// ElementNode is a tag element.
+	ElementNode NodeType = iota
+	// TextNode is character data.
+	TextNode
+	// CommentNode is a comment.
+	CommentNode
+	// DocumentNode is the synthetic root.
+	DocumentNode
+)
+
+// Node is a DOM node. Children order is document order.
+type Node struct {
+	Type     NodeType
+	Tag      string // element tag name (ElementNode)
+	Text     string // text content (TextNode, CommentNode)
+	Attrs    map[string]string
+	Parent   *Node
+	Children []*Node
+}
+
+// Attr returns the attribute value (empty if absent).
+func (n *Node) Attr(name string) string {
+	if n.Attrs == nil {
+		return ""
+	}
+	return n.Attrs[name]
+}
+
+// implicitClosers maps a tag to the set of open tags it implicitly closes
+// (HTML's optional end tags: a new <tr> closes an open <tr>, etc.).
+var implicitClosers = map[string][]string{
+	"tr":     {"tr", "td", "th"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"li":     {"li"},
+	"p":      {"p"},
+	"option": {"option"},
+}
+
+// Parse builds a DOM tree from HTML source. The returned node is a
+// DocumentNode whose children are the top-level nodes.
+func Parse(src string) *Node {
+	root := &Node{Type: DocumentNode}
+	stack := []*Node{root}
+	top := func() *Node { return stack[len(stack)-1] }
+	for _, tok := range Lex(src) {
+		switch tok.Type {
+		case TextToken:
+			if strings.TrimSpace(tok.Data) == "" {
+				continue
+			}
+			top().appendChild(&Node{Type: TextNode, Text: tok.Data})
+		case CommentToken:
+			top().appendChild(&Node{Type: CommentNode, Text: tok.Data})
+		case DoctypeToken:
+			// ignored
+		case StartTagToken:
+			if closers, ok := implicitClosers[tok.Data]; ok {
+				for len(stack) > 1 {
+					t := top().Tag
+					closed := false
+					for _, c := range closers {
+						if t == c {
+							stack = stack[:len(stack)-1]
+							closed = true
+							break
+						}
+					}
+					if !closed {
+						break
+					}
+				}
+			}
+			el := &Node{Type: ElementNode, Tag: tok.Data, Attrs: tok.Attrs}
+			top().appendChild(el)
+			if !tok.SelfClosing {
+				stack = append(stack, el)
+			}
+		case EndTagToken:
+			// Pop to the matching open tag, if any.
+			for j := len(stack) - 1; j >= 1; j-- {
+				if stack[j].Tag == tok.Data {
+					stack = stack[:j]
+					break
+				}
+			}
+		}
+	}
+	return root
+}
+
+func (n *Node) appendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Walk visits every node in document order; returning false from fn prunes
+// that node's subtree.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// FindAll returns all element nodes with the given tag, in document order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(x *Node) bool {
+		if x.Type == ElementNode && x.Tag == tag {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// Find returns the first element with the given tag, or nil.
+func (n *Node) Find(tag string) *Node {
+	all := n.FindAll(tag)
+	if len(all) == 0 {
+		return nil
+	}
+	return all[0]
+}
+
+// FindByAttr returns all elements whose attribute equals the value.
+func (n *Node) FindByAttr(attr, value string) []*Node {
+	var out []*Node
+	n.Walk(func(x *Node) bool {
+		if x.Type == ElementNode && x.Attr(attr) == value {
+			out = append(out, x)
+		}
+		return true
+	})
+	return out
+}
+
+// InnerText concatenates all descendant text, collapsing runs of
+// whitespace to single spaces and trimming the ends.
+func (n *Node) InnerText() string {
+	var b strings.Builder
+	n.Walk(func(x *Node) bool {
+		if x.Type == TextNode {
+			b.WriteString(x.Text)
+			b.WriteByte(' ')
+		}
+		return x.Type != CommentNode
+	})
+	return strings.Join(strings.Fields(b.String()), " ")
+}
+
+// Path returns the element's absolute tag path from the document root with
+// sibling ordinals, e.g. "/html[0]/body[0]/table[0]/tr[2]/td[1]".
+// Structure learner hypotheses quantify over these paths.
+func (n *Node) Path() string {
+	if n.Type == DocumentNode || n.Parent == nil {
+		return ""
+	}
+	ord := 0
+	for _, sib := range n.Parent.Children {
+		if sib == n {
+			break
+		}
+		if sib.Type == ElementNode && sib.Tag == n.Tag {
+			ord++
+		}
+	}
+	label := n.Tag
+	if n.Type == TextNode {
+		label = "#text"
+		ord = 0
+		for _, sib := range n.Parent.Children {
+			if sib == n {
+				break
+			}
+			if sib.Type == TextNode {
+				ord++
+			}
+		}
+	}
+	return fmt.Sprintf("%s/%s[%d]", n.Parent.Path(), label, ord)
+}
+
+// TagPath returns the path with ordinals stripped: "/html/body/table/tr/td".
+// Two nodes with equal tag paths are structurally analogous.
+func (n *Node) TagPath() string {
+	p := n.Path()
+	var b strings.Builder
+	skip := false
+	for _, r := range p {
+		switch r {
+		case '[':
+			skip = true
+		case ']':
+			skip = false
+		default:
+			if !skip {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// TextChunk is a piece of document text with its location: the containing
+// element's path and class attribute. The structure learner operates over
+// the page's chunk sequence.
+type TextChunk struct {
+	Text    string
+	Path    string // ordinal path of the containing element
+	TagPath string // ordinal-free path
+	Class   string // class attribute of the nearest classed ancestor
+	Href    string // href of the nearest anchor ancestor, if any
+}
+
+// TextChunks extracts all nonempty text nodes beneath n in document order.
+func (n *Node) TextChunks() []TextChunk {
+	var out []TextChunk
+	n.Walk(func(x *Node) bool {
+		if x.Type == CommentNode {
+			return false
+		}
+		if x.Type == TextNode {
+			txt := strings.Join(strings.Fields(x.Text), " ")
+			if txt == "" {
+				return true
+			}
+			parent := x.Parent
+			ch := TextChunk{Text: txt}
+			if parent != nil {
+				ch.Path = parent.Path()
+				ch.TagPath = parent.TagPath()
+			}
+			for a := parent; a != nil; a = a.Parent {
+				if ch.Class == "" && a.Attr("class") != "" {
+					ch.Class = a.Attr("class")
+				}
+				if ch.Href == "" && a.Tag == "a" && a.Attr("href") != "" {
+					ch.Href = a.Attr("href")
+				}
+			}
+			out = append(out, ch)
+		}
+		return true
+	})
+	return out
+}
+
+// Render serializes the tree back to HTML (for round-trip tests and for
+// exporting workspace contents).
+func (n *Node) Render() string {
+	var b strings.Builder
+	render(&b, n)
+	return b.String()
+}
+
+func render(b *strings.Builder, n *Node) {
+	switch n.Type {
+	case DocumentNode:
+		for _, c := range n.Children {
+			render(b, c)
+		}
+	case TextNode:
+		b.WriteString(Escape(n.Text))
+	case CommentNode:
+		b.WriteString("<!--")
+		b.WriteString(n.Text)
+		b.WriteString("-->")
+	case ElementNode:
+		b.WriteByte('<')
+		b.WriteString(n.Tag)
+		for _, k := range sortedKeys(n.Attrs) {
+			fmt.Fprintf(b, ` %s="%s"`, k, Escape(n.Attrs[k]))
+		}
+		if voidElements[n.Tag] && len(n.Children) == 0 {
+			b.WriteString("/>")
+			return
+		}
+		b.WriteByte('>')
+		for _, c := range n.Children {
+			render(b, c)
+		}
+		b.WriteString("</" + n.Tag + ">")
+	}
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

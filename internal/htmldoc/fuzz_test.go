@@ -1,0 +1,66 @@
+package htmldoc
+
+import (
+	"strings"
+	"testing"
+)
+
+// Native fuzz targets (seeds run as unit tests; `go test -fuzz=Fuzz...`
+// explores further). The substrate must never panic on arbitrary bytes —
+// it parses whatever a source application displays.
+
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"<",
+		"plain text only",
+		"<html><body><table><tr><td>a<td>b</table>",
+		"<p>one<p>two<p>three",
+		`<a href="/x?y=1&amp;z=2">link</a>`,
+		"<!DOCTYPE html><!-- c --><div class=x>text</div>",
+		"<script>if (a<b) {}</script>after",
+		"<ul><li>A &mdash; B, C (d)</ul>",
+		"</closes><without><opening>",
+		"<td><td><td>",
+		"&#65;&bogus;&",
+		strings.Repeat("<div>", 200) + "deep" + strings.Repeat("</div>", 100),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := Parse(src)
+		// Every derived view must be total.
+		_ = doc.Render()
+		_ = doc.InnerText()
+		for _, ch := range doc.TextChunks() {
+			if ch.Text == "" {
+				t.Error("empty chunk text")
+			}
+			_ = ch.Path
+			_ = ch.TagPath
+		}
+		doc.Walk(func(n *Node) bool { return true })
+		// Re-parsing the render must also be total and idempotent-ish.
+		re := Parse(doc.Render())
+		_ = re.Render()
+	})
+}
+
+func FuzzUnescape(f *testing.F) {
+	for _, s := range []string{"", "&amp;", "&#65;", "&#x41;", "&;", "&" + strings.Repeat("a", 20) + ";", "a&b&c"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		out := Unescape(s)
+		// Unescaping never grows the string by more than the worst-case
+		// entity expansion factor.
+		if len(out) > len(s)*4+4 {
+			t.Errorf("unescape grew %d → %d", len(s), len(out))
+		}
+		// Escape must round-trip any string.
+		if Unescape(Escape(s)) != s {
+			t.Errorf("escape round trip failed for %q", s)
+		}
+	})
+}

@@ -1,0 +1,281 @@
+package htmldoc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const shelterPage = `<!DOCTYPE html>
+<html><head><title>Broward County Shelters</title>
+<style>body { color: red }</style>
+<script>var x = "<td>not a tag</td>";</script>
+</head>
+<body>
+<h1>Hurricane Shelters</h1>
+<!-- data follows -->
+<table class="shelters">
+<tr><th>Name</th><th>Street</th><th>City</th>
+<tr><td><a href="/shelter/1">North High</a><td>1200 NW 42nd Ave<td>Coconut Creek
+<tr><td><a href="/shelter/2">Creek Elementary</a><td>500 Ramblewood Dr<td>Coconut Creek
+</table>
+<ul><li>First &amp; Main<li>Caf&#233; Row</ul>
+<img src="x.png"><br/>
+<div class="footer">FEMA &copy; 2008</div>
+</body></html>`
+
+func TestLexBasics(t *testing.T) {
+	toks := Lex(`<p class="x">Hi &amp; bye</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("token count = %d: %v", len(toks), toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Data != "p" || toks[0].Attrs["class"] != "x" {
+		t.Errorf("start tag wrong: %+v", toks[0])
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "Hi & bye" {
+		t.Errorf("text wrong: %+v", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "p" {
+		t.Errorf("end tag wrong: %+v", toks[2])
+	}
+}
+
+func TestLexSelfClosingAndVoid(t *testing.T) {
+	toks := Lex(`<br/><img src='a.png'><input type=text value=go>`)
+	for i, tok := range toks {
+		if !tok.SelfClosing {
+			t.Errorf("token %d (%s) should be self-closing", i, tok.Data)
+		}
+	}
+	if toks[1].Attrs["src"] != "a.png" {
+		t.Error("single-quoted attr wrong")
+	}
+	if toks[2].Attrs["type"] != "text" || toks[2].Attrs["value"] != "go" {
+		t.Error("unquoted attrs wrong")
+	}
+}
+
+func TestLexCommentDoctypeScript(t *testing.T) {
+	toks := Lex(shelterPage)
+	var comments, doctypes int
+	var scriptText string
+	for i, tok := range toks {
+		switch tok.Type {
+		case CommentToken:
+			comments++
+		case DoctypeToken:
+			doctypes++
+		case StartTagToken:
+			if tok.Data == "script" && i+1 < len(toks) && toks[i+1].Type == TextToken {
+				scriptText = toks[i+1].Data
+			}
+		}
+	}
+	if comments != 1 || doctypes != 1 {
+		t.Errorf("comments=%d doctypes=%d", comments, doctypes)
+	}
+	if !strings.Contains(scriptText, "<td>not a tag</td>") {
+		t.Errorf("script content should be raw text, got %q", scriptText)
+	}
+}
+
+func TestLexMalformed(t *testing.T) {
+	// A bare '<' degrades to text; unterminated tags degrade to text.
+	toks := Lex("a < b")
+	var text strings.Builder
+	for _, tok := range toks {
+		if tok.Type == TextToken {
+			text.WriteString(tok.Data)
+		}
+	}
+	if text.String() != "a < b" {
+		t.Errorf("malformed input should survive as text: %q", text.String())
+	}
+	if toks := Lex("<p"); len(toks) == 0 {
+		t.Error("unterminated tag should produce something")
+	}
+	Lex("<!-- unterminated")
+	Lex("</")
+	Lex("<! ")
+	Lex("<script>never closed")
+}
+
+func TestUnescapeEscape(t *testing.T) {
+	cases := map[string]string{
+		"a &amp; b":     "a & b",
+		"&lt;x&gt;":     "<x>",
+		"&quot;q&quot;": `"q"`,
+		"&#65;&#66;":    "AB",
+		"&bogus;":       "&bogus;",
+		"&":             "&",
+		"no entities":   "no entities",
+		"&nbsp;":        " ",
+	}
+	for in, want := range cases {
+		if got := Unescape(in); got != want {
+			t.Errorf("Unescape(%q) = %q want %q", in, got, want)
+		}
+	}
+	if got := Unescape(Escape(`<a href="x">&</a>`)); got != `<a href="x">&</a>` {
+		t.Errorf("Escape/Unescape round trip: %q", got)
+	}
+}
+
+func TestEscapeUnescapeRoundTripProperty(t *testing.T) {
+	f := func(s string) bool { return Unescape(Escape(s)) == s }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseTree(t *testing.T) {
+	doc := Parse(shelterPage)
+	title := doc.Find("title")
+	if title == nil || title.InnerText() != "Broward County Shelters" {
+		t.Fatalf("title wrong: %v", title)
+	}
+	table := doc.Find("table")
+	if table == nil || table.Attr("class") != "shelters" {
+		t.Fatal("table not found or class wrong")
+	}
+	rows := table.FindAll("tr")
+	if len(rows) != 3 {
+		t.Fatalf("want 3 tr (implicit closers), got %d", len(rows))
+	}
+	cells := rows[1].FindAll("td")
+	if len(cells) != 3 {
+		t.Fatalf("want 3 td in row 1, got %d", len(cells))
+	}
+	if cells[0].InnerText() != "North High" || cells[2].InnerText() != "Coconut Creek" {
+		t.Errorf("cell text wrong: %q %q", cells[0].InnerText(), cells[2].InnerText())
+	}
+	lis := doc.FindAll("li")
+	if len(lis) != 2 || lis[0].InnerText() != "First & Main" || lis[1].InnerText() != "Café Row" {
+		t.Errorf("li parsing wrong: %d items", len(lis))
+	}
+}
+
+func TestFindByAttrAndAttr(t *testing.T) {
+	doc := Parse(shelterPage)
+	footers := doc.FindByAttr("class", "footer")
+	if len(footers) != 1 || !strings.Contains(footers[0].InnerText(), "FEMA") {
+		t.Errorf("FindByAttr wrong: %v", footers)
+	}
+	if footers[0].Attr("missing") != "" {
+		t.Error("missing attr should be empty")
+	}
+	if (&Node{Type: TextNode}).Attr("x") != "" {
+		t.Error("nil Attrs should be empty")
+	}
+	if doc.Find("nosuchtag") != nil {
+		t.Error("Find of absent tag should be nil")
+	}
+}
+
+func TestPaths(t *testing.T) {
+	doc := Parse(`<html><body><table><tr><td>a</td><td>b</td></tr><tr><td>c</td></tr></table></body></html>`)
+	tds := doc.FindAll("td")
+	if len(tds) != 3 {
+		t.Fatalf("want 3 td, got %d", len(tds))
+	}
+	if tds[0].Path() != "/html[0]/body[0]/table[0]/tr[0]/td[0]" {
+		t.Errorf("path[0] = %s", tds[0].Path())
+	}
+	if tds[1].Path() != "/html[0]/body[0]/table[0]/tr[0]/td[1]" {
+		t.Errorf("path[1] = %s", tds[1].Path())
+	}
+	if tds[2].Path() != "/html[0]/body[0]/table[0]/tr[1]/td[0]" {
+		t.Errorf("path[2] = %s", tds[2].Path())
+	}
+	if tds[2].TagPath() != "/html/body/table/tr/td" {
+		t.Errorf("tag path = %s", tds[2].TagPath())
+	}
+	// Structurally analogous cells share a TagPath.
+	if tds[0].TagPath() != tds[2].TagPath() {
+		t.Error("analogous cells should share TagPath")
+	}
+}
+
+func TestTextChunks(t *testing.T) {
+	doc := Parse(shelterPage)
+	chunks := doc.Find("table").TextChunks()
+	var texts []string
+	for _, c := range chunks {
+		texts = append(texts, c.Text)
+	}
+	joined := strings.Join(texts, "|")
+	for _, want := range []string{"North High", "1200 NW 42nd Ave", "Coconut Creek", "Creek Elementary"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("chunks missing %q: %s", want, joined)
+		}
+	}
+	// Chunk metadata: class comes from the table, href from the anchor.
+	for _, c := range chunks {
+		if c.Class != "shelters" {
+			t.Errorf("chunk %q class = %q want shelters", c.Text, c.Class)
+		}
+		if c.Text == "North High" && c.Href != "/shelter/1" {
+			t.Errorf("anchor chunk href = %q", c.Href)
+		}
+	}
+	// Comments are excluded.
+	for _, c := range Parse("<div><!-- hidden -->shown</div>").TextChunks() {
+		if strings.Contains(c.Text, "hidden") {
+			t.Error("comment text leaked into chunks")
+		}
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `<div class="x"><p>Hello <b>world</b></p><img src="i.png"/></div>`
+	doc := Parse(src)
+	out := doc.Render()
+	re := Parse(out)
+	if re.Render() != out {
+		t.Errorf("render not idempotent:\n%s\n%s", out, re.Render())
+	}
+	if doc.Find("b").InnerText() != re.Find("b").InnerText() {
+		t.Error("round trip lost content")
+	}
+}
+
+func TestImplicitParagraphClose(t *testing.T) {
+	doc := Parse("<p>one<p>two")
+	ps := doc.FindAll("p")
+	if len(ps) != 2 || ps[0].InnerText() != "one" || ps[1].InnerText() != "two" {
+		t.Errorf("implicit <p> close wrong: %d", len(ps))
+	}
+	// Nested structure: second <p> must not be inside the first.
+	if ps[1].Parent == ps[0] {
+		t.Error("second p nested inside first")
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	doc := Parse("<div><span>in</span></div><p>out</p>")
+	var visited []string
+	doc.Walk(func(n *Node) bool {
+		if n.Type == ElementNode {
+			visited = append(visited, n.Tag)
+			return n.Tag != "div" // prune div subtree
+		}
+		return true
+	})
+	for _, v := range visited {
+		if v == "span" {
+			t.Error("pruned subtree was visited")
+		}
+	}
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		doc.Render()
+		doc.TextChunks()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package htmldoc is a small, stdlib-only HTML substrate: a tokenizer and
+// a DOM builder sufficient for the semi-structured pages CopyCat's
+// structure learner analyzes — tables, lists, divs with class attributes,
+// anchors, forms, comments, and character entities. It is not a full HTML5
+// parser; it is the layer a browser application wrapper hands to the
+// learners ("direct access to the underlying data being displayed", §2.3).
+package htmldoc
+
+import (
+	"strings"
+)
+
+// TokenType enumerates lexer token types.
+type TokenType uint8
+
+const (
+	// TextToken is character data between tags.
+	TextToken TokenType = iota
+	// StartTagToken is an opening tag, possibly self-closing.
+	StartTagToken
+	// EndTagToken is a closing tag.
+	EndTagToken
+	// CommentToken is an HTML comment.
+	CommentToken
+	// DoctypeToken is a <!DOCTYPE ...> declaration.
+	DoctypeToken
+)
+
+// LexToken is one lexical token of an HTML document.
+type LexToken struct {
+	Type        TokenType
+	Data        string            // tag name, text content, or comment body
+	Attrs       map[string]string // attributes for StartTagToken
+	SelfClosing bool
+}
+
+// voidElements are tags that never have closing tags in HTML.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+// Lex tokenizes HTML source into a stream of LexTokens. It is forgiving:
+// malformed constructs degrade to text rather than failing.
+func Lex(src string) []LexToken {
+	var toks []LexToken
+	i := 0
+	n := len(src)
+	for i < n {
+		lt := strings.IndexByte(src[i:], '<')
+		if lt < 0 {
+			toks = appendText(toks, src[i:])
+			break
+		}
+		if lt > 0 {
+			toks = appendText(toks, src[i:i+lt])
+			i += lt
+		}
+		// src[i] == '<'
+		switch {
+		case strings.HasPrefix(src[i:], "<!--"):
+			end := strings.Index(src[i+4:], "-->")
+			if end < 0 {
+				toks = append(toks, LexToken{Type: CommentToken, Data: src[i+4:]})
+				i = n
+			} else {
+				toks = append(toks, LexToken{Type: CommentToken, Data: src[i+4 : i+4+end]})
+				i += 4 + end + 3
+			}
+		case strings.HasPrefix(src[i:], "<!"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				toks = appendText(toks, src[i:])
+				i = n
+			} else {
+				toks = append(toks, LexToken{Type: DoctypeToken, Data: strings.TrimSpace(src[i+2 : i+end])})
+				i += end + 1
+			}
+		case strings.HasPrefix(src[i:], "</"):
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				toks = appendText(toks, src[i:])
+				i = n
+			} else {
+				name := strings.ToLower(strings.TrimSpace(src[i+2 : i+end]))
+				if name != "" {
+					toks = append(toks, LexToken{Type: EndTagToken, Data: name})
+				}
+				i += end + 1
+			}
+		default:
+			end := strings.IndexByte(src[i:], '>')
+			if end < 0 {
+				toks = appendText(toks, src[i:])
+				i = n
+				break
+			}
+			inner := src[i+1 : i+end]
+			tok, ok := parseStartTag(inner)
+			if !ok {
+				// Not a valid tag (e.g. "<3"): treat the '<' as text.
+				toks = appendText(toks, "<")
+				i++
+				break
+			}
+			toks = append(toks, tok)
+			i += end + 1
+			// Raw-text elements: script/style content is opaque text.
+			if (tok.Data == "script" || tok.Data == "style") && !tok.SelfClosing {
+				closer := "</" + tok.Data
+				rest := strings.ToLower(src[i:])
+				ci := strings.Index(rest, closer)
+				if ci < 0 {
+					toks = appendText(toks, src[i:])
+					i = n
+				} else {
+					if ci > 0 {
+						toks = appendText(toks, src[i:i+ci])
+					}
+					gt := strings.IndexByte(src[i+ci:], '>')
+					toks = append(toks, LexToken{Type: EndTagToken, Data: tok.Data})
+					if gt < 0 {
+						i = n
+					} else {
+						i += ci + gt + 1
+					}
+				}
+			}
+		}
+	}
+	return toks
+}
+
+func appendText(toks []LexToken, raw string) []LexToken {
+	if raw == "" {
+		return toks
+	}
+	return append(toks, LexToken{Type: TextToken, Data: Unescape(raw)})
+}
+
+func parseStartTag(inner string) (LexToken, bool) {
+	inner = strings.TrimSpace(inner)
+	if inner == "" {
+		return LexToken{}, false
+	}
+	self := false
+	if strings.HasSuffix(inner, "/") {
+		self = true
+		inner = strings.TrimSpace(inner[:len(inner)-1])
+	}
+	// Tag name: leading run of letters/digits.
+	j := 0
+	for j < len(inner) && (isAlnum(inner[j]) || inner[j] == '-') {
+		j++
+	}
+	if j == 0 {
+		return LexToken{}, false
+	}
+	name := strings.ToLower(inner[:j])
+	tok := LexToken{Type: StartTagToken, Data: name, SelfClosing: self || voidElements[name]}
+	rest := inner[j:]
+	if attrs := parseAttrs(rest); len(attrs) > 0 {
+		tok.Attrs = attrs
+	}
+	return tok, true
+}
+
+func parseAttrs(s string) map[string]string {
+	var attrs map[string]string
+	i := 0
+	n := len(s)
+	for i < n {
+		for i < n && isSpace(s[i]) {
+			i++
+		}
+		if i >= n {
+			break
+		}
+		// attribute name
+		start := i
+		for i < n && s[i] != '=' && !isSpace(s[i]) {
+			i++
+		}
+		name := strings.ToLower(s[start:i])
+		if name == "" {
+			i++
+			continue
+		}
+		val := ""
+		for i < n && isSpace(s[i]) {
+			i++
+		}
+		if i < n && s[i] == '=' {
+			i++
+			for i < n && isSpace(s[i]) {
+				i++
+			}
+			if i < n && (s[i] == '"' || s[i] == '\'') {
+				q := s[i]
+				i++
+				vs := i
+				for i < n && s[i] != q {
+					i++
+				}
+				val = s[vs:i]
+				if i < n {
+					i++
+				}
+			} else {
+				vs := i
+				for i < n && !isSpace(s[i]) {
+					i++
+				}
+				val = s[vs:i]
+			}
+		}
+		if attrs == nil {
+			attrs = map[string]string{}
+		}
+		attrs[name] = Unescape(val)
+	}
+	return attrs
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+var entities = map[string]string{
+	"amp": "&", "lt": "<", "gt": ">", "quot": `"`, "apos": "'",
+	"nbsp": " ", "copy": "©", "ndash": "–", "mdash": "—",
+}
+
+// Unescape resolves the common named character entities and decimal
+// numeric references. Unknown entities pass through verbatim.
+func Unescape(s string) string {
+	if !strings.ContainsRune(s, '&') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			b.WriteByte(s[i])
+			i++
+			continue
+		}
+		semi := strings.IndexByte(s[i:], ';')
+		if semi < 0 || semi > 10 {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		name := s[i+1 : i+semi]
+		if rep, ok := entities[name]; ok {
+			b.WriteString(rep)
+			i += semi + 1
+			continue
+		}
+		if strings.HasPrefix(name, "#") {
+			var r rune
+			ok := true
+			for _, c := range name[1:] {
+				if c < '0' || c > '9' {
+					ok = false
+					break
+				}
+				r = r*10 + (c - '0')
+			}
+			if ok && r > 0 {
+				b.WriteRune(r)
+				i += semi + 1
+				continue
+			}
+		}
+		b.WriteByte('&')
+		i++
+	}
+	return b.String()
+}
+
+// Escape replaces the characters that must be entity-encoded in HTML text
+// and attribute values.
+func Escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

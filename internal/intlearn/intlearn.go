@@ -1,0 +1,515 @@
+// Package intlearn implements CopyCat's integration learner (§4): it
+// maintains the weighted source graph, proposes column auto-completions
+// (promising associations from the current query's nodes, compiled into
+// executable plans), explains user-pasted tuples as top-k Steiner-tree
+// queries, and converts accept/reject feedback into MIRA ranking
+// constraints that re-weight the graph's edges.
+package intlearn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"copycat/internal/catalog"
+	"copycat/internal/engine"
+	"copycat/internal/linkage"
+	"copycat/internal/mira"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/steiner"
+	"copycat/internal/table"
+)
+
+// Query is a candidate integration query: a connected set of source-graph
+// edges, scored by the additive cost model.
+type Query struct {
+	Edges []*sourcegraph.Edge
+	Nodes []string
+	Cost  float64
+}
+
+// EdgeIDs lists the MIRA features of the query.
+func (q *Query) EdgeIDs() []string {
+	out := make([]string, len(q.Edges))
+	for i, e := range q.Edges {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// String renders the query compactly.
+func (q *Query) String() string {
+	return fmt.Sprintf("Query{%s @%.2f}", strings.Join(q.Nodes, "+"), q.Cost)
+}
+
+// Completion is one proposed column auto-completion: following an
+// association edge from the current query to a new source or service.
+type Completion struct {
+	Edge    *sourcegraph.Edge
+	Target  string // the node being added
+	Plan    engine.Plan
+	Result  *engine.Result
+	NewCols []table.Column // columns the completion adds
+	Cost    float64
+}
+
+// Learner is the integration learner.
+type Learner struct {
+	Graph  *sourcegraph.Graph
+	Mira   *mira.Learner
+	Linker *linkage.Linker
+	// LinkThreshold gates record-link joins.
+	LinkThreshold float64
+	// MaxExactNodes switches Steiner search from the exact solver to the
+	// SPCSH approximation above this node count (§4.2).
+	MaxExactNodes int
+	// PruneFrac is the non-promising-edge pruning fraction for SPCSH.
+	PruneFrac float64
+}
+
+// New creates a learner over a discovered source graph. Edges whose cost
+// was externally assigned (differs from the default) seed the MIRA
+// weights, so e.g. schema-matcher confidences carry into the ranking.
+func New(g *sourcegraph.Graph) *Learner {
+	l := &Learner{
+		Graph:         g,
+		Mira:          mira.New(sourcegraph.DefaultCost),
+		Linker:        linkage.NewLinker(),
+		LinkThreshold: 0.55,
+		MaxExactNodes: 30,
+		PruneFrac:     0.2,
+	}
+	for _, e := range g.Edges() {
+		if e.Cost != sourcegraph.DefaultCost {
+			l.Mira.SetWeight(e.ID, e.Cost)
+		}
+	}
+	return l
+}
+
+// edgeCost reads the learned cost for an edge.
+func (l *Learner) edgeCost(e *sourcegraph.Edge) float64 {
+	return l.Mira.Weight(e.ID)
+}
+
+// syncCosts writes MIRA weights back onto the source graph so the next
+// discovery/suggestion pass sees learned costs.
+func (l *Learner) syncCosts() {
+	for id, w := range l.Mira.Snapshot() {
+		l.Graph.SetCost(id, w)
+	}
+}
+
+// ---------------------------------------------------------------- plans
+
+// ExtendPlan compiles "base followed by edge e" into a plan. base is the
+// current query's result (e.g. the workspace contents); baseNode is the
+// source-graph node base corresponds to (either endpoint of e).
+func (l *Learner) ExtendPlan(base engine.Plan, baseNode string, e *sourcegraph.Edge) (engine.Plan, []table.Column, error) {
+	target := e.Other(baseNode)
+	cat := l.Graph.Catalog()
+	src := cat.Get(target)
+	if src == nil {
+		return nil, nil, fmt.Errorf("intlearn: unknown source %q", target)
+	}
+	// The edge's columns are stated from e.From's perspective; orient.
+	baseCols, targetCols := e.FromCols, e.ToCols
+	if e.From != baseNode {
+		baseCols, targetCols = e.ToCols, e.FromCols
+	}
+	baseIdx, err := resolveCols(base.Schema(), src, baseCols)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch {
+	case src.Kind == catalog.KindService:
+		dj := &engine.DependentJoin{Input: base, Svc: src.Svc, InputCols: baseIdx}
+		return dj, src.OutputSchema(), nil
+	case e.Kind == sourcegraph.KindRecordLink:
+		scan, err := src.Scan()
+		if err != nil {
+			return nil, nil, err
+		}
+		tIdx, err := colIndexes(src.Schema, targetCols)
+		if err != nil {
+			return nil, nil, err
+		}
+		rl := &engine.RecordLinkJoin{
+			Left: base, Right: scan,
+			LeftCols: baseIdx, RightCols: tIdx,
+			Sim: l.Linker.TupleSimilarity(), Threshold: l.LinkThreshold,
+			BestOnly: true,
+		}
+		return rl, src.Schema, nil
+	default: // equijoin / foreign key
+		scan, err := src.Scan()
+		if err != nil {
+			return nil, nil, err
+		}
+		tIdx, err := colIndexes(src.Schema, targetCols)
+		if err != nil {
+			return nil, nil, err
+		}
+		hj := &engine.HashJoin{Left: base, Right: scan, LeftCols: baseIdx, RightCols: tIdx}
+		return hj, src.Schema, nil
+	}
+}
+
+// resolveCols maps edge column names onto the base plan's schema, falling
+// back to semantic-type lookup when the workspace renamed a column.
+func resolveCols(schema table.Schema, target *catalog.Source, names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		j := schema.Index(n)
+		if j < 0 {
+			// Fall back: find the base column whose semantic type matches
+			// the corresponding target-side expectation.
+			if st := semTypeOf(target.Schema, n); st != "" {
+				j = schema.IndexBySemType(st)
+			}
+		}
+		if j < 0 {
+			return nil, fmt.Errorf("intlearn: cannot resolve column %q in schema (%s)", n, schema)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+func semTypeOf(schema table.Schema, name string) string {
+	if i := schema.Index(name); i >= 0 {
+		return schema[i].SemType
+	}
+	return ""
+}
+
+func colIndexes(schema table.Schema, names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		j := schema.Index(n)
+		if j < 0 {
+			return nil, fmt.Errorf("intlearn: no column %q in (%s)", n, schema)
+		}
+		out[i] = j
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------- column completions
+
+// ColumnCompletions proposes auto-completions for the current query: every
+// suggestable association from its nodes to a source not yet in the
+// query, compiled and executed (§4.2's first mode; Figure 2's Zip column).
+// Results come back best (cheapest) first.
+func (l *Learner) ColumnCompletions(base engine.Plan, baseNodes []string) []Completion {
+	in := map[string]bool{}
+	for _, n := range baseNodes {
+		in[n] = true
+	}
+	seenTarget := map[string]bool{}
+	var out []Completion
+	for _, node := range baseNodes {
+		for _, e := range l.Graph.EdgesAt(node) {
+			cost := l.edgeCost(e)
+			if cost > sourcegraph.SuggestThreshold {
+				continue
+			}
+			target := e.Other(node)
+			if in[target] || seenTarget[target+e.ID] {
+				continue
+			}
+			seenTarget[target+e.ID] = true
+			plan, newCols, err := l.ExtendPlan(base, node, e)
+			if err != nil {
+				continue
+			}
+			res, err := plan.Execute()
+			if err != nil || len(res.Rows) == 0 {
+				continue
+			}
+			out = append(out, Completion{
+				Edge: e, Target: target, Plan: plan, Result: res,
+				NewCols: newCols, Cost: cost,
+			})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Cost != out[j].Cost {
+			return out[i].Cost < out[j].Cost
+		}
+		return out[i].Edge.ID < out[j].Edge.ID
+	})
+	return out
+}
+
+// ---------------------------------------------------------------- Steiner queries
+
+// steinerIndex maps between source-graph node names and steiner node ids.
+type steinerIndex struct {
+	names []string
+	idx   map[string]int
+	edges []*sourcegraph.Edge // steiner edge id → source-graph edge
+}
+
+// buildSteiner converts the source graph (with learned costs) into a
+// steiner.Graph.
+func (l *Learner) buildSteiner() (*steiner.Graph, *steinerIndex) {
+	ix := &steinerIndex{idx: map[string]int{}}
+	for _, name := range l.Graph.Catalog().Names() {
+		ix.idx[name] = len(ix.names)
+		ix.names = append(ix.names, name)
+	}
+	g := steiner.NewGraph(len(ix.names))
+	for _, e := range l.Graph.Edges() {
+		u, okU := ix.idx[e.From]
+		v, okV := ix.idx[e.To]
+		if !okU || !okV {
+			continue
+		}
+		cost := l.edgeCost(e)
+		if cost < 0 {
+			cost = 0
+		}
+		g.AddEdge(u, v, cost)
+		ix.edges = append(ix.edges, e)
+	}
+	return g, ix
+}
+
+// TopQueries explains a set of terminal sources (the sources whose
+// attributes appear in user-pasted tuples) as the k best Steiner-tree
+// queries (§4.2's second mode). Small graphs use the exact solver; large
+// ones the SPCSH approximation with pruning.
+func (l *Learner) TopQueries(terminals []string, k int) ([]*Query, error) {
+	g, ix := l.buildSteiner()
+	var terms []int
+	for _, t := range terminals {
+		i, ok := ix.idx[t]
+		if !ok {
+			return nil, fmt.Errorf("intlearn: unknown terminal source %q", t)
+		}
+		terms = append(terms, i)
+	}
+	solve := steiner.Solver(steiner.Exact)
+	if g.N() > l.MaxExactNodes {
+		solve = steiner.Approx(l.PruneFrac)
+	}
+	trees := steiner.TopK(g, terms, k, solve)
+	var out []*Query
+	for _, tr := range trees {
+		q := &Query{}
+		for _, id := range tr.Edges {
+			q.Edges = append(q.Edges, ix.edges[id])
+		}
+		nodeSet := map[string]bool{}
+		for _, v := range tr.Nodes(g) {
+			nodeSet[ix.names[v]] = true
+		}
+		for _, t := range terminals {
+			nodeSet[t] = true
+		}
+		for n := range nodeSet {
+			q.Nodes = append(q.Nodes, n)
+		}
+		sort.Strings(q.Nodes)
+		q.Cost = l.Mira.Cost(q.EdgeIDs())
+		out = append(out, q)
+	}
+	return out, nil
+}
+
+// CompileQuery turns a Steiner query into an executable plan, walking the
+// tree from a materialized relation root.
+func (l *Learner) CompileQuery(q *Query) (engine.Plan, error) {
+	cat := l.Graph.Catalog()
+	var root string
+	for _, n := range q.Nodes {
+		if s := cat.Get(n); s != nil && s.Kind == catalog.KindRelation {
+			root = n
+			break
+		}
+	}
+	if root == "" {
+		return nil, fmt.Errorf("intlearn: query %s has no materialized source to root at", q)
+	}
+	src := cat.Get(root)
+	plan, err := src.Scan()
+	if err != nil {
+		return nil, err
+	}
+	// BFS over the tree edges from the root.
+	remaining := append([]*sourcegraph.Edge(nil), q.Edges...)
+	visited := map[string]bool{root: true}
+	for len(remaining) > 0 {
+		progressed := false
+		var next []*sourcegraph.Edge
+		for _, e := range remaining {
+			var from string
+			switch {
+			case visited[e.From] && !visited[e.To]:
+				from = e.From
+			case visited[e.To] && !visited[e.From]:
+				from = e.To
+			case visited[e.From] && visited[e.To]:
+				progressed = true
+				continue // closes a cycle in a multi-edge; skip
+			default:
+				next = append(next, e)
+				continue
+			}
+			p, _, err := l.ExtendPlan(plan, from, e)
+			if err != nil {
+				return nil, err
+			}
+			plan = p
+			visited[e.Other(from)] = true
+			progressed = true
+		}
+		if !progressed {
+			return nil, fmt.Errorf("intlearn: query %s is disconnected from root %s", q, root)
+		}
+		remaining = next
+	}
+	return plan, nil
+}
+
+// ---------------------------------------------------------------- feedback
+
+// AcceptCompletion records that the user accepted one completion over the
+// displayed alternatives: the accepted query must outrank each
+// alternative (§4.2's feedback constraints). Weights re-sync to the graph.
+func (l *Learner) AcceptCompletion(chosen Completion, alternatives []Completion) int {
+	updates := 0
+	for _, alt := range alternatives {
+		if alt.Edge.ID == chosen.Edge.ID {
+			continue
+		}
+		c := mira.Constraint{
+			Preferred: []string{chosen.Edge.ID},
+			Other:     []string{alt.Edge.ID},
+		}
+		if l.Mira.Update(c) {
+			updates++
+		}
+	}
+	// Re-affirm the chosen edge is within the suggestion threshold.
+	if l.Mira.Weight(chosen.Edge.ID) > sourcegraph.SuggestThreshold {
+		l.Mira.Update(mira.Constraint{
+			Preferred: []string{chosen.Edge.ID},
+			Other:     nil,
+			Margin:    -(sourcegraph.SuggestThreshold - mira.DefaultMargin),
+		})
+	}
+	l.syncCosts()
+	return updates
+}
+
+// RejectCompletion pushes a completion's edge cost above the suggestion
+// threshold so it stops being proposed ("if the user rejects a group of
+// auto-completions, these should be given a rank below the relevance
+// threshold").
+func (l *Learner) RejectCompletion(c Completion) {
+	l.Mira.Update(mira.Constraint{
+		Preferred: nil,
+		Other:     []string{c.Edge.ID},
+		Margin:    sourcegraph.SuggestThreshold + mira.DefaultMargin,
+	})
+	l.syncCosts()
+}
+
+// AcceptQuery prefers a full Steiner query over the alternatives.
+func (l *Learner) AcceptQuery(q *Query, alternatives []*Query) int {
+	updates := 0
+	for _, alt := range alternatives {
+		c := mira.Constraint{Preferred: q.EdgeIDs(), Other: alt.EdgeIDs()}
+		if l.Mira.Update(c) {
+			updates++
+		}
+	}
+	l.syncCosts()
+	return updates
+}
+
+// RejectQuery pushes a whole query's cost above the threshold.
+func (l *Learner) RejectQuery(q *Query) {
+	l.Mira.Update(mira.Constraint{
+		Preferred: nil,
+		Other:     q.EdgeIDs(),
+		Margin:    sourcegraph.SuggestThreshold + mira.DefaultMargin,
+	})
+	l.syncCosts()
+}
+
+// ---------------------------------------------------------------- replacements (§3.2)
+
+// Replacements proposes services that can stand in for the named one —
+// the model learner's "propose replacement sources if a source is down,
+// too slow, or does not provide a complete set of results" (§3.2). A
+// candidate must cover the failed service's input bindings and produce
+// outputs of the same semantic types (matching the learned source
+// description); candidates come back cheapest-first by their current
+// edge costs.
+func (l *Learner) Replacements(svcName string) []*catalog.Source {
+	cat := l.Graph.Catalog()
+	failed := cat.Get(svcName)
+	if failed == nil || failed.Kind != catalog.KindService {
+		return nil
+	}
+	var out []*catalog.Source
+	for _, s := range cat.All() {
+		if s.Kind != catalog.KindService || s.Name == svcName {
+			continue
+		}
+		if schemasEquivalent(failed.InputSchema(), s.InputSchema()) &&
+			schemasEquivalent(failed.OutputSchema(), s.OutputSchema()) {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return l.minEdgeCost(out[i].Name) < l.minEdgeCost(out[j].Name)
+	})
+	return out
+}
+
+// schemasEquivalent compares schemas by semantic type (falling back to
+// name) position-insensitively.
+func schemasEquivalent(a, b table.Schema) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, ca := range a {
+		found := false
+		for j, cb := range b {
+			if used[j] {
+				continue
+			}
+			match := false
+			if ca.SemType != "" && cb.SemType != "" {
+				match = ca.SemType == cb.SemType
+			} else {
+				match = ca.Name == cb.Name && ca.Kind == cb.Kind
+			}
+			if match {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func (l *Learner) minEdgeCost(node string) float64 {
+	best := math.Inf(1)
+	for _, e := range l.Graph.EdgesAt(node) {
+		if c := l.edgeCost(e); c < best {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,491 @@
+package intlearn
+
+import (
+	"strings"
+	"testing"
+
+	"copycat/internal/catalog"
+	"copycat/internal/engine"
+	"copycat/internal/modellearn"
+	"copycat/internal/provenance"
+	"copycat/internal/services"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/table"
+	"copycat/internal/webworld"
+)
+
+// setup builds the running-example world: Shelters + Contacts relations
+// (typed), builtin services, discovered associations.
+func setup(t *testing.T) (*Learner, *webworld.World) {
+	t.Helper()
+	w := webworld.Generate(webworld.DefaultConfig())
+	cat := catalog.New()
+
+	shel := table.NewRelation("Shelters", table.Schema{
+		{Name: "Name", Kind: table.KindString, SemType: modellearn.TypeOrgName},
+		{Name: "Street", Kind: table.KindString, SemType: modellearn.TypeStreet},
+		{Name: "City", Kind: table.KindString, SemType: modellearn.TypeCity},
+	})
+	for _, s := range w.Shelters {
+		shel.MustAppend(table.FromStrings([]string{s.Name, s.Street, s.City}))
+	}
+	cat.AddRelation(shel, "web")
+
+	con := table.NewRelation("Contacts", table.Schema{
+		{Name: "Contact", Kind: table.KindString, SemType: modellearn.TypePersonName},
+		{Name: "Organization", Kind: table.KindString, SemType: modellearn.TypeOrgName},
+		{Name: "Phone", Kind: table.KindString, SemType: modellearn.TypePhone},
+	})
+	for _, c := range w.Contacts {
+		con.MustAppend(table.FromStrings([]string{c.Person, c.Org, c.Phone}))
+	}
+	cat.AddRelation(con, "file")
+
+	for _, svc := range services.Builtin(w) {
+		cat.AddService(svc, "builtin")
+	}
+	g := sourcegraph.New(cat)
+	g.Discover(sourcegraph.DefaultOptions())
+	return New(g), w
+}
+
+// workspaceValues builds a Values plan from the Shelters source, as if
+// the user had imported it into the workspace.
+func workspaceValues(l *Learner) *engine.Values {
+	src := l.Graph.Catalog().Get("Shelters")
+	scan, _ := src.Scan()
+	res, _ := scan.Execute()
+	return &engine.Values{Name: "Workspace", Schema_: src.Schema.Clone(), Rows: res.Rows}
+}
+
+func TestColumnCompletionsFigure2(t *testing.T) {
+	l, w := setup(t)
+	base := workspaceValues(l)
+	comps := l.ColumnCompletions(base, []string{"Shelters"})
+	if len(comps) == 0 {
+		t.Fatal("no completions")
+	}
+	var zip *Completion
+	for i := range comps {
+		if comps[i].Target == "Zipcode Resolver" {
+			zip = &comps[i]
+		}
+	}
+	if zip == nil {
+		t.Fatalf("Zip completion missing; got %v", targets(comps))
+	}
+	// The completion's result has the Zip column filled for every row.
+	zipIdx := zip.Result.Schema.Index("Zip")
+	if zipIdx < 0 {
+		t.Fatalf("no Zip column in %s", zip.Result.Schema)
+	}
+	if len(zip.Result.Rows) != len(w.Shelters) {
+		t.Errorf("zip rows = %d want %d", len(zip.Result.Rows), len(w.Shelters))
+	}
+	for _, r := range zip.Result.Rows[:3] {
+		if r.Row[zipIdx].Str() == "" {
+			t.Error("empty zip value")
+		}
+		// Provenance mentions the service (the Tuple Explanation pane).
+		srcs := provenance.Sources(r.Prov)
+		found := false
+		for _, s := range srcs {
+			if s == "Zipcode Resolver" {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("prov sources = %v", srcs)
+		}
+	}
+	// Completions are cost-ordered.
+	for i := 1; i < len(comps); i++ {
+		if comps[i-1].Cost > comps[i].Cost {
+			t.Error("completions not cost-ordered")
+		}
+	}
+	// Sources already in the query are not proposed.
+	for _, c := range comps {
+		if c.Target == "Shelters" {
+			t.Error("current node proposed as completion")
+		}
+	}
+}
+
+func targets(comps []Completion) []string {
+	var out []string
+	for _, c := range comps {
+		out = append(out, c.Target)
+	}
+	return out
+}
+
+func TestRecordLinkCompletionFindsContacts(t *testing.T) {
+	l, w := setup(t)
+	base := workspaceValues(l)
+	comps := l.ColumnCompletions(base, []string{"Shelters"})
+	var con *Completion
+	for i := range comps {
+		if comps[i].Target == "Contacts" && comps[i].Edge.Kind == sourcegraph.KindRecordLink {
+			con = &comps[i]
+		}
+	}
+	if con == nil {
+		t.Fatalf("no record-link completion to Contacts: %v", targets(comps))
+	}
+	// Most shelters should link to their true contact person.
+	personIdx := con.Result.Schema.Index("Contact")
+	nameIdx := con.Result.Schema.Index("Name")
+	if personIdx < 0 || nameIdx < 0 {
+		t.Fatalf("schema = %s", con.Result.Schema)
+	}
+	truth := map[string]string{}
+	for _, c := range w.Contacts {
+		truth[w.Shelters[c.ShelterID].Name] = c.Person
+	}
+	correct := 0
+	for _, r := range con.Result.Rows {
+		if truth[r.Row[nameIdx].Str()] == r.Row[personIdx].Str() {
+			correct++
+		}
+	}
+	// Name-only linking has a genuine ambiguity ceiling: the same
+	// institution name exists in several cities (the paper's "shelter
+	// name may be ambiguous" case), so perfect accuracy is impossible
+	// without the user's disambiguating feedback.
+	if frac := float64(correct) / float64(len(con.Result.Rows)); frac < 0.65 {
+		t.Errorf("record-link accuracy = %.2f", frac)
+	}
+}
+
+func TestTopQueriesSteiner(t *testing.T) {
+	l, _ := setup(t)
+	// Terminals: the user pasted attributes originating from Shelters and
+	// Contacts — the learner must find connecting queries.
+	qs, err := l.TopQueries([]string{"Shelters", "Contacts"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("no queries")
+	}
+	// Best query connects them directly (join or record-link edge).
+	best := qs[0]
+	if len(best.Edges) != 1 {
+		t.Errorf("best query should be a single edge, got %d: %s", len(best.Edges), best)
+	}
+	hasShel, hasCon := false, false
+	for _, n := range best.Nodes {
+		if n == "Shelters" {
+			hasShel = true
+		}
+		if n == "Contacts" {
+			hasCon = true
+		}
+	}
+	if !hasShel || !hasCon {
+		t.Errorf("best query nodes = %v", best.Nodes)
+	}
+	// Cost-ordered, distinct.
+	for i := 1; i < len(qs); i++ {
+		if qs[i].Cost < qs[i-1].Cost {
+			t.Error("queries not cost-ordered")
+		}
+	}
+	if _, err := l.TopQueries([]string{"Shelters", "NoSuchSource"}, 2); err == nil {
+		t.Error("unknown terminal should error")
+	}
+	if !strings.Contains(best.String(), "Shelters") {
+		t.Error("String should mention nodes")
+	}
+}
+
+func TestCompileQueryExecutes(t *testing.T) {
+	l, w := setup(t)
+	qs, err := l.TopQueries([]string{"Shelters", "Contacts"}, 2)
+	if err != nil || len(qs) == 0 {
+		t.Fatal("no queries")
+	}
+	plan, err := l.CompileQuery(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("compiled query returned nothing")
+	}
+	// The result carries columns from both sources.
+	if res.Schema.Index("Name") < 0 || res.Schema.Index("Phone") < 0 {
+		t.Errorf("schema = %s", res.Schema)
+	}
+	_ = w
+}
+
+func TestCompileQueryErrors(t *testing.T) {
+	l, _ := setup(t)
+	// All-service query has no root.
+	q := &Query{Nodes: []string{"Geocoder", "Zipcode Resolver"}}
+	if _, err := l.CompileQuery(q); err == nil {
+		t.Error("service-only query should fail to compile")
+	}
+	// Disconnected edges.
+	edges := l.Graph.Edges()
+	if len(edges) > 0 {
+		q2 := &Query{
+			Nodes: []string{"Shelters"},
+			Edges: []*sourcegraph.Edge{{ID: "fake", From: "X", To: "Y"}},
+		}
+		if _, err := l.CompileQuery(q2); err == nil {
+			t.Error("disconnected query should fail")
+		}
+	}
+}
+
+func TestAcceptCompletionRerank(t *testing.T) {
+	l, _ := setup(t)
+	base := workspaceValues(l)
+	comps := l.ColumnCompletions(base, []string{"Shelters"})
+	if len(comps) < 2 {
+		t.Fatal("need ≥2 completions")
+	}
+	// Accept the last-ranked completion; it must outrank the others
+	// afterwards — the "one item of feedback" claim (E2).
+	chosen := comps[len(comps)-1]
+	l.AcceptCompletion(chosen, comps[:len(comps)-1])
+	after := l.ColumnCompletions(base, []string{"Shelters"})
+	if len(after) == 0 {
+		t.Fatal("completions vanished")
+	}
+	if after[0].Edge.ID != chosen.Edge.ID {
+		t.Errorf("accepted completion ranked %s first instead of %s", after[0].Edge.ID, chosen.Edge.ID)
+	}
+}
+
+func TestRejectCompletionSuppresses(t *testing.T) {
+	l, _ := setup(t)
+	base := workspaceValues(l)
+	comps := l.ColumnCompletions(base, []string{"Shelters"})
+	if len(comps) == 0 {
+		t.Fatal("no completions")
+	}
+	victim := comps[0]
+	l.RejectCompletion(victim)
+	after := l.ColumnCompletions(base, []string{"Shelters"})
+	for _, c := range after {
+		if c.Edge.ID == victim.Edge.ID {
+			t.Error("rejected completion still suggested")
+		}
+	}
+	// The edge cost on the graph is now above the threshold.
+	if l.Graph.Edge(victim.Edge.ID).Cost <= sourcegraph.SuggestThreshold {
+		t.Errorf("edge cost = %f", l.Graph.Edge(victim.Edge.ID).Cost)
+	}
+}
+
+func TestAcceptQueryAndRejectQuery(t *testing.T) {
+	l, _ := setup(t)
+	qs, err := l.TopQueries([]string{"Shelters", "Contacts"}, 3)
+	if err != nil || len(qs) < 2 {
+		t.Skip("need ≥2 queries for reranking")
+	}
+	// Prefer the second query. The guarantee is relative: the accepted
+	// query must outrank the alternative the user rejected it against
+	// (other, never-displayed queries may still tie elsewhere).
+	l.AcceptQuery(qs[1], []*Query{qs[0]})
+	after, _ := l.TopQueries([]string{"Shelters", "Contacts"}, 10)
+	if len(after) == 0 {
+		t.Fatal("queries vanished")
+	}
+	rank := func(q *Query) int {
+		for i, a := range after {
+			if key(a) == key(q) {
+				return i
+			}
+		}
+		return len(after)
+	}
+	if rank(qs[1]) >= rank(qs[0]) {
+		t.Errorf("accepted query ranked %d, rejected alternative %d", rank(qs[1]), rank(qs[0]))
+	}
+	// Reject it; it should sink.
+	l.RejectQuery(qs[1])
+	final, _ := l.TopQueries([]string{"Shelters", "Contacts"}, 1)
+	if len(final) > 0 && key(final[0]) == key(qs[1]) {
+		t.Error("rejected query still ranked first")
+	}
+}
+
+func key(q *Query) string { return strings.Join(q.EdgeIDs(), "|") }
+
+func TestExtendPlanSemTypeFallback(t *testing.T) {
+	l, _ := setup(t)
+	// A workspace whose columns were renamed by the user but carry the
+	// learned semantic types.
+	src := l.Graph.Catalog().Get("Shelters")
+	scan, _ := src.Scan()
+	res, _ := scan.Execute()
+	schema := table.Schema{
+		{Name: "ShelterName", Kind: table.KindString, SemType: modellearn.TypeOrgName},
+		{Name: "Addr", Kind: table.KindString, SemType: modellearn.TypeStreet},
+		{Name: "Town", Kind: table.KindString, SemType: modellearn.TypeCity},
+	}
+	base := &engine.Values{Name: "W", Schema_: schema, Rows: res.Rows}
+	var dep *sourcegraph.Edge
+	for _, e := range l.Graph.EdgesAt("Shelters") {
+		if e.To == "Zipcode Resolver" {
+			dep = e
+		}
+	}
+	if dep == nil {
+		t.Fatal("no zip edge")
+	}
+	plan, newCols, err := l.ExtendPlan(base, "Shelters", dep)
+	if err != nil {
+		t.Fatalf("semtype fallback failed: %v", err)
+	}
+	if len(newCols) != 1 || newCols[0].Name != "Zip" {
+		t.Errorf("new cols = %v", newCols)
+	}
+	res2, err := plan.Execute()
+	if err != nil || len(res2.Rows) == 0 {
+		t.Errorf("renamed-workspace dependent join failed: %v", err)
+	}
+	// A base schema with neither names nor types errors cleanly.
+	bad := &engine.Values{Name: "B", Schema_: table.NewSchema("X", "Y", "Z"), Rows: res.Rows}
+	if _, _, err := l.ExtendPlan(bad, "Shelters", dep); err == nil {
+		t.Error("unresolvable columns should error")
+	}
+}
+
+func TestSteinerSwitchesToApproxOnLargeGraphs(t *testing.T) {
+	l, _ := setup(t)
+	l.MaxExactNodes = 1 // force the approximate path
+	qs, err := l.TopQueries([]string{"Shelters", "Contacts"}, 2)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("approx path failed: %v", err)
+	}
+}
+
+func TestCompileChainedServiceComposition(t *testing.T) {
+	// A query that pipes Shelter Locator output into the Zipcode
+	// Resolver: NamesOnly → Locator → ZipResolver. The source graph's
+	// composition edges make the chain discoverable, and the compiler
+	// threads service outputs into the next service's bindings.
+	w := webworld.Generate(webworld.DefaultConfig())
+	cat := catalog.New()
+	names := table.NewRelation("NamesOnly", table.Schema{
+		{Name: "Name", Kind: table.KindString, SemType: modellearn.TypeOrgName},
+	})
+	// Use names that are unique across cities to keep the chain 1:1.
+	counts := map[string]int{}
+	for _, s := range w.Shelters {
+		counts[s.Name]++
+	}
+	added := 0
+	for _, s := range w.Shelters {
+		if counts[s.Name] == 1 && added < 5 {
+			names.MustAppend(table.Tuple{table.S(s.Name)})
+			added++
+		}
+	}
+	cat.AddRelation(names, "memo")
+	cat.AddService(services.NewShelterLocator(w), "builtin")
+	cat.AddService(services.NewZipResolver(w), "builtin")
+	g := sourcegraph.New(cat)
+	g.Discover(sourcegraph.DefaultOptions())
+	l := New(g)
+
+	qs, err := l.TopQueries([]string{"NamesOnly", "Zipcode Resolver"}, 2)
+	if err != nil || len(qs) == 0 {
+		t.Fatalf("no chained queries: %v", err)
+	}
+	// The best query must route through the Locator (nothing else
+	// produces the resolver's Street/City inputs).
+	viaLocator := false
+	for _, n := range qs[0].Nodes {
+		if n == "Shelter Locator" {
+			viaLocator = true
+		}
+	}
+	if !viaLocator {
+		t.Fatalf("chain not found: %s", qs[0])
+	}
+	plan, err := l.CompileQuery(qs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != added {
+		t.Fatalf("chained rows = %d want %d", len(res.Rows), added)
+	}
+	zi := res.Schema.Index("Zip")
+	if zi < 0 {
+		t.Fatalf("no Zip column: %s", res.Schema)
+	}
+	truth := map[string]string{}
+	for _, s := range w.Shelters {
+		truth[s.Name] = s.Zip
+	}
+	for _, a := range res.Rows {
+		if truth[a.Row[0].Str()] != a.Row[zi].Str() {
+			t.Errorf("zip for %s = %s want %s", a.Row[0].Str(), a.Row[zi].Str(), truth[a.Row[0].Str()])
+		}
+		// Provenance names all three steps.
+		srcs := provenance.Sources(a.Prov)
+		if len(srcs) != 3 {
+			t.Errorf("chain provenance sources = %v", srcs)
+		}
+	}
+}
+
+func TestReplacementsForDownService(t *testing.T) {
+	// §3.2: a second zip resolver with an equivalent learned description
+	// is proposed when the primary is down.
+	l, w := setup(t)
+	backup := services.NewZipResolver(w)
+	backup.SvcName = "Backup Zip Service"
+	l.Graph.Catalog().AddService(backup, "mirror")
+	l.Graph.Discover(sourcegraph.DefaultOptions())
+
+	reps := l.Replacements("Zipcode Resolver")
+	if len(reps) != 1 || reps[0].Name != "Backup Zip Service" {
+		t.Fatalf("replacements = %v", names(reps))
+	}
+	// The geocoder is not a replacement (different outputs), nor is the
+	// zip resolver a replacement for the geocoder.
+	for _, r := range l.Replacements("Geocoder") {
+		if r.Name == "Zipcode Resolver" || r.Name == "Backup Zip Service" {
+			t.Error("zip services are not geocoder replacements")
+		}
+	}
+	// Unknown or non-service names yield nothing.
+	if l.Replacements("Shelters") != nil || l.Replacements("Nope") != nil {
+		t.Error("non-services should have no replacements")
+	}
+	// The replacement actually works as a completion target.
+	base := workspaceValues(l)
+	comps := l.ColumnCompletions(base, []string{"Shelters"})
+	found := false
+	for _, c := range comps {
+		if c.Target == "Backup Zip Service" && len(c.Result.Rows) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("backup service should complete columns too")
+	}
+}
+
+func names(srcs []*catalog.Source) []string {
+	var out []string
+	for _, s := range srcs {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -1,0 +1,241 @@
+package linkage
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"copycat/internal/table"
+	"copycat/internal/webworld"
+)
+
+func TestLevenshtein(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0},
+		{"a", "", 1},
+		{"", "abc", 3},
+		{"kitten", "sitting", 3},
+		{"flaw", "lawn", 2},
+		{"same", "same", 0},
+		{"café", "cafe", 1},
+	}
+	for _, c := range cases {
+		if got := Levenshtein(c.a, c.b); got != c.want {
+			t.Errorf("Levenshtein(%q,%q) = %d want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLevenshteinSymmetryProperty(t *testing.T) {
+	f := func(a, b string) bool { return Levenshtein(a, b) == Levenshtein(b, a) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinTriangleProperty(t *testing.T) {
+	f := func(a, b, c string) bool {
+		return Levenshtein(a, c) <= Levenshtein(a, b)+Levenshtein(b, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevenshteinSim(t *testing.T) {
+	if LevenshteinSim("", "") != 1 {
+		t.Error("empty strings are identical")
+	}
+	if LevenshteinSim("abc", "abc") != 1 {
+		t.Error("equal strings should be 1")
+	}
+	if s := LevenshteinSim("abc", "xyz"); s != 0 {
+		t.Errorf("disjoint = %f", s)
+	}
+}
+
+func TestJaroWinkler(t *testing.T) {
+	if Jaro("", "") != 1 || Jaro("a", "") != 0 {
+		t.Error("Jaro edge cases wrong")
+	}
+	if Jaro("abc", "abc") != 1 {
+		t.Error("identical should be 1")
+	}
+	if Jaro("abc", "xyz") != 0 {
+		t.Error("disjoint should be 0")
+	}
+	// Known value: JW(martha, marhta) ≈ 0.961.
+	if jw := JaroWinkler("martha", "marhta"); jw < 0.95 || jw > 0.97 {
+		t.Errorf("JW(martha,marhta) = %f", jw)
+	}
+	// Prefix boost: JW ≥ Jaro.
+	if JaroWinkler("north", "norte") < Jaro("north", "norte") {
+		t.Error("Winkler boost should not decrease similarity")
+	}
+}
+
+func TestSimilarityBoundsProperty(t *testing.T) {
+	fns := map[string]func(a, b string) float64{
+		"lev": LevenshteinSim, "jw": JaroWinkler, "jaccard": JaccardTokens,
+		"abbrev": AbbrevSim, "name": NameSim,
+	}
+	for name, fn := range fns {
+		f := func(a, b string) bool {
+			s := fn(a, b)
+			return s >= 0 && s <= 1.0000001
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestJaccardTokens(t *testing.T) {
+	if JaccardTokens("", "") != 1 || JaccardTokens("a", "") != 0 {
+		t.Error("edge cases wrong")
+	}
+	if s := JaccardTokens("North High School", "North High"); s < 0.6 || s > 0.7 {
+		t.Errorf("jaccard = %f want 2/3", s)
+	}
+	if JaccardTokens("A B", "a b.") != 1 {
+		t.Error("case/punct insensitivity broken")
+	}
+}
+
+func TestAbbrevSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		min  float64
+	}{
+		{"North High School", "North HS", 0.99},
+		{"N. High School", "North High School", 0.99},
+		{"Creek Elementary", "Creek Elem", 0.99},
+		{"500 Ramblewood Dr", "500 Ramblewood Drive", 0.99},
+		{"Pioneer Recreation Center", "Pioneer Rec Ctr", 0.99},
+	}
+	for _, c := range cases {
+		if got := AbbrevSim(c.a, c.b); got < c.min {
+			t.Errorf("AbbrevSim(%q,%q) = %f want ≥ %f", c.a, c.b, got, c.min)
+		}
+	}
+	if AbbrevSim("totally different", "words here now") > 0.3 {
+		t.Error("unrelated strings should score low")
+	}
+	if AbbrevSim("", "") != 1 || AbbrevSim("x", "") != 0 {
+		t.Error("edge cases wrong")
+	}
+	// Typo tolerance on long words.
+	if AbbrevSim("Ramblewood", "Ramblewod") < 0.99 {
+		t.Error("single-char typo should match")
+	}
+}
+
+func TestNameSimOnWorldPerturbations(t *testing.T) {
+	// Every contact's noisy Org should match its true shelter better
+	// than it matches most other shelters.
+	w := webworld.Generate(webworld.DefaultConfig())
+	correct := 0
+	for _, c := range w.Contacts {
+		truth := w.Shelters[c.ShelterID]
+		bestID, best := -1, -1.0
+		for _, s := range w.SheltersIn(c.City) {
+			if sim := NameSim(c.Org, s.Name); sim > best {
+				best, bestID = sim, s.ID
+			}
+		}
+		if bestID == truth.ID {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(len(w.Contacts))
+	if acc < 0.9 {
+		t.Errorf("NameSim linking accuracy = %.2f want ≥ 0.9", acc)
+	}
+}
+
+func TestLinkerDefaultsAndScore(t *testing.T) {
+	l := NewLinker()
+	if len(l.Features) != 5 || len(l.Weights) != 5 {
+		t.Fatal("default features wrong")
+	}
+	if s := l.Score("North High School", "North High School"); s < 0.9 {
+		t.Errorf("identical pair score = %f", s)
+	}
+	if s := l.Score("North High School", "qqq zzz"); s > 0.5 {
+		t.Errorf("unrelated pair score = %f", s)
+	}
+	if !strings.Contains(l.String(), "jarowinkler") {
+		t.Error("String should list features")
+	}
+}
+
+func TestLinkerTrainImprovesAccuracy(t *testing.T) {
+	w := webworld.Generate(webworld.DefaultConfig())
+	var pairs []LabeledPair
+	for i, c := range w.Contacts {
+		truth := w.Shelters[c.ShelterID]
+		pairs = append(pairs, LabeledPair{A: c.Org, B: truth.Name, Match: true})
+		// A non-match: a different shelter.
+		other := w.Shelters[(c.ShelterID+7)%len(w.Shelters)]
+		if other.ID != truth.ID {
+			pairs = append(pairs, LabeledPair{A: c.Org, B: other.Name, Match: false})
+		}
+		_ = i
+	}
+	train, test := pairs[:len(pairs)/2], pairs[len(pairs)/2:]
+	l := NewLinker()
+	before := l.Accuracy(test)
+	updates := l.Train(train, 30)
+	after := l.Accuracy(test)
+	if updates == 0 {
+		t.Log("linker was already perfect on training data")
+	}
+	if after < before-0.01 {
+		t.Errorf("training hurt: before %.2f after %.2f", before, after)
+	}
+	if after < 0.85 {
+		t.Errorf("trained accuracy = %.2f want ≥ 0.85", after)
+	}
+}
+
+func TestLinkerTrainConvergesAndStops(t *testing.T) {
+	l := NewLinker()
+	pairs := []LabeledPair{
+		{A: "alpha beta", B: "alpha beta", Match: true},
+		{A: "alpha beta", B: "zzz qqq", Match: false},
+	}
+	l.Train(pairs, 100)
+	// A second training pass should require no updates (early exit).
+	if more := l.Train(pairs, 100); more != 0 {
+		t.Errorf("converged linker still updated %d times", more)
+	}
+	if !l.IsMatch("alpha beta", "alpha beta") || l.IsMatch("alpha beta", "zzz qqq") {
+		t.Error("trained linker misclassifies its own training data")
+	}
+}
+
+func TestLinkerAccuracyEmpty(t *testing.T) {
+	if NewLinker().Accuracy(nil) != 0 {
+		t.Error("empty accuracy should be 0")
+	}
+}
+
+func TestTupleSimilarity(t *testing.T) {
+	l := NewLinker()
+	sim := l.TupleSimilarity()
+	a := table.FromStrings([]string{"North High School", "Coconut Creek"})
+	b := table.FromStrings([]string{"North HS", "Coconut Creek"})
+	if s := sim(a, b); s < 0.7 {
+		t.Errorf("tuple sim = %f", s)
+	}
+	if sim(table.Tuple{}, table.Tuple{}) != 0 {
+		t.Error("empty tuples should be 0")
+	}
+	// Mismatched arities use the shorter.
+	if s := sim(a[:1], b); s <= 0 {
+		t.Error("prefix comparison should work")
+	}
+}

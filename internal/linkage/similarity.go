@@ -1,0 +1,253 @@
+// Package linkage implements CopyCat's record-linking substrate (§1's
+// contact-matching example; §2.2: "the SCP system can attempt to learn a
+// record linking function from a set of examples — or, in some cases, use
+// a function from a predefined library"). It provides the predefined
+// string-similarity library — edit distance, Jaro-Winkler, token Jaccard,
+// abbreviation-aware matching — and a Linker that learns a weighted
+// combination of those heuristics from labeled example pairs.
+package linkage
+
+import (
+	"strings"
+)
+
+// Levenshtein returns the edit distance between two strings (runes).
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// LevenshteinSim normalizes edit distance to a [0,1] similarity.
+func LevenshteinSim(a, b string) float64 {
+	la, lb := len([]rune(a)), len([]rune(b))
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	max := la
+	if lb > max {
+		max = lb
+	}
+	return 1 - float64(Levenshtein(a, b))/float64(max)
+}
+
+// Jaro returns the Jaro similarity of two strings.
+func Jaro(a, b string) float64 {
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) == 0 && len(rb) == 0 {
+		return 1
+	}
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	window := len(ra)
+	if len(rb) > window {
+		window = len(rb)
+	}
+	window = window/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	matchA := make([]bool, len(ra))
+	matchB := make([]bool, len(rb))
+	matches := 0
+	for i := range ra {
+		lo := i - window
+		if lo < 0 {
+			lo = 0
+		}
+		hi := i + window + 1
+		if hi > len(rb) {
+			hi = len(rb)
+		}
+		for j := lo; j < hi; j++ {
+			if !matchB[j] && ra[i] == rb[j] {
+				matchA[i] = true
+				matchB[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Transpositions.
+	trans := 0
+	j := 0
+	for i := range ra {
+		if !matchA[i] {
+			continue
+		}
+		for !matchB[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			trans++
+		}
+		j++
+	}
+	m := float64(matches)
+	return (m/float64(len(ra)) + m/float64(len(rb)) + (m-float64(trans)/2)/m) / 3
+}
+
+// JaroWinkler boosts Jaro similarity for shared prefixes (p=0.1, max 4).
+func JaroWinkler(a, b string) float64 {
+	j := Jaro(a, b)
+	prefix := 0
+	ra, rb := []rune(a), []rune(b)
+	for prefix < len(ra) && prefix < len(rb) && prefix < 4 && ra[prefix] == rb[prefix] {
+		prefix++
+	}
+	return j + float64(prefix)*0.1*(1-j)
+}
+
+// JaccardTokens is token-set Jaccard overlap (case-insensitive).
+func JaccardTokens(a, b string) float64 {
+	sa, sb := tokenSet(a), tokenSet(b)
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := 0
+	for t := range sa {
+		if sb[t] {
+			inter++
+		}
+	}
+	return float64(inter) / float64(len(sa)+len(sb)-inter)
+}
+
+func tokenSet(s string) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range strings.Fields(strings.ToLower(s)) {
+		out[strings.Trim(t, ".,;:()")] = true
+	}
+	delete(out, "")
+	return out
+}
+
+// abbrevTable maps common institutional abbreviations to their expansions;
+// AbbrevSim consults it symmetrically.
+var abbrevTable = map[string]string{
+	"hs": "high school", "ms": "middle school", "elem": "elementary",
+	"ctr": "center", "comm": "community", "rec": "recreation",
+	"st": "street", "ave": "avenue", "dr": "drive", "rd": "road",
+	"blvd": "boulevard", "ter": "terrace",
+}
+
+// AbbrevSim is an abbreviation-aware token similarity: tokens match if
+// equal, if one expands to the other ("HS" ≈ "High School"), or if one is
+// an initial of the other ("N." ≈ "North"). It returns the fraction of
+// matched tokens over the longer token sequence.
+func AbbrevSim(a, b string) float64 {
+	ta, tb := expandTokens(a), expandTokens(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	if len(ta) > len(tb) {
+		ta, tb = tb, ta
+	}
+	used := make([]bool, len(tb))
+	matched := 0
+	for _, x := range ta {
+		for j, y := range tb {
+			if used[j] {
+				continue
+			}
+			if tokensAlike(x, y) {
+				used[j] = true
+				matched++
+				break
+			}
+		}
+	}
+	return float64(matched) / float64(len(tb))
+}
+
+// expandTokens lowercases, strips punctuation, and expands known
+// abbreviations into their multi-word forms.
+func expandTokens(s string) []string {
+	var out []string
+	for _, t := range strings.Fields(strings.ToLower(s)) {
+		t = strings.Trim(t, ".,;:()")
+		if t == "" {
+			continue
+		}
+		if exp, ok := abbrevTable[t]; ok {
+			out = append(out, strings.Fields(exp)...)
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+func tokensAlike(a, b string) bool {
+	if a == b {
+		return true
+	}
+	// Initialism: "n" matches "north".
+	if len(a) == 1 && strings.HasPrefix(b, a) {
+		return true
+	}
+	if len(b) == 1 && strings.HasPrefix(a, b) {
+		return true
+	}
+	// Small typo tolerance for words ≥ 5 runes.
+	if len(a) >= 5 && len(b) >= 5 && Levenshtein(a, b) <= 1 {
+		return true
+	}
+	return false
+}
+
+// NameSim is the predefined-library name matcher: the best of the
+// abbreviation-aware, Jaccard, and Jaro-Winkler similarities. It handles
+// the contact-spreadsheet perturbations (abbreviations, dropped words,
+// typos) the demo scenario requires.
+func NameSim(a, b string) float64 {
+	best := AbbrevSim(a, b)
+	if j := JaccardTokens(a, b); j > best {
+		best = j
+	}
+	if jw := JaroWinkler(strings.ToLower(a), strings.ToLower(b)); jw > best {
+		best = jw
+	}
+	return best
+}

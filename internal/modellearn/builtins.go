@@ -1,0 +1,51 @@
+package modellearn
+
+import (
+	"copycat/internal/webworld"
+)
+
+// Builtin semantic type names, using the paper's PR- prefix convention
+// (Figure 1 suggests "PR-Street" and "PR-City" for pasted columns).
+const (
+	TypeStreet     = "PR-Street"
+	TypeCity       = "PR-City"
+	TypeZip        = "PR-Zip"
+	TypeState      = "PR-State"
+	TypePhone      = "PR-Phone"
+	TypePersonName = "PR-PersonName"
+	TypeOrgName    = "PR-OrgName"
+	TypeStatus     = "PR-Status"
+	TypeEmail      = "PR-Email"
+)
+
+// TrainBuiltins trains the library's builtin types from the world's
+// ground truth — standing in for the "previously learned knowledge" the
+// CopyCat prototype shipped with (§2.1: "Based on data patterns seen
+// previously, the SCP system determines that the second and third columns
+// represent street addresses and cities").
+func TrainBuiltins(l *Library, w *webworld.World) {
+	var streets, cities, zips, states, phones, orgs, statuses []string
+	for _, s := range w.Shelters {
+		streets = append(streets, s.Street)
+		cities = append(cities, s.City)
+		zips = append(zips, s.Zip)
+		states = append(states, s.State)
+		phones = append(phones, s.Phone)
+		orgs = append(orgs, s.Name)
+		statuses = append(statuses, s.Status)
+	}
+	var people, emails []string
+	for _, c := range w.Contacts {
+		people = append(people, c.Person)
+		emails = append(emails, c.Email)
+	}
+	l.Learn(TypeStreet, streets)
+	l.Learn(TypeCity, cities)
+	l.Learn(TypeZip, zips)
+	l.Learn(TypeState, states)
+	l.Learn(TypePhone, phones)
+	l.Learn(TypeOrgName, orgs)
+	l.Learn(TypeStatus, statuses)
+	l.Learn(TypePersonName, people)
+	l.Learn(TypeEmail, emails)
+}

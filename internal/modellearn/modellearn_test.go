@@ -1,0 +1,322 @@
+package modellearn
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"copycat/internal/engine"
+	"copycat/internal/services"
+	"copycat/internal/table"
+	"copycat/internal/webworld"
+)
+
+func world() *webworld.World { return webworld.Generate(webworld.DefaultConfig()) }
+
+func trainedLib(w *webworld.World) *Library {
+	l := NewLibrary()
+	TrainBuiltins(l, w)
+	return l
+}
+
+func TestLearnAndTypes(t *testing.T) {
+	l := NewLibrary()
+	if len(l.Types()) != 0 {
+		t.Error("new library should be empty")
+	}
+	l.Learn("PR-Zip", []string{"33066", "33442", "08540"})
+	if got := l.Types(); len(got) != 1 || got[0] != "PR-Zip" {
+		t.Errorf("Types = %v", got)
+	}
+	if l.Model("PR-Zip") == nil || l.Model("Nope") != nil {
+		t.Error("Model lookup wrong")
+	}
+	// Learning from only empty values is a no-op.
+	l.Learn("Empty", []string{"", "  "})
+	if l.Model("Empty") != nil {
+		t.Error("empty training should not create a model")
+	}
+}
+
+func TestRecognizeZipVsPhone(t *testing.T) {
+	w := world()
+	l := trainedLib(w)
+	zips := []string{"33071", "33301", "33442"}
+	scores := l.Recognize(zips)
+	if len(scores) == 0 || scores[0].Type != TypeZip {
+		t.Fatalf("zip column recognized as %v", scores)
+	}
+	phones := []string{"954-555-1234", "305-555-9876"}
+	scores = l.Recognize(phones)
+	if len(scores) == 0 || scores[0].Type != TypePhone {
+		t.Fatalf("phone column recognized as %v", scores)
+	}
+	// Phones must not be recognized as zips or vice versa.
+	for _, s := range l.Recognize(zips) {
+		if s.Type == TypePhone {
+			t.Error("zips matched PR-Phone")
+		}
+	}
+}
+
+func TestRecognizeStreetCityFigure1(t *testing.T) {
+	// The Figure 1 moment: pasting two shelters, the system types the
+	// street and city columns.
+	w := world()
+	l := trainedLib(w)
+	s0, s1 := w.Shelters[0], w.Shelters[1]
+	streetScores := l.Recognize([]string{s0.Street, s1.Street})
+	if len(streetScores) == 0 || streetScores[0].Type != TypeStreet {
+		t.Errorf("street column recognized as %v", streetScores)
+	}
+	cityScores := l.Recognize([]string{s0.City, s1.City})
+	if len(cityScores) == 0 {
+		t.Fatal("city column not recognized")
+	}
+	// City names are Capitalized-Capitalized like person last names can
+	// be; the top hit must still be a name-like type, ideally PR-City.
+	if cityScores[0].Type != TypeCity && cityScores[0].Type != TypePersonName {
+		t.Errorf("city column recognized as %v", cityScores)
+	}
+	ok := false
+	for _, s := range cityScores {
+		if s.Type == TypeCity {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("PR-City not among hypotheses: %v", cityScores)
+	}
+}
+
+func TestRecognizeUnknownColumn(t *testing.T) {
+	l := trainedLib(world())
+	weird := []string{"xy+9@@1", "##--!!"}
+	scores := l.Recognize(weird)
+	for _, s := range scores {
+		if s.Score > 0.9 {
+			t.Errorf("garbage matched %s at %f", s.Type, s.Score)
+		}
+	}
+	if got := l.Recognize(nil); len(got) != 0 {
+		t.Errorf("empty column should have no confident types: %v", got)
+	}
+}
+
+func TestNewTypeAvailableSameSession(t *testing.T) {
+	// §3.2: train on the first source, recognize on the second.
+	l := NewLibrary()
+	l.DefineType("PR-RoadName", []string{"I-95", "US-1", "SR-7", "I-595"})
+	scores := l.Recognize([]string{"I-75", "US-27"})
+	if len(scores) == 0 || scores[0].Type != "PR-RoadName" {
+		t.Errorf("session-defined type not recognized: %v", scores)
+	}
+}
+
+func TestScoreDistributionSensitivity(t *testing.T) {
+	l := NewLibrary()
+	// Train on mostly 5-digit with a few 9-digit zips.
+	train := []string{"33066", "33067", "33068", "33442", "33071", "33301-1234"}
+	l.Learn("PR-Zip", train)
+	m := l.Model("PR-Zip")
+	allFive := m.Score([]string{"10001", "60601", "94103"})
+	mixed := m.Score([]string{"10001", "60601-9999", "94103"})
+	if allFive <= 0 || mixed <= 0 {
+		t.Fatal("plausible zips should score > 0")
+	}
+	// A column of something else entirely scores lower than real zips.
+	words := m.Score([]string{"apple", "banana"})
+	if words >= allFive {
+		t.Errorf("words scored %f >= zips %f", words, allFive)
+	}
+}
+
+func TestScoreBoundsProperty(t *testing.T) {
+	l := trainedLib(world())
+	m := l.Model(TypeZip)
+	f := func(vals []string) bool {
+		s := m.Score(vals)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnotateSchema(t *testing.T) {
+	w := world()
+	l := trainedLib(w)
+	schema := table.NewSchema("A", "B", "C")
+	schema[2].SemType = "Preset" // user-set types are not overwritten
+	cols := [][]string{
+		{w.Shelters[0].Street, w.Shelters[1].Street, w.Shelters[2].Street},
+		{w.Shelters[0].Zip, w.Shelters[1].Zip},
+		{"x", "y"},
+	}
+	hyps := l.AnnotateSchema(schema, cols)
+	if schema[0].SemType != TypeStreet {
+		t.Errorf("col A semtype = %q", schema[0].SemType)
+	}
+	if schema[1].SemType != TypeZip {
+		t.Errorf("col B semtype = %q", schema[1].SemType)
+	}
+	if schema[2].SemType != "Preset" {
+		t.Errorf("preset semtype overwritten: %q", schema[2].SemType)
+	}
+	if len(hyps) != 3 || len(hyps[0]) == 0 {
+		t.Error("hypotheses missing")
+	}
+	// Fewer columns than schema: no panic.
+	l.AnnotateSchema(table.NewSchema("A", "B"), [][]string{{"33066"}})
+}
+
+func TestCrossSourceTransfer(t *testing.T) {
+	// Types trained from the shelter world recognize the contacts
+	// spreadsheet's columns — the §3.2 cross-source scenario.
+	w := world()
+	l := trainedLib(w)
+	var phones, emails, people []string
+	for _, c := range w.Contacts[:10] {
+		phones = append(phones, c.Phone)
+		emails = append(emails, c.Email)
+		people = append(people, c.Person)
+	}
+	if s := l.Recognize(phones); len(s) == 0 || s[0].Type != TypePhone {
+		t.Errorf("contact phones = %v", s)
+	}
+	if s := l.Recognize(emails); len(s) == 0 || s[0].Type != TypeEmail {
+		t.Errorf("contact emails = %v", s)
+	}
+	if s := l.Recognize(people); len(s) == 0 {
+		t.Error("contact names unrecognized")
+	}
+}
+
+// flakySvc wraps a Func and fails every call.
+type errSvc struct{ inner engine.Service }
+
+func (e errSvc) Name() string                            { return "Errs" }
+func (e errSvc) InputSchema() table.Schema               { return e.inner.InputSchema() }
+func (e errSvc) OutputSchema() table.Schema              { return e.inner.OutputSchema() }
+func (e errSvc) Call(table.Tuple) ([]table.Tuple, error) { return nil, errors.New("down") }
+
+func TestInduceDescription(t *testing.T) {
+	w := world()
+	// A "new" zip service that is behaviourally identical to the builtin.
+	orig := services.NewZipResolver(w)
+	clone := services.NewZipResolver(w)
+	clone.SvcName = "Mystery Form"
+	known := services.Builtin(w)
+	var samples []table.Tuple
+	for _, s := range w.Shelters[:8] {
+		samples = append(samples, table.Tuple{table.S(s.Street), table.S(s.City)})
+	}
+	matches := InduceDescription(clone, known, samples)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	if matches[0].Known != orig.Name() || matches[0].Score != 1 {
+		t.Errorf("best match = %+v want %s@1.0", matches[0], orig.Name())
+	}
+	// The geocoder has a different output arity — it must be skipped.
+	for _, m := range matches {
+		if m.Known == "Geocoder" {
+			t.Error("geocoder should be schema-incompatible")
+		}
+	}
+	// A failing service produces no comparable calls.
+	bad := errSvc{inner: clone}
+	matches = InduceDescription(bad, known, samples)
+	for _, m := range matches {
+		if m.Known == orig.Name() && m.Calls > 0 {
+			t.Error("failing service should not accumulate calls")
+		}
+	}
+	// Self-comparison is excluded.
+	matches = InduceDescription(orig, known, samples)
+	for _, m := range matches {
+		if m.Known == orig.Name() {
+			t.Error("service matched itself")
+		}
+	}
+}
+
+func TestInduceDescriptionPartialAgreement(t *testing.T) {
+	w := world()
+	clone := services.NewZipResolver(w)
+	clone.SvcName = "Sloppy Zip"
+	inner := clone.Lookup
+	calls := 0
+	clone.Lookup = func(in table.Tuple) ([]table.Tuple, error) {
+		calls++
+		if calls%2 == 0 {
+			return []table.Tuple{{table.S("00000")}}, nil
+		}
+		return inner(in)
+	}
+	var samples []table.Tuple
+	for _, s := range w.Shelters[:6] {
+		samples = append(samples, table.Tuple{table.S(s.Street), table.S(s.City)})
+	}
+	matches := InduceDescription(clone, []engine.Service{services.NewZipResolver(w)}, samples)
+	if len(matches) != 1 {
+		t.Fatal("want one match")
+	}
+	if matches[0].Score <= 0 || matches[0].Score >= 1 {
+		t.Errorf("partial agreement score = %f, want strictly between 0 and 1", matches[0].Score)
+	}
+}
+
+func TestOutputsEqual(t *testing.T) {
+	a := []table.Tuple{{table.S("x")}, {table.S("y")}}
+	b := []table.Tuple{{table.S("y")}, {table.S("x")}} // order-insensitive
+	if !outputsEqual(a, b) {
+		t.Error("same multiset should be equal")
+	}
+	if outputsEqual(a, a[:1]) {
+		t.Error("different sizes should differ")
+	}
+	if outputsEqual(a, []table.Tuple{{table.S("x")}, {table.S("z")}}) {
+		t.Error("different values should differ")
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	w := world()
+	l := trainedLib(w)
+	dumps := l.Export()
+	if len(dumps) != len(l.Types()) {
+		t.Fatalf("export count = %d want %d", len(dumps), len(l.Types()))
+	}
+	// Dumps come back name-sorted with real patterns.
+	for i := 1; i < len(dumps); i++ {
+		if dumps[i-1].Name >= dumps[i].Name {
+			t.Error("export not sorted")
+		}
+	}
+	for _, d := range dumps {
+		if len(d.Patterns) == 0 || d.Trained == 0 {
+			t.Errorf("dump %s is empty", d.Name)
+		}
+		for _, p := range d.Patterns {
+			if len(p.Symbols) == 0 || p.Frac <= 0 {
+				t.Errorf("dump %s has a degenerate pattern", d.Name)
+			}
+		}
+	}
+	// A fresh library restored from dumps recognizes like the original.
+	l2 := NewLibrary()
+	l2.Import(dumps)
+	if len(l2.Types()) != len(l.Types()) {
+		t.Fatalf("imported types = %v", l2.Types())
+	}
+	zips := []string{w.Shelters[0].Zip, w.Shelters[1].Zip, w.Shelters[2].Zip}
+	a := l.Recognize(zips)
+	b := l2.Recognize(zips)
+	if len(a) == 0 || len(b) == 0 || a[0].Type != b[0].Type {
+		t.Errorf("restored recognition differs: %v vs %v", a, b)
+	}
+	if a[0].Score != b[0].Score {
+		t.Errorf("restored score differs: %f vs %f", a[0].Score, b[0].Score)
+	}
+}

@@ -1,0 +1,70 @@
+package modellearn
+
+import (
+	"copycat/internal/tokenizer"
+)
+
+// PatternDump is a serializable learned pattern.
+type PatternDump struct {
+	Symbols []string `json:"symbols"`
+	Frac    float64  `json:"frac"`
+}
+
+// ModelDump is a serializable semantic type model.
+type ModelDump struct {
+	Name     string        `json:"name"`
+	Trained  int           `json:"trained"`
+	Patterns []PatternDump `json:"patterns"`
+}
+
+// Export snapshots every learned type model for persistence.
+func (l *Library) Export() []ModelDump {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []ModelDump
+	for _, name := range l.typesSortedLocked() {
+		m := l.types[name]
+		d := ModelDump{Name: m.Name, Trained: m.trained}
+		for _, pe := range m.patterns {
+			pd := PatternDump{Frac: pe.frac}
+			for _, s := range pe.pattern {
+				pd.Symbols = append(pd.Symbols, string(s))
+			}
+			d.Patterns = append(d.Patterns, pd)
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+func (l *Library) typesSortedLocked() []string {
+	out := make([]string, 0, len(l.types))
+	for n := range l.types {
+		out = append(out, n)
+	}
+	// insertion sort; the set is small
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Import restores previously exported type models, replacing any models
+// with the same names.
+func (l *Library) Import(dumps []ModelDump) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, d := range dumps {
+		m := &TypeModel{Name: d.Name, trained: d.Trained}
+		for _, pd := range d.Patterns {
+			p := make(tokenizer.Pattern, len(pd.Symbols))
+			for i, s := range pd.Symbols {
+				p[i] = tokenizer.Symbol(s)
+			}
+			m.patterns = append(m.patterns, patEntry{pattern: p, frac: pd.Frac})
+		}
+		l.types[d.Name] = m
+	}
+}

@@ -1,0 +1,86 @@
+package modellearn
+
+import (
+	"sort"
+
+	"copycat/internal/engine"
+	"copycat/internal/table"
+)
+
+// SourceMatch describes how closely a new source's behaviour matches a
+// known service (§3.2: "The model learner learns the function performed
+// by a source by relating it to a set of known sources ... executing the
+// new source and the learned description and comparing the similarity of
+// the results").
+type SourceMatch struct {
+	Known string  // name of the known service
+	Score float64 // fraction of sample inputs with equal outputs
+	Calls int     // samples actually compared
+}
+
+// InduceDescription executes the new service and every known service on
+// the sample inputs and ranks the known services by output agreement.
+// Services whose schemas are incompatible with the new one (different
+// input/output arities) are skipped. A returned score of 1 means the new
+// source behaved identically on all samples — e.g. a newly wrapped zip
+// form being recognized as "another Zipcode Resolver", enabling CopyCat
+// to propose it as a replacement when the original is down (§3.2).
+func InduceDescription(newSvc engine.Service, known []engine.Service, samples []table.Tuple) []SourceMatch {
+	var out []SourceMatch
+	for _, k := range known {
+		if k.Name() == newSvc.Name() {
+			continue
+		}
+		if len(k.InputSchema()) != len(newSvc.InputSchema()) ||
+			len(k.OutputSchema()) != len(newSvc.OutputSchema()) {
+			continue
+		}
+		agree, calls := 0, 0
+		for _, in := range samples {
+			if len(in) != len(newSvc.InputSchema()) {
+				continue
+			}
+			a, errA := newSvc.Call(in.Clone())
+			b, errB := k.Call(in.Clone())
+			if errA != nil || errB != nil {
+				continue
+			}
+			calls++
+			if outputsEqual(a, b) {
+				agree++
+			}
+		}
+		if calls == 0 {
+			continue
+		}
+		out = append(out, SourceMatch{Known: k.Name(), Score: float64(agree) / float64(calls), Calls: calls})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Known < out[j].Known
+	})
+	return out
+}
+
+func outputsEqual(a, b []table.Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	used := make([]bool, len(b))
+	for _, ta := range a {
+		found := false
+		for j, tb := range b {
+			if !used[j] && ta.Equal(tb) {
+				used[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

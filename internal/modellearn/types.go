@@ -1,0 +1,251 @@
+// Package modellearn implements CopyCat's model learner (§3.2): it learns
+// to recognize the semantic types of columns (PR-Street, PR-City, PR-Zip,
+// …) from training values, using a pattern language over constants and
+// generalized tokens, and it learns descriptions of new sources by
+// relating their input/output behaviour to known services.
+//
+// Recognition is distributional, following the paper: a column matches a
+// type when the distribution of pattern matches over the new values is
+// statistically similar to the distribution seen in training — exact
+// matches are not required.
+package modellearn
+
+import (
+	"sort"
+	"sync"
+
+	"copycat/internal/table"
+	"copycat/internal/tokenizer"
+)
+
+// patEntry is one learned pattern with the fraction of training values it
+// matched.
+type patEntry struct {
+	pattern tokenizer.Pattern
+	frac    float64
+}
+
+// TypeModel is the learned recognizer for one semantic type.
+type TypeModel struct {
+	Name     string
+	patterns []patEntry
+	trained  int // number of training values seen
+}
+
+// Library is the session's collection of semantic type models. A type
+// learned from one source is immediately available for recognizing the
+// next (§3.2: "Once the system learns a new semantic type, this type will
+// be immediately available in the same user session").
+type Library struct {
+	mu    sync.RWMutex
+	types map[string]*TypeModel
+}
+
+// NewLibrary creates an empty type library.
+func NewLibrary() *Library {
+	return &Library{types: map[string]*TypeModel{}}
+}
+
+// Types lists known type names, sorted.
+func (l *Library) Types() []string {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]string, 0, len(l.types))
+	for n := range l.types {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Model returns the learned model for a type, or nil.
+func (l *Library) Model(name string) *TypeModel {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.types[name]
+}
+
+// Learn trains (or retrains, merging with prior data is approximated by
+// retraining on the union the caller supplies) the named type from field
+// values. Patterns are built from a rich hypothesis language: values are
+// grouped by token shape, and each group's pattern keeps any constants
+// shared by the whole group ("FL", "-", "@") while generalizing the rest
+// (capitalized word, 3-digit number, …).
+func (l *Library) Learn(name string, values []string) {
+	clean := make([]string, 0, len(values))
+	for _, v := range values {
+		if n := norm(v); n != "" {
+			clean = append(clean, n)
+		}
+	}
+	if len(clean) == 0 {
+		return
+	}
+	groups := map[string][][]tokenizer.Token{}
+	var order []string
+	for _, v := range clean {
+		k := tokenizer.ShapeOf(v).Key()
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], tokenizer.Tokenize(v))
+	}
+	m := &TypeModel{Name: name, trained: len(clean)}
+	for _, k := range order {
+		seqs := groups[k]
+		var p tokenizer.Pattern
+		if len(seqs) >= 2 {
+			p = tokenizer.GeneralizeAll(seqs)
+		}
+		if p == nil {
+			// Singleton group (or ragged): fall back to the pure shape.
+			p = shapeOfTokens(seqs[0])
+		}
+		m.patterns = append(m.patterns, patEntry{
+			pattern: p,
+			frac:    float64(len(seqs)) / float64(len(clean)),
+		})
+	}
+	l.mu.Lock()
+	l.types[name] = m
+	l.mu.Unlock()
+}
+
+func shapeOfTokens(toks []tokenizer.Token) tokenizer.Pattern {
+	p := make(tokenizer.Pattern, len(toks))
+	for i, t := range toks {
+		p[i] = tokenizer.Generalize(t)
+	}
+	return p
+}
+
+func norm(s string) string {
+	out := ""
+	space := false
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' {
+			space = true
+			continue
+		}
+		if space && out != "" {
+			out += " "
+		}
+		space = false
+		out += string(r)
+	}
+	return out
+}
+
+// matchDistribution returns, per pattern, the fraction of values matched,
+// plus overall coverage (fraction of values matched by ≥1 pattern).
+func (m *TypeModel) matchDistribution(values []string) (fracs []float64, coverage float64) {
+	fracs = make([]float64, len(m.patterns))
+	if len(values) == 0 {
+		return fracs, 0
+	}
+	covered := 0
+	toks := make([][]tokenizer.Token, len(values))
+	for i, v := range values {
+		toks[i] = tokenizer.Tokenize(norm(v))
+	}
+	for i := range values {
+		any := false
+		for pi, pe := range m.patterns {
+			if pe.pattern.MatchesTokens(toks[i]) {
+				fracs[pi]++
+				any = true
+			}
+		}
+		if any {
+			covered++
+		}
+	}
+	for pi := range fracs {
+		fracs[pi] /= float64(len(values))
+	}
+	return fracs, float64(covered) / float64(len(values))
+}
+
+// Score rates how well the values fit this type: coverage times the
+// total-variation similarity between the training and observed pattern
+// distributions. 1 is a perfect fit, 0 no fit.
+func (m *TypeModel) Score(values []string) float64 {
+	fracs, coverage := m.matchDistribution(values)
+	if coverage == 0 {
+		return 0
+	}
+	// Total variation distance between distributions (both sum to ≤ ~1;
+	// values may match several patterns, so clamp).
+	dist := 0.0
+	for i, pe := range m.patterns {
+		d := pe.frac - fracs[i]
+		if d < 0 {
+			d = -d
+		}
+		dist += d
+	}
+	if dist > 1 {
+		dist = 1
+	}
+	return coverage * (1 - dist/2)
+}
+
+// TypeScore is a ranked recognition hypothesis.
+type TypeScore struct {
+	Type  string
+	Score float64
+}
+
+// RecognizeThreshold is the minimum score for a type to be proposed.
+const RecognizeThreshold = 0.35
+
+// Recognize ranks all known types against the column values, best first,
+// dropping scores below RecognizeThreshold. The first element is the
+// hypothesis CopyCat proposes; the rest populate the drop-down.
+func (l *Library) Recognize(values []string) []TypeScore {
+	l.mu.RLock()
+	models := make([]*TypeModel, 0, len(l.types))
+	for _, m := range l.types {
+		models = append(models, m)
+	}
+	l.mu.RUnlock()
+	var out []TypeScore
+	for _, m := range models {
+		if s := m.Score(values); s >= RecognizeThreshold {
+			out = append(out, TypeScore{Type: m.Name, Score: s})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Type < out[j].Type
+	})
+	return out
+}
+
+// AnnotateSchema recognizes each column of data and sets SemType on the
+// schema for confident hypotheses. columns[i] holds the values of
+// schema[i]. It returns the per-column ranked hypotheses for the UI
+// drop-downs.
+func (l *Library) AnnotateSchema(schema table.Schema, columns [][]string) [][]TypeScore {
+	out := make([][]TypeScore, len(schema))
+	for i := range schema {
+		if i >= len(columns) {
+			break
+		}
+		scores := l.Recognize(columns[i])
+		out[i] = scores
+		if len(scores) > 0 && schema[i].SemType == "" {
+			schema[i].SemType = scores[0].Type
+		}
+	}
+	return out
+}
+
+// DefineType lets the user name a brand-new type on the fly and trains it
+// from the current column (§3.2: "the user can define this new type on
+// the fly"). It is Learn with a friendlier name for call sites.
+func (l *Library) DefineType(name string, values []string) {
+	l.Learn(name, values)
+}

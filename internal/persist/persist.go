@@ -1,0 +1,169 @@
+// Package persist serializes a CopyCat session to JSON and restores it:
+// materialized catalog relations (with learned semantic types and foreign
+// keys), the semantic-type library, and the learned source-graph edge
+// costs. This implements the paper's "persistently saved as an
+// integrated, mediated view of the data" (§1): an integration built
+// interactively can be reloaded and queried later.
+//
+// Services are functions and are not serialized; applications re-register
+// them on load, and the saved edge costs re-attach by edge ID when the
+// graph is re-discovered.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"copycat/internal/catalog"
+	"copycat/internal/modellearn"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/table"
+)
+
+// cellDump serializes one value with its kind.
+type cellDump struct {
+	K uint8   `json:"k"`
+	V string  `json:"v,omitempty"`
+	N float64 `json:"n,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+// columnDump serializes a schema column.
+type columnDump struct {
+	Name    string `json:"name"`
+	Kind    uint8  `json:"kind"`
+	SemType string `json:"semtype,omitempty"`
+}
+
+// relationDump serializes one materialized source.
+type relationDump struct {
+	Name    string            `json:"name"`
+	Origin  string            `json:"origin"`
+	Columns []columnDump      `json:"columns"`
+	Rows    [][]cellDump      `json:"rows"`
+	Keys    map[string]string `json:"keys,omitempty"`
+}
+
+// Session is the serialized form of a CopyCat installation's learned
+// state.
+type Session struct {
+	Version   int                    `json:"version"`
+	Relations []relationDump         `json:"relations"`
+	Types     []modellearn.ModelDump `json:"types"`
+	EdgeCosts map[string]float64     `json:"edge_costs,omitempty"`
+}
+
+// CurrentVersion is the session format version.
+const CurrentVersion = 1
+
+// Save serializes the catalog's materialized relations, the type
+// library, and the graph's learned edge costs. Any argument may be nil.
+func Save(cat *catalog.Catalog, types *modellearn.Library, g *sourcegraph.Graph) ([]byte, error) {
+	s := Session{Version: CurrentVersion}
+	if cat != nil {
+		for _, src := range cat.All() {
+			if src.Kind != catalog.KindRelation || src.Rel == nil {
+				continue
+			}
+			rd := relationDump{Name: src.Name, Origin: src.Origin, Keys: src.Keys}
+			for _, c := range src.Rel.Schema {
+				rd.Columns = append(rd.Columns, columnDump{Name: c.Name, Kind: uint8(c.Kind), SemType: c.SemType})
+			}
+			for _, row := range src.Rel.Rows {
+				cells := make([]cellDump, len(row))
+				for i, v := range row {
+					cells[i] = dumpCell(v)
+				}
+				rd.Rows = append(rd.Rows, cells)
+			}
+			s.Relations = append(s.Relations, rd)
+		}
+	}
+	if types != nil {
+		s.Types = types.Export()
+	}
+	if g != nil {
+		s.EdgeCosts = map[string]float64{}
+		for _, e := range g.Edges() {
+			if e.Cost != sourcegraph.DefaultCost {
+				s.EdgeCosts[e.ID] = e.Cost
+			}
+		}
+	}
+	return json.MarshalIndent(s, "", " ")
+}
+
+func dumpCell(v table.Value) cellDump {
+	switch v.Kind() {
+	case table.KindString:
+		return cellDump{K: uint8(table.KindString), V: v.Str()}
+	case table.KindNumber:
+		return cellDump{K: uint8(table.KindNumber), N: v.Num()}
+	case table.KindBool:
+		return cellDump{K: uint8(table.KindBool), B: v.Bool()}
+	}
+	return cellDump{K: uint8(table.KindNull)}
+}
+
+func loadCell(c cellDump) table.Value {
+	switch table.Kind(c.K) {
+	case table.KindString:
+		return table.S(c.V)
+	case table.KindNumber:
+		return table.N(c.N)
+	case table.KindBool:
+		return table.B(c.B)
+	}
+	return table.Null()
+}
+
+// Load parses a session and restores it into the given catalog and type
+// library (either may be nil to skip). It returns the saved edge costs
+// for re-application via ApplyCosts once the caller has re-discovered the
+// source graph.
+func Load(data []byte, cat *catalog.Catalog, types *modellearn.Library) (map[string]float64, error) {
+	var s Session
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	if s.Version != CurrentVersion {
+		return nil, fmt.Errorf("persist: unsupported session version %d", s.Version)
+	}
+	if cat != nil {
+		for _, rd := range s.Relations {
+			schema := make(table.Schema, len(rd.Columns))
+			for i, c := range rd.Columns {
+				schema[i] = table.Column{Name: c.Name, Kind: table.Kind(c.Kind), SemType: c.SemType}
+			}
+			rel := table.NewRelation(rd.Name, schema)
+			for _, cells := range rd.Rows {
+				row := make(table.Tuple, len(cells))
+				for i, c := range cells {
+					row[i] = loadCell(c)
+				}
+				if err := rel.Append(row); err != nil {
+					return nil, fmt.Errorf("persist: relation %s: %w", rd.Name, err)
+				}
+			}
+			src := cat.AddRelation(rel, rd.Origin)
+			src.Keys = rd.Keys
+		}
+	}
+	if types != nil {
+		types.Import(s.Types)
+	}
+	return s.EdgeCosts, nil
+}
+
+// ApplyCosts re-attaches saved edge costs to a (re-discovered) source
+// graph; edges that no longer exist are skipped. It returns how many
+// costs were applied.
+func ApplyCosts(g *sourcegraph.Graph, costs map[string]float64) int {
+	n := 0
+	for id, c := range costs {
+		if g.SetCost(id, c) {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,266 @@
+// Package provenance implements semiring how-provenance in the style of the
+// ORCHESTRA system the paper builds on: every tuple produced by the query
+// engine carries an expression over base-tuple identifiers, built from ⊕
+// (alternative derivations, e.g. union or duplicate merging) and ⊗ (joint
+// derivations, e.g. join or dependent join).
+//
+// CopyCat uses these expressions in two ways: (1) to render the Tuple
+// Explanation pane, and (2) to route user feedback on a suggested tuple
+// back to the query — and hence the source-graph edges — that produced it.
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"copycat/internal/table"
+)
+
+// Expr is a provenance expression. Implementations are Leaf, Plus, Times,
+// and the special None (no provenance, e.g. hand-typed data).
+type Expr interface {
+	// String renders the expression in +/* notation.
+	String() string
+	// Leaves appends all base tuple IDs in the expression to dst.
+	Leaves(dst []table.TupleID) []table.TupleID
+	// kind discriminates without type switches all over the engine.
+	kind() exprKind
+}
+
+type exprKind uint8
+
+const (
+	kindNone exprKind = iota
+	kindLeaf
+	kindPlus
+	kindTimes
+)
+
+// None is the provenance of data that was typed or pasted directly by the
+// user and has no recorded derivation.
+type None struct{}
+
+func (None) String() string                             { return "∅" }
+func (None) Leaves(dst []table.TupleID) []table.TupleID { return dst }
+func (None) kind() exprKind                             { return kindNone }
+
+// Leaf is the provenance of a base tuple scanned from a source.
+type Leaf struct {
+	ID table.TupleID
+	// Source names the catalog relation or service the tuple came from.
+	Source string
+}
+
+func (l Leaf) String() string                             { return string(l.ID) }
+func (l Leaf) Leaves(dst []table.TupleID) []table.TupleID { return append(dst, l.ID) }
+func (l Leaf) kind() exprKind                             { return kindLeaf }
+
+// Plus is an alternative-derivations node (union / duplicate merge).
+type Plus struct{ Args []Expr }
+
+func (p Plus) String() string {
+	parts := make([]string, len(p.Args))
+	for i, a := range p.Args {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, " + ") + ")"
+}
+
+func (p Plus) Leaves(dst []table.TupleID) []table.TupleID {
+	for _, a := range p.Args {
+		dst = a.Leaves(dst)
+	}
+	return dst
+}
+func (p Plus) kind() exprKind { return kindPlus }
+
+// Times is a joint-derivation node (join, dependent join, record link).
+type Times struct{ Args []Expr }
+
+func (t Times) String() string {
+	parts := make([]string, len(t.Args))
+	for i, a := range t.Args {
+		parts[i] = a.String()
+	}
+	return "(" + strings.Join(parts, " * ") + ")"
+}
+
+func (t Times) Leaves(dst []table.TupleID) []table.TupleID {
+	for _, a := range t.Args {
+		dst = a.Leaves(dst)
+	}
+	return dst
+}
+func (t Times) kind() exprKind { return kindTimes }
+
+// Join combines two provenance expressions multiplicatively, flattening
+// nested Times and dropping None operands.
+func Join(a, b Expr) Expr {
+	if a == nil || a.kind() == kindNone {
+		return normalize(b)
+	}
+	if b == nil || b.kind() == kindNone {
+		return normalize(a)
+	}
+	var args []Expr
+	if ta, ok := a.(Times); ok {
+		args = append(args, ta.Args...)
+	} else {
+		args = append(args, a)
+	}
+	if tb, ok := b.(Times); ok {
+		args = append(args, tb.Args...)
+	} else {
+		args = append(args, b)
+	}
+	return Times{Args: args}
+}
+
+// Merge combines two provenance expressions additively (alternative
+// derivations), flattening nested Plus and dropping None operands.
+func Merge(a, b Expr) Expr {
+	if a == nil || a.kind() == kindNone {
+		return normalize(b)
+	}
+	if b == nil || b.kind() == kindNone {
+		return normalize(a)
+	}
+	var args []Expr
+	if pa, ok := a.(Plus); ok {
+		args = append(args, pa.Args...)
+	} else {
+		args = append(args, a)
+	}
+	if pb, ok := b.(Plus); ok {
+		args = append(args, pb.Args...)
+	} else {
+		args = append(args, b)
+	}
+	return Plus{Args: args}
+}
+
+func normalize(e Expr) Expr {
+	if e == nil {
+		return None{}
+	}
+	return e
+}
+
+// Sources returns the sorted set of distinct source names mentioned by the
+// expression's leaves. Leaf IDs are "<source>:<ordinal>".
+func Sources(e Expr) []string {
+	if e == nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, id := range e.Leaves(nil) {
+		s := string(id)
+		if i := strings.LastIndexByte(s, ':'); i >= 0 {
+			s = s[:i]
+		}
+		set[s] = true
+	}
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Alternatives splits a top-level Plus into its alternative derivations;
+// a non-Plus expression is a single alternative. The Tuple Explanation pane
+// renders each alternative as one derivation graph.
+func Alternatives(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if p, ok := e.(Plus); ok {
+		return p.Args
+	}
+	if e.kind() == kindNone {
+		return nil
+	}
+	return []Expr{e}
+}
+
+// Explain renders a human-readable explanation tree for the expression,
+// matching the paper's Tuple Explanation pane: one line per derivation
+// step, indented by depth.
+func Explain(e Expr) string {
+	var b strings.Builder
+	explain(&b, normalize(e), 0)
+	return b.String()
+}
+
+func explain(b *strings.Builder, e Expr, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch x := e.(type) {
+	case None:
+		fmt.Fprintf(b, "%suser-entered (no provenance)\n", pad)
+	case Leaf:
+		src := x.Source
+		if src == "" {
+			s := string(x.ID)
+			if i := strings.LastIndexByte(s, ':'); i >= 0 {
+				src = s[:i]
+			}
+		}
+		fmt.Fprintf(b, "%stuple %s from source %s\n", pad, x.ID, src)
+	case Plus:
+		fmt.Fprintf(b, "%sany of %d alternative derivations:\n", pad, len(x.Args))
+		for _, a := range x.Args {
+			explain(b, a, depth+1)
+		}
+	case Times:
+		fmt.Fprintf(b, "%sjoined from %d inputs:\n", pad, len(x.Args))
+		for _, a := range x.Args {
+			explain(b, a, depth+1)
+		}
+	}
+}
+
+// Equal reports structural equality of two expressions.
+func Equal(a, b Expr) bool {
+	a, b = normalize(a), normalize(b)
+	if a.kind() != b.kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case None:
+		return true
+	case Leaf:
+		y := b.(Leaf)
+		return x.ID == y.ID && x.Source == y.Source
+	case Plus:
+		return equalArgs(x.Args, b.(Plus).Args)
+	case Times:
+		return equalArgs(x.Args, b.(Times).Args)
+	}
+	return false
+}
+
+func equalArgs(a, b []Expr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Annotated pairs a tuple with its provenance. The engine's result
+// relations are slices of Annotated rows.
+type Annotated struct {
+	Row  table.Tuple
+	Prov Expr
+}
+
+// BaseID builds the canonical base-tuple ID for row ordinal i of a source.
+func BaseID(source string, i int) table.TupleID {
+	return table.TupleID(fmt.Sprintf("%s:%d", source, i))
+}

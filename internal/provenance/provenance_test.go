@@ -1,0 +1,185 @@
+package provenance
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"copycat/internal/table"
+)
+
+func leaf(src string, i int) Leaf {
+	return Leaf{ID: BaseID(src, i), Source: src}
+}
+
+func TestBaseID(t *testing.T) {
+	if BaseID("Shelters", 3) != "Shelters:3" {
+		t.Errorf("BaseID wrong: %s", BaseID("Shelters", 3))
+	}
+}
+
+func TestLeafStringAndLeaves(t *testing.T) {
+	l := leaf("Shelters", 0)
+	if l.String() != "Shelters:0" {
+		t.Errorf("Leaf.String = %q", l.String())
+	}
+	ids := l.Leaves(nil)
+	if len(ids) != 1 || ids[0] != "Shelters:0" {
+		t.Errorf("Leaves wrong: %v", ids)
+	}
+}
+
+func TestJoinFlattensAndDropsNone(t *testing.T) {
+	a, b, c := leaf("R", 0), leaf("S", 1), leaf("T", 2)
+	j := Join(Join(a, b), c)
+	tm, ok := j.(Times)
+	if !ok || len(tm.Args) != 3 {
+		t.Fatalf("Join should flatten into a 3-arg Times, got %s", j)
+	}
+	if got := Join(None{}, a); !Equal(got, a) {
+		t.Errorf("Join(None,a) = %s want leaf", got)
+	}
+	if got := Join(a, nil); !Equal(got, a) {
+		t.Errorf("Join(a,nil) = %s want leaf", got)
+	}
+	if got := Join(nil, nil); got.String() != "∅" {
+		t.Errorf("Join(nil,nil) = %s want None", got)
+	}
+}
+
+func TestMergeFlattensAndDropsNone(t *testing.T) {
+	a, b, c := leaf("R", 0), leaf("S", 1), leaf("T", 2)
+	m := Merge(Merge(a, b), c)
+	pl, ok := m.(Plus)
+	if !ok || len(pl.Args) != 3 {
+		t.Fatalf("Merge should flatten into a 3-arg Plus, got %s", m)
+	}
+	if got := Merge(None{}, b); !Equal(got, b) {
+		t.Errorf("Merge(None,b) = %s", got)
+	}
+	if got := Merge(b, None{}); !Equal(got, b) {
+		t.Errorf("Merge(b,None) = %s", got)
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	e := Merge(Join(leaf("R", 0), leaf("S", 1)), leaf("T", 2))
+	if e.String() != "((R:0 * S:1) + T:2)" {
+		t.Errorf("notation = %s", e.String())
+	}
+}
+
+func TestSources(t *testing.T) {
+	e := Merge(Join(leaf("Shelters", 0), leaf("ZipResolver", 4)), leaf("Contacts", 1))
+	got := Sources(e)
+	want := []string{"Contacts", "Shelters", "ZipResolver"}
+	if len(got) != len(want) {
+		t.Fatalf("Sources = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Sources[%d] = %q want %q", i, got[i], want[i])
+		}
+	}
+	if Sources(nil) != nil {
+		t.Error("Sources(nil) should be nil")
+	}
+	if len(Sources(None{})) != 0 {
+		t.Error("Sources(None) should be empty")
+	}
+}
+
+func TestAlternatives(t *testing.T) {
+	single := Join(leaf("R", 0), leaf("S", 0))
+	if alts := Alternatives(single); len(alts) != 1 {
+		t.Errorf("single derivation should have 1 alternative, got %d", len(alts))
+	}
+	multi := Merge(leaf("R", 0), Join(leaf("S", 0), leaf("T", 0)))
+	if alts := Alternatives(multi); len(alts) != 2 {
+		t.Errorf("plus of two should have 2 alternatives, got %d", len(alts))
+	}
+	if Alternatives(None{}) != nil || Alternatives(nil) != nil {
+		t.Error("None/nil have no alternatives")
+	}
+}
+
+func TestExplainRendering(t *testing.T) {
+	e := Merge(Join(leaf("Shelters", 0), leaf("ZipResolver", 2)), leaf("Backup", 0))
+	s := Explain(e)
+	for _, want := range []string{
+		"alternative derivations",
+		"joined from 2 inputs",
+		"tuple Shelters:0 from source Shelters",
+		"tuple ZipResolver:2 from source ZipResolver",
+		"tuple Backup:0 from source Backup",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Explain missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(Explain(None{}), "user-entered") {
+		t.Error("Explain(None) should mention user-entered")
+	}
+	if !strings.Contains(Explain(nil), "user-entered") {
+		t.Error("Explain(nil) should normalize to None")
+	}
+	// Leaf with empty Source falls back to parsing the ID.
+	if !strings.Contains(Explain(Leaf{ID: "Src:7"}), "from source Src") {
+		t.Error("Explain should derive source from ID")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := Join(leaf("R", 0), leaf("S", 1))
+	if !Equal(a, Join(leaf("R", 0), leaf("S", 1))) {
+		t.Error("structurally identical exprs should be Equal")
+	}
+	if Equal(a, Join(leaf("R", 0), leaf("S", 2))) {
+		t.Error("different leaves should not be Equal")
+	}
+	if Equal(a, Merge(leaf("R", 0), leaf("S", 1))) {
+		t.Error("Times vs Plus should not be Equal")
+	}
+	if !Equal(nil, None{}) {
+		t.Error("nil normalizes to None")
+	}
+	if Equal(Plus{Args: []Expr{a}}, Plus{Args: []Expr{a, a}}) {
+		t.Error("different arg counts should not be Equal")
+	}
+}
+
+func TestLeavesCollectsAll(t *testing.T) {
+	e := Merge(Join(leaf("R", 0), leaf("S", 1)), Join(leaf("T", 2), leaf("U", 3)))
+	ids := e.Leaves(nil)
+	if len(ids) != 4 {
+		t.Errorf("Leaves count = %d want 4", len(ids))
+	}
+}
+
+func TestJoinMergePreserveLeavesProperty(t *testing.T) {
+	// Property: Join and Merge both preserve the multiset of leaves.
+	f := func(xs, ys []uint8) bool {
+		var a, b Expr = None{}, None{}
+		for _, x := range xs {
+			a = Merge(a, leaf("A", int(x)))
+		}
+		for _, y := range ys {
+			b = Join(b, leaf("B", int(y)))
+		}
+		j := Join(a, b)
+		m := Merge(a, b)
+		na := len(a.Leaves(nil))
+		nb := len(b.Leaves(nil))
+		return len(j.Leaves(nil)) == na+nb && len(m.Leaves(nil)) == na+nb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnnotated(t *testing.T) {
+	a := Annotated{Row: table.FromStrings([]string{"x"}), Prov: leaf("R", 0)}
+	if a.Row[0].Str() != "x" || a.Prov.String() != "R:0" {
+		t.Error("Annotated fields wrong")
+	}
+}

@@ -1,0 +1,247 @@
+// Package services implements CopyCat's predefined service library (§4:
+// "Predefined services include record-linking functions, address
+// resolution, geocoding, and currency and unit conversion"). Each service
+// satisfies engine.Service — a relation with input binding restrictions —
+// and is backed by the synthetic webworld instead of the live Google/Yahoo
+// endpoints the paper demoed against.
+package services
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"copycat/internal/engine"
+	"copycat/internal/table"
+	"copycat/internal/webworld"
+)
+
+// Func is a generic service implementation: schemas plus a lookup
+// function. All builtin services are Funcs.
+type Func struct {
+	SvcName string
+	In, Out table.Schema
+	Lookup  func(table.Tuple) ([]table.Tuple, error)
+}
+
+// Name implements engine.Service.
+func (f *Func) Name() string { return f.SvcName }
+
+// InputSchema implements engine.Service.
+func (f *Func) InputSchema() table.Schema { return f.In }
+
+// OutputSchema implements engine.Service.
+func (f *Func) OutputSchema() table.Schema { return f.Out }
+
+// Call implements engine.Service.
+func (f *Func) Call(in table.Tuple) ([]table.Tuple, error) {
+	if len(in) != len(f.In) {
+		return nil, fmt.Errorf("services: %s: got %d inputs, want %d", f.SvcName, len(in), len(f.In))
+	}
+	return f.Lookup(in)
+}
+
+func normKey(parts ...string) string {
+	for i, p := range parts {
+		parts[i] = strings.ToLower(strings.Join(strings.Fields(p), " "))
+	}
+	return strings.Join(parts, "\x1f")
+}
+
+func schemaWithTypes(pairs ...[2]string) table.Schema {
+	s := make(table.Schema, len(pairs))
+	for i, p := range pairs {
+		s[i] = table.Column{Name: p[0], Kind: table.KindString, SemType: p[1]}
+	}
+	return s
+}
+
+// NewZipResolver resolves (Street, City) to the zip code — the service
+// suggested as the Zip column auto-completion in Figure 2.
+func NewZipResolver(w *webworld.World) *Func {
+	index := map[string]string{}
+	cityDefault := map[string]string{}
+	for _, s := range w.Shelters {
+		index[normKey(s.Street, s.City)] = s.Zip
+	}
+	for _, c := range w.Cities {
+		cityDefault[normKey(c.Name)] = c.Zips[0]
+	}
+	return &Func{
+		SvcName: "Zipcode Resolver",
+		In:      schemaWithTypes([2]string{"Street", "PR-Street"}, [2]string{"City", "PR-City"}),
+		Out:     schemaWithTypes([2]string{"Zip", "PR-Zip"}),
+		Lookup: func(in table.Tuple) ([]table.Tuple, error) {
+			if z, ok := index[normKey(in[0].Str(), in[1].Str())]; ok {
+				return []table.Tuple{{table.S(z)}}, nil
+			}
+			// Fall back to the city's primary zip, as real resolvers do
+			// for unknown street numbers.
+			if z, ok := cityDefault[normKey(in[1].Str())]; ok {
+				return []table.Tuple{{table.S(z)}}, nil
+			}
+			return nil, nil
+		},
+	}
+}
+
+// NewGeocoder resolves (Street, City) to latitude/longitude.
+func NewGeocoder(w *webworld.World) *Func {
+	type geo struct{ lat, lon float64 }
+	index := map[string]geo{}
+	cityCentroid := map[string]geo{}
+	for _, s := range w.Shelters {
+		index[normKey(s.Street, s.City)] = geo{s.Lat, s.Lon}
+	}
+	for _, c := range w.Cities {
+		cityCentroid[normKey(c.Name)] = geo{c.Lat, c.Lon}
+	}
+	return &Func{
+		SvcName: "Geocoder",
+		In:      schemaWithTypes([2]string{"Street", "PR-Street"}, [2]string{"City", "PR-City"}),
+		Out:     schemaWithTypes([2]string{"Lat", "PR-Lat"}, [2]string{"Lon", "PR-Lon"}),
+		Lookup: func(in table.Tuple) ([]table.Tuple, error) {
+			if g, ok := index[normKey(in[0].Str(), in[1].Str())]; ok {
+				return []table.Tuple{{table.N(round4(g.lat)), table.N(round4(g.lon))}}, nil
+			}
+			if g, ok := cityCentroid[normKey(in[1].Str())]; ok {
+				return []table.Tuple{{table.N(round4(g.lat)), table.N(round4(g.lon))}}, nil
+			}
+			return nil, nil
+		},
+	}
+}
+
+func round4(f float64) float64 {
+	s := strconv.FormatFloat(f, 'f', 4, 64)
+	out, _ := strconv.ParseFloat(s, 64)
+	return out
+}
+
+// NewShelterLocator resolves a shelter name to its address. Because the
+// same institution name can exist in several cities, a lookup may return
+// multiple answers — the ambiguity the paper's Example 1 calls out ("the
+// shelter name may be ambiguous and might return multiple answers").
+func NewShelterLocator(w *webworld.World) *Func {
+	index := map[string][]table.Tuple{}
+	for _, s := range w.Shelters {
+		k := normKey(s.Name)
+		index[k] = append(index[k], table.Tuple{table.S(s.Street), table.S(s.City)})
+	}
+	return &Func{
+		SvcName: "Shelter Locator",
+		In:      schemaWithTypes([2]string{"Name", "PR-OrgName"}),
+		Out:     schemaWithTypes([2]string{"Street", "PR-Street"}, [2]string{"City", "PR-City"}),
+		Lookup: func(in table.Tuple) ([]table.Tuple, error) {
+			return index[normKey(in[0].Str())], nil
+		},
+	}
+}
+
+// NewReverseDirectory resolves a phone number to the person it belongs to
+// (§2.3: "a phone number might be looked up in a reverse directory to
+// find a person").
+func NewReverseDirectory(w *webworld.World) *Func {
+	index := map[string][]table.Tuple{}
+	for _, c := range w.Contacts {
+		index[normKey(c.Phone)] = append(index[normKey(c.Phone)], table.Tuple{table.S(c.Person)})
+	}
+	return &Func{
+		SvcName: "Reverse Directory",
+		In:      schemaWithTypes([2]string{"Phone", "PR-Phone"}),
+		Out:     schemaWithTypes([2]string{"Person", "PR-PersonName"}),
+		Lookup: func(in table.Tuple) ([]table.Tuple, error) {
+			return index[normKey(in[0].Str())], nil
+		},
+	}
+}
+
+// currencyRates is a fixed table of USD exchange rates (2008-era values;
+// the paper's service library includes currency conversion).
+var currencyRates = map[string]float64{
+	"USD": 1.0, "EUR": 0.68, "GBP": 0.54, "JPY": 103.0, "CAD": 1.06, "MXN": 11.1,
+}
+
+// NewCurrencyConverter converts (Amount, From, To) → Converted.
+func NewCurrencyConverter() *Func {
+	return &Func{
+		SvcName: "Currency Converter",
+		In: schemaWithTypes([2]string{"Amount", "PR-Amount"},
+			[2]string{"From", "PR-Currency"}, [2]string{"To", "PR-Currency"}),
+		Out: schemaWithTypes([2]string{"Converted", "PR-Amount"}),
+		Lookup: func(in table.Tuple) ([]table.Tuple, error) {
+			amt, err := amountOf(in[0])
+			if err != nil {
+				return nil, err
+			}
+			from, ok1 := currencyRates[strings.ToUpper(strings.TrimSpace(in[1].Str()))]
+			to, ok2 := currencyRates[strings.ToUpper(strings.TrimSpace(in[2].Str()))]
+			if !ok1 || !ok2 {
+				return nil, nil
+			}
+			return []table.Tuple{{table.N(round4(amt / from * to))}}, nil
+		},
+	}
+}
+
+// unitFactors maps supported length/weight units to a base unit.
+var unitFactors = map[string]float64{
+	"m": 1, "km": 1000, "cm": 0.01, "mi": 1609.344, "ft": 0.3048, "in": 0.0254,
+	"kg": 1, "g": 0.001, "lb": 0.45359237, "oz": 0.028349523125,
+}
+
+// unitDim distinguishes incompatible dimensions.
+var unitDim = map[string]string{
+	"m": "len", "km": "len", "cm": "len", "mi": "len", "ft": "len", "in": "len",
+	"kg": "wt", "g": "wt", "lb": "wt", "oz": "wt",
+}
+
+// NewUnitConverter converts (Value, FromUnit, ToUnit) → Converted for
+// length and weight units. Cross-dimension requests return no answer.
+func NewUnitConverter() *Func {
+	return &Func{
+		SvcName: "Unit Converter",
+		In: schemaWithTypes([2]string{"Value", "PR-Amount"},
+			[2]string{"FromUnit", "PR-Unit"}, [2]string{"ToUnit", "PR-Unit"}),
+		Out: schemaWithTypes([2]string{"Converted", "PR-Amount"}),
+		Lookup: func(in table.Tuple) ([]table.Tuple, error) {
+			v, err := amountOf(in[0])
+			if err != nil {
+				return nil, err
+			}
+			fu := strings.ToLower(strings.TrimSpace(in[1].Str()))
+			tu := strings.ToLower(strings.TrimSpace(in[2].Str()))
+			if unitDim[fu] == "" || unitDim[fu] != unitDim[tu] {
+				return nil, nil
+			}
+			return []table.Tuple{{table.N(round4(v * unitFactors[fu] / unitFactors[tu]))}}, nil
+		},
+	}
+}
+
+func amountOf(v table.Value) (float64, error) {
+	switch v.Kind() {
+	case table.KindNumber:
+		return v.Num(), nil
+	case table.KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.Str()), 64)
+		if err != nil {
+			return 0, fmt.Errorf("services: not a number: %q", v.Str())
+		}
+		return f, nil
+	}
+	return 0, fmt.Errorf("services: not a number: %s", v.Kind())
+}
+
+// Builtin returns the full predefined service library for a world, in the
+// order the paper lists them.
+func Builtin(w *webworld.World) []engine.Service {
+	return []engine.Service{
+		NewZipResolver(w),
+		NewGeocoder(w),
+		NewShelterLocator(w),
+		NewReverseDirectory(w),
+		NewCurrencyConverter(),
+		NewUnitConverter(),
+	}
+}

@@ -1,0 +1,189 @@
+package services
+
+import (
+	"math"
+	"testing"
+
+	"copycat/internal/table"
+	"copycat/internal/webworld"
+)
+
+func world() *webworld.World { return webworld.Generate(webworld.DefaultConfig()) }
+
+func TestZipResolverExactAndFallback(t *testing.T) {
+	w := world()
+	svc := NewZipResolver(w)
+	s := w.Shelters[0]
+	out, err := svc.Call(table.Tuple{table.S(s.Street), table.S(s.City)})
+	if err != nil || len(out) != 1 || out[0][0].Str() != s.Zip {
+		t.Fatalf("exact zip lookup: %v %v", out, err)
+	}
+	// Unknown street in a known city falls back to the city's primary zip.
+	out, err = svc.Call(table.Tuple{table.S("1 Nowhere Ln"), table.S(s.City)})
+	if err != nil || len(out) != 1 || out[0][0].Str() != w.CityByName(s.City).Zips[0] {
+		t.Errorf("fallback zip lookup: %v %v", out, err)
+	}
+	// Unknown city yields nothing.
+	out, _ = svc.Call(table.Tuple{table.S("1 X"), table.S("Atlantis")})
+	if len(out) != 0 {
+		t.Error("unknown city should yield no answer")
+	}
+	// Case/whitespace-insensitive keys.
+	out, _ = svc.Call(table.Tuple{table.S("  " + s.Street + "  "), table.S(s.City)})
+	if len(out) != 1 {
+		t.Error("lookup should normalize whitespace")
+	}
+	// Wrong arity errors.
+	if _, err := svc.Call(table.Tuple{table.S("x")}); err == nil {
+		t.Error("arity mismatch should error")
+	}
+}
+
+func TestZipResolverSchemas(t *testing.T) {
+	svc := NewZipResolver(world())
+	if svc.Name() != "Zipcode Resolver" {
+		t.Error("name wrong")
+	}
+	in := svc.InputSchema()
+	if len(in) != 2 || in[0].SemType != "PR-Street" || in[1].SemType != "PR-City" {
+		t.Errorf("input schema = %s", in)
+	}
+	out := svc.OutputSchema()
+	if len(out) != 1 || out[0].SemType != "PR-Zip" {
+		t.Errorf("output schema = %s", out)
+	}
+}
+
+func TestGeocoder(t *testing.T) {
+	w := world()
+	svc := NewGeocoder(w)
+	s := w.Shelters[3]
+	out, err := svc.Call(table.Tuple{table.S(s.Street), table.S(s.City)})
+	if err != nil || len(out) != 1 {
+		t.Fatalf("geocode: %v %v", out, err)
+	}
+	if math.Abs(out[0][0].Num()-s.Lat) > 0.001 || math.Abs(out[0][1].Num()-s.Lon) > 0.001 {
+		t.Errorf("geocode = %v want (%f,%f)", out[0].Texts(), s.Lat, s.Lon)
+	}
+	// City fallback returns the centroid.
+	c := w.CityByName(s.City)
+	out, _ = svc.Call(table.Tuple{table.S("1 Nowhere"), table.S(s.City)})
+	if len(out) != 1 || math.Abs(out[0][0].Num()-c.Lat) > 0.001 {
+		t.Error("city centroid fallback wrong")
+	}
+}
+
+func TestShelterLocatorAmbiguity(t *testing.T) {
+	w := world()
+	svc := NewShelterLocator(w)
+	// Find a shelter name that occurs in more than one city, if any.
+	counts := map[string]int{}
+	for _, s := range w.Shelters {
+		counts[s.Name]++
+	}
+	for _, s := range w.Shelters {
+		out, err := svc.Call(table.Tuple{table.S(s.Name)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != counts[s.Name] {
+			t.Errorf("locator(%s) = %d answers want %d", s.Name, len(out), counts[s.Name])
+		}
+	}
+	out, _ := svc.Call(table.Tuple{table.S("Nonexistent Hall")})
+	if len(out) != 0 {
+		t.Error("unknown name should return nothing")
+	}
+}
+
+func TestReverseDirectory(t *testing.T) {
+	w := world()
+	svc := NewReverseDirectory(w)
+	c := w.Contacts[0]
+	out, err := svc.Call(table.Tuple{table.S(c.Phone)})
+	if err != nil || len(out) == 0 || out[0][0].Str() != c.Person {
+		t.Errorf("reverse directory: %v %v", out, err)
+	}
+	out, _ = svc.Call(table.Tuple{table.S("000-000-0000")})
+	if len(out) != 0 {
+		t.Error("unknown phone should return nothing")
+	}
+}
+
+func TestCurrencyConverter(t *testing.T) {
+	svc := NewCurrencyConverter()
+	out, err := svc.Call(table.Tuple{table.N(100), table.S("USD"), table.S("EUR")})
+	if err != nil || len(out) != 1 || out[0][0].Num() != 68 {
+		t.Fatalf("usd→eur: %v %v", out, err)
+	}
+	// Round trip through rates.
+	out, _ = svc.Call(table.Tuple{table.N(68), table.S("EUR"), table.S("USD")})
+	if math.Abs(out[0][0].Num()-100) > 0.01 {
+		t.Errorf("eur→usd: %v", out[0].Texts())
+	}
+	// String amounts parse; case-insensitive codes.
+	out, err = svc.Call(table.Tuple{table.S("50"), table.S("usd"), table.S("gbp")})
+	if err != nil || out[0][0].Num() != 27 {
+		t.Errorf("string amount: %v %v", out, err)
+	}
+	// Unknown currency yields nothing; garbage amount errors.
+	if out, _ := svc.Call(table.Tuple{table.N(1), table.S("XYZ"), table.S("USD")}); len(out) != 0 {
+		t.Error("unknown currency should yield nothing")
+	}
+	if _, err := svc.Call(table.Tuple{table.S("abc"), table.S("USD"), table.S("EUR")}); err == nil {
+		t.Error("non-numeric amount should error")
+	}
+	if _, err := svc.Call(table.Tuple{table.B(true), table.S("USD"), table.S("EUR")}); err == nil {
+		t.Error("bool amount should error")
+	}
+}
+
+func TestUnitConverter(t *testing.T) {
+	svc := NewUnitConverter()
+	cases := []struct {
+		v        float64
+		from, to string
+		want     float64
+	}{
+		{1, "km", "m", 1000},
+		{1, "mi", "km", 1.6093},
+		{12, "in", "ft", 1},
+		{1, "kg", "lb", 2.2046},
+		{16, "oz", "lb", 1},
+	}
+	for _, c := range cases {
+		out, err := svc.Call(table.Tuple{table.N(c.v), table.S(c.from), table.S(c.to)})
+		if err != nil || len(out) != 1 {
+			t.Fatalf("%s→%s: %v %v", c.from, c.to, out, err)
+		}
+		if math.Abs(out[0][0].Num()-c.want) > 0.001 {
+			t.Errorf("%v %s→%s = %v want %v", c.v, c.from, c.to, out[0][0].Num(), c.want)
+		}
+	}
+	// Cross-dimension (length→weight) yields nothing.
+	if out, _ := svc.Call(table.Tuple{table.N(1), table.S("m"), table.S("kg")}); len(out) != 0 {
+		t.Error("cross-dimension should yield nothing")
+	}
+	if out, _ := svc.Call(table.Tuple{table.N(1), table.S("furlong"), table.S("m")}); len(out) != 0 {
+		t.Error("unknown unit should yield nothing")
+	}
+}
+
+func TestBuiltinLibrary(t *testing.T) {
+	svcs := Builtin(world())
+	if len(svcs) != 6 {
+		t.Fatalf("builtin count = %d", len(svcs))
+	}
+	names := map[string]bool{}
+	for _, s := range svcs {
+		if s.Name() == "" || len(s.OutputSchema()) == 0 {
+			t.Errorf("service %q malformed", s.Name())
+		}
+		names[s.Name()] = true
+	}
+	for _, want := range []string{"Zipcode Resolver", "Geocoder", "Shelter Locator", "Reverse Directory", "Currency Converter", "Unit Converter"} {
+		if !names[want] {
+			t.Errorf("missing builtin %q", want)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package steiner
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Exact computes a minimum-cost Steiner tree for the terminals using the
+// Dreyfus–Wagner dynamic program (with Dijkstra-style relaxation per
+// terminal subset). banned edges are excluded. It returns ok=false when
+// the terminals cannot be connected. Complexity is O(3^t·n + 2^t·m log n)
+// — exact and fast for the small, query-driven source graphs CopyCat
+// typically sees (§4.2: "the number of sources is often relatively
+// small").
+func Exact(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
+	terminals = dedupeTerminals(terminals)
+	if len(terminals) == 0 {
+		return &Tree{}, true
+	}
+	if len(terminals) == 1 {
+		return &Tree{}, true
+	}
+	t := len(terminals) - 1 // fold terminal 0 into the root query
+	root := terminals[0]
+	rest := terminals[1:]
+	full := (1 << t) - 1
+
+	inf := math.Inf(1)
+	// dp[S][v]: min cost of a tree spanning {rest[i] : i∈S} ∪ {v}.
+	dp := make([][]float64, full+1)
+	type pred struct {
+		kind byte // 0 none, 1 extend, 2 merge
+		u    int  // extend: neighbor
+		edge int  // extend: edge id
+		s1   int  // merge: first sub-subset
+	}
+	pr := make([][]pred, full+1)
+	for s := 0; s <= full; s++ {
+		dp[s] = make([]float64, g.n)
+		pr[s] = make([]pred, g.n)
+		for v := range dp[s] {
+			dp[s][v] = inf
+		}
+	}
+	for i, term := range rest {
+		dp[1<<i][term] = 0
+	}
+	for s := 1; s <= full; s++ {
+		// Merge step: combine sub-subsets at a shared node.
+		for s1 := (s - 1) & s; s1 > 0; s1 = (s1 - 1) & s {
+			s2 := s ^ s1
+			if s1 < s2 {
+				continue // each unordered partition once
+			}
+			for v := 0; v < g.n; v++ {
+				if dp[s1][v] == inf || dp[s2][v] == inf {
+					continue
+				}
+				if c := dp[s1][v] + dp[s2][v]; c < dp[s][v] {
+					dp[s][v] = c
+					pr[s][v] = pred{kind: 2, s1: s1}
+				}
+			}
+		}
+		// Extend step: Dijkstra over the graph within this subset.
+		pq := &costHeap{}
+		for v := 0; v < g.n; v++ {
+			if dp[s][v] < inf {
+				heap.Push(pq, costItem{cost: dp[s][v], v: v})
+			}
+		}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(costItem)
+			if it.cost > dp[s][it.v] {
+				continue
+			}
+			for _, h := range g.adj[it.v] {
+				if banned[h.edge] {
+					continue
+				}
+				c := it.cost + g.Edge(h.edge).Cost
+				if c < dp[s][h.to] {
+					dp[s][h.to] = c
+					pr[s][h.to] = pred{kind: 1, u: it.v, edge: h.edge}
+					heap.Push(pq, costItem{cost: c, v: h.to})
+				}
+			}
+		}
+	}
+	if dp[full][root] == inf {
+		return nil, false
+	}
+	// Reconstruct the edge set.
+	edgeSet := map[int]bool{}
+	var rec func(s, v int)
+	rec = func(s, v int) {
+		for {
+			p := pr[s][v]
+			switch p.kind {
+			case 1:
+				edgeSet[p.edge] = true
+				v = p.u
+			case 2:
+				rec(p.s1, v)
+				s = s ^ p.s1
+			default:
+				return
+			}
+		}
+	}
+	rec(full, root)
+	tree := &Tree{}
+	for id := range edgeSet {
+		tree.Edges = append(tree.Edges, id)
+	}
+	// Canonical order keeps tie-breaking (and thus top-k enumeration)
+	// deterministic across runs.
+	sort.Ints(tree.Edges)
+	tree.recompute(g)
+	return tree, true
+}
+
+func dedupeTerminals(terminals []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, t := range terminals {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+type costItem struct {
+	cost float64
+	v    int
+}
+
+type costHeap []costItem
+
+func (h costHeap) Len() int            { return len(h) }
+func (h costHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h costHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x interface{}) { *h = append(*h, x.(costItem)) }
+func (h *costHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Solver computes one Steiner tree under a ban set; Exact and SPCSH both
+// fit, letting TopK share the enumeration machinery.
+type Solver func(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool)
+
+// TopK enumerates the k best (locally minimal) Steiner trees, best first,
+// by Lawler-style exclusion branching over the solver: each result
+// spawns subproblems banning one of its edges, and a best-first queue
+// with deduplication yields distinct trees in cost order. With the Exact
+// solver this matches the paper's exact top-k queries; with SPCSH it is
+// the scalable approximation.
+func TopK(g *Graph, terminals []int, k int, solve Solver) []*Tree {
+	if k <= 0 {
+		return nil
+	}
+	first, ok := solve(g, terminals, nil)
+	if !ok {
+		return nil
+	}
+	pq := &candHeap{}
+	heap.Push(pq, candHeapItem{tree: first, banned: map[int]bool{}})
+	seen := map[string]bool{}
+	var out []*Tree
+	for pq.Len() > 0 && len(out) < k {
+		c := heap.Pop(pq).(candHeapItem)
+		key := c.tree.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, c.tree)
+		for _, e := range c.tree.Edges {
+			nb := make(map[int]bool, len(c.banned)+1)
+			for id := range c.banned {
+				nb[id] = true
+			}
+			nb[e] = true
+			if t, ok := solve(g, terminals, nb); ok {
+				heap.Push(pq, candHeapItem{tree: t, banned: nb})
+			}
+		}
+	}
+	return out
+}
+
+type candHeapItem = struct {
+	tree   *Tree
+	banned map[int]bool
+}
+
+type candHeap []candHeapItem
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].tree.Cost < h[j].tree.Cost }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candHeapItem)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

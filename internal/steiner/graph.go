@@ -1,0 +1,137 @@
+// Package steiner implements the Steiner-tree machinery the integration
+// learner uses to explain user-pasted tuples (§4.2): queries connecting
+// the sources that contributed attributes are minimum-cost Steiner trees
+// in the source graph. For small graphs an exact top-k algorithm
+// (Dreyfus–Wagner dynamic programming inside a Lawler-style exclusion
+// search, standing in for the paper's ILP formulation) finds the best
+// queries; for larger graphs the SPCSH shortest-paths heuristic with
+// non-promising-edge pruning scales further at a small quality cost.
+package steiner
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Graph is an undirected multigraph with non-negative edge costs. Nodes
+// are integers 0..N-1 (callers map source-graph node names onto them).
+type Graph struct {
+	n     int
+	adj   [][]half
+	edges []EdgeInfo
+}
+
+type half struct {
+	to   int
+	edge int
+}
+
+// EdgeInfo describes one edge.
+type EdgeInfo struct {
+	U, V int
+	Cost float64
+}
+
+// NewGraph creates a graph with n nodes.
+func NewGraph(n int) *Graph {
+	return &Graph{n: n, adj: make([][]half, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// M returns the edge count.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts an undirected edge and returns its ID. It panics on a
+// negative cost or out-of-range endpoint — programmer errors.
+func (g *Graph) AddEdge(u, v int, cost float64) int {
+	if u < 0 || v < 0 || u >= g.n || v >= g.n {
+		panic(fmt.Sprintf("steiner: edge endpoint out of range: %d-%d (n=%d)", u, v, g.n))
+	}
+	if cost < 0 {
+		panic(fmt.Sprintf("steiner: negative edge cost %f", cost))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, EdgeInfo{U: u, V: v, Cost: cost})
+	g.adj[u] = append(g.adj[u], half{to: v, edge: id})
+	if u != v {
+		g.adj[v] = append(g.adj[v], half{to: u, edge: id})
+	}
+	return id
+}
+
+// Edge returns the edge with the given ID.
+func (g *Graph) Edge(id int) EdgeInfo { return g.edges[id] }
+
+// Tree is a Steiner tree: a set of edge IDs and its total cost.
+type Tree struct {
+	Edges []int
+	Cost  float64
+}
+
+// Key canonically identifies the tree by its sorted edge set.
+func (t *Tree) Key() string {
+	ids := append([]int(nil), t.Edges...)
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = fmt.Sprint(id)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Nodes returns the sorted set of nodes touched by the tree (terminals of
+// a single-terminal tree yield that terminal only if an edge touches it;
+// callers should special-case single-terminal queries).
+func (t *Tree) Nodes(g *Graph) []int {
+	set := map[int]bool{}
+	for _, id := range t.Edges {
+		e := g.Edge(id)
+		set[e.U] = true
+		set[e.V] = true
+	}
+	out := make([]int, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// recompute rebuilds the cost from the edge set.
+func (t *Tree) recompute(g *Graph) {
+	t.Cost = 0
+	for _, id := range t.Edges {
+		t.Cost += g.Edge(id).Cost
+	}
+}
+
+// connectedToAll reports whether the terminals are mutually reachable
+// avoiding banned edges.
+func (g *Graph) connectedToAll(terminals []int, banned map[int]bool) bool {
+	if len(terminals) == 0 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	stack := []int{terminals[0]}
+	seen[terminals[0]] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if banned[h.edge] || seen[h.to] {
+				continue
+			}
+			seen[h.to] = true
+			stack = append(stack, h.to)
+		}
+	}
+	for _, t := range terminals {
+		if !seen[t] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,334 @@
+package steiner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lineGraph: 0-1-2-3-4 with unit costs.
+func lineGraph() *Graph {
+	g := NewGraph(5)
+	for i := 0; i < 4; i++ {
+		g.AddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+// diamond: 0-1 (1), 0-2 (1), 1-3 (1), 2-3 (1), 0-3 (2.5)
+func diamond() *Graph {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(2, 3, 1)
+	g.AddEdge(0, 3, 2.5)
+	return g
+}
+
+// star: center 0 with leaves 1..4, plus an expensive rim.
+func star() *Graph {
+	g := NewGraph(5)
+	for i := 1; i <= 4; i++ {
+		g.AddEdge(0, i, 1)
+	}
+	g.AddEdge(1, 2, 5)
+	g.AddEdge(3, 4, 5)
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	g := lineGraph()
+	if g.N() != 5 || g.M() != 4 {
+		t.Error("size wrong")
+	}
+	if g.Edge(0).Cost != 1 {
+		t.Error("edge cost wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative cost should panic")
+		}
+	}()
+	g.AddEdge(0, 1, -1)
+}
+
+func TestAddEdgeRangePanics(t *testing.T) {
+	g := NewGraph(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range endpoint should panic")
+		}
+	}()
+	g.AddEdge(0, 5, 1)
+}
+
+func TestExactSimplePath(t *testing.T) {
+	g := lineGraph()
+	tr, ok := Exact(g, []int{0, 4}, nil)
+	if !ok || tr.Cost != 4 || len(tr.Edges) != 4 {
+		t.Fatalf("line tree = %+v ok=%v", tr, ok)
+	}
+	nodes := tr.Nodes(g)
+	if len(nodes) != 5 {
+		t.Errorf("nodes = %v", nodes)
+	}
+}
+
+func TestExactTrivialCases(t *testing.T) {
+	g := lineGraph()
+	if tr, ok := Exact(g, nil, nil); !ok || tr.Cost != 0 {
+		t.Error("no terminals should be the empty tree")
+	}
+	if tr, ok := Exact(g, []int{2}, nil); !ok || tr.Cost != 0 || len(tr.Edges) != 0 {
+		t.Error("single terminal should be the empty tree")
+	}
+	if tr, ok := Exact(g, []int{2, 2, 2}, nil); !ok || tr.Cost != 0 {
+		t.Error("duplicate terminals collapse")
+	}
+}
+
+func TestExactDisconnected(t *testing.T) {
+	g := NewGraph(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(2, 3, 1)
+	if _, ok := Exact(g, []int{0, 3}, nil); ok {
+		t.Error("disconnected terminals should fail")
+	}
+	// Banning the only bridge also disconnects.
+	g2 := lineGraph()
+	if _, ok := Exact(g2, []int{0, 4}, map[int]bool{2: true}); ok {
+		t.Error("banned bridge should disconnect")
+	}
+}
+
+func TestExactSteinerNode(t *testing.T) {
+	// Star: terminals 1,2,3 connect optimally through Steiner node 0.
+	g := star()
+	tr, ok := Exact(g, []int{1, 2, 3}, nil)
+	if !ok {
+		t.Fatal("no tree")
+	}
+	if tr.Cost != 3 || len(tr.Edges) != 3 {
+		t.Errorf("star tree cost = %f edges = %v", tr.Cost, tr.Edges)
+	}
+	nodes := tr.Nodes(g)
+	has0 := false
+	for _, n := range nodes {
+		if n == 0 {
+			has0 = true
+		}
+	}
+	if !has0 {
+		t.Error("optimal tree should include the Steiner center")
+	}
+}
+
+// bruteForce enumerates all edge subsets and returns the optimal Steiner
+// tree cost for the terminals.
+func bruteForce(g *Graph, terminals []int) (float64, bool) {
+	m := g.M()
+	best := math.Inf(1)
+	found := false
+	for mask := 0; mask < 1<<m; mask++ {
+		banned := map[int]bool{}
+		cost := 0.0
+		for e := 0; e < m; e++ {
+			if mask&(1<<e) == 0 {
+				banned[e] = true
+			} else {
+				cost += g.Edge(e).Cost
+			}
+		}
+		if cost >= best {
+			continue
+		}
+		if g.connectedToAll(terminals, banned) {
+			best = cost
+			found = true
+		}
+	}
+	return best, found
+}
+
+func TestExactMatchesBruteForceOnRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		n := 4 + rng.Intn(3)
+		g := NewGraph(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rng.Float64() < 0.6 {
+					g.AddEdge(i, j, float64(1+rng.Intn(9)))
+				}
+			}
+		}
+		if g.M() > 14 {
+			continue // keep brute force cheap
+		}
+		tcount := 2 + rng.Intn(3)
+		terms := rng.Perm(n)[:tcount]
+		want, feasible := bruteForce(g, terms)
+		tr, ok := Exact(g, terms, nil)
+		if ok != feasible {
+			t.Fatalf("trial %d: feasibility mismatch exact=%v brute=%v", trial, ok, feasible)
+		}
+		if ok && math.Abs(tr.Cost-want) > 1e-9 {
+			t.Fatalf("trial %d: exact=%f brute=%f", trial, tr.Cost, want)
+		}
+	}
+}
+
+func TestTopKOrderingAndDistinctness(t *testing.T) {
+	g := diamond()
+	trees := TopK(g, []int{0, 3}, 3, Exact)
+	if len(trees) != 3 {
+		t.Fatalf("topk returned %d trees", len(trees))
+	}
+	// Best two are the 2-cost paths; third is the direct 2.5 edge.
+	if trees[0].Cost != 2 || trees[1].Cost != 2 || trees[2].Cost != 2.5 {
+		t.Errorf("costs = %f %f %f", trees[0].Cost, trees[1].Cost, trees[2].Cost)
+	}
+	seen := map[string]bool{}
+	for _, tr := range trees {
+		if seen[tr.Key()] {
+			t.Error("duplicate tree in topk")
+		}
+		seen[tr.Key()] = true
+	}
+	// Monotone non-decreasing cost.
+	for i := 1; i < len(trees); i++ {
+		if trees[i].Cost < trees[i-1].Cost {
+			t.Error("topk not cost-ordered")
+		}
+	}
+	if TopK(g, []int{0, 3}, 0, Exact) != nil {
+		t.Error("k=0 should be nil")
+	}
+	// Disconnected: nil.
+	g2 := NewGraph(2)
+	if TopK(g2, []int{0, 1}, 2, Exact) != nil {
+		t.Error("disconnected topk should be nil")
+	}
+}
+
+func TestSPCSHMatchesExactOnEasyGraphs(t *testing.T) {
+	for name, g := range map[string]*Graph{"line": lineGraph(), "diamond": diamond(), "star": star()} {
+		terms := []int{0, g.N() - 1}
+		ex, ok1 := Exact(g, terms, nil)
+		ap, ok2 := SPCSH(g, terms, nil)
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: feasibility", name)
+		}
+		if ap.Cost < ex.Cost-1e-9 {
+			t.Errorf("%s: approx beat exact?!", name)
+		}
+		if ap.Cost > 2*ex.Cost {
+			t.Errorf("%s: approx %.1f exceeds 2x exact %.1f", name, ap.Cost, ex.Cost)
+		}
+	}
+}
+
+func TestSPCSHWithinTwiceOptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + rng.Intn(4)
+		g := NewGraph(n)
+		// Ring to guarantee connectivity, plus chords.
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n, float64(1+rng.Intn(5)))
+		}
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			if j != i {
+				g.AddEdge(i, j, float64(1+rng.Intn(9)))
+			}
+		}
+		tcount := 2 + rng.Intn(3)
+		terms := rng.Perm(n)[:tcount]
+		ex, ok1 := Exact(g, terms, nil)
+		ap, ok2 := SPCSH(g, terms, nil)
+		if !ok1 || !ok2 {
+			t.Fatalf("trial %d infeasible", trial)
+		}
+		if ap.Cost < ex.Cost-1e-9 || ap.Cost > 2*ex.Cost+1e-9 {
+			t.Errorf("trial %d: approx %.2f vs exact %.2f", trial, ap.Cost, ex.Cost)
+		}
+		// The approximate tree must actually connect the terminals.
+		banned := map[int]bool{}
+		inTree := map[int]bool{}
+		for _, id := range ap.Edges {
+			inTree[id] = true
+		}
+		for e := 0; e < g.M(); e++ {
+			if !inTree[e] {
+				banned[e] = true
+			}
+		}
+		if !g.connectedToAll(terms, banned) {
+			t.Errorf("trial %d: SPCSH tree does not connect terminals", trial)
+		}
+	}
+}
+
+func TestSPCSHTrivialAndDisconnected(t *testing.T) {
+	g := lineGraph()
+	if tr, ok := SPCSH(g, []int{1}, nil); !ok || tr.Cost != 0 {
+		t.Error("single terminal should be empty")
+	}
+	g2 := NewGraph(3)
+	g2.AddEdge(0, 1, 1)
+	if _, ok := SPCSH(g2, []int{0, 2}, nil); ok {
+		t.Error("disconnected should fail")
+	}
+}
+
+func TestPruneExpensive(t *testing.T) {
+	g := diamond()
+	banned := PruneExpensive(g, []int{0, 3}, 0.4)
+	// The expensive 0-3 edge (id 4) should be banned; connectivity kept.
+	if !banned[4] {
+		t.Errorf("banned = %v, expected the 2.5-cost edge", banned)
+	}
+	if !g.connectedToAll([]int{0, 3}, banned) {
+		t.Error("pruning broke connectivity")
+	}
+	if PruneExpensive(g, []int{0, 3}, 0) != nil {
+		t.Error("frac 0 should be nil")
+	}
+}
+
+func TestApproxSolverWithPruning(t *testing.T) {
+	g := diamond()
+	solve := Approx(0.3)
+	tr, ok := solve(g, []int{0, 3}, nil)
+	if !ok || tr.Cost > 2.5 {
+		t.Errorf("approx with pruning: %+v ok=%v", tr, ok)
+	}
+	// With bans that force the expensive edge, pruning retry still finds it.
+	tr, ok = solve(g, []int{0, 3}, map[int]bool{0: true, 3: true})
+	if !ok {
+		t.Fatal("approx should fall back when pruning over-restricts")
+	}
+}
+
+func TestTopKWithApproxSolver(t *testing.T) {
+	g := diamond()
+	trees := TopK(g, []int{0, 3}, 3, Approx(0))
+	if len(trees) == 0 {
+		t.Fatal("approx topk empty")
+	}
+	for i := 1; i < len(trees); i++ {
+		if trees[i].Cost < trees[i-1].Cost {
+			t.Error("approx topk not ordered")
+		}
+	}
+}
+
+func TestTreeKeyCanonical(t *testing.T) {
+	a := &Tree{Edges: []int{3, 1, 2}}
+	b := &Tree{Edges: []int{2, 3, 1}}
+	if a.Key() != b.Key() {
+		t.Error("key should be order-insensitive")
+	}
+}

@@ -1,0 +1,594 @@
+// Package structlearn implements CopyCat's structure learner (§3.1): given
+// the document a user copied from, a committee of software "experts"
+// analyzes the page and proposes candidate relational descriptions of its
+// data; a clustering step merges their proposals; and, given the user's
+// pasted examples, the learner finds the most-general projection
+// hypothesis consistent with those examples — falling back to sequential
+// covering over value shapes when no structural hypothesis fits. Accepted
+// or rejected auto-completions move the learner through its ranked
+// hypothesis list.
+package structlearn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/htmldoc"
+	"copycat/internal/tokenizer"
+)
+
+// CandidateTable is one expert's guess at the relational structure of a
+// document region: an ordered set of records with aligned fields.
+type CandidateTable struct {
+	Expert  string   // which expert produced it
+	PageURL string   // page of origin
+	Scope   string   // group label if the candidate covers one section ("" = whole page)
+	Headers []string // column headers if the source declares them
+	Rows    [][]string
+	// Signature fingerprints the structure (expert, tag shape, arity) so
+	// equivalent regions on sibling pages can be unified.
+	Signature string
+	Score     float64
+	// Votes counts how many experts proposed (a table equal to) this one;
+	// clustering raises the score with each vote.
+	Votes int
+}
+
+// Arity returns the modal field count across rows.
+func (c *CandidateTable) Arity() int {
+	counts := map[int]int{}
+	for _, r := range c.Rows {
+		counts[len(r)]++
+	}
+	best, n := 0, 0
+	for a, cnt := range counts {
+		if cnt > n || (cnt == n && a > best) {
+			best, n = a, cnt
+		}
+	}
+	return best
+}
+
+// consistency is the fraction of rows having the modal arity.
+func (c *CandidateTable) consistency() float64 {
+	if len(c.Rows) == 0 {
+		return 0
+	}
+	a := c.Arity()
+	n := 0
+	for _, r := range c.Rows {
+		if len(r) == a {
+			n++
+		}
+	}
+	return float64(n) / float64(len(c.Rows))
+}
+
+// Analyze runs every applicable expert over the document and clusters the
+// resulting candidate tables into a ranked list (best first). This is the
+// paper's expert-committee + clustering pipeline, producing "a tabular
+// view of the data on the site".
+func Analyze(doc *docmodel.Document) []CandidateTable {
+	var cands []CandidateTable
+	switch doc.Kind {
+	case docmodel.KindHTML:
+		dom := doc.DOM()
+		cands = append(cands, tableExpert(doc, dom)...)
+		cands = append(cands, listExpert(doc, dom)...)
+		cands = append(cands, groupExpert(doc, dom)...)
+		cands = append(cands, tagPathExpert(doc)...)
+		cands = append(cands, urlExpert(doc)...)
+	case docmodel.KindText:
+		cands = append(cands, gridExpert(doc)...)
+		cands = append(cands, delimiterExpert(doc)...)
+	default:
+		cands = append(cands, gridExpert(doc)...)
+	}
+	for i := range cands {
+		refineByDatatype(&cands[i])
+		cands[i].Score = baseScore(&cands[i])
+	}
+	return cluster(cands)
+}
+
+// baseScore favors large, consistent, well-typed tables.
+func baseScore(c *CandidateTable) float64 {
+	if len(c.Rows) == 0 {
+		return 0
+	}
+	s := float64(len(c.Rows)) * c.consistency()
+	s += typedColumnBonus(c)
+	if len(c.Headers) > 0 {
+		s += 2
+	}
+	return s
+}
+
+// typedColumnBonus rewards columns whose values share a token shape — the
+// datatype expert's signal that a column is a coherent attribute.
+func typedColumnBonus(c *CandidateTable) float64 {
+	a := c.Arity()
+	if a == 0 {
+		return 0
+	}
+	bonus := 0.0
+	for col := 0; col < a; col++ {
+		shapes := map[string]int{}
+		total := 0
+		for _, r := range c.Rows {
+			if col < len(r) {
+				shapes[tokenizer.ShapeOf(r[col]).Key()]++
+				total++
+			}
+		}
+		max := 0
+		for _, n := range shapes {
+			if n > max {
+				max = n
+			}
+		}
+		if total > 0 {
+			bonus += float64(max) / float64(total)
+		}
+	}
+	return bonus
+}
+
+// cluster merges identical candidates (same row content), accumulating
+// votes, and returns them best-score-first.
+func cluster(cands []CandidateTable) []CandidateTable {
+	byKey := map[string]int{}
+	var out []CandidateTable
+	for _, c := range cands {
+		k := rowsKey(c.Rows) + "\x1e" + c.Scope
+		if i, ok := byKey[k]; ok {
+			out[i].Votes++
+			out[i].Score += 1 // each extra expert vote adds confidence
+			continue
+		}
+		c.Votes = 1
+		byKey[k] = len(out)
+		out = append(out, c)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+func rowsKey(rows [][]string) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(strings.Join(r, "\x1f"))
+		b.WriteByte('\x1d')
+	}
+	return b.String()
+}
+
+// normCell canonicalizes a field value for comparisons.
+func normCell(s string) string { return strings.Join(strings.Fields(s), " ") }
+
+// ---------------------------------------------------------------- experts
+
+// tableExpert proposes one candidate per <table>: rows from <tr>, fields
+// from cell text; an all-<th> first row becomes the header.
+func tableExpert(doc *docmodel.Document, dom *htmldoc.Node) []CandidateTable {
+	var out []CandidateTable
+	for ti, tbl := range dom.FindAll("table") {
+		var cand CandidateTable
+		cand.Expert = "table"
+		cand.PageURL = doc.URL
+		for _, tr := range tbl.FindAll("tr") {
+			ths := tr.FindAll("th")
+			tds := tr.FindAll("td")
+			if len(ths) > 0 && len(tds) == 0 {
+				if cand.Headers == nil {
+					cand.Headers = cellTexts(ths)
+				}
+				continue
+			}
+			if len(tds) > 0 {
+				cand.Rows = append(cand.Rows, cellTexts(tds))
+			}
+		}
+		if len(cand.Rows) == 0 {
+			continue
+		}
+		cand.Signature = fmt.Sprintf("table|%d|%s", cand.Arity(), strings.Join(cand.Headers, ","))
+		_ = ti
+		out = append(out, cand)
+	}
+	return out
+}
+
+func cellTexts(cells []*htmldoc.Node) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		out[i] = normCell(c.InnerText())
+	}
+	return out
+}
+
+// listExpert proposes one candidate per <ul>/<ol>. Each item's fields are
+// its text chunks; composite chunks ("— Street, City (status)") are split
+// on delimiters when the split is consistent across items.
+func listExpert(doc *docmodel.Document, dom *htmldoc.Node) []CandidateTable {
+	var out []CandidateTable
+	lists := append(dom.FindAll("ul"), dom.FindAll("ol")...)
+	for _, ul := range lists {
+		var rows [][]string
+		for _, li := range ul.FindAll("li") {
+			var fields []string
+			for _, ch := range li.TextChunks() {
+				fields = append(fields, splitComposite(ch.Text)...)
+			}
+			if len(fields) > 0 {
+				rows = append(rows, fields)
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		cand := CandidateTable{Expert: "list", PageURL: doc.URL, Rows: rows}
+		cand.Signature = fmt.Sprintf("list|%d", cand.Arity())
+		out = append(out, cand)
+	}
+	return out
+}
+
+// compositeDelims are the punctuation separators composite text is split
+// on, in splitting order.
+var compositeDelims = []string{"—", "–", " - ", "|", ";", ",", "(", ")", ":"}
+
+// splitComposite splits a composite text chunk into candidate fields.
+func splitComposite(text string) []string {
+	parts := []string{text}
+	for _, d := range compositeDelims {
+		var next []string
+		for _, p := range parts {
+			next = append(next, strings.Split(p, d)...)
+		}
+		parts = next
+	}
+	var out []string
+	for _, p := range parts {
+		p = normCell(p)
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// groupExpert handles pages whose data is sectioned under headings
+// (Figure 1's ambiguity). For every heading followed by a table or list
+// it emits a scoped candidate; and it emits one merged candidate unioning
+// all same-arity sections — the "whole page" reading.
+func groupExpert(doc *docmodel.Document, dom *htmldoc.Node) []CandidateTable {
+	type section struct {
+		label string
+		rows  [][]string
+	}
+	var sections []section
+	var curLabel string
+	var walk func(n *htmldoc.Node)
+	walk = func(n *htmldoc.Node) {
+		for _, c := range n.Children {
+			if c.Type == htmldoc.ElementNode {
+				switch c.Tag {
+				case "h1", "h2", "h3", "h4":
+					curLabel = normCell(c.InnerText())
+					continue
+				case "table":
+					if curLabel != "" {
+						rows := tableRows(c)
+						if len(rows) > 0 {
+							sections = append(sections, section{curLabel, rows})
+						}
+						continue
+					}
+				case "ul", "ol":
+					if curLabel != "" {
+						var rows [][]string
+						for _, li := range c.FindAll("li") {
+							var fields []string
+							for _, ch := range li.TextChunks() {
+								fields = append(fields, splitComposite(ch.Text)...)
+							}
+							if len(fields) > 0 {
+								rows = append(rows, fields)
+							}
+						}
+						if len(rows) > 0 {
+							sections = append(sections, section{curLabel, rows})
+						}
+						continue
+					}
+				}
+				walk(c)
+			}
+		}
+	}
+	walk(dom)
+	if len(sections) < 2 {
+		return nil
+	}
+	var out []CandidateTable
+	var merged [][]string
+	for _, s := range sections {
+		cand := CandidateTable{
+			Expert: "group", PageURL: doc.URL, Scope: s.label, Rows: s.rows,
+		}
+		cand.Signature = fmt.Sprintf("group|%d", cand.Arity())
+		out = append(out, cand)
+		merged = append(merged, s.rows...)
+	}
+	all := CandidateTable{Expert: "group", PageURL: doc.URL, Rows: merged}
+	all.Signature = fmt.Sprintf("group|%d", all.Arity())
+	out = append(out, all)
+	return out
+}
+
+func tableRows(tbl *htmldoc.Node) [][]string {
+	var rows [][]string
+	for _, tr := range tbl.FindAll("tr") {
+		tds := tr.FindAll("td")
+		if len(tds) > 0 {
+			rows = append(rows, cellTexts(tds))
+		}
+	}
+	return rows
+}
+
+// recordContainers are tags the tag-path expert treats as record
+// boundaries, tried in order.
+var recordContainers = []string{"tr", "li", "p", "div"}
+
+// tagPathExpert is the generic grammar expert: it groups text chunks by
+// their nearest record-container ancestor and aligns the groups into a
+// table when several share the same structural tag path. It rediscovers
+// tables and lists without knowing those tags' semantics, providing the
+// redundant votes clustering relies on.
+func tagPathExpert(doc *docmodel.Document) []CandidateTable {
+	chunks := doc.Chunks()
+	var out []CandidateTable
+	for _, container := range recordContainers {
+		needle := "/" + container + "["
+		// Group chunks by the path prefix ending at the container segment.
+		type group struct {
+			tagPrefix string
+			fields    []string
+		}
+		var groups []group
+		index := map[string]int{}
+		order := 0
+		_ = order
+		for _, ch := range chunks {
+			// Header cells (<th>) label columns; they are not record data.
+			if strings.Contains(ch.Path, "/th[") {
+				continue
+			}
+			i := strings.LastIndex(ch.Path, needle)
+			if i < 0 {
+				continue
+			}
+			j := strings.IndexByte(ch.Path[i:], ']')
+			if j < 0 {
+				continue
+			}
+			prefix := ch.Path[:i+j+1]
+			gi, ok := index[prefix]
+			if !ok {
+				gi = len(groups)
+				index[prefix] = gi
+				groups = append(groups, group{tagPrefix: stripOrdinals(prefix)})
+			}
+			groups[gi].fields = append(groups[gi].fields, splitComposite(ch.Text)...)
+		}
+		// Keep the largest family of groups sharing a tag prefix.
+		fam := map[string][]int{}
+		for i, g := range groups {
+			fam[g.tagPrefix] = append(fam[g.tagPrefix], i)
+		}
+		bestKey, bestN := "", 0
+		for k, idxs := range fam {
+			if len(idxs) > bestN {
+				bestKey, bestN = k, len(idxs)
+			}
+		}
+		if bestN < 2 {
+			continue
+		}
+		var rows [][]string
+		for _, i := range fam[bestKey] {
+			rows = append(rows, groups[i].fields)
+		}
+		cand := CandidateTable{Expert: "tagpath", PageURL: doc.URL, Rows: rows}
+		cand.Signature = fmt.Sprintf("tagpath|%s|%d", bestKey, cand.Arity())
+		out = append(out, cand)
+	}
+	return out
+}
+
+func stripOrdinals(p string) string {
+	var b strings.Builder
+	skip := false
+	for _, r := range p {
+		switch r {
+		case '[':
+			skip = true
+		case ']':
+			skip = false
+		default:
+			if !skip {
+				b.WriteRune(r)
+			}
+		}
+	}
+	return b.String()
+}
+
+// urlExpert groups anchor texts whose hrefs share a URL template (the
+// paper's "experts that look for patterns in URLs"): links like
+// /shelter/1, /shelter/2 identify the records of a listing even when no
+// tag structure repeats.
+func urlExpert(doc *docmodel.Document) []CandidateTable {
+	type bucket struct {
+		texts []string
+	}
+	buckets := map[string]*bucket{}
+	var order []string
+	for _, ch := range doc.Chunks() {
+		if ch.Href == "" {
+			continue
+		}
+		tmpl := urlTemplate(ch.Href)
+		b, ok := buckets[tmpl]
+		if !ok {
+			b = &bucket{}
+			buckets[tmpl] = b
+			order = append(order, tmpl)
+		}
+		b.texts = append(b.texts, ch.Text)
+	}
+	var out []CandidateTable
+	for _, tmpl := range order {
+		b := buckets[tmpl]
+		if len(b.texts) < 3 {
+			continue // a template needs repetition to be a listing
+		}
+		var rows [][]string
+		for _, t := range b.texts {
+			rows = append(rows, []string{t})
+		}
+		cand := CandidateTable{Expert: "url", PageURL: doc.URL, Rows: rows}
+		cand.Signature = fmt.Sprintf("url|%s", tmpl)
+		out = append(out, cand)
+	}
+	return out
+}
+
+// urlTemplate canonicalizes an href by replacing digit runs with "#" and
+// query values with "#", exposing the shared pattern.
+func urlTemplate(href string) string {
+	var b strings.Builder
+	inDigits := false
+	for _, r := range href {
+		if r >= '0' && r <= '9' {
+			if !inDigits {
+				b.WriteByte('#')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// textDelims are the field separators the delimiter expert tries on
+// plain-text documents, in priority order.
+var textDelims = []string{"\t", "|", ";", ","}
+
+// delimiterExpert handles delimiter-separated plain text (the paper's
+// document sources beyond HTML): it picks the delimiter that splits the
+// most lines into a consistent field count.
+func delimiterExpert(doc *docmodel.Document) []CandidateTable {
+	lines := strings.Split(doc.Raw, "\n")
+	var out []CandidateTable
+	for _, d := range textDelims {
+		var rows [][]string
+		counts := map[int]int{}
+		for _, line := range lines {
+			if strings.TrimSpace(line) == "" || !strings.Contains(line, d) {
+				continue
+			}
+			parts := strings.Split(line, d)
+			for i := range parts {
+				parts[i] = normCell(parts[i])
+			}
+			rows = append(rows, parts)
+			counts[len(parts)]++
+		}
+		if len(rows) < 2 {
+			continue
+		}
+		cand := CandidateTable{Expert: "delimiter", PageURL: doc.URL, Rows: rows}
+		if len(rows) >= 3 && looksLikeHeader(rows) {
+			cand.Headers = rows[0]
+			cand.Rows = rows[1:]
+		}
+		cand.Signature = fmt.Sprintf("delim|%q|%d", d, cand.Arity())
+		out = append(out, cand)
+	}
+	return out
+}
+
+// gridExpert handles spreadsheets and tab-separated text: the grid is one
+// candidate table, with a header row detected when its value shapes
+// differ from the data rows'.
+func gridExpert(doc *docmodel.Document) []CandidateTable {
+	grid := doc.Grid()
+	if len(grid) == 0 {
+		return nil
+	}
+	rows := make([][]string, 0, len(grid))
+	for _, r := range grid {
+		cp := make([]string, len(r))
+		for i, c := range r {
+			cp[i] = normCell(c)
+		}
+		rows = append(rows, cp)
+	}
+	cand := CandidateTable{Expert: "grid", PageURL: doc.URL, Rows: rows}
+	if len(rows) >= 3 && looksLikeHeader(rows) {
+		cand.Headers = rows[0]
+		cand.Rows = rows[1:]
+	}
+	cand.Signature = fmt.Sprintf("grid|%d|%s", cand.Arity(), strings.Join(cand.Headers, ","))
+	return []CandidateTable{cand}
+}
+
+// looksLikeHeader reports whether row 0's shapes break from the column
+// shapes of the remaining rows (e.g. "Phone" atop "954-555-0100").
+func looksLikeHeader(rows [][]string) bool {
+	breaks := 0
+	cols := len(rows[0])
+	for c := 0; c < cols; c++ {
+		headShape := tokenizer.ShapeOf(rows[0][c]).Key()
+		diff := 0
+		n := 0
+		for _, r := range rows[1:] {
+			if c < len(r) {
+				n++
+				if tokenizer.ShapeOf(r[c]).Key() != headShape {
+					diff++
+				}
+			}
+		}
+		if n > 0 && float64(diff)/float64(n) > 0.5 {
+			breaks++
+		}
+	}
+	return breaks*2 >= cols
+}
+
+// refineByDatatype drops rows that are wildly inconsistent with the
+// table's modal arity — usually captions or stray boilerplate an expert
+// swept in.
+func refineByDatatype(c *CandidateTable) {
+	if len(c.Rows) < 3 {
+		return
+	}
+	a := c.Arity()
+	kept := c.Rows[:0]
+	for _, r := range c.Rows {
+		if len(r) == a {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) >= 2 {
+		c.Rows = kept
+	}
+}

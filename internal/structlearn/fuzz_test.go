@@ -1,0 +1,53 @@
+package structlearn
+
+import (
+	"testing"
+
+	"copycat/internal/docmodel"
+)
+
+// FuzzAnalyze guards the expert committee against arbitrary page content:
+// analysis and hypothesis search must be total on any input.
+func FuzzAnalyze(f *testing.F) {
+	seeds := []string{
+		"",
+		"<table><tr><td>a<td>b</table>",
+		"<ul><li>A — B, C (d)<li>E — F, G (h)</ul>",
+		"<h2>X</h2><table><tr><td>1</table><h2>Y</h2><table><tr><td>2</table>",
+		"<p>just prose with 123 numbers and Names Inside</p>",
+		"<tr><td>orphan cells</td></tr>",
+		"<table></table><ul></ul>",
+	}
+	for _, s := range seeds {
+		f.Add(s, "a", "b")
+	}
+	f.Fuzz(func(t *testing.T, src, ex1, ex2 string) {
+		doc := docmodel.NewHTML("http://fuzz/", "F", src)
+		cands := Analyze(doc)
+		for _, c := range cands {
+			if c.Arity() < 0 {
+				t.Error("negative arity")
+			}
+			_ = c.consistency()
+		}
+		examples := [][]string{{ex1}, {ex2}}
+		hyps := Hypotheses(cands, examples)
+		for _, h := range hyps {
+			// Every surviving hypothesis must cover the examples.
+			for _, e := range examples {
+				covered := false
+				for _, r := range h.Rows {
+					if rowCovers(r, normRow(e)) {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					t.Errorf("hypothesis %s does not cover example %v", h.Desc, e)
+				}
+			}
+		}
+		// The fallback must also be total.
+		_ = SequentialCover(doc, examples)
+	})
+}

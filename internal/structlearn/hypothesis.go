@@ -1,0 +1,413 @@
+package structlearn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/tokenizer"
+)
+
+// Hypothesis is one explanation of the user's pasted examples: a candidate
+// table plus a projection (which candidate columns the pasted columns came
+// from). Its Rows — the projected candidate rows — are the row
+// auto-completion the workspace shows.
+type Hypothesis struct {
+	Cand  CandidateTable
+	Cols  []int // workspace column → candidate column
+	Rows  [][]string
+	Score float64
+	Desc  string
+	// Pages lists the URLs whose data the hypothesis covers (≥1; more
+	// after cross-site extension).
+	Pages []string
+}
+
+// Hypotheses finds every projection hypothesis consistent with the pasted
+// example rows, ranked most-general-first (the paper's "most-general
+// projection hypothesis consistent with the example", with alternatives
+// kept for feedback-driven revision).
+func Hypotheses(cands []CandidateTable, examples [][]string) []Hypothesis {
+	var out []Hypothesis
+	for _, c := range cands {
+		cols, ok := projectionFor(&c, examples)
+		if !ok {
+			continue
+		}
+		h := Hypothesis{Cand: c, Cols: cols, Pages: []string{c.PageURL}}
+		h.Rows = project(c.Rows, cols)
+		h.Score = float64(len(h.Rows)) + c.Score/10 + float64(c.Votes)
+		scope := c.Scope
+		if scope == "" {
+			scope = "whole page"
+		}
+		h.Desc = fmt.Sprintf("%s expert, %s, %d rows", c.Expert, scope, len(h.Rows))
+		out = append(out, h)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score > out[j].Score })
+	return out
+}
+
+// projectionFor finds a single column mapping under which every example
+// row appears in the candidate. Cells match exactly (after whitespace
+// normalization) or as a substring of the candidate field.
+func projectionFor(c *CandidateTable, examples [][]string) ([]int, bool) {
+	if len(examples) == 0 || len(examples[0]) == 0 {
+		return nil, false
+	}
+	width := len(examples[0])
+	for _, e := range examples {
+		if len(e) != width {
+			return nil, false
+		}
+	}
+	// Candidate mappings for the first example; then verify on the rest.
+	mappings := mappingsForRow(c, examples[0], width)
+	for _, m := range mappings {
+		ok := true
+		for _, e := range examples[1:] {
+			if !rowMatchesMapping(c, e, m) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+// mappingsForRow enumerates column mappings (in column-order preference)
+// that place the example row in some candidate row.
+func mappingsForRow(c *CandidateTable, example []string, width int) [][]int {
+	var out [][]int
+	for _, row := range c.Rows {
+		if len(row) < width {
+			continue
+		}
+		var m []int
+		if m = matchRow(row, example); m != nil {
+			out = append(out, m)
+		}
+	}
+	// Deduplicate mappings.
+	seen := map[string]bool{}
+	var uniq [][]int
+	for _, m := range out {
+		k := fmt.Sprint(m)
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, m)
+		}
+	}
+	return uniq
+}
+
+// matchRow maps example cells to distinct candidate fields, scanning left
+// to right (preserving order, as a rectangular copy does).
+func matchRow(row []string, example []string) []int {
+	m := make([]int, 0, len(example))
+	next := 0
+	for _, cell := range example {
+		want := normCell(cell)
+		found := -1
+		for j := next; j < len(row); j++ {
+			if cellMatches(row[j], want) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil
+		}
+		m = append(m, found)
+		next = found + 1
+	}
+	return m
+}
+
+func cellMatches(field, want string) bool {
+	f := normCell(field)
+	if f == want {
+		return true
+	}
+	// A pasted cell may be a fragment of a composite field.
+	return len(want) >= 3 && strings.Contains(f, want)
+}
+
+func rowMatchesMapping(c *CandidateTable, example []string, m []int) bool {
+	for _, row := range c.Rows {
+		ok := true
+		for i, cell := range example {
+			if m[i] >= len(row) || !cellMatches(row[m[i]], normCell(cell)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func project(rows [][]string, cols []int) [][]string {
+	var out [][]string
+	for _, r := range rows {
+		p := make([]string, len(cols))
+		ok := true
+		for i, c := range cols {
+			if c >= len(r) {
+				ok = false
+				break
+			}
+			p[i] = normCell(r[c])
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// HeadersFor returns the header names under the hypothesis's projection,
+// or nil if the candidate has no headers.
+func (h *Hypothesis) HeadersFor() []string {
+	if len(h.Cand.Headers) == 0 {
+		return nil
+	}
+	out := make([]string, len(h.Cols))
+	for i, c := range h.Cols {
+		if c < len(h.Cand.Headers) {
+			out[i] = h.Cand.Headers[c]
+		}
+	}
+	return out
+}
+
+// ExtendAcrossSite widens a hypothesis over the source hierarchy (§3.1:
+// "CopyCat can extract data from a web site where there are multiple
+// pages"): it analyzes every other page of the site, and any candidate
+// with the same structural signature contributes its rows under the same
+// projection. It returns the number of extra pages unified.
+func ExtendAcrossSite(h *Hypothesis, site *docmodel.Site) int {
+	if site == nil {
+		return 0
+	}
+	added := 0
+	seen := map[string]bool{h.Cand.PageURL: true}
+	// Deterministic page order.
+	urls := make([]string, 0, len(site.Pages))
+	for u := range site.Pages {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+	for _, u := range urls {
+		if seen[u] {
+			continue
+		}
+		seen[u] = true
+		for _, c := range Analyze(site.Pages[u]) {
+			if c.Signature != h.Cand.Signature || c.Scope != h.Cand.Scope {
+				continue
+			}
+			h.Rows = append(h.Rows, project(c.Rows, h.Cols)...)
+			h.Pages = append(h.Pages, u)
+			added++
+			break
+		}
+	}
+	if added > 0 {
+		h.Desc = fmt.Sprintf("%s, extended across %d pages", h.Desc, added+1)
+	}
+	return added
+}
+
+// SequentialCover is the fallback extractor (§3.1: "falls back on a
+// sequential covering approach based on more traditional wrapper
+// induction techniques"): for each pasted column it learns a disjunction
+// of value-shape rules from the examples and extracts every document
+// chunk covered by a rule, column-aligning by shape. It is used when no
+// structural hypothesis explains the paste.
+func SequentialCover(doc *docmodel.Document, examples [][]string) *Hypothesis {
+	if len(examples) == 0 || len(examples[0]) == 0 {
+		return nil
+	}
+	width := len(examples[0])
+	chunks := doc.Chunks()
+	// Per column: learn rules = shapes of the examples (deduped), plus
+	// the tag path context where an example was found.
+	type rule struct {
+		pattern tokenizer.Pattern
+		tagPath string
+	}
+	colRules := make([][]rule, width)
+	for col := 0; col < width; col++ {
+		covered := make([]bool, len(examples))
+		for { // sequential covering: add rules until all examples covered
+			seed := -1
+			for i, c := range covered {
+				if !c {
+					seed = i
+					break
+				}
+			}
+			if seed < 0 {
+				break
+			}
+			// Build the most specific pattern for the seed, then widen it
+			// over every other uncovered example it can absorb.
+			seqs := [][]tokenizer.Token{tokenizer.Tokenize(normCell(examples[seed][col]))}
+			members := []int{seed}
+			for i := range examples {
+				if covered[i] || i == seed {
+					continue
+				}
+				trial := append(seqs, tokenizer.Tokenize(normCell(examples[i][col])))
+				if p := tokenizer.GeneralizeAll(trial); p != nil {
+					seqs = trial
+					members = append(members, i)
+				}
+			}
+			p := tokenizer.GeneralizeAll(seqs)
+			if p == nil {
+				p = tokenizer.ShapeOf(normCell(examples[seed][col]))
+			}
+			// Widen word/number constants to their shapes: the fallback
+			// anchors on tag paths, so keeping literal words would make
+			// each rule match only its own training value.
+			for i, sym := range p {
+				if !sym.IsConst() {
+					continue
+				}
+				text := strings.TrimPrefix(string(sym), "CONST:")
+				toks := tokenizer.Tokenize(text)
+				if len(toks) == 1 && toks[0].Class != tokenizer.ClassPunct && toks[0].Class != tokenizer.ClassSpace {
+					p[i] = tokenizer.Generalize(toks[0])
+				}
+			}
+			tp := ""
+			for _, ch := range chunks {
+				if cellMatches(ch.Text, normCell(examples[seed][col])) {
+					tp = ch.TagPath
+					break
+				}
+			}
+			colRules[col] = append(colRules[col], rule{pattern: p, tagPath: tp})
+			for _, m := range members {
+				covered[m] = true
+			}
+		}
+	}
+	// Extraction: flatten the document into one token stream (tokens keep
+	// the tag path of their chunk) and slide pattern windows over it — the
+	// landmark-rule view of traditional wrapper induction. A column-0
+	// window starts a record; later columns must match within a bounded
+	// forward skip.
+	type streamTok struct {
+		tok     tokenizer.Token
+		tagPath string
+	}
+	var stream []streamTok
+	for _, ch := range chunks {
+		for _, t := range tokenizer.Tokenize(ch.Text) {
+			stream = append(stream, streamTok{t, ch.TagPath})
+		}
+		stream = append(stream, streamTok{tokenizer.Token{Text: "\n", Class: tokenizer.ClassSpace}, ""})
+	}
+	// windowAt reports the longest window length for which some rule of
+	// col matches the stream starting at i, else 0. Preferring the
+	// longest rule keeps a 2-word name pattern from truncating 3-word
+	// names when both rules are known.
+	windowAt := func(col, i int) int {
+		best := 0
+		for _, r := range colRules[col] {
+			n := len(r.pattern)
+			if n <= best || i+n > len(stream) {
+				continue
+			}
+			if r.tagPath != "" && stream[i].tagPath != "" && r.tagPath != stream[i].tagPath {
+				continue
+			}
+			toks := make([]tokenizer.Token, n)
+			for k := 0; k < n; k++ {
+				toks[k] = stream[i+k].tok
+			}
+			if r.pattern.MatchesTokens(toks) {
+				best = n
+			}
+		}
+		return best
+	}
+	spanText := func(i, n int) string {
+		var b strings.Builder
+		for k := i; k < i+n; k++ {
+			b.WriteString(stream[k].tok.Text)
+		}
+		return normCell(b.String())
+	}
+	const maxSkip = 16
+	var rows [][]string
+	for i := 0; i < len(stream); {
+		n0 := windowAt(0, i)
+		if n0 == 0 {
+			i++
+			continue
+		}
+		row := []string{spanText(i, n0)}
+		pos := i + n0
+		ok := true
+		for col := 1; col < width; col++ {
+			found := false
+			for j := pos; j < len(stream) && j <= pos+maxSkip; j++ {
+				if n := windowAt(col, j); n > 0 {
+					row = append(row, spanText(j, n))
+					pos = j + n
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			rows = append(rows, row)
+			i = pos
+		} else {
+			i += n0
+		}
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	// Dedupe extracted rows (overlapping rules can re-extract a record).
+	seen := map[string]bool{}
+	uniq := rows[:0]
+	for _, r := range rows {
+		k := strings.Join(r, "\x1f")
+		if !seen[k] {
+			seen[k] = true
+			uniq = append(uniq, r)
+		}
+	}
+	rows = uniq
+	h := &Hypothesis{
+		Cand: CandidateTable{
+			Expert: "seqcover", PageURL: doc.URL, Rows: rows,
+			Signature: fmt.Sprintf("seqcover|%d", width),
+		},
+		Rows:  rows,
+		Pages: []string{doc.URL},
+		Desc:  fmt.Sprintf("sequential covering, %d rows", len(rows)),
+		Score: float64(len(rows)) * 0.5, // fallback ranks below structural hypotheses
+	}
+	h.Cols = make([]int, width)
+	for i := range h.Cols {
+		h.Cols[i] = i
+	}
+	return h
+}

@@ -1,0 +1,172 @@
+package structlearn
+
+import (
+	"errors"
+	"fmt"
+
+	"copycat/internal/docmodel"
+)
+
+// Learner is the stateful structure learner for one source being imported.
+// Each paste adds examples; the learner maintains a ranked hypothesis
+// list consistent with all examples so far, and user feedback (reject)
+// advances through it (§3.1: "If the user rejects the suggestions, the
+// system will choose another hypothesis and revise the suggestions").
+type Learner struct {
+	doc      *docmodel.Document
+	site     *docmodel.Site
+	examples [][]string
+	hyps     []Hypothesis
+	idx      int
+	// extendSite caches whether cross-site extension has been applied to
+	// the current hypothesis.
+	extended map[int]bool
+}
+
+// NewLearner creates a learner for the source behind a first paste.
+func NewLearner(sel docmodel.Selection) (*Learner, error) {
+	if sel.Doc == nil {
+		return nil, errors.New("structlearn: selection has no source document")
+	}
+	l := &Learner{doc: sel.Doc, site: sel.Site, extended: map[int]bool{}}
+	if err := l.AddExamples(sel); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// Doc returns the source document being learned.
+func (l *Learner) Doc() *docmodel.Document { return l.doc }
+
+// Examples returns the example rows pasted so far.
+func (l *Learner) Examples() [][]string { return l.examples }
+
+// AddExamples incorporates another paste from the same source and
+// recomputes the hypothesis ranking. Pastes must be rectangular and have
+// a consistent width.
+func (l *Learner) AddExamples(sel docmodel.Selection) error {
+	for _, row := range sel.Cells {
+		if len(l.examples) > 0 && len(row) != len(l.examples[0]) {
+			return fmt.Errorf("structlearn: pasted row has %d cells, prior examples have %d", len(row), len(l.examples[0]))
+		}
+		l.examples = append(l.examples, append([]string(nil), row...))
+	}
+	return l.rehypothesize()
+}
+
+func (l *Learner) rehypothesize() error {
+	cands := Analyze(l.doc)
+	l.hyps = Hypotheses(cands, l.examples)
+	if len(l.hyps) == 0 {
+		if h := SequentialCover(l.doc, l.examples); h != nil {
+			l.hyps = []Hypothesis{*h}
+		}
+	} else if fallback := SequentialCover(l.doc, l.examples); fallback != nil {
+		// Keep the fallback as a last-resort alternative.
+		l.hyps = append(l.hyps, *fallback)
+	}
+	l.idx = 0
+	l.extended = map[int]bool{}
+	if len(l.hyps) == 0 {
+		return errors.New("structlearn: no hypothesis explains the pasted examples")
+	}
+	return nil
+}
+
+// Current returns the active hypothesis, or nil if all were rejected.
+func (l *Learner) Current() *Hypothesis {
+	if l.idx >= len(l.hyps) {
+		return nil
+	}
+	return &l.hyps[l.idx]
+}
+
+// Alternatives reports how many hypotheses remain (including the current).
+func (l *Learner) Alternatives() int { return len(l.hyps) - l.idx }
+
+// Reject discards the current hypothesis and moves to the next, returning
+// it (nil when exhausted).
+func (l *Learner) Reject() *Hypothesis {
+	if l.idx < len(l.hyps) {
+		l.idx++
+	}
+	return l.Current()
+}
+
+// ExtendCurrentAcrossSite widens the current hypothesis across the source
+// site (multi-page/form sources). It is idempotent per hypothesis.
+func (l *Learner) ExtendCurrentAcrossSite() int {
+	h := l.Current()
+	if h == nil || l.extended[l.idx] {
+		return 0
+	}
+	l.extended[l.idx] = true
+	return ExtendAcrossSite(h, l.site)
+}
+
+// Suggestions returns the current hypothesis's rows that the user has not
+// already pasted — the row auto-completions to display.
+func (l *Learner) Suggestions() [][]string {
+	h := l.Current()
+	if h == nil {
+		return nil
+	}
+	pasted := map[string]bool{}
+	for _, e := range l.examples {
+		pasted[rowKey(normRow(e))] = true
+	}
+	var out [][]string
+	for _, r := range h.Rows {
+		if !pasted[rowKey(r)] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MatchesAllExamples reports whether a hypothesis's rows cover every
+// pasted example (used by tests and the workspace sanity checks).
+func (l *Learner) MatchesAllExamples(h *Hypothesis) bool {
+	for _, e := range l.examples {
+		found := false
+		ne := normRow(e)
+		for _, r := range h.Rows {
+			if rowCovers(r, ne) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+func normRow(r []string) []string {
+	out := make([]string, len(r))
+	for i, c := range r {
+		out[i] = normCell(c)
+	}
+	return out
+}
+
+func rowKey(r []string) string {
+	k := ""
+	for _, c := range r {
+		k += c + "\x1f"
+	}
+	return k
+}
+
+func rowCovers(row, example []string) bool {
+	if len(row) != len(example) {
+		return false
+	}
+	for i := range row {
+		if !cellMatches(row[i], example[i]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,513 @@
+package structlearn
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/webworld"
+)
+
+func world() *webworld.World { return webworld.Generate(webworld.DefaultConfig()) }
+
+func exampleRows(w *webworld.World, n int) [][]string {
+	var out [][]string
+	for i := 0; i < n; i++ {
+		s := w.Shelters[i]
+		out = append(out, []string{s.Name, s.Street, s.City})
+	}
+	return out
+}
+
+func TestAnalyzeTablePage(t *testing.T) {
+	w := world()
+	doc := w.ShelterSite(webworld.StyleTable).RootPage()
+	cands := Analyze(doc)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := cands[0]
+	if len(best.Rows) != len(w.Shelters) {
+		t.Fatalf("best candidate rows = %d want %d (expert %s)", len(best.Rows), len(w.Shelters), best.Expert)
+	}
+	if best.Arity() != 4 {
+		t.Errorf("arity = %d want 4", best.Arity())
+	}
+	// Table and tagpath experts should have voted for the same table.
+	if best.Votes < 2 {
+		t.Errorf("best candidate votes = %d, expected clustering to merge experts", best.Votes)
+	}
+	if len(best.Headers) == 0 || best.Headers[0] != "Shelter" {
+		t.Errorf("headers = %v", best.Headers)
+	}
+}
+
+func TestAnalyzeListPage(t *testing.T) {
+	w := world()
+	doc := w.ShelterSite(webworld.StyleList).RootPage()
+	cands := Analyze(doc)
+	var best *CandidateTable
+	for i := range cands {
+		if len(cands[i].Rows) == len(w.Shelters) {
+			best = &cands[i]
+			break
+		}
+	}
+	if best == nil {
+		t.Fatalf("no candidate with %d rows", len(w.Shelters))
+	}
+	// Composite items were split: name, street, city, status.
+	if best.Arity() != 4 {
+		t.Errorf("list arity = %d want 4: row0=%v", best.Arity(), best.Rows[0])
+	}
+	s := w.Shelters[0]
+	if best.Rows[0][0] != s.Name || best.Rows[0][2] != s.City {
+		t.Errorf("row0 = %v", best.Rows[0])
+	}
+}
+
+func TestAnalyzeGroupedPage(t *testing.T) {
+	w := world()
+	doc := w.ShelterSite(webworld.StyleGrouped).RootPage()
+	cands := Analyze(doc)
+	var global, scoped bool
+	for _, c := range cands {
+		if c.Scope == "" && len(c.Rows) == len(w.Shelters) {
+			global = true
+		}
+		if c.Scope == w.Cities[0].Name && len(c.Rows) == w.Config.SheltersPerCity {
+			scoped = true
+		}
+	}
+	if !global {
+		t.Error("no global candidate covering all shelters")
+	}
+	if !scoped {
+		t.Error("no scoped candidate for the first city")
+	}
+}
+
+func TestAnalyzeSpreadsheet(t *testing.T) {
+	w := world()
+	cands := Analyze(w.ContactsSpreadsheet())
+	if len(cands) != 1 {
+		t.Fatalf("grid candidates = %d", len(cands))
+	}
+	c := cands[0]
+	if len(c.Headers) != 6 || c.Headers[0] != "Contact" {
+		t.Errorf("headers = %v", c.Headers)
+	}
+	if len(c.Rows) != len(w.Contacts) {
+		t.Errorf("rows = %d want %d", len(c.Rows), len(w.Contacts))
+	}
+}
+
+func TestSplitComposite(t *testing.T) {
+	got := splitComposite("— 1200 NW 42nd Ave, Coconut Creek (open)")
+	want := []string{"1200 NW 42nd Ave", "Coconut Creek", "open"}
+	if len(got) != len(want) {
+		t.Fatalf("split = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("split[%d] = %q want %q", i, got[i], want[i])
+		}
+	}
+	if len(splitComposite("   ")) != 0 {
+		t.Error("blank text should split to nothing")
+	}
+}
+
+func TestHypothesesMostGeneralFirst(t *testing.T) {
+	w := world()
+	doc := w.ShelterSite(webworld.StyleGrouped).RootPage()
+	cands := Analyze(doc)
+	// Two examples from the same city — the Figure 1 ambiguity.
+	city := w.Cities[0].Name
+	in := w.SheltersIn(city)
+	examples := [][]string{
+		{in[0].Name, in[0].Street, in[0].City},
+		{in[1].Name, in[1].Street, in[1].City},
+	}
+	hyps := Hypotheses(cands, examples)
+	if len(hyps) < 2 {
+		t.Fatalf("want ≥2 hypotheses (all vs city-scoped), got %d", len(hyps))
+	}
+	if len(hyps[0].Rows) != len(w.Shelters) {
+		t.Errorf("most-general hypothesis rows = %d want %d", len(hyps[0].Rows), len(w.Shelters))
+	}
+	// A scoped alternative exists.
+	foundScoped := false
+	for _, h := range hyps {
+		if h.Cand.Scope == city && len(h.Rows) == len(in) {
+			foundScoped = true
+		}
+	}
+	if !foundScoped {
+		t.Error("no city-scoped alternative hypothesis")
+	}
+}
+
+func TestHypothesesProjection(t *testing.T) {
+	w := world()
+	doc := w.ShelterSite(webworld.StyleTable).RootPage()
+	cands := Analyze(doc)
+	// Paste only (Name, City): projection must skip the street column.
+	s := w.Shelters[0]
+	hyps := Hypotheses(cands, [][]string{{s.Name, s.City}})
+	if len(hyps) == 0 {
+		t.Fatal("no hypotheses")
+	}
+	h := hyps[0]
+	if len(h.Cols) != 2 || h.Cols[0] != 0 || h.Cols[1] != 2 {
+		t.Errorf("projection = %v want [0 2]", h.Cols)
+	}
+	if len(h.Rows) != len(w.Shelters) || h.Rows[1][1] != w.Shelters[1].City {
+		t.Errorf("projected rows wrong: %v", h.Rows[1])
+	}
+	headers := h.HeadersFor()
+	if len(headers) != 2 || headers[0] != "Shelter" || headers[1] != "City" {
+		t.Errorf("projected headers = %v", headers)
+	}
+	if hyps[0].Desc == "" {
+		t.Error("hypothesis should have a description")
+	}
+}
+
+func TestHypothesesRejectInconsistentExamples(t *testing.T) {
+	w := world()
+	doc := w.ShelterSite(webworld.StyleTable).RootPage()
+	cands := Analyze(doc)
+	if hyps := Hypotheses(cands, [][]string{{"Not A Shelter", "Nowhere"}}); len(hyps) != 0 {
+		t.Errorf("bogus example matched %d hypotheses", len(hyps))
+	}
+	if hyps := Hypotheses(cands, nil); len(hyps) != 0 {
+		t.Error("no examples should mean no hypotheses")
+	}
+	// Ragged examples rejected.
+	s := w.Shelters[0]
+	if hyps := Hypotheses(cands, [][]string{{s.Name, s.City}, {s.Name}}); len(hyps) != 0 {
+		t.Error("ragged examples should not match")
+	}
+}
+
+func TestExtendAcrossSitePaged(t *testing.T) {
+	w := world()
+	site := w.ShelterSite(webworld.StylePaged)
+	root := site.RootPage()
+	cands := Analyze(root)
+	s := w.Shelters[0]
+	hyps := Hypotheses(cands, [][]string{{s.Name, s.Street, s.City}})
+	if len(hyps) == 0 {
+		t.Fatal("no hypotheses on page 1")
+	}
+	h := &hyps[0]
+	before := len(h.Rows)
+	added := ExtendAcrossSite(h, site)
+	if added == 0 {
+		t.Fatal("extension found no sibling pages")
+	}
+	if len(h.Rows) != len(w.Shelters) {
+		t.Errorf("extended rows = %d want %d (before: %d)", len(h.Rows), len(w.Shelters), before)
+	}
+	if len(h.Pages) != len(site.Pages) {
+		t.Errorf("pages covered = %d want %d", len(h.Pages), len(site.Pages))
+	}
+	if ExtendAcrossSite(h, nil) != 0 {
+		t.Error("nil site should add nothing")
+	}
+}
+
+func TestExtendAcrossSiteForm(t *testing.T) {
+	w := world()
+	site := w.ShelterSite(webworld.StyleForm)
+	// Learn on one form-result page.
+	city := w.Cities[0].Name
+	page := site.Get(site.Forms[0].Action + city)
+	in := w.SheltersIn(city)
+	hyps := Hypotheses(Analyze(page), [][]string{{in[0].Name, in[0].Street, in[0].City}})
+	if len(hyps) == 0 {
+		t.Fatal("no hypotheses on form result page")
+	}
+	h := &hyps[0]
+	ExtendAcrossSite(h, site)
+	if len(h.Rows) != len(w.Shelters) {
+		t.Errorf("form-site extension rows = %d want %d", len(h.Rows), len(w.Shelters))
+	}
+}
+
+func TestSequentialCoverFallback(t *testing.T) {
+	// A page with no list/table structure at all: shelter data in prose
+	// paragraphs, where only value shapes identify the fields.
+	w := world()
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	for _, s := range w.Shelters[:6] {
+		b.WriteString("<p>Shelter " + s.Name + " located at " + s.Street + " in " + s.City + "</p>")
+	}
+	b.WriteString("</body></html>")
+	doc := docmodel.NewHTML("http://prose/", "Prose", b.String())
+	examples := [][]string{
+		{w.Shelters[0].Street},
+		{w.Shelters[1].Street},
+	}
+	h := SequentialCover(doc, examples)
+	if h == nil {
+		t.Fatal("sequential cover found nothing")
+	}
+	if len(h.Rows) < 2 {
+		t.Errorf("rows = %d", len(h.Rows))
+	}
+	for _, r := range h.Rows {
+		if len(r) != 1 {
+			t.Errorf("row arity wrong: %v", r)
+		}
+	}
+	if SequentialCover(doc, nil) != nil {
+		t.Error("no examples should yield nil")
+	}
+	if SequentialCover(doc, [][]string{{"zzz-no-such-value-anywhere"}}) == nil {
+		// Shape matching may still fire on similar-shaped text; either
+		// nil or rows is acceptable — just must not panic.
+		t.Log("no match for bogus value (ok)")
+	}
+}
+
+func TestLearnerLifecycleFigure1(t *testing.T) {
+	// The Figure 1 flow on the grouped page: paste two Coconut-Creek-like
+	// shelters, get the most general hypothesis; reject until the scoped
+	// one appears; paste a cross-city example and see scoped hypotheses
+	// disappear.
+	w := world()
+	site := w.ShelterSite(webworld.StyleGrouped)
+	city := w.Cities[0].Name
+	in := w.SheltersIn(city)
+	sel := docmodel.Selection{
+		Cells: [][]string{
+			{in[0].Name, in[0].Street, in[0].City},
+			{in[1].Name, in[1].Street, in[1].City},
+		},
+		Doc: site.RootPage(), Site: site, App: "browser",
+	}
+	l, err := NewLearner(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Doc() != site.RootPage() || len(l.Examples()) != 2 {
+		t.Error("learner state wrong")
+	}
+	cur := l.Current()
+	if cur == nil || len(cur.Rows) != len(w.Shelters) {
+		t.Fatalf("first hypothesis should be most general: %v", cur)
+	}
+	if !l.MatchesAllExamples(cur) {
+		t.Error("current hypothesis must cover the examples")
+	}
+	// Suggestions exclude already-pasted rows.
+	sug := l.Suggestions()
+	for _, r := range sug {
+		if r[0] == in[0].Name || r[0] == in[1].Name {
+			t.Errorf("suggestion repeats a pasted row: %v", r)
+		}
+	}
+	// Reject until we reach the city-scoped hypothesis.
+	found := false
+	for h := l.Current(); h != nil; h = l.Reject() {
+		if h.Cand.Scope == city {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("rejecting never reached the scoped hypothesis")
+	}
+	if len(l.Current().Rows) != len(in) {
+		t.Errorf("scoped rows = %d want %d", len(l.Current().Rows), len(in))
+	}
+	// A new example from a different city invalidates scoped hypotheses.
+	other := w.SheltersIn(w.Cities[1].Name)[0]
+	err = l.AddExamples(docmodel.Selection{
+		Cells: [][]string{{other.Name, other.Street, other.City}},
+		Doc:   site.RootPage(), Site: site,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := l.Current(); h != nil; h = l.Reject() {
+		if h.Cand.Scope == city {
+			t.Error("scoped hypothesis survived a cross-city example")
+		}
+	}
+}
+
+func TestLearnerErrors(t *testing.T) {
+	if _, err := NewLearner(docmodel.Selection{}); err == nil {
+		t.Error("selection without doc should error")
+	}
+	w := world()
+	site := w.ShelterSite(webworld.StyleTable)
+	s := w.Shelters[0]
+	l, err := NewLearner(docmodel.Selection{
+		Cells: [][]string{{s.Name, s.City}}, Doc: site.RootPage(), Site: site,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ragged follow-up paste errors.
+	if err := l.AddExamples(docmodel.Selection{Cells: [][]string{{"just-one"}}}); err == nil {
+		t.Error("width mismatch should error")
+	}
+	// Exhausting hypotheses yields nil.
+	for l.Current() != nil {
+		l.Reject()
+	}
+	if l.Reject() != nil || l.Current() != nil {
+		t.Error("rejecting past the end should stay nil")
+	}
+	if l.Alternatives() != 0 {
+		t.Error("alternatives should be 0 when exhausted")
+	}
+	if l.Suggestions() != nil {
+		t.Error("no suggestions when exhausted")
+	}
+	if l.ExtendCurrentAcrossSite() != 0 {
+		t.Error("extension with no hypothesis should be 0")
+	}
+}
+
+func TestLearnerExtendAcrossSiteIdempotent(t *testing.T) {
+	w := world()
+	site := w.ShelterSite(webworld.StylePaged)
+	s := w.Shelters[0]
+	l, err := NewLearner(docmodel.Selection{
+		Cells: [][]string{{s.Name, s.Street, s.City}},
+		Doc:   site.RootPage(), Site: site,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := l.ExtendCurrentAcrossSite()
+	if first == 0 {
+		t.Fatal("paged site should extend")
+	}
+	if l.ExtendCurrentAcrossSite() != 0 {
+		t.Error("second extension should be a no-op")
+	}
+	if len(l.Current().Rows) != len(w.Shelters) {
+		t.Errorf("rows = %d want %d", len(l.Current().Rows), len(w.Shelters))
+	}
+}
+
+func TestLooksLikeHeader(t *testing.T) {
+	rows := [][]string{
+		{"Contact", "Phone"},
+		{"Maria Alvarez", "954-555-0100"},
+		{"James Chen", "954-555-0101"},
+	}
+	if !looksLikeHeader(rows) {
+		t.Error("obvious header not detected")
+	}
+	uniform := [][]string{
+		{"Maria Alvarez", "954-555-0100"},
+		{"James Chen", "954-555-0101"},
+		{"Aisha Okafor", "954-555-0102"},
+	}
+	if looksLikeHeader(uniform) {
+		t.Error("uniform rows misdetected as headered")
+	}
+}
+
+func TestCandidateArityAndConsistency(t *testing.T) {
+	c := CandidateTable{Rows: [][]string{{"a", "b"}, {"c", "d"}, {"e"}}}
+	if c.Arity() != 2 {
+		t.Errorf("arity = %d", c.Arity())
+	}
+	if got := c.consistency(); got < 0.6 || got > 0.7 {
+		t.Errorf("consistency = %f", got)
+	}
+	empty := CandidateTable{}
+	if empty.Arity() != 0 || empty.consistency() != 0 {
+		t.Error("empty candidate should have zero arity/consistency")
+	}
+}
+
+func TestURLExpert(t *testing.T) {
+	// A page where only the link templates identify the listing: every
+	// shelter is an anchor to /shelter/<id>, mixed with nav links.
+	var b strings.Builder
+	b.WriteString(`<html><body><div><a href="/home">Home</a> <a href="/about">About</a></div>`)
+	w := world()
+	for _, s := range w.Shelters[:8] {
+		b.WriteString(`<span><a href="/shelter/` + strconv.Itoa(s.ID) + `">` + s.Name + `</a></span>`)
+	}
+	b.WriteString("</body></html>")
+	doc := docmodel.NewHTML("http://x/", "Links", b.String())
+	cands := Analyze(doc)
+	var urlCand *CandidateTable
+	for i := range cands {
+		if cands[i].Expert == "url" {
+			urlCand = &cands[i]
+		}
+	}
+	if urlCand == nil {
+		t.Fatal("url expert produced nothing")
+	}
+	if len(urlCand.Rows) != 8 {
+		t.Errorf("url rows = %d want 8", len(urlCand.Rows))
+	}
+	if urlCand.Rows[0][0] != w.Shelters[0].Name {
+		t.Errorf("row0 = %v", urlCand.Rows[0])
+	}
+	// Nav links (only 2 under their template) are not a candidate.
+	for _, c := range cands {
+		if c.Expert == "url" && len(c.Rows) == 2 {
+			t.Error("nav links should not form a listing")
+		}
+	}
+}
+
+func TestURLTemplate(t *testing.T) {
+	if urlTemplate("/shelter/12") != urlTemplate("/shelter/7") {
+		t.Error("digit runs should canonicalize")
+	}
+	if urlTemplate("/a/1") == urlTemplate("/b/1") {
+		t.Error("different paths should differ")
+	}
+}
+
+func TestDelimiterExpert(t *testing.T) {
+	w := world()
+	var b strings.Builder
+	b.WriteString("Name; Street; City\n")
+	for _, s := range w.Shelters[:6] {
+		b.WriteString(s.Name + "; " + s.Street + "; " + s.City + "\n")
+	}
+	doc := docmodel.NewText("file:report.txt", "Report", b.String())
+	cands := Analyze(doc)
+	var best *CandidateTable
+	for i := range cands {
+		if cands[i].Expert == "delimiter" && cands[i].Arity() == 3 {
+			best = &cands[i]
+			break
+		}
+	}
+	if best == nil {
+		t.Fatalf("no 3-column delimiter candidate among %d", len(cands))
+	}
+	if len(best.Headers) != 3 || best.Headers[0] != "Name" {
+		t.Errorf("headers = %v", best.Headers)
+	}
+	if len(best.Rows) != 6 || best.Rows[0][2] != w.Shelters[0].City {
+		t.Errorf("rows = %d row0=%v", len(best.Rows), best.Rows[0])
+	}
+	// A learner over the text document generalizes one example.
+	s := w.Shelters[0]
+	hyps := Hypotheses(cands, [][]string{{s.Name, s.Street, s.City}})
+	if len(hyps) == 0 {
+		t.Fatal("no hypotheses on delimited text")
+	}
+	if len(hyps[0].Rows) != 6 {
+		t.Errorf("text hypothesis rows = %d", len(hyps[0].Rows))
+	}
+}

@@ -1,0 +1,205 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TupleID identifies a base tuple for provenance purposes. The engine
+// assigns IDs of the form "<relation>:<ordinal>" to tuples of scanned
+// sources; derived tuples carry provenance expressions over these IDs.
+type TupleID string
+
+// Tuple is one row of values.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports value-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Key renders a canonical string key for hashing/deduplication.
+func (t Tuple) Key() string {
+	var b strings.Builder
+	for i, v := range t {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		b.WriteByte(byte('0' + v.kind))
+		b.WriteString(v.Text())
+	}
+	return b.String()
+}
+
+// Texts returns the display text of every cell.
+func (t Tuple) Texts() []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = v.Text()
+	}
+	return out
+}
+
+// FromTexts builds a tuple by parsing each raw cell string.
+func FromTexts(cells []string) Tuple {
+	t := make(Tuple, len(cells))
+	for i, c := range cells {
+		t[i] = ParseValue(c)
+	}
+	return t
+}
+
+// FromStrings builds a tuple of string values without kind inference.
+func FromStrings(cells []string) Tuple {
+	t := make(Tuple, len(cells))
+	for i, c := range cells {
+		t[i] = S(c)
+	}
+	return t
+}
+
+// Relation is an in-memory table: a named schema plus rows.
+type Relation struct {
+	Name   string
+	Schema Schema
+	Rows   []Tuple
+}
+
+// NewRelation constructs an empty relation.
+func NewRelation(name string, schema Schema) *Relation {
+	return &Relation{Name: name, Schema: schema}
+}
+
+// Append adds a row, which must match the schema arity.
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != len(r.Schema) {
+		return fmt.Errorf("table: arity mismatch appending to %s: got %d cells, schema has %d", r.Name, len(t), len(r.Schema))
+	}
+	r.Rows = append(r.Rows, t)
+	return nil
+}
+
+// MustAppend appends and panics on arity mismatch; for tests and generators.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// AppendTexts parses the raw cells and appends the row.
+func (r *Relation) AppendTexts(cells ...string) error {
+	return r.Append(FromTexts(cells))
+}
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.Rows) }
+
+// Clone deep-copies the relation.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{Name: r.Name, Schema: r.Schema.Clone(), Rows: make([]Tuple, len(r.Rows))}
+	for i, t := range r.Rows {
+		c.Rows[i] = t.Clone()
+	}
+	return c
+}
+
+// Column returns all values of the named column.
+func (r *Relation) Column(name string) ([]Value, error) {
+	i := r.Schema.Index(name)
+	if i < 0 {
+		return nil, fmt.Errorf("table: relation %s has no column %q", r.Name, name)
+	}
+	out := make([]Value, len(r.Rows))
+	for j, t := range r.Rows {
+		out[j] = t[i]
+	}
+	return out, nil
+}
+
+// ColumnTexts returns the display texts of the named column, or nil if the
+// column does not exist.
+func (r *Relation) ColumnTexts(name string) []string {
+	i := r.Schema.Index(name)
+	if i < 0 {
+		return nil
+	}
+	out := make([]string, len(r.Rows))
+	for j, t := range r.Rows {
+		out[j] = t[i].Text()
+	}
+	return out
+}
+
+// SortByColumn orders rows by the given column index (stable).
+func (r *Relation) SortByColumn(i int) {
+	if i < 0 || i >= len(r.Schema) {
+		return
+	}
+	sort.SliceStable(r.Rows, func(a, b int) bool {
+		return r.Rows[a][i].Compare(r.Rows[b][i]) < 0
+	})
+}
+
+// Dedup removes duplicate rows, keeping first occurrences in order.
+func (r *Relation) Dedup() {
+	seen := make(map[string]bool, len(r.Rows))
+	out := r.Rows[:0]
+	for _, t := range r.Rows {
+		k := t.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
+	}
+	r.Rows = out
+}
+
+// String renders the relation as an aligned ASCII table — the same format
+// the CLI workspace renderer uses.
+func (r *Relation) String() string {
+	widths := make([]int, len(r.Schema))
+	for i, c := range r.Schema {
+		widths[i] = len(c.Name)
+	}
+	for _, t := range r.Rows {
+		for i, v := range t {
+			if i < len(widths) && len(v.Text()) > widths[i] {
+				widths[i] = len(v.Text())
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d rows)\n", r.Name, len(r.Rows))
+	for i, c := range r.Schema {
+		fmt.Fprintf(&b, "| %-*s ", widths[i], c.Name)
+	}
+	b.WriteString("|\n")
+	for i := range r.Schema {
+		b.WriteString("|")
+		b.WriteString(strings.Repeat("-", widths[i]+2))
+	}
+	b.WriteString("|\n")
+	for _, t := range r.Rows {
+		for i, v := range t {
+			fmt.Fprintf(&b, "| %-*s ", widths[i], v.Text())
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

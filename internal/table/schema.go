@@ -1,0 +1,115 @@
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Column describes one attribute of a relation. SemType holds the semantic
+// type label assigned by the model learner (e.g. "PR-Street", "PR-City");
+// it is empty until a type has been recognized or the user supplied one.
+type Column struct {
+	Name    string
+	Kind    Kind
+	SemType string
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// NewSchema builds a schema of string columns from names. Convenience for
+// tests and synthetic sources.
+func NewSchema(names ...string) Schema {
+	s := make(Schema, len(names))
+	for i, n := range names {
+		s[i] = Column{Name: n, Kind: KindString}
+	}
+	return s
+}
+
+// Index returns the position of the named column, or -1.
+func (s Schema) Index(name string) int {
+	for i, c := range s {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// IndexBySemType returns the first column with the given semantic type, or -1.
+func (s Schema) IndexBySemType(t string) int {
+	if t == "" {
+		return -1
+	}
+	for i, c := range s {
+		if c.SemType == t {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	ns := make([]string, len(s))
+	for i, c := range s {
+		ns[i] = c.Name
+	}
+	return ns
+}
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	c := make(Schema, len(s))
+	copy(c, s)
+	return c
+}
+
+// Equal reports whether two schemas have identical columns in order.
+func (s Schema) Equal(o Schema) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders "name:kind[semtype]" pairs, comma separated.
+func (s Schema) String() string {
+	var b strings.Builder
+	for i, c := range s {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%s", c.Name, c.Kind)
+		if c.SemType != "" {
+			fmt.Fprintf(&b, "[%s]", c.SemType)
+		}
+	}
+	return b.String()
+}
+
+// Concat returns a schema with o's columns appended after s's, renaming
+// collisions with a numeric suffix so every column name stays unique.
+func (s Schema) Concat(o Schema) Schema {
+	out := s.Clone()
+	seen := make(map[string]bool, len(out))
+	for _, c := range out {
+		seen[c.Name] = true
+	}
+	for _, c := range o {
+		name := c.Name
+		for i := 2; seen[name]; i++ {
+			name = fmt.Sprintf("%s_%d", c.Name, i)
+		}
+		seen[name] = true
+		c.Name = name
+		out = append(out, c)
+	}
+	return out
+}

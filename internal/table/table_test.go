@@ -1,0 +1,266 @@
+package table
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		text string
+	}{
+		{Null(), KindNull, ""},
+		{S("hi"), KindString, "hi"},
+		{N(3.5), KindNumber, "3.5"},
+		{N(42), KindNumber, "42"},
+		{B(true), KindBool, "true"},
+		{B(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("kind of %v: got %v want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.Text() != c.text {
+			t.Errorf("text of %v: got %q want %q", c.v, c.v.Text(), c.text)
+		}
+	}
+	if !Null().IsNull() || S("x").IsNull() {
+		t.Error("IsNull misbehaves")
+	}
+	if S("a").Str() != "a" || N(2).Num() != 2 || !B(true).Bool() {
+		t.Error("payload accessors misbehave")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindNull.String() != "null" || KindString.String() != "string" ||
+		KindNumber.String() != "number" || KindBool.String() != "bool" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(99).String(), "99") {
+		t.Error("unknown kind should embed its number")
+	}
+}
+
+func TestValueEqualAndCompare(t *testing.T) {
+	if !S("a").Equal(S("a")) || S("a").Equal(S("b")) || S("1").Equal(N(1)) {
+		t.Error("Equal wrong for strings")
+	}
+	if !N(1).Equal(N(1)) || N(1).Equal(N(2)) {
+		t.Error("Equal wrong for numbers")
+	}
+	if !Null().Equal(Null()) || !B(true).Equal(B(true)) || B(true).Equal(B(false)) {
+		t.Error("Equal wrong for null/bool")
+	}
+	if S("a").Compare(S("b")) >= 0 || S("b").Compare(S("a")) <= 0 || S("a").Compare(S("a")) != 0 {
+		t.Error("string compare wrong")
+	}
+	if N(1).Compare(N(2)) >= 0 || N(2).Compare(N(1)) <= 0 || N(2).Compare(N(2)) != 0 {
+		t.Error("number compare wrong")
+	}
+	if Null().Compare(S("")) >= 0 {
+		t.Error("null should sort before strings")
+	}
+	if B(false).Compare(B(true)) >= 0 || B(true).Compare(B(false)) <= 0 || B(true).Compare(B(true)) != 0 {
+		t.Error("bool compare wrong")
+	}
+}
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Value
+	}{
+		{"", Null()},
+		{"  ", Null()},
+		{"42", N(42)},
+		{"-3.5", N(-3.5)},
+		{"0", N(0)},
+		{"0.5", N(0.5)},
+		{"08540", S("08540")}, // zip codes keep leading zeros
+		{"true", B(true)},
+		{"false", B(false)},
+		{"hello world", S("hello world")},
+		{"123 Main St", S("123 Main St")},
+	}
+	for _, c := range cases {
+		got := ParseValue(c.in)
+		if !got.Equal(c.want) {
+			t.Errorf("ParseValue(%q) = %v(%s) want %v(%s)", c.in, got.Kind(), got.Text(), c.want.Kind(), c.want.Text())
+		}
+	}
+}
+
+func TestParseValueRoundTripProperty(t *testing.T) {
+	// Property: parsing the text of a parsed non-string value yields an
+	// equal value (idempotence of ParseValue∘Text on parse results).
+	f := func(raw string) bool {
+		v := ParseValue(raw)
+		if v.Kind() == KindString {
+			return true // strings round-trip trivially (Text is identity)
+		}
+		return ParseValue(v.Text()).Equal(v)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemaOperations(t *testing.T) {
+	s := NewSchema("Name", "Street", "City")
+	if s.Index("Street") != 1 || s.Index("Zip") != -1 {
+		t.Error("Index wrong")
+	}
+	s[1].SemType = "PR-Street"
+	if s.IndexBySemType("PR-Street") != 1 || s.IndexBySemType("PR-Zip") != -1 || s.IndexBySemType("") != -1 {
+		t.Error("IndexBySemType wrong")
+	}
+	if got := s.Names(); len(got) != 3 || got[2] != "City" {
+		t.Errorf("Names wrong: %v", got)
+	}
+	c := s.Clone()
+	c[0].Name = "X"
+	if s[0].Name != "Name" {
+		t.Error("Clone should not share backing array")
+	}
+	if !s.Equal(s.Clone()) || s.Equal(c) || s.Equal(s[:2]) {
+		t.Error("Equal wrong")
+	}
+	str := s.String()
+	if !strings.Contains(str, "Street:string[PR-Street]") {
+		t.Errorf("String missing semtype annotation: %s", str)
+	}
+}
+
+func TestSchemaConcatRenamesCollisions(t *testing.T) {
+	a := NewSchema("Name", "City")
+	b := NewSchema("City", "Zip", "City_2")
+	out := a.Concat(b)
+	want := []string{"Name", "City", "City_2", "Zip", "City_2_2"}
+	got := out.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Concat arity: got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Concat[%d] = %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTupleBasics(t *testing.T) {
+	tp := FromTexts([]string{"Shelter A", "42", ""})
+	if tp[0].Kind() != KindString || tp[1].Kind() != KindNumber || !tp[2].IsNull() {
+		t.Error("FromTexts kinds wrong")
+	}
+	st := FromStrings([]string{"42"})
+	if st[0].Kind() != KindString {
+		t.Error("FromStrings should not infer kinds")
+	}
+	c := tp.Clone()
+	c[0] = S("other")
+	if tp[0].Str() != "Shelter A" {
+		t.Error("Clone should not alias")
+	}
+	if !tp.Equal(tp.Clone()) || tp.Equal(c) || tp.Equal(tp[:1]) {
+		t.Error("Tuple.Equal wrong")
+	}
+	if tp.Key() == c.Key() {
+		t.Error("distinct tuples should have distinct keys")
+	}
+	// Key must distinguish kind, not just text.
+	if FromStrings([]string{"42"}).Key() == FromTexts([]string{"42"}).Key() {
+		t.Error("Key should encode value kind")
+	}
+	texts := tp.Texts()
+	if texts[0] != "Shelter A" || texts[1] != "42" || texts[2] != "" {
+		t.Errorf("Texts wrong: %v", texts)
+	}
+}
+
+func TestRelationAppendAndErrors(t *testing.T) {
+	r := NewRelation("Shelters", NewSchema("Name", "City"))
+	if err := r.AppendTexts("A", "Coconut Creek"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Append(FromTexts([]string{"only-one"})); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAppend should panic on arity mismatch")
+		}
+	}()
+	r.MustAppend(Tuple{S("x")})
+}
+
+func TestRelationColumnAccess(t *testing.T) {
+	r := NewRelation("R", NewSchema("A", "B"))
+	r.MustAppend(FromStrings([]string{"1", "x"}))
+	r.MustAppend(FromStrings([]string{"2", "y"}))
+	col, err := r.Column("B")
+	if err != nil || len(col) != 2 || col[1].Str() != "y" {
+		t.Errorf("Column wrong: %v %v", col, err)
+	}
+	if _, err := r.Column("Z"); err == nil {
+		t.Error("missing column should error")
+	}
+	if got := r.ColumnTexts("A"); len(got) != 2 || got[0] != "1" {
+		t.Errorf("ColumnTexts wrong: %v", got)
+	}
+	if r.ColumnTexts("Z") != nil {
+		t.Error("ColumnTexts of missing column should be nil")
+	}
+	if r.Len() != 2 {
+		t.Error("Len wrong")
+	}
+}
+
+func TestRelationCloneSortDedup(t *testing.T) {
+	r := NewRelation("R", NewSchema("A"))
+	r.MustAppend(Tuple{S("b")})
+	r.MustAppend(Tuple{S("a")})
+	r.MustAppend(Tuple{S("b")})
+	c := r.Clone()
+	c.Rows[0][0] = S("zzz")
+	if r.Rows[0][0].Str() != "b" {
+		t.Error("Clone aliases rows")
+	}
+	r.SortByColumn(0)
+	if r.Rows[0][0].Str() != "a" {
+		t.Error("SortByColumn wrong")
+	}
+	r.SortByColumn(5) // out of range: no-op, no panic
+	r.Dedup()
+	if r.Len() != 2 {
+		t.Errorf("Dedup: got %d rows want 2", r.Len())
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	r := NewRelation("Shelters", NewSchema("Name", "City"))
+	r.MustAppend(FromStrings([]string{"North High School", "Coconut Creek"}))
+	s := r.String()
+	for _, want := range []string{"Shelters (1 rows)", "Name", "North High School", "Coconut Creek"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTupleKeyInjectiveProperty(t *testing.T) {
+	// Property: equal keys imply equal tuples for string tuples.
+	f := func(a, b []string) bool {
+		ta, tb := FromStrings(a), FromStrings(b)
+		if ta.Key() == tb.Key() {
+			return ta.Equal(tb)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

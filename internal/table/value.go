@@ -1,0 +1,163 @@
+// Package table defines the relational data model shared by every CopyCat
+// component: typed values, columns annotated with semantic types, tuples,
+// and in-memory relations. It is deliberately small — the query engine,
+// learners, and workspace all build on these types.
+package table
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the primitive value kinds a workspace cell may hold.
+type Kind uint8
+
+const (
+	// KindNull is the absent value (used when padding union schemas).
+	KindNull Kind = iota
+	// KindString is a UTF-8 string.
+	KindString
+	// KindNumber is a float64 numeric value.
+	KindNumber
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the lowercase name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindNumber:
+		return "number"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a dynamically typed cell value. The zero Value is null.
+type Value struct {
+	kind Kind
+	str  string
+	num  float64
+	b    bool
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// S constructs a string value.
+func S(s string) Value { return Value{kind: KindString, str: s} }
+
+// N constructs a numeric value.
+func N(f float64) Value { return Value{kind: KindNumber, num: f} }
+
+// B constructs a boolean value.
+func B(v bool) Value { return Value{kind: KindBool, b: v} }
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload (empty unless KindString).
+func (v Value) Str() string { return v.str }
+
+// Num returns the numeric payload (zero unless KindNumber).
+func (v Value) Num() float64 { return v.num }
+
+// Bool returns the boolean payload (false unless KindBool).
+func (v Value) Bool() bool { return v.b }
+
+// Text renders the value the way a workspace cell displays it.
+func (v Value) Text() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.str
+	case KindNumber:
+		return strconv.FormatFloat(v.num, 'f', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	}
+	return ""
+}
+
+// Equal reports deep equality of two values.
+func (v Value) Equal(o Value) bool {
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindNull:
+		return true
+	case KindString:
+		return v.str == o.str
+	case KindNumber:
+		return v.num == o.num
+	case KindBool:
+		return v.b == o.b
+	}
+	return false
+}
+
+// Compare orders values: null < bool < number < string; within a kind the
+// natural order applies. It returns -1, 0, or +1.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindString:
+		return strings.Compare(v.str, o.str)
+	case KindNumber:
+		switch {
+		case v.num < o.num:
+			return -1
+		case v.num > o.num:
+			return 1
+		}
+		return 0
+	case KindBool:
+		switch {
+		case !v.b && o.b:
+			return -1
+		case v.b && !o.b:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// ParseValue guesses the most specific kind for a raw cell string: number,
+// bool, null (empty), else string. Learners use it when importing pastes.
+func ParseValue(raw string) Value {
+	t := strings.TrimSpace(raw)
+	if t == "" {
+		return Null()
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil {
+		// Keep leading-zero codes (zip codes, SSNs) as strings: "08540"
+		// must not become 8540.
+		if !strings.HasPrefix(t, "0") || t == "0" || strings.HasPrefix(t, "0.") {
+			return N(f)
+		}
+	}
+	if t == "true" || t == "false" {
+		return B(t == "true")
+	}
+	return S(raw)
+}

@@ -1,0 +1,405 @@
+// Package tokenizer implements the generalized token language the paper's
+// learners share (§3.2): raw field values are split into tokens, and each
+// token is described both by its literal constant and by generalized
+// symbols such as "capitalized word", "3-digit number", or a specific
+// punctuation mark. Semantic-type patterns (modellearn) and landmark
+// wrapper rules (structlearn) are sequences over this language.
+package tokenizer
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Class is the coarse lexical class of a token.
+type Class uint8
+
+const (
+	// ClassWord is an alphabetic token.
+	ClassWord Class = iota
+	// ClassNumber is a digit run.
+	ClassNumber
+	// ClassPunct is a single punctuation or symbol rune.
+	ClassPunct
+	// ClassSpace is a whitespace run.
+	ClassSpace
+	// ClassMixed is an alphanumeric mix such as "4B" or "I-95N".
+	ClassMixed
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassWord:
+		return "word"
+	case ClassNumber:
+		return "number"
+	case ClassPunct:
+		return "punct"
+	case ClassSpace:
+		return "space"
+	case ClassMixed:
+		return "mixed"
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// Token is one lexical unit of a field value.
+type Token struct {
+	Text  string
+	Class Class
+}
+
+// Tokenize splits s into word / number / punctuation / space tokens.
+// Alphanumeric runs containing both letters and digits become ClassMixed.
+func Tokenize(s string) []Token {
+	var toks []Token
+	runes := []rune(s)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			j := i
+			for j < len(runes) && unicode.IsSpace(runes[j]) {
+				j++
+			}
+			toks = append(toks, Token{Text: string(runes[i:j]), Class: ClassSpace})
+			i = j
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			j := i
+			hasLetter, hasDigit := false, false
+			for j < len(runes) && (unicode.IsLetter(runes[j]) || unicode.IsDigit(runes[j])) {
+				if unicode.IsLetter(runes[j]) {
+					hasLetter = true
+				} else {
+					hasDigit = true
+				}
+				j++
+			}
+			cl := ClassWord
+			switch {
+			case hasLetter && hasDigit:
+				cl = ClassMixed
+			case hasDigit:
+				cl = ClassNumber
+			}
+			toks = append(toks, Token{Text: string(runes[i:j]), Class: cl})
+			i = j
+		default:
+			toks = append(toks, Token{Text: string(r), Class: ClassPunct})
+			i++
+		}
+	}
+	return toks
+}
+
+// Symbol is a generalized description of a token in the pattern hypothesis
+// language: either a literal constant ("CONST:Creek"), or a generalized
+// shape ("CAPWORD", "NUM3", "UPPER", …). Symbols are ordered from most to
+// least specific by Generalizations.
+type Symbol string
+
+// Common generalized symbols.
+const (
+	SymAnyWord Symbol = "WORD"    // any alphabetic token
+	SymCap     Symbol = "CAPWORD" // Capitalized word
+	SymUpper   Symbol = "UPPER"   // ALL-CAPS word
+	SymLower   Symbol = "LOWER"   // lowercase word
+	SymAnyNum  Symbol = "NUM"     // any digit run
+	SymMixed   Symbol = "ALNUM"   // mixed alphanumeric
+	SymSpace   Symbol = "SPC"     // whitespace
+	SymAny     Symbol = "ANY"     // wildcard: matches any single token
+)
+
+// Const returns the literal-constant symbol for text.
+func Const(text string) Symbol { return Symbol("CONST:" + text) }
+
+// NumLen returns the fixed-length number symbol, e.g. NumLen(3) = "NUM3"
+// ("3-digit number" in the paper's wording).
+func NumLen(n int) Symbol { return Symbol(fmt.Sprintf("NUM%d", n)) }
+
+// PunctSym returns the symbol for a specific punctuation mark.
+func PunctSym(text string) Symbol { return Symbol("PUNCT:" + text) }
+
+// IsConst reports whether the symbol is a literal constant.
+func (s Symbol) IsConst() bool { return strings.HasPrefix(string(s), "CONST:") }
+
+// Matches reports whether the symbol describes the token.
+func (s Symbol) Matches(t Token) bool {
+	str := string(s)
+	switch {
+	case s == SymAny:
+		return true
+	case strings.HasPrefix(str, "CONST:"):
+		return t.Text == str[len("CONST:"):]
+	case strings.HasPrefix(str, "PUNCT:"):
+		return t.Class == ClassPunct && t.Text == str[len("PUNCT:"):]
+	case s == SymSpace:
+		return t.Class == ClassSpace
+	case s == SymAnyWord:
+		return t.Class == ClassWord
+	case s == SymCap:
+		return t.Class == ClassWord && isCapitalized(t.Text)
+	case s == SymUpper:
+		return t.Class == ClassWord && isUpper(t.Text)
+	case s == SymLower:
+		return t.Class == ClassWord && isLower(t.Text)
+	case s == SymAnyNum:
+		return t.Class == ClassNumber
+	case strings.HasPrefix(str, "NUM"):
+		var n int
+		if _, err := fmt.Sscanf(str, "NUM%d", &n); err != nil {
+			return false
+		}
+		return t.Class == ClassNumber && len(t.Text) == n
+	case s == SymMixed:
+		return t.Class == ClassMixed
+	}
+	return false
+}
+
+// Generalizations lists the symbols describing t, from most specific
+// (its literal constant) to most general (ANY). Pattern learners walk this
+// ladder when they generalize example values.
+func Generalizations(t Token) []Symbol {
+	syms := []Symbol{Const(t.Text)}
+	switch t.Class {
+	case ClassWord:
+		switch {
+		case isUpper(t.Text):
+			syms = append(syms, SymUpper)
+		case isCapitalized(t.Text):
+			syms = append(syms, SymCap)
+		case isLower(t.Text):
+			syms = append(syms, SymLower)
+		}
+		syms = append(syms, SymAnyWord)
+	case ClassNumber:
+		syms = append(syms, NumLen(len(t.Text)), SymAnyNum)
+	case ClassPunct:
+		syms = append(syms, PunctSym(t.Text))
+	case ClassSpace:
+		syms = append(syms, SymSpace)
+	case ClassMixed:
+		syms = append(syms, SymMixed)
+	}
+	return append(syms, SymAny)
+}
+
+// Generalize returns the most specific non-constant symbol for t — the
+// default one-step generalization ("Creek" → CAPWORD, "083" → NUM3).
+func Generalize(t Token) Symbol {
+	g := Generalizations(t)
+	for _, s := range g[1:] {
+		return s
+	}
+	return SymAny
+}
+
+// Pattern is a sequence of symbols describing a whole field value.
+type Pattern []Symbol
+
+// MatchesValue reports whether the pattern matches the full tokenization
+// of the raw value (whitespace tokens included).
+func (p Pattern) MatchesValue(raw string) bool {
+	return p.MatchesTokens(Tokenize(raw))
+}
+
+// MatchesTokens reports whether the pattern matches the token sequence
+// exactly (same length, symbol-wise match).
+func (p Pattern) MatchesTokens(toks []Token) bool {
+	if len(p) != len(toks) {
+		return false
+	}
+	for i, s := range p {
+		if !s.Matches(toks[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String joins the symbols with spaces.
+func (p Pattern) String() string {
+	parts := make([]string, len(p))
+	for i, s := range p {
+		parts[i] = string(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// Key returns a canonical map key for the pattern.
+func (p Pattern) Key() string { return p.String() }
+
+// ShapeOf returns the fully generalized pattern of a raw value: every token
+// replaced by its one-step generalization. Two values with the same shape
+// "look alike" (e.g. all 5-digit zip codes share NUM5).
+func ShapeOf(raw string) Pattern {
+	toks := Tokenize(raw)
+	p := make(Pattern, len(toks))
+	for i, t := range toks {
+		p[i] = Generalize(t)
+	}
+	return p
+}
+
+// GeneralizePair returns the most specific pattern matching both token
+// sequences, or nil if they have different lengths. Per-position it keeps
+// the constant if texts agree, else the most specific shared generalized
+// symbol.
+func GeneralizePair(a, b []Token) Pattern {
+	if len(a) != len(b) {
+		return nil
+	}
+	p := make(Pattern, len(a))
+	for i := range a {
+		p[i] = commonSymbol(a[i], b[i])
+	}
+	return p
+}
+
+func commonSymbol(a, b Token) Symbol {
+	for _, s := range Generalizations(a) {
+		if s.Matches(b) {
+			return s
+		}
+	}
+	return SymAny
+}
+
+// GeneralizeAll folds GeneralizePair over all token sequences; nil if any
+// pair has mismatched lengths.
+func GeneralizeAll(seqs [][]Token) Pattern {
+	if len(seqs) == 0 {
+		return nil
+	}
+	cur := make(Pattern, len(seqs[0]))
+	for i, t := range seqs[0] {
+		cur[i] = Const(t.Text)
+	}
+	for _, seq := range seqs[1:] {
+		if len(seq) != len(cur) {
+			return nil
+		}
+		for i, t := range seq {
+			if !cur[i].Matches(t) {
+				// Walk the ladder from the current symbol's token until a
+				// symbol covers both.
+				cur[i] = widen(cur[i], t)
+			}
+		}
+	}
+	return cur
+}
+
+// widen finds the most specific generalization of tok that is implied by
+// (at least as general as) sym or more general.
+func widen(sym Symbol, tok Token) Symbol {
+	ladder := Generalizations(tok)
+	// Find first symbol in tok's ladder that also matches everything sym
+	// matched. We approximate: pick the first symbol at or after sym's
+	// generality level that matches tok; since ladders are short we test
+	// candidates against a probe reconstructed from sym.
+	for _, s := range ladder {
+		if s == sym {
+			return s
+		}
+		if symbolSubsumes(s, sym) {
+			return s
+		}
+	}
+	return SymAny
+}
+
+// symbolSubsumes reports whether general covers everything specific covers,
+// using the static generality ordering of the symbol language.
+func symbolSubsumes(general, specific Symbol) bool {
+	if general == specific || general == SymAny {
+		return true
+	}
+	g, s := string(general), string(specific)
+	switch {
+	case general == SymAnyWord:
+		return specific == SymCap || specific == SymUpper || specific == SymLower ||
+			(strings.HasPrefix(s, "CONST:") && allLetters(s[6:]))
+	case general == SymCap:
+		return strings.HasPrefix(s, "CONST:") && isCapitalized(s[6:]) && allLetters(s[6:])
+	case general == SymUpper:
+		return strings.HasPrefix(s, "CONST:") && isUpper(s[6:]) && allLetters(s[6:])
+	case general == SymLower:
+		return strings.HasPrefix(s, "CONST:") && isLower(s[6:]) && allLetters(s[6:])
+	case general == SymAnyNum:
+		return strings.HasPrefix(s, "NUM") || (strings.HasPrefix(s, "CONST:") && allDigits(s[6:]))
+	}
+	if strings.HasPrefix(g, "NUM") {
+		var n int
+		if _, err := fmt.Sscanf(g, "NUM%d", &n); err == nil {
+			return strings.HasPrefix(s, "CONST:") && allDigits(s[6:]) && len(s[6:]) == n
+		}
+	}
+	if strings.HasPrefix(g, "PUNCT:") {
+		return strings.HasPrefix(s, "CONST:") && s[6:] == g[6:]
+	}
+	if general == SymSpace {
+		return strings.HasPrefix(s, "CONST:") && strings.TrimSpace(s[6:]) == ""
+	}
+	if general == SymMixed {
+		return strings.HasPrefix(s, "CONST:")
+	}
+	return false
+}
+
+func isCapitalized(s string) bool {
+	r := []rune(s)
+	if len(r) == 0 || !unicode.IsUpper(r[0]) {
+		return false
+	}
+	for _, c := range r[1:] {
+		if !unicode.IsLower(c) {
+			return false
+		}
+	}
+	return true
+}
+
+func isUpper(s string) bool {
+	has := false
+	for _, c := range s {
+		if !unicode.IsUpper(c) {
+			return false
+		}
+		has = true
+	}
+	return has
+}
+
+func isLower(s string) bool {
+	has := false
+	for _, c := range s {
+		if !unicode.IsLower(c) {
+			return false
+		}
+		has = true
+	}
+	return has
+}
+
+func allLetters(s string) bool {
+	for _, c := range s {
+		if !unicode.IsLetter(c) {
+			return false
+		}
+	}
+	return s != ""
+}
+
+func allDigits(s string) bool {
+	for _, c := range s {
+		if !unicode.IsDigit(c) {
+			return false
+		}
+	}
+	return s != ""
+}

@@ -1,0 +1,304 @@
+package tokenizer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeClasses(t *testing.T) {
+	toks := Tokenize("1200 NW 42nd Ave, Coconut Creek FL 33066")
+	wantText := []string{"1200", " ", "NW", " ", "42nd", " ", "Ave", ",", " ", "Coconut", " ", "Creek", " ", "FL", " ", "33066"}
+	if len(toks) != len(wantText) {
+		t.Fatalf("token count %d want %d: %v", len(toks), len(wantText), toks)
+	}
+	for i, w := range wantText {
+		if toks[i].Text != w {
+			t.Errorf("tok[%d].Text = %q want %q", i, toks[i].Text, w)
+		}
+	}
+	if toks[0].Class != ClassNumber || toks[2].Class != ClassWord ||
+		toks[4].Class != ClassMixed || toks[7].Class != ClassPunct ||
+		toks[1].Class != ClassSpace {
+		t.Errorf("classes wrong: %v", toks)
+	}
+}
+
+func TestTokenizeEmptyAndUnicode(t *testing.T) {
+	if len(Tokenize("")) != 0 {
+		t.Error("empty string should yield no tokens")
+	}
+	toks := Tokenize("Café 12")
+	if len(toks) != 3 || toks[0].Text != "Café" || toks[0].Class != ClassWord {
+		t.Errorf("unicode tokenization wrong: %v", toks)
+	}
+}
+
+func TestTokenizeLosslessProperty(t *testing.T) {
+	// Property: concatenating token texts reconstructs the input.
+	f := func(s string) bool {
+		var b strings.Builder
+		for _, tok := range Tokenize(s) {
+			b.WriteString(tok.Text)
+		}
+		return b.String() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for c, want := range map[Class]string{
+		ClassWord: "word", ClassNumber: "number", ClassPunct: "punct",
+		ClassSpace: "space", ClassMixed: "mixed",
+	} {
+		if c.String() != want {
+			t.Errorf("Class %d String = %q want %q", c, c.String(), want)
+		}
+	}
+	if !strings.Contains(Class(42).String(), "42") {
+		t.Error("unknown class should embed its number")
+	}
+}
+
+func TestSymbolMatches(t *testing.T) {
+	cases := []struct {
+		sym  Symbol
+		text string
+		want bool
+	}{
+		{Const("Creek"), "Creek", true},
+		{Const("Creek"), "Creeks", false},
+		{SymCap, "Creek", true},
+		{SymCap, "CREEK", false},
+		{SymCap, "creek", false},
+		{SymUpper, "FL", true},
+		{SymUpper, "Fl", false},
+		{SymLower, "ave", true},
+		{SymLower, "Ave", false},
+		{SymAnyWord, "anything", true},
+		{SymAnyWord, "123", false},
+		{SymAnyNum, "33066", true},
+		{SymAnyNum, "abc", false},
+		{NumLen(5), "33066", true},
+		{NumLen(5), "3306", false},
+		{NumLen(3), "305", true},
+		{PunctSym(","), ",", true},
+		{PunctSym(","), ".", false},
+		{SymSpace, " ", true},
+		{SymMixed, "42nd", true},
+		{SymAny, "whatever", true},
+	}
+	for _, c := range cases {
+		toks := Tokenize(c.text)
+		if len(toks) != 1 {
+			t.Fatalf("test text %q should be one token", c.text)
+		}
+		if got := c.sym.Matches(toks[0]); got != c.want {
+			t.Errorf("%s.Matches(%q) = %v want %v", c.sym, c.text, got, c.want)
+		}
+	}
+	if Symbol("NUMx").Matches(Token{Text: "1", Class: ClassNumber}) {
+		t.Error("malformed NUM symbol should not match")
+	}
+	if Symbol("bogus").Matches(Token{Text: "x", Class: ClassWord}) {
+		t.Error("unknown symbol should not match")
+	}
+}
+
+func TestGeneralizationsLadder(t *testing.T) {
+	tok := Tokenize("Creek")[0]
+	g := Generalizations(tok)
+	if g[0] != Const("Creek") || g[len(g)-1] != SymAny {
+		t.Errorf("ladder should run const→ANY: %v", g)
+	}
+	// Every rung must match the token itself.
+	for _, s := range g {
+		if !s.Matches(tok) {
+			t.Errorf("ladder symbol %s does not match its own token", s)
+		}
+	}
+	if Generalize(tok) != SymCap {
+		t.Errorf("Generalize(Creek) = %s want CAPWORD", Generalize(tok))
+	}
+	if Generalize(Tokenize("33066")[0]) != NumLen(5) {
+		t.Error("Generalize(33066) should be NUM5")
+	}
+	if Generalize(Tokenize(",")[0]) != PunctSym(",") {
+		t.Error("Generalize(,) should be PUNCT:,")
+	}
+	if Generalize(Tokenize(" ")[0]) != SymSpace {
+		t.Error("Generalize(space) should be SPC")
+	}
+	if Generalize(Tokenize("42nd")[0]) != SymMixed {
+		t.Error("Generalize(42nd) should be ALNUM")
+	}
+	if Generalize(Tokenize("FL")[0]) != SymUpper {
+		t.Error("Generalize(FL) should be UPPER")
+	}
+	if Generalize(Tokenize("ave")[0]) != SymLower {
+		t.Error("Generalize(ave) should be LOWER")
+	}
+}
+
+func TestGeneralizationsLadderProperty(t *testing.T) {
+	// Property: every symbol in a token's ladder matches the token.
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			for _, sym := range Generalizations(tok) {
+				if !sym.Matches(tok) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternMatchesValue(t *testing.T) {
+	p := ShapeOf("33066")
+	if len(p) != 1 || p[0] != NumLen(5) {
+		t.Fatalf("ShapeOf(33066) = %v", p)
+	}
+	if !p.MatchesValue("08540") {
+		t.Error("NUM5 should match another zip")
+	}
+	if p.MatchesValue("123") || p.MatchesValue("abcde") {
+		t.Error("NUM5 should not match NUM3 or words")
+	}
+	addr := ShapeOf("1200 NW 42nd Ave")
+	if !addr.MatchesValue("3500 SW 3rd St") {
+		t.Errorf("address shape %s should match another address", addr)
+	}
+	if addr.MatchesValue("Coconut Creek") {
+		t.Error("address shape should not match a city")
+	}
+}
+
+func TestPatternStringAndKey(t *testing.T) {
+	p := Pattern{SymCap, SymSpace, NumLen(3)}
+	if p.String() != "CAPWORD SPC NUM3" || p.Key() != p.String() {
+		t.Errorf("Pattern.String = %q", p.String())
+	}
+}
+
+func TestShapeOfMatchesSelfProperty(t *testing.T) {
+	f := func(s string) bool { return ShapeOf(s).MatchesValue(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneralizePair(t *testing.T) {
+	a, b := Tokenize("Coconut Creek"), Tokenize("Pompano Beach")
+	p := GeneralizePair(a, b)
+	// The shared " " separator stays a constant (texts agree).
+	want := Pattern{SymCap, Const(" "), SymCap}
+	if p.String() != want.String() {
+		t.Errorf("GeneralizePair = %s want %s", p, want)
+	}
+	// Shared constant stays constant.
+	p2 := GeneralizePair(Tokenize("FL 33066"), Tokenize("FL 33067"))
+	if p2[0] != Const("FL") || p2[2] != NumLen(5) {
+		t.Errorf("GeneralizePair keeps shared consts: %s", p2)
+	}
+	if GeneralizePair(Tokenize("a"), Tokenize("a b")) != nil {
+		t.Error("length mismatch should yield nil")
+	}
+}
+
+func TestGeneralizeAll(t *testing.T) {
+	seqs := [][]Token{
+		Tokenize("FL 33066"),
+		Tokenize("FL 33067"),
+		Tokenize("FL 33442"),
+	}
+	p := GeneralizeAll(seqs)
+	if p[0] != Const("FL") || p[2] != NumLen(5) {
+		t.Errorf("GeneralizeAll = %s", p)
+	}
+	for _, s := range []string{"FL 33066", "FL 33067", "FL 33442", "FL 99999"} {
+		if !p.MatchesValue(s) {
+			t.Errorf("generalized pattern should match %q", s)
+		}
+	}
+	if p.MatchesValue("GA 33066") {
+		t.Error("pattern with CONST:FL should not match GA")
+	}
+	if GeneralizeAll(nil) != nil {
+		t.Error("no sequences → nil")
+	}
+	if GeneralizeAll([][]Token{Tokenize("a"), Tokenize("a b")}) != nil {
+		t.Error("ragged lengths → nil")
+	}
+	// Mixing word cases widens to WORD.
+	pw := GeneralizeAll([][]Token{Tokenize("Creek"), Tokenize("CREEK"), Tokenize("creek")})
+	if pw[0] != SymAnyWord {
+		t.Errorf("mixed-case words should widen to WORD, got %s", pw[0])
+	}
+	// Mixing a word and a number widens to ANY.
+	pa := GeneralizeAll([][]Token{Tokenize("Creek"), Tokenize("33066")})
+	if pa[0] != SymAny {
+		t.Errorf("word vs number should widen to ANY, got %s", pa[0])
+	}
+}
+
+func TestGeneralizeAllCoversInputsProperty(t *testing.T) {
+	// Property: the pattern from GeneralizeAll matches every input it was
+	// built from (when all inputs tokenize to the same length).
+	f := func(a, b, c string) bool {
+		seqs := [][]Token{Tokenize(a), Tokenize(b), Tokenize(c)}
+		p := GeneralizeAll(seqs)
+		if p == nil {
+			return true
+		}
+		for _, s := range seqs {
+			if !p.MatchesTokens(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSymbolSubsumes(t *testing.T) {
+	cases := []struct {
+		general, specific Symbol
+		want              bool
+	}{
+		{SymAny, SymCap, true},
+		{SymAnyWord, SymCap, true},
+		{SymAnyWord, Const("Creek"), true},
+		{SymAnyWord, Const("33"), false},
+		{SymCap, Const("Creek"), true},
+		{SymCap, Const("creek"), false},
+		{SymUpper, Const("FL"), true},
+		{SymLower, Const("ave"), true},
+		{SymAnyNum, NumLen(5), true},
+		{SymAnyNum, Const("42"), true},
+		{NumLen(2), Const("42"), true},
+		{NumLen(3), Const("42"), false},
+		{PunctSym(","), Const(","), true},
+		{PunctSym(","), Const("."), false},
+		{SymSpace, Const(" "), true},
+		{SymCap, SymCap, true},
+	}
+	for _, c := range cases {
+		if got := symbolSubsumes(c.general, c.specific); got != c.want {
+			t.Errorf("symbolSubsumes(%s, %s) = %v want %v", c.general, c.specific, got, c.want)
+		}
+	}
+}
+
+func TestIsConst(t *testing.T) {
+	if !Const("x").IsConst() || SymCap.IsConst() {
+		t.Error("IsConst wrong")
+	}
+}

@@ -1,0 +1,249 @@
+// Package transform implements the paper's "complex functions /
+// transforms" extension (§5): operations that are hard to demonstrate by
+// copying — arithmetic, string surgery, formatting — are instead
+// *searched for*: the user types the desired output for a few rows, and
+// the system searches a library of candidate functions over the existing
+// columns for one consistent with those examples (following the
+// transformation-discovery idea of [19]), then auto-completes the rest of
+// the column.
+package transform
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"copycat/internal/table"
+)
+
+// Transform is one candidate function from argument values to an output.
+type Transform struct {
+	// Name describes the function, e.g. `concat(", ")` or `mul`.
+	Name string
+	// Arity is the number of column arguments.
+	Arity int
+	// Apply computes the output for one row's argument values. A nil
+	// return (with no error) means "no output for this input".
+	Apply func(args []table.Value) (table.Value, error)
+}
+
+// Library returns the built-in transform catalog: string composition and
+// case functions, token surgery, and arithmetic.
+func Library() []Transform {
+	var lib []Transform
+	// String composition with common separators.
+	for _, sep := range []string{"", " ", ", ", "-", "/"} {
+		sep := sep
+		lib = append(lib, Transform{
+			Name:  fmt.Sprintf("concat(%q)", sep),
+			Arity: 2,
+			Apply: func(args []table.Value) (table.Value, error) {
+				return table.S(args[0].Text() + sep + args[1].Text()), nil
+			},
+		})
+	}
+	lib = append(lib,
+		Transform{Name: "upper", Arity: 1, Apply: func(a []table.Value) (table.Value, error) {
+			return table.S(strings.ToUpper(a[0].Text())), nil
+		}},
+		Transform{Name: "lower", Arity: 1, Apply: func(a []table.Value) (table.Value, error) {
+			return table.S(strings.ToLower(a[0].Text())), nil
+		}},
+		Transform{Name: "title", Arity: 1, Apply: func(a []table.Value) (table.Value, error) {
+			return table.S(titleCase(a[0].Text())), nil
+		}},
+		Transform{Name: "trim", Arity: 1, Apply: func(a []table.Value) (table.Value, error) {
+			return table.S(strings.TrimSpace(a[0].Text())), nil
+		}},
+	)
+	// Token extraction: first/last word, k-th word.
+	lib = append(lib,
+		Transform{Name: "firstWord", Arity: 1, Apply: wordAt(0)},
+		Transform{Name: "secondWord", Arity: 1, Apply: wordAt(1)},
+		Transform{Name: "lastWord", Arity: 1, Apply: func(a []table.Value) (table.Value, error) {
+			fs := strings.Fields(a[0].Text())
+			if len(fs) == 0 {
+				return table.Null(), nil
+			}
+			return table.S(fs[len(fs)-1]), nil
+		}},
+		Transform{Name: "initials", Arity: 1, Apply: func(a []table.Value) (table.Value, error) {
+			var b strings.Builder
+			for _, w := range strings.Fields(a[0].Text()) {
+				r := []rune(w)
+				if len(r) > 0 {
+					b.WriteRune(r[0])
+				}
+			}
+			return table.S(strings.ToUpper(b.String())), nil
+		}},
+	)
+	// Arithmetic over numeric-parsable values.
+	bin := func(name string, f func(x, y float64) (float64, bool)) Transform {
+		return Transform{Name: name, Arity: 2, Apply: func(a []table.Value) (table.Value, error) {
+			x, okX := num(a[0])
+			y, okY := num(a[1])
+			if !okX || !okY {
+				return table.Null(), nil
+			}
+			out, ok := f(x, y)
+			if !ok {
+				return table.Null(), nil
+			}
+			return table.N(out), nil
+		}}
+	}
+	lib = append(lib,
+		bin("add", func(x, y float64) (float64, bool) { return x + y, true }),
+		bin("sub", func(x, y float64) (float64, bool) { return x - y, true }),
+		bin("mul", func(x, y float64) (float64, bool) { return x * y, true }),
+		bin("div", func(x, y float64) (float64, bool) {
+			if y == 0 {
+				return 0, false
+			}
+			return x / y, true
+		}),
+	)
+	// Unary numeric scaling by common constants.
+	for _, k := range []float64{2, 10, 100, 0.5} {
+		k := k
+		lib = append(lib, Transform{
+			Name: fmt.Sprintf("scale(%g)", k), Arity: 1,
+			Apply: func(a []table.Value) (table.Value, error) {
+				x, ok := num(a[0])
+				if !ok {
+					return table.Null(), nil
+				}
+				return table.N(x * k), nil
+			},
+		})
+	}
+	return lib
+}
+
+func wordAt(i int) func([]table.Value) (table.Value, error) {
+	return func(a []table.Value) (table.Value, error) {
+		fs := strings.Fields(a[0].Text())
+		if i >= len(fs) {
+			return table.Null(), nil
+		}
+		return table.S(fs[i]), nil
+	}
+}
+
+func num(v table.Value) (float64, bool) {
+	switch v.Kind() {
+	case table.KindNumber:
+		return v.Num(), true
+	case table.KindString:
+		f, err := strconv.ParseFloat(strings.TrimSpace(v.Str()), 64)
+		return f, err == nil
+	}
+	return 0, false
+}
+
+func titleCase(s string) string {
+	out := []rune(strings.ToLower(s))
+	start := true
+	for i, r := range out {
+		if start && r >= 'a' && r <= 'z' {
+			out[i] = r - 'a' + 'A'
+		}
+		start = r == ' ' || r == '-'
+	}
+	return string(out)
+}
+
+// Candidate is one discovered explanation of the example outputs.
+type Candidate struct {
+	Transform Transform
+	// ArgCols are the input column indexes feeding the transform.
+	ArgCols []int
+	// Consistent counts the examples the candidate reproduced.
+	Consistent int
+	// Desc is a human-readable description, e.g. `concat(", ")(City, State)`.
+	Desc string
+}
+
+// Apply computes the candidate's output for one row.
+func (c *Candidate) Apply(row table.Tuple) (table.Value, error) {
+	args := make([]table.Value, len(c.ArgCols))
+	for i, idx := range c.ArgCols {
+		if idx >= len(row) {
+			return table.Null(), fmt.Errorf("transform: column %d out of range", idx)
+		}
+		args[i] = row[idx]
+	}
+	return c.Transform.Apply(args)
+}
+
+// Discover searches the library for transforms over the existing columns
+// that reproduce the example outputs. rows holds the table's rows;
+// examples maps row index → desired output text (the cells the user
+// typed). Column names label the candidates. Results are ranked by
+// consistency, then simplicity (fewer arguments), and only candidates
+// explaining every example are returned.
+func Discover(schema table.Schema, rows []table.Tuple, examples map[int]string) []Candidate {
+	if len(examples) == 0 {
+		return nil
+	}
+	lib := Library()
+	nCols := len(schema)
+	var out []Candidate
+	tryCombo := func(t Transform, cols []int) {
+		cand := Candidate{Transform: t, ArgCols: append([]int(nil), cols...)}
+		for ri, want := range examples {
+			if ri < 0 || ri >= len(rows) {
+				return
+			}
+			got, err := cand.Apply(rows[ri])
+			if err != nil || got.IsNull() || !textEqual(got.Text(), want) {
+				return
+			}
+			cand.Consistent++
+		}
+		names := make([]string, len(cols))
+		for i, c := range cols {
+			names[i] = schema[c].Name
+		}
+		cand.Desc = fmt.Sprintf("%s(%s)", t.Name, strings.Join(names, ", "))
+		out = append(out, cand)
+	}
+	for _, t := range lib {
+		switch t.Arity {
+		case 1:
+			for c := 0; c < nCols; c++ {
+				tryCombo(t, []int{c})
+			}
+		case 2:
+			for a := 0; a < nCols; a++ {
+				for b := 0; b < nCols; b++ {
+					if a != b {
+						tryCombo(t, []int{a, b})
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Consistent != out[j].Consistent {
+			return out[i].Consistent > out[j].Consistent
+		}
+		if len(out[i].ArgCols) != len(out[j].ArgCols) {
+			return len(out[i].ArgCols) < len(out[j].ArgCols)
+		}
+		return out[i].Desc < out[j].Desc
+	})
+	return out
+}
+
+// textEqual compares outputs leniently: exact text, or equal as numbers.
+func textEqual(got, want string) bool {
+	if strings.TrimSpace(got) == strings.TrimSpace(want) {
+		return true
+	}
+	g, err1 := strconv.ParseFloat(strings.TrimSpace(got), 64)
+	w, err2 := strconv.ParseFloat(strings.TrimSpace(want), 64)
+	return err1 == nil && err2 == nil && g == w
+}

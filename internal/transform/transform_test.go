@@ -1,0 +1,225 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"copycat/internal/table"
+)
+
+func sampleRows() (table.Schema, []table.Tuple) {
+	schema := table.NewSchema("Name", "City", "State", "Capacity")
+	rows := []table.Tuple{
+		{table.S("North High School"), table.S("Coconut Creek"), table.S("FL"), table.N(100)},
+		{table.S("Creek Elementary"), table.S("Pompano Beach"), table.S("FL"), table.N(250)},
+		{table.S("Beach Middle School"), table.S("Palm Point"), table.S("FL"), table.N(75)},
+		{table.S("Sunset Armory"), table.S("Ibis Park"), table.S("FL"), table.N(300)},
+	}
+	return schema, rows
+}
+
+func TestLibraryShape(t *testing.T) {
+	lib := Library()
+	if len(lib) < 15 {
+		t.Fatalf("library too small: %d", len(lib))
+	}
+	for _, tr := range lib {
+		if tr.Name == "" || tr.Arity < 1 || tr.Arity > 2 || tr.Apply == nil {
+			t.Errorf("malformed transform %+v", tr)
+		}
+	}
+}
+
+func TestDiscoverConcat(t *testing.T) {
+	schema, rows := sampleRows()
+	// User wants "City, State".
+	cands := Discover(schema, rows, map[int]string{
+		0: "Coconut Creek, FL",
+		1: "Pompano Beach, FL",
+	})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	best := cands[0]
+	if !strings.Contains(best.Desc, "concat") || !strings.Contains(best.Desc, "City") {
+		t.Errorf("best = %s", best.Desc)
+	}
+	// The discovered transform completes the remaining rows correctly.
+	v, err := best.Apply(rows[2])
+	if err != nil || v.Text() != "Palm Point, FL" {
+		t.Errorf("apply = %q err %v", v.Text(), err)
+	}
+}
+
+func TestDiscoverArithmetic(t *testing.T) {
+	schema, rows := sampleRows()
+	// User wants capacity doubled (surge planning).
+	cands := Discover(schema, rows, map[int]string{0: "200", 1: "500"})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if !strings.Contains(cands[0].Desc, "Capacity") {
+		t.Errorf("best = %s", cands[0].Desc)
+	}
+	v, _ := cands[0].Apply(rows[2])
+	if v.Num() != 150 {
+		t.Errorf("apply(75×2) = %v", v.Text())
+	}
+}
+
+func TestDiscoverWordExtraction(t *testing.T) {
+	schema, rows := sampleRows()
+	cands := Discover(schema, rows, map[int]string{0: "North", 1: "Creek"})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if !strings.Contains(cands[0].Desc, "firstWord(Name)") {
+		t.Errorf("best = %s (want firstWord)", cands[0].Desc)
+	}
+}
+
+func TestDiscoverInitials(t *testing.T) {
+	schema, rows := sampleRows()
+	cands := Discover(schema, rows, map[int]string{0: "NHS", 1: "CE"})
+	found := false
+	for _, c := range cands {
+		if strings.Contains(c.Desc, "initials(Name)") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("initials not discovered: %v", descs(cands))
+	}
+}
+
+func TestDiscoverCase(t *testing.T) {
+	schema, rows := sampleRows()
+	cands := Discover(schema, rows, map[int]string{0: "NORTH HIGH SCHOOL"})
+	if len(cands) == 0 || !strings.Contains(cands[0].Desc, "upper(Name)") {
+		t.Errorf("upper not first: %v", descs(cands))
+	}
+	cands = Discover(schema, rows, map[int]string{0: "north high school"})
+	if len(cands) == 0 || !strings.Contains(cands[0].Desc, "lower(Name)") {
+		t.Errorf("lower not first: %v", descs(cands))
+	}
+}
+
+func descs(cands []Candidate) []string {
+	var out []string
+	for _, c := range cands {
+		out = append(out, c.Desc)
+	}
+	return out
+}
+
+func TestDiscoverRejectsInconsistent(t *testing.T) {
+	schema, rows := sampleRows()
+	// No library function maps these inputs to unrelated outputs.
+	cands := Discover(schema, rows, map[int]string{0: "xyzzy", 1: "plugh"})
+	if len(cands) != 0 {
+		t.Errorf("nonsense examples matched: %v", descs(cands))
+	}
+	// Empty examples → nil.
+	if Discover(schema, rows, nil) != nil {
+		t.Error("no examples should be nil")
+	}
+	// Out-of-range example rows are rejected rather than panicking.
+	if got := Discover(schema, rows, map[int]string{99: "x"}); len(got) != 0 {
+		t.Error("bad row index should match nothing")
+	}
+}
+
+func TestMoreExamplesDisambiguate(t *testing.T) {
+	schema, rows := sampleRows()
+	// One example "FL" is ambiguous (State column identity-ish via trim,
+	// firstWord(State), …). More examples keep only consistent ones.
+	one := Discover(schema, rows, map[int]string{0: "North"})
+	two := Discover(schema, rows, map[int]string{0: "North", 3: "Sunset"})
+	if len(two) > len(one) {
+		t.Errorf("more examples should not widen the candidate set: %d → %d", len(one), len(two))
+	}
+	for _, c := range two {
+		if c.Consistent != 2 {
+			t.Errorf("surviving candidate %s explains %d/2 examples", c.Desc, c.Consistent)
+		}
+	}
+}
+
+func TestTitleCase(t *testing.T) {
+	cases := map[string]string{
+		"NORTH HIGH":    "North High",
+		"coconut creek": "Coconut Creek",
+		"a-b c":         "A-B C",
+		"":              "",
+	}
+	for in, want := range cases {
+		if got := titleCase(in); got != want {
+			t.Errorf("titleCase(%q) = %q want %q", in, got, want)
+		}
+	}
+}
+
+func TestNumericLenience(t *testing.T) {
+	if !textEqual("200", "200.0") || !textEqual(" 5 ", "5") {
+		t.Error("numeric equality too strict")
+	}
+	if textEqual("abc", "abd") {
+		t.Error("different strings equal")
+	}
+}
+
+func TestDivByZeroAndNonNumeric(t *testing.T) {
+	lib := Library()
+	var div, mul Transform
+	for _, tr := range lib {
+		switch tr.Name {
+		case "div":
+			div = tr
+		case "mul":
+			mul = tr
+		}
+	}
+	if v, err := div.Apply([]table.Value{table.N(1), table.N(0)}); err != nil || !v.IsNull() {
+		t.Error("div by zero should be null, not error")
+	}
+	if v, err := mul.Apply([]table.Value{table.S("abc"), table.N(2)}); err != nil || !v.IsNull() {
+		t.Error("non-numeric arithmetic should be null")
+	}
+}
+
+func TestCandidateApplyOutOfRange(t *testing.T) {
+	schema, rows := sampleRows()
+	cands := Discover(schema, rows, map[int]string{0: "North"})
+	if len(cands) == 0 {
+		t.Fatal("need a candidate")
+	}
+	if _, err := cands[0].Apply(table.Tuple{}); err == nil {
+		t.Error("narrow row should error")
+	}
+}
+
+func TestTransformsTotalProperty(t *testing.T) {
+	// Property: no library transform panics or errors on arbitrary
+	// string inputs — they degrade to null.
+	lib := Library()
+	f := func(a, b string) bool {
+		args2 := []table.Value{table.S(a), table.S(b)}
+		args1 := []table.Value{table.S(a)}
+		for _, tr := range lib {
+			var err error
+			if tr.Arity == 1 {
+				_, err = tr.Apply(args1)
+			} else {
+				_, err = tr.Apply(args2)
+			}
+			if err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,233 @@
+package webworld
+
+import (
+	"fmt"
+	"strings"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/htmldoc"
+)
+
+// SiteStyle selects how the TV-news shelter site is rendered. The styles
+// form the page-complexity ladder of experiment E3: each step makes the
+// structure learner's hypothesis space larger (§3.1: "the more complex the
+// pages are, the more examples may be necessary").
+type SiteStyle uint8
+
+const (
+	// StyleTable is one clean page with a <table> — the easy case.
+	StyleTable SiteStyle = iota
+	// StyleList is one page with an <ul> of "Name — Street, City" items:
+	// fields must be segmented out of composite text.
+	StyleList
+	// StyleGrouped groups shelters by city under <h2> headings — the
+	// Figure 1 ambiguity (generalize to all shelters, or one city's?).
+	StyleGrouped
+	// StylePaged splits the table across pages linked by "Next".
+	StylePaged
+	// StyleForm gates pages behind a city-search form (input bindings
+	// must be discovered).
+	StyleForm
+	// StyleProse buries the shelters in free-text paragraphs with no
+	// repeating tag structure: only the sequential-covering fallback can
+	// extract them, and it needs one example per distinct value shape.
+	StyleProse
+)
+
+// String names the style.
+func (s SiteStyle) String() string {
+	switch s {
+	case StyleTable:
+		return "table"
+	case StyleList:
+		return "list"
+	case StyleGrouped:
+		return "grouped"
+	case StylePaged:
+		return "paged"
+	case StyleForm:
+		return "form"
+	case StyleProse:
+		return "prose"
+	}
+	return fmt.Sprintf("style(%d)", uint8(s))
+}
+
+// AllStyles lists the complexity ladder in order.
+func AllStyles() []SiteStyle {
+	return []SiteStyle{StyleTable, StyleList, StyleGrouped, StylePaged, StyleForm, StyleProse}
+}
+
+const pageSize = 8 // shelters per page for StylePaged
+
+// boilerplate wraps page content in realistic chrome: masthead, nav,
+// sidebar ad, and footer — the noise extraction must skip.
+func boilerplate(title, body string) string {
+	return fmt.Sprintf(`<!DOCTYPE html>
+<html><head><title>%s</title></head>
+<body>
+<div class="masthead"><h1>Channel 7 Storm Center</h1>
+<div class="nav"><a href="http://tv.example.com/">Home</a> <a href="http://tv.example.com/weather">Weather</a> <a href="http://tv.example.com/closures">Closures</a></div></div>
+<div class="ad">Generators in stock at Hardware Depot — call 954-555-0199 today!</div>
+%s
+<div class="footer">Copyright 2008 Channel 7. Updated hourly during the emergency. Contact newsroom: 954-555-0147.</div>
+</body></html>`, htmldoc.Escape(title), body)
+}
+
+// ShelterSite renders the world's shelters as a TV-news web site in the
+// given style and returns it with all pages registered.
+func (w *World) ShelterSite(style SiteStyle) *docmodel.Site {
+	base := "http://tv.example.com/shelters"
+	site := docmodel.NewSite("Shelters", base)
+	switch style {
+	case StyleTable:
+		site.Add(docmodel.NewHTML(base, "Shelters", boilerplate("Open Shelters", w.shelterTableHTML(w.Shelters))))
+	case StyleList:
+		site.Add(docmodel.NewHTML(base, "Shelters", boilerplate("Open Shelters", w.shelterListHTML(w.Shelters))))
+	case StyleGrouped:
+		var b strings.Builder
+		for _, c := range w.Cities {
+			fmt.Fprintf(&b, "<h2>%s</h2>\n", htmldoc.Escape(c.Name))
+			b.WriteString(w.shelterTableHTML(w.SheltersIn(c.Name)))
+		}
+		site.Add(docmodel.NewHTML(base, "Shelters", boilerplate("Shelters by City", b.String())))
+	case StylePaged:
+		var pages [][]Shelter
+		for i := 0; i < len(w.Shelters); i += pageSize {
+			end := i + pageSize
+			if end > len(w.Shelters) {
+				end = len(w.Shelters)
+			}
+			pages = append(pages, w.Shelters[i:end])
+		}
+		for p, chunk := range pages {
+			url := base
+			if p > 0 {
+				url = fmt.Sprintf("%s?page=%d", base, p)
+			}
+			body := w.shelterTableHTML(chunk)
+			if p+1 < len(pages) {
+				body += fmt.Sprintf(`<p><a href="%s?page=%d" class="next">Next page</a></p>`, base, p+1)
+			}
+			site.Add(docmodel.NewHTML(url, fmt.Sprintf("Shelters p%d", p+1), boilerplate("Open Shelters", body)))
+		}
+	case StyleForm:
+		var b strings.Builder
+		b.WriteString(`<form action="http://tv.example.com/shelters/search"><input name="city" type="text"><input type="submit" value="Find shelters"></form>`)
+		b.WriteString("<p>Enter a city to list its shelters.</p>")
+		site.Add(docmodel.NewHTML(base, "Shelter Search", boilerplate("Shelter Search", b.String())))
+		site.Forms = append(site.Forms, docmodel.Form{
+			PageURL:   base,
+			Action:    "http://tv.example.com/shelters/search?city=",
+			InputName: "city",
+		})
+		for _, c := range w.Cities {
+			url := "http://tv.example.com/shelters/search?city=" + c.Name
+			site.Add(docmodel.NewHTML(url, "Shelters in "+c.Name,
+				boilerplate("Shelters in "+c.Name, w.shelterTableHTML(w.SheltersIn(c.Name)))))
+		}
+	case StyleProse:
+		site.Add(docmodel.NewHTML(base, "Shelters", boilerplate("Storm Updates", w.shelterProseHTML())))
+	}
+	return site
+}
+
+// shelterProseHTML writes one narrative paragraph per shelter, with
+// filler paragraphs in between — no table, list, or repeated class
+// structure for the experts to latch onto.
+func (w *World) shelterProseHTML() string {
+	filler := []string{
+		"County officials urge residents to stay off the roads tonight.",
+		"Power crews report scattered outages across the barrier islands.",
+		"Sandbag distribution continues while supplies last.",
+		"The causeway drawbridge remains locked down for the duration.",
+	}
+	var b strings.Builder
+	for i, s := range w.Shelters {
+		fmt.Fprintf(&b, "<p><b>%s</b> is accepting evacuees at %s in %s tonight.</p>\n",
+			htmldoc.Escape(s.Name), htmldoc.Escape(s.Street), htmldoc.Escape(s.City))
+		if i%3 == 2 {
+			fmt.Fprintf(&b, "<p>%s</p>\n", filler[(i/3)%len(filler)])
+		}
+	}
+	return b.String()
+}
+
+func (w *World) shelterTableHTML(shelters []Shelter) string {
+	var b strings.Builder
+	b.WriteString(`<table class="data"><tr><th>Shelter</th><th>Address</th><th>City</th><th>Status</th></tr>` + "\n")
+	for _, s := range shelters {
+		fmt.Fprintf(&b, `<tr><td><a href="http://tv.example.com/shelter/%d">%s</a></td><td>%s</td><td>%s</td><td>%s</td></tr>`+"\n",
+			s.ID, htmldoc.Escape(s.Name), htmldoc.Escape(s.Street), htmldoc.Escape(s.City), s.Status)
+	}
+	b.WriteString("</table>\n")
+	return b.String()
+}
+
+func (w *World) shelterListHTML(shelters []Shelter) string {
+	var b strings.Builder
+	b.WriteString(`<ul class="shelters">` + "\n")
+	for _, s := range shelters {
+		fmt.Fprintf(&b, `<li><b>%s</b> &mdash; %s, %s (%s)</li>`+"\n",
+			htmldoc.Escape(s.Name), htmldoc.Escape(s.Street), htmldoc.Escape(s.City), s.Status)
+	}
+	b.WriteString("</ul>\n")
+	return b.String()
+}
+
+// ShelterSiteRange renders a table-style site at baseURL covering only
+// Shelters[from:to] — a second, partially overlapping source for union
+// scenarios (§2.1: pasting rows from another source "expresses a
+// union").
+func (w *World) ShelterSiteRange(from, to int, name, baseURL string) *docmodel.Site {
+	if from < 0 {
+		from = 0
+	}
+	if to > len(w.Shelters) {
+		to = len(w.Shelters)
+	}
+	site := docmodel.NewSite(name, baseURL)
+	site.Add(docmodel.NewHTML(baseURL, name,
+		boilerplate(name, w.shelterTableHTML(w.Shelters[from:to]))))
+	return site
+}
+
+// ContactsSpreadsheet renders the contact list as the Excel-like CSV
+// document of the demo task.
+func (w *World) ContactsSpreadsheet() *docmodel.Document {
+	rows := [][]string{{"Contact", "Organization", "Address", "City", "Phone", "Email"}}
+	for _, c := range w.Contacts {
+		rows = append(rows, []string{c.Person, c.Org, c.Street, c.City, c.Phone, c.Email})
+	}
+	return docmodel.NewSpreadsheet("file:///contacts.csv", "Shelter Contacts", docmodel.FormatCSV(rows))
+}
+
+// SuppliesPage renders the relief-supply depots as a county web page.
+func (w *World) SuppliesPage() *docmodel.Site {
+	url := "http://county.example.gov/supplies"
+	var b strings.Builder
+	b.WriteString(`<table class="data"><tr><th>Depot</th><th>City</th><th>Item</th><th>Qty</th></tr>` + "\n")
+	for _, s := range w.Supplies {
+		fmt.Fprintf(&b, "<tr><td>%s</td><td>%s</td><td>%s</td><td>%d</td></tr>\n",
+			htmldoc.Escape(s.Depot), htmldoc.Escape(s.City), htmldoc.Escape(s.Item), s.Quantity)
+	}
+	b.WriteString("</table>\n")
+	site := docmodel.NewSite("Supplies", url)
+	site.Add(docmodel.NewHTML(url, "Relief Supplies", boilerplate("Relief Supplies", b.String())))
+	return site
+}
+
+// RoadsPage renders road conditions as a DOT web page.
+func (w *World) RoadsPage() *docmodel.Site {
+	url := "http://dot.example.gov/roads"
+	var b strings.Builder
+	b.WriteString(`<ul class="roads">` + "\n")
+	for _, r := range w.Roads {
+		fmt.Fprintf(&b, "<li>%s near %s: <b>%s</b></li>\n",
+			htmldoc.Escape(r.Road), htmldoc.Escape(r.City), r.Status)
+	}
+	b.WriteString("</ul>\n")
+	site := docmodel.NewSite("Roads", url)
+	site.Add(docmodel.NewHTML(url, "Road Conditions", boilerplate("Road Conditions", b.String())))
+	return site
+}

@@ -1,0 +1,340 @@
+package webworld
+
+import (
+	"strings"
+	"testing"
+
+	"copycat/internal/docmodel"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(DefaultConfig())
+	b := Generate(DefaultConfig())
+	if len(a.Shelters) != len(b.Shelters) || len(a.Shelters) == 0 {
+		t.Fatal("generation not deterministic in size")
+	}
+	for i := range a.Shelters {
+		if a.Shelters[i] != b.Shelters[i] {
+			t.Fatalf("shelter %d differs between runs", i)
+		}
+	}
+	for i := range a.Contacts {
+		if a.Contacts[i] != b.Contacts[i] {
+			t.Fatalf("contact %d differs between runs", i)
+		}
+	}
+	c := Generate(Config{Seed: 7, Cities: 3, SheltersPerCity: 2, Supplies: 4, Roads: 4})
+	if len(c.Cities) != 3 || len(c.Shelters) != 6 || len(c.Supplies) != 4 || len(c.Roads) != 4 {
+		t.Errorf("sizes wrong: %d cities %d shelters", len(c.Cities), len(c.Shelters))
+	}
+}
+
+func TestWorldInvariants(t *testing.T) {
+	w := Generate(DefaultConfig())
+	cityNames := map[string]bool{}
+	for _, c := range w.Cities {
+		if cityNames[c.Name] {
+			t.Errorf("duplicate city %s", c.Name)
+		}
+		cityNames[c.Name] = true
+		if len(c.Zips) == 0 {
+			t.Errorf("city %s has no zips", c.Name)
+		}
+		for _, z := range c.Zips {
+			if len(z) != 5 {
+				t.Errorf("zip %q not 5 digits", z)
+			}
+		}
+	}
+	for _, s := range w.Shelters {
+		if !cityNames[s.City] {
+			t.Errorf("shelter %s in unknown city %s", s.Name, s.City)
+		}
+		city := w.CityByName(s.City)
+		found := false
+		for _, z := range city.Zips {
+			if z == s.Zip {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("shelter %s zip %s not in city zips", s.Name, s.Zip)
+		}
+		if s.Capacity <= 0 || s.Street == "" || s.Phone == "" {
+			t.Errorf("shelter %d has empty fields: %+v", s.ID, s)
+		}
+	}
+	if w.CityByName("Atlantis") != nil {
+		t.Error("unknown city should be nil")
+	}
+}
+
+func TestContactsLinkToShelters(t *testing.T) {
+	w := Generate(DefaultConfig())
+	if len(w.Contacts) != len(w.Shelters) {
+		t.Fatalf("want one contact per shelter: %d vs %d", len(w.Contacts), len(w.Shelters))
+	}
+	perturbed := 0
+	for _, c := range w.Contacts {
+		s := w.Shelters[c.ShelterID]
+		if c.City != s.City {
+			t.Errorf("contact city %s != shelter city %s", c.City, s.City)
+		}
+		if c.Org != s.Name {
+			perturbed++
+		}
+		if !strings.Contains(c.Email, "@relief.example.org") {
+			t.Errorf("email format wrong: %s", c.Email)
+		}
+	}
+	// With noise 0.5 over 30 contacts, some but not all should differ.
+	if perturbed == 0 || perturbed == len(w.Contacts) {
+		t.Errorf("perturbation count suspicious: %d of %d", perturbed, len(w.Contacts))
+	}
+}
+
+func TestGroundTruthRelations(t *testing.T) {
+	w := Generate(DefaultConfig())
+	sr := w.ShelterRelation()
+	if sr.Len() != len(w.Shelters) || sr.Schema.Index("Zip") < 0 {
+		t.Error("ShelterRelation wrong")
+	}
+	cr := w.ContactRelation()
+	if cr.Len() != len(w.Contacts) || cr.Schema.Index("Email") < 0 {
+		t.Error("ContactRelation wrong")
+	}
+}
+
+func TestSheltersIn(t *testing.T) {
+	w := Generate(DefaultConfig())
+	total := 0
+	for _, c := range w.Cities {
+		in := w.SheltersIn(c.Name)
+		if len(in) != w.Config.SheltersPerCity {
+			t.Errorf("city %s has %d shelters want %d", c.Name, len(in), w.Config.SheltersPerCity)
+		}
+		total += len(in)
+	}
+	if total != len(w.Shelters) {
+		t.Error("SheltersIn does not partition")
+	}
+}
+
+func TestStyleNames(t *testing.T) {
+	names := map[SiteStyle]string{
+		StyleTable: "table", StyleList: "list", StyleGrouped: "grouped",
+		StylePaged: "paged", StyleForm: "form",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("style %d = %q want %q", s, s.String(), want)
+		}
+	}
+	if !strings.Contains(SiteStyle(99).String(), "99") {
+		t.Error("unknown style should embed number")
+	}
+	if len(AllStyles()) != 6 {
+		t.Error("AllStyles should list 6 styles")
+	}
+}
+
+func TestShelterSiteTable(t *testing.T) {
+	w := Generate(DefaultConfig())
+	site := w.ShelterSite(StyleTable)
+	root := site.RootPage()
+	if root == nil {
+		t.Fatal("no root page")
+	}
+	// Every shelter name appears on the page; boilerplate noise also there.
+	for _, s := range w.Shelters {
+		if !strings.Contains(root.Raw, s.Name) {
+			t.Errorf("page missing shelter %s", s.Name)
+		}
+	}
+	for _, noise := range []string{"Storm Center", "Hardware Depot", "Copyright 2008"} {
+		if !strings.Contains(root.Raw, noise) {
+			t.Errorf("page missing boilerplate %q", noise)
+		}
+	}
+	rows := root.DOM().Find("table").FindAll("tr")
+	if len(rows) != len(w.Shelters)+1 {
+		t.Errorf("table rows = %d want %d", len(rows), len(w.Shelters)+1)
+	}
+}
+
+func TestShelterSiteList(t *testing.T) {
+	w := Generate(DefaultConfig())
+	site := w.ShelterSite(StyleList)
+	lis := site.RootPage().DOM().FindAll("li")
+	if len(lis) != len(w.Shelters) {
+		t.Errorf("list items = %d want %d", len(lis), len(w.Shelters))
+	}
+	// Composite text includes the em-dash separator.
+	if !strings.Contains(lis[0].InnerText(), "—") {
+		t.Errorf("list item should contain em dash: %q", lis[0].InnerText())
+	}
+}
+
+func TestShelterSiteGrouped(t *testing.T) {
+	w := Generate(DefaultConfig())
+	site := w.ShelterSite(StyleGrouped)
+	doc := site.RootPage().DOM()
+	h2s := doc.FindAll("h2")
+	if len(h2s) != len(w.Cities) {
+		t.Errorf("h2 count = %d want %d", len(h2s), len(w.Cities))
+	}
+	tables := doc.FindAll("table")
+	if len(tables) != len(w.Cities) {
+		t.Errorf("tables = %d want %d", len(tables), len(w.Cities))
+	}
+}
+
+func TestShelterSitePaged(t *testing.T) {
+	w := Generate(DefaultConfig())
+	site := w.ShelterSite(StylePaged)
+	wantPages := (len(w.Shelters) + pageSize - 1) / pageSize
+	if len(site.Pages) != wantPages {
+		t.Fatalf("pages = %d want %d", len(site.Pages), wantPages)
+	}
+	// Follow next links from the root and count shelters seen.
+	seen := 0
+	cur := site.RootPage()
+	visited := map[string]bool{}
+	for cur != nil && !visited[cur.URL] {
+		visited[cur.URL] = true
+		seen += len(cur.DOM().Find("table").FindAll("tr")) - 1
+		var next *docmodel.Document
+		for _, href := range site.Links(cur) {
+			if !visited[href] {
+				next = site.Get(href)
+				break
+			}
+		}
+		cur = next
+	}
+	if seen != len(w.Shelters) {
+		t.Errorf("paged traversal saw %d shelters want %d", seen, len(w.Shelters))
+	}
+}
+
+func TestShelterSiteForm(t *testing.T) {
+	w := Generate(DefaultConfig())
+	site := w.ShelterSite(StyleForm)
+	if len(site.Forms) != 1 {
+		t.Fatalf("forms = %d", len(site.Forms))
+	}
+	f := site.Forms[0]
+	if f.InputName != "city" {
+		t.Errorf("form input = %s", f.InputName)
+	}
+	// Submitting each city yields that city's page.
+	for _, c := range w.Cities {
+		page := site.Get(f.Action + c.Name)
+		if page == nil {
+			t.Fatalf("no result page for %s", c.Name)
+		}
+		rows := page.DOM().Find("table").FindAll("tr")
+		if len(rows)-1 != len(w.SheltersIn(c.Name)) {
+			t.Errorf("city %s rows = %d want %d", c.Name, len(rows)-1, len(w.SheltersIn(c.Name)))
+		}
+	}
+}
+
+func TestContactsSpreadsheet(t *testing.T) {
+	w := Generate(DefaultConfig())
+	doc := w.ContactsSpreadsheet()
+	if doc.Kind != docmodel.KindSpreadsheet {
+		t.Fatal("kind wrong")
+	}
+	g := doc.Grid()
+	if len(g) != len(w.Contacts)+1 {
+		t.Fatalf("grid rows = %d", len(g))
+	}
+	if g[0][0] != "Contact" || g[0][5] != "Email" {
+		t.Errorf("header wrong: %v", g[0])
+	}
+	if g[1][0] != w.Contacts[0].Person {
+		t.Errorf("first row wrong: %v", g[1])
+	}
+}
+
+func TestSuppliesAndRoadsPages(t *testing.T) {
+	w := Generate(DefaultConfig())
+	sup := w.SuppliesPage()
+	rows := sup.RootPage().DOM().Find("table").FindAll("tr")
+	if len(rows)-1 != len(w.Supplies) {
+		t.Errorf("supplies rows = %d want %d", len(rows)-1, len(w.Supplies))
+	}
+	roads := w.RoadsPage()
+	lis := roads.RootPage().DOM().FindAll("li")
+	if len(lis) != len(w.Roads) {
+		t.Errorf("roads items = %d want %d", len(lis), len(w.Roads))
+	}
+}
+
+func TestPerturbHelpers(t *testing.T) {
+	w := Generate(Config{Seed: 9, Cities: 2, SheltersPerCity: 3, ContactsNoise: 1.0, Supplies: 1, Roads: 1})
+	// With noise 1.0 every contact gets a perturbation attempt; most orgs
+	// should differ from the shelter name.
+	diff := 0
+	for _, c := range w.Contacts {
+		if c.Org != w.Shelters[c.ShelterID].Name {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("noise=1.0 should perturb some org names")
+	}
+}
+
+func TestShelterSiteProse(t *testing.T) {
+	w := Generate(DefaultConfig())
+	site := w.ShelterSite(StyleProse)
+	root := site.RootPage()
+	if root == nil {
+		t.Fatal("no root")
+	}
+	// Every shelter appears in a paragraph with its bolded name.
+	doc := root.DOM()
+	bolds := doc.FindAll("b")
+	if len(bolds) != len(w.Shelters) {
+		t.Fatalf("bolded names = %d want %d", len(bolds), len(w.Shelters))
+	}
+	// Filler paragraphs exist between records.
+	if !strings.Contains(root.Raw, "Sandbag distribution") {
+		t.Error("filler paragraphs missing")
+	}
+	// And no table/list structure to latch onto.
+	if doc.Find("table") != nil || doc.Find("ul") != nil {
+		t.Error("prose page should have no table/list structure")
+	}
+}
+
+func TestShelterSiteRange(t *testing.T) {
+	w := Generate(DefaultConfig())
+	site := w.ShelterSiteRange(10, 20, "County", "http://county/shelters")
+	rows := site.RootPage().DOM().Find("table").FindAll("tr")
+	if len(rows)-1 != 10 {
+		t.Errorf("range rows = %d want 10", len(rows)-1)
+	}
+	if !strings.Contains(site.RootPage().Raw, w.Shelters[10].Name) {
+		t.Error("range start missing")
+	}
+	if strings.Contains(site.RootPage().Raw, w.Shelters[0].Street) {
+		t.Error("out-of-range shelter leaked in")
+	}
+	// Bounds are clamped.
+	all := w.ShelterSiteRange(-5, 999, "All", "http://x/")
+	rows = all.RootPage().DOM().Find("table").FindAll("tr")
+	if len(rows)-1 != len(w.Shelters) {
+		t.Errorf("clamped rows = %d", len(rows)-1)
+	}
+}
+
+func TestUnknownStyleYieldsEmptySite(t *testing.T) {
+	w := Generate(DefaultConfig())
+	site := w.ShelterSite(SiteStyle(99))
+	if len(site.Pages) != 0 {
+		t.Error("unknown style should produce no pages")
+	}
+}

@@ -1,0 +1,326 @@
+// Package webworld generates the deterministic synthetic world that stands
+// in for the live Web in the paper's demo (§8: shelter pages from a TV
+// news site, spreadsheets of contacts, geocoding services). Everything is
+// derived from a seed, so experiments are reproducible and learners can be
+// scored against exact ground truth.
+//
+// The world models a hurricane-relief scenario in a fictional Florida-like
+// county: cities with zip codes, shelters with addresses and geocodes,
+// contact people (with realistic name variations for record-linkage),
+// supply depots, and road conditions.
+package webworld
+
+import (
+	"fmt"
+	"math/rand"
+
+	"copycat/internal/table"
+)
+
+// City is a municipality with a zip code range.
+type City struct {
+	Name  string
+	State string
+	Zips  []string
+	// Lat/Lon is the city centroid; shelter coordinates jitter around it.
+	Lat, Lon float64
+}
+
+// Shelter is an emergency shelter.
+type Shelter struct {
+	ID       int
+	Name     string
+	Street   string
+	City     string
+	State    string
+	Zip      string
+	Lat, Lon float64
+	Capacity int
+	Status   string // "open", "full", "closed"
+	Phone    string
+}
+
+// Contact is a shelter contact person as recorded in a separate
+// spreadsheet. Org is the shelter name as the spreadsheet spells it —
+// often abbreviated or typo'd, so linking back to Shelter.Name requires
+// approximate matching.
+type Contact struct {
+	Person string
+	Org    string // noisy shelter name
+	Street string // noisy street
+	City   string
+	Phone  string
+	Email  string
+	// ShelterID is the ground-truth link (not exposed to learners).
+	ShelterID int
+}
+
+// Supply is a relief-supply depot.
+type Supply struct {
+	Depot    string
+	City     string
+	Item     string
+	Quantity int
+}
+
+// RoadCondition is one road-status report.
+type RoadCondition struct {
+	Road   string
+	City   string
+	Status string // "open", "flooded", "blocked"
+}
+
+// Config controls world size.
+type Config struct {
+	Seed            int64
+	Cities          int
+	SheltersPerCity int
+	ContactsNoise   float64 // probability a contact's org/street is perturbed
+	Supplies        int
+	Roads           int
+}
+
+// DefaultConfig matches the paper's "moderate number of Web and document
+// sources, each with KB or MB of data".
+func DefaultConfig() Config {
+	return Config{Seed: 42, Cities: 6, SheltersPerCity: 5, ContactsNoise: 0.5, Supplies: 12, Roads: 10}
+}
+
+// World is the generated ground truth.
+type World struct {
+	Config   Config
+	Cities   []City
+	Shelters []Shelter
+	Contacts []Contact
+	Supplies []Supply
+	Roads    []RoadCondition
+}
+
+var (
+	cityFirst   = []string{"Coconut", "Pompano", "Cypress", "Palm", "Sand", "Mangrove", "Heron", "Osprey", "Pelican", "Ibis", "Tamarind", "Sawgrass"}
+	citySecond  = []string{"Creek", "Beach", "Springs", "Grove", "Harbor", "Shores", "Park", "Lakes", "Point", "Ridge"}
+	streetNames = []string{"Main", "Ramblewood", "Atlantic", "Sample", "Hillsboro", "Copans", "Lyons", "Powerline", "Federal", "Dixie", "Riverside", "Banyan", "Cocoplum", "Seagrape"}
+	streetTypes = []string{"St", "Ave", "Blvd", "Dr", "Rd", "Way", "Ter"}
+	directions  = []string{"", "N", "S", "E", "W", "NW", "NE", "SW", "SE"}
+	schoolKinds = []string{"High School", "Elementary", "Middle School", "Community Center", "Recreation Center", "Civic Center", "Church Hall", "Armory"}
+	schoolFirst = []string{"North", "South", "East", "West", "Central", "Lakeside", "Riverview", "Sunset", "Highland", "Gateway", "Liberty", "Pioneer"}
+	firstNames  = []string{"Maria", "James", "Aisha", "Carlos", "Wen", "Priya", "Dmitri", "Sofia", "Kwame", "Lena", "Omar", "Grace", "Hector", "Yuki", "Tariq", "Nina"}
+	lastNames   = []string{"Alvarez", "Chen", "Okafor", "Smith", "Patel", "Nakamura", "Brown", "Silva", "Haddad", "Kim", "Johnson", "Garcia", "Novak", "Diallo", "Reyes", "Larsen"}
+	supplyItems = []string{"Water (cases)", "MRE rations", "Blankets", "Cots", "Generators", "Tarps", "First aid kits", "Flashlights"}
+	roadNames   = []string{"I-95", "US-1", "SR-7", "A1A", "Turnpike", "SR-869", "US-441", "I-595"}
+	statuses    = []string{"open", "open", "open", "full", "closed"}
+	roadStates  = []string{"open", "open", "flooded", "blocked"}
+)
+
+// Generate builds a world from the config. The same config always yields
+// the same world.
+func Generate(cfg Config) *World {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w := &World{Config: cfg}
+
+	usedCity := map[string]bool{}
+	for len(w.Cities) < cfg.Cities {
+		name := cityFirst[rng.Intn(len(cityFirst))] + " " + citySecond[rng.Intn(len(citySecond))]
+		if usedCity[name] {
+			continue
+		}
+		usedCity[name] = true
+		nzips := 1 + rng.Intn(2)
+		zips := make([]string, nzips)
+		for i := range zips {
+			zips[i] = fmt.Sprintf("33%03d", rng.Intn(1000))
+		}
+		w.Cities = append(w.Cities, City{
+			Name:  name,
+			State: "FL",
+			Zips:  zips,
+			Lat:   25.5 + rng.Float64()*1.5,
+			Lon:   -80.5 + rng.Float64()*0.8,
+		})
+	}
+
+	usedShelter := map[string]bool{}
+	id := 0
+	for ci := range w.Cities {
+		c := &w.Cities[ci]
+		for s := 0; s < cfg.SheltersPerCity; s++ {
+			var name string
+			for {
+				name = schoolFirst[rng.Intn(len(schoolFirst))] + " " + schoolKinds[rng.Intn(len(schoolKinds))]
+				if !usedShelter[name+c.Name] {
+					break
+				}
+			}
+			usedShelter[name+c.Name] = true
+			dir := directions[rng.Intn(len(directions))]
+			street := fmt.Sprintf("%d ", 100+rng.Intn(9800))
+			if dir != "" {
+				street += dir + " "
+			}
+			street += streetNames[rng.Intn(len(streetNames))] + " " + streetTypes[rng.Intn(len(streetTypes))]
+			w.Shelters = append(w.Shelters, Shelter{
+				ID:       id,
+				Name:     name,
+				Street:   street,
+				City:     c.Name,
+				State:    c.State,
+				Zip:      c.Zips[rng.Intn(len(c.Zips))],
+				Lat:      c.Lat + (rng.Float64()-0.5)*0.1,
+				Lon:      c.Lon + (rng.Float64()-0.5)*0.1,
+				Capacity: 50 * (1 + rng.Intn(20)),
+				Status:   statuses[rng.Intn(len(statuses))],
+				Phone:    fmt.Sprintf("954-555-%04d", rng.Intn(10000)),
+			})
+			id++
+		}
+	}
+
+	// One contact per shelter, with noisy org/street spellings.
+	for _, s := range w.Shelters {
+		person := firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+		org, street := s.Name, s.Street
+		if rng.Float64() < cfg.ContactsNoise {
+			org = perturbName(rng, org)
+		}
+		if rng.Float64() < cfg.ContactsNoise {
+			street = perturbStreet(rng, street)
+		}
+		w.Contacts = append(w.Contacts, Contact{
+			Person:    person,
+			Org:       org,
+			Street:    street,
+			City:      s.City,
+			Phone:     fmt.Sprintf("954-555-%04d", rng.Intn(10000)),
+			Email:     emailFor(person),
+			ShelterID: s.ID,
+		})
+	}
+
+	for i := 0; i < cfg.Supplies; i++ {
+		c := w.Cities[rng.Intn(len(w.Cities))]
+		w.Supplies = append(w.Supplies, Supply{
+			Depot:    fmt.Sprintf("Depot %c", 'A'+i%26),
+			City:     c.Name,
+			Item:     supplyItems[rng.Intn(len(supplyItems))],
+			Quantity: 10 * (1 + rng.Intn(100)),
+		})
+	}
+
+	for i := 0; i < cfg.Roads; i++ {
+		c := w.Cities[rng.Intn(len(w.Cities))]
+		w.Roads = append(w.Roads, RoadCondition{
+			Road:   roadNames[rng.Intn(len(roadNames))],
+			City:   c.Name,
+			Status: roadStates[rng.Intn(len(roadStates))],
+		})
+	}
+	return w
+}
+
+// perturbName abbreviates or typos a shelter name the way a hand-kept
+// spreadsheet does: "North High School" → "North HS", "N. High School".
+func perturbName(rng *rand.Rand, name string) string {
+	switch rng.Intn(4) {
+	case 0: // abbreviate known suffixes
+		repl := map[string]string{
+			"High School": "HS", "Elementary": "Elem", "Middle School": "MS",
+			"Community Center": "Comm Ctr", "Recreation Center": "Rec Ctr",
+			"Civic Center": "Civic Ctr", "Church Hall": "Church", "Armory": "Armory",
+		}
+		for long, short := range repl {
+			if len(name) > len(long) && name[len(name)-len(long):] == long {
+				return name[:len(name)-len(long)] + short
+			}
+		}
+		return name
+	case 1: // drop a trailing word
+		for i := len(name) - 1; i > 0; i-- {
+			if name[i] == ' ' {
+				return name[:i]
+			}
+		}
+		return name
+	case 2: // abbreviate the first word
+		for i := 0; i < len(name); i++ {
+			if name[i] == ' ' {
+				return name[:1] + "." + name[i:]
+			}
+		}
+		return name
+	default: // introduce a typo: drop one inner character
+		if len(name) > 4 {
+			i := 1 + rng.Intn(len(name)-2)
+			return name[:i] + name[i+1:]
+		}
+		return name
+	}
+}
+
+// perturbStreet abbreviates street types or drops the direction.
+func perturbStreet(rng *rand.Rand, street string) string {
+	if rng.Intn(2) == 0 {
+		repl := map[string]string{" St": " Street", " Ave": " Avenue", " Dr": " Drive", " Rd": " Road", " Blvd": " Boulevard"}
+		for short, long := range repl {
+			if len(street) > len(short) && street[len(street)-len(short):] == short {
+				return street[:len(street)-len(short)] + long
+			}
+		}
+	}
+	return street
+}
+
+func emailFor(person string) string {
+	var b []byte
+	for i := 0; i < len(person); i++ {
+		c := person[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			b = append(b, c+'a'-'A')
+		case c >= 'a' && c <= 'z':
+			b = append(b, c)
+		case c == ' ':
+			b = append(b, '.')
+		}
+	}
+	return string(b) + "@relief.example.org"
+}
+
+// CityByName returns the city record, or nil.
+func (w *World) CityByName(name string) *City {
+	for i := range w.Cities {
+		if w.Cities[i].Name == name {
+			return &w.Cities[i]
+		}
+	}
+	return nil
+}
+
+// SheltersIn returns the shelters of one city in ID order.
+func (w *World) SheltersIn(city string) []Shelter {
+	var out []Shelter
+	for _, s := range w.Shelters {
+		if s.City == city {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// ShelterRelation renders the full ground-truth shelter table.
+func (w *World) ShelterRelation() *table.Relation {
+	r := table.NewRelation("ShelterTruth", table.NewSchema("Name", "Street", "City", "State", "Zip", "Status"))
+	for _, s := range w.Shelters {
+		r.MustAppend(table.FromStrings([]string{s.Name, s.Street, s.City, s.State, s.Zip, s.Status}))
+	}
+	return r
+}
+
+// ContactRelation renders the ground-truth contact table (without the
+// hidden ShelterID link).
+func (w *World) ContactRelation() *table.Relation {
+	r := table.NewRelation("ContactTruth", table.NewSchema("Person", "Org", "Street", "City", "Phone", "Email"))
+	for _, c := range w.Contacts {
+		r.MustAppend(table.FromStrings([]string{c.Person, c.Org, c.Street, c.City, c.Phone, c.Email}))
+	}
+	return r
+}

@@ -1,0 +1,496 @@
+package workspace
+
+import (
+	"strings"
+	"testing"
+
+	"copycat/internal/catalog"
+	"copycat/internal/docmodel"
+	"copycat/internal/modellearn"
+	"copycat/internal/services"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/webworld"
+	"copycat/internal/wrappers"
+)
+
+// importedEnv returns an env with the shelter table already imported and
+// committed.
+func importedEnv(t *testing.T) *env {
+	t.Helper()
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestDiscoverAndApplyTransform(t *testing.T) {
+	e := importedEnv(t)
+	tab := e.ws.ActiveTab()
+	// The user wants "City, State"-style labels; types two examples.
+	want0 := tab.Rows[0].Cells[2].Str() + ", " + tab.Rows[0].Cells[1].Str()
+	want1 := tab.Rows[1].Cells[2].Str() + ", " + tab.Rows[1].Cells[1].Str()
+	cands := e.ws.DiscoverTransform(map[int]string{0: want0, 1: want1})
+	if len(cands) == 0 {
+		t.Fatal("no transform candidates")
+	}
+	if !strings.Contains(cands[0].Desc, "concat") {
+		t.Errorf("best candidate = %s", cands[0].Desc)
+	}
+	if err := e.ws.ApplyTransform(cands[0], "Label"); err != nil {
+		t.Fatal(err)
+	}
+	li := tab.Schema.Index("Label")
+	if li < 0 {
+		t.Fatal("Label column missing")
+	}
+	for _, r := range tab.Rows[:5] {
+		want := r.Cells[2].Str() + ", " + r.Cells[1].Str()
+		if r.Cells[li].Str() != want {
+			t.Errorf("transform output = %q want %q", r.Cells[li].Str(), want)
+		}
+	}
+	// The committed catalog relation widened too.
+	src := e.ws.Cat.Get(tab.SourceNode)
+	if src.Schema.Index("Label") < 0 {
+		t.Error("catalog relation not re-committed with the new column")
+	}
+	// Duplicate column name errors.
+	if err := e.ws.ApplyTransform(cands[0], "Label"); err == nil {
+		t.Error("duplicate column should error")
+	}
+}
+
+func TestTransformOnUncommittedTab(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 3)
+	cands := e.ws.DiscoverTransform(map[int]string{0: strings.ToUpper(e.w.Shelters[0].City)})
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	if err := e.ws.ApplyTransform(cands[0], "CITY"); err != nil {
+		t.Fatal(err)
+	}
+	if e.ws.ActiveTab().Schema.Index("CITY") < 0 {
+		t.Error("column not added")
+	}
+}
+
+func TestDemoteSuggestedTuple(t *testing.T) {
+	e := importedEnv(t)
+	e.ws.SetMode(ModeIntegration)
+	comps := e.ws.RefreshColumnSuggestions()
+	if len(comps) == 0 {
+		t.Fatal("no completions")
+	}
+	before := len(e.ws.PendingColumns()[0].Result.Rows)
+	if err := e.ws.DemoteSuggestedTuple(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := len(e.ws.PendingColumns()[0].Result.Rows)
+	if after != before-1 {
+		t.Errorf("demote should remove a tuple: %d → %d", before, after)
+	}
+	// Bad indexes error.
+	if e.ws.DemoteSuggestedTuple(99, 0) == nil || e.ws.DemoteSuggestedTuple(0, 9999) == nil {
+		t.Error("bad indexes should error")
+	}
+}
+
+func TestMassDemotionRejectsCompletion(t *testing.T) {
+	e := importedEnv(t)
+	e.ws.SetMode(ModeIntegration)
+	comps := e.ws.RefreshColumnSuggestions()
+	if len(comps) == 0 {
+		t.Fatal("no completions")
+	}
+	victim := comps[0].Edge.ID
+	// Demote tuples until the completion is auto-rejected.
+	for i := 0; i < 100; i++ {
+		cur := e.ws.PendingColumns()
+		if len(cur) == 0 || cur[0].Edge.ID != victim {
+			break
+		}
+		if err := e.ws.DemoteSuggestedTuple(0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, c := range e.ws.PendingColumns() {
+		if c.Edge.ID == victim {
+			t.Fatal("mass demotion did not reject the completion")
+		}
+	}
+	// The edge sank below the suggestion threshold.
+	if e.ws.Int.Graph.Edge(victim).Cost <= sourcegraph.SuggestThreshold {
+		t.Error("edge not demoted on the graph")
+	}
+}
+
+func TestPromoteSuggestedTuple(t *testing.T) {
+	e := importedEnv(t)
+	e.ws.SetMode(ModeIntegration)
+	comps := e.ws.RefreshColumnSuggestions()
+	if len(comps) == 0 {
+		t.Fatal("no completions")
+	}
+	id := comps[0].Edge.ID
+	if err := e.ws.PromoteSuggestedTuple(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cost := e.ws.Int.Graph.Edge(id).Cost; cost >= sourcegraph.DefaultCost {
+		t.Errorf("promotion should lower the edge cost: %f", cost)
+	}
+	if e.ws.PromoteSuggestedTuple(99, 0) == nil || e.ws.PromoteSuggestedTuple(0, 9999) == nil {
+		t.Error("bad indexes should error")
+	}
+}
+
+func TestUndoPaste(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	if e.ws.CanUndo() {
+		t.Error("fresh workspace has nothing to undo")
+	}
+	if err := e.ws.Undo(); err == nil {
+		t.Error("undo on empty stack should error")
+	}
+	e.pasteShelters(t, 2)
+	if !e.ws.CanUndo() {
+		t.Fatal("paste should be undoable")
+	}
+	if err := e.ws.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ws.ActiveTab().Rows) != 0 {
+		t.Errorf("undo should clear the pasted rows, got %d", len(e.ws.ActiveTab().Rows))
+	}
+}
+
+func TestUndoAcceptColumn(t *testing.T) {
+	e := importedEnv(t)
+	e.ws.SetMode(ModeIntegration)
+	comps := e.ws.RefreshColumnSuggestions()
+	if len(comps) == 0 {
+		t.Fatal("no completions")
+	}
+	widthBefore := len(e.ws.ActiveTab().Schema)
+	if err := e.ws.AcceptColumn(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ws.ActiveTab().Schema) <= widthBefore {
+		t.Fatal("accept should widen the schema")
+	}
+	if err := e.ws.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.ws.ActiveTab().Schema); got != widthBefore {
+		t.Errorf("undo should restore the schema width: %d want %d", got, widthBefore)
+	}
+	// The catalog relation shrank back as well.
+	src := e.ws.Cat.Get(e.ws.ActiveTab().SourceNode)
+	if len(src.Schema) != widthBefore {
+		t.Errorf("catalog schema = %d want %d", len(src.Schema), widthBefore)
+	}
+	// And the pending completions were restored with the snapshot.
+	if len(e.ws.PendingColumns()) == 0 {
+		t.Error("undo should restore pending completions")
+	}
+}
+
+func TestUndoSetCell(t *testing.T) {
+	e := importedEnv(t)
+	orig := e.ws.ActiveTab().Rows[0].Cells[0].Str()
+	if err := e.ws.SetCell(0, 0, "Scribble"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ws.ActiveTab().Rows[0].Cells[0].Str(); got != orig {
+		t.Errorf("undo SetCell: got %q want %q", got, orig)
+	}
+}
+
+func TestUndoStackBounded(t *testing.T) {
+	e := importedEnv(t)
+	for i := 0; i < maxUndo+10; i++ {
+		if err := e.ws.SetCell(0, 0, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(e.ws.undoStack) > maxUndo {
+		t.Errorf("undo stack grew to %d (max %d)", len(e.ws.undoStack), maxUndo)
+	}
+}
+
+func TestTransformTypedAsNewColumn(t *testing.T) {
+	// After a transform column is added, the model learner can type it if
+	// it matches a known type (e.g. a copied city column).
+	e := importedEnv(t)
+	tab := e.ws.ActiveTab()
+	c0 := tab.Rows[0].Cells[2].Str()
+	cands := e.ws.DiscoverTransform(map[int]string{0: c0})
+	var identityish int = -1
+	for i, c := range cands {
+		if strings.Contains(c.Desc, "trim(City)") || strings.Contains(c.Desc, "title(City)") {
+			identityish = i
+			break
+		}
+	}
+	if identityish < 0 {
+		t.Skip("no identity-like transform found")
+	}
+	if err := e.ws.ApplyTransform(cands[identityish], "CityCopy"); err != nil {
+		t.Fatal(err)
+	}
+	i := tab.Schema.Index("CityCopy")
+	if tab.Schema[i].SemType != modellearn.TypeCity {
+		t.Errorf("copied city column typed as %q", tab.Schema[i].SemType)
+	}
+}
+
+func TestUnionPasteFlow(t *testing.T) {
+	// §2.1: after importing the TV site's shelters, pasting a row from a
+	// second source with the same shape expresses a union — CopyCat
+	// spawns a background import and suggests the rest of the new source.
+	w := webworld.Generate(webworld.DefaultConfig())
+	half := len(w.Shelters) / 2
+	e := newEnvForWorld(t, w, half)
+	county := w.ShelterSiteRange(half, len(w.Shelters), "County Shelters", "http://county.example.gov/shelters")
+	countyBrowser := wrappers.NewBrowser(e.ws.Clip, county)
+
+	// Import the first half from the TV site.
+	e.pasteShelters(t, 2)
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.ws.ActiveTab().ConcreteRows()); got != half {
+		t.Fatalf("first import = %d rows want %d", got, half)
+	}
+
+	// Paste one county shelter into the same tab, matching the tab's
+	// 3-column shape (Name, Street, City).
+	s := w.Shelters[half]
+	sel, err := countyBrowser.CopyRows([][]string{{s.Name, s.Street, s.City}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	if e.ws.Mode() != ModeIntegration {
+		t.Error("cross-source paste should enter integration mode")
+	}
+	info := e.ws.RowSuggestions()
+	wantSuggested := len(w.Shelters) - half - 1 // county rows minus the pasted one
+	if info.Count != wantSuggested {
+		t.Fatalf("union suggestions = %d want %d (%s)", info.Count, wantSuggested, info.Description)
+	}
+	// Accepting completes the union.
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.ws.ActiveTab().ConcreteRows()); got != len(w.Shelters) {
+		t.Errorf("union rows = %d want %d", got, len(w.Shelters))
+	}
+	// All shelters present exactly once-ish: check coverage.
+	seen := map[string]bool{}
+	for _, r := range e.ws.ActiveTab().ConcreteRows() {
+		seen[r.Cells[0].Str()+"|"+r.Cells[1].Str()] = true
+	}
+	for _, s := range w.Shelters {
+		if !seen[s.Name+"|"+s.Street] {
+			t.Errorf("union missing shelter %s", s.Name)
+		}
+	}
+}
+
+// newEnvForWorld builds an env whose TV site covers only Shelters[0:n].
+func newEnvForWorld(t *testing.T, w *webworld.World, n int) *env {
+	t.Helper()
+	cat := catalog.New()
+	for _, svc := range services.Builtin(w) {
+		cat.AddService(svc, "builtin")
+	}
+	types := modellearn.NewLibrary()
+	modellearn.TrainBuiltins(types, w)
+	ws := New(cat, types)
+	site := w.ShelterSiteRange(0, n, "TV Shelters", "http://tv.example.com/shelters")
+	return &env{w: w, ws: ws, brows: wrappers.NewBrowser(ws.Clip, site)}
+}
+
+func TestSummarize(t *testing.T) {
+	e := importedEnv(t)
+	tab, err := e.ws.Summarize([]string{"City"}, "count")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Name != "Summary of Sheet1" {
+		t.Errorf("summary tab = %q", tab.Name)
+	}
+	if len(tab.Rows) != len(e.w.Cities) {
+		t.Fatalf("summary groups = %d want %d", len(tab.Rows), len(e.w.Cities))
+	}
+	ci := tab.Schema.Index("count")
+	for _, r := range tab.Rows {
+		if r.Cells[ci].Num() != float64(e.w.Config.SheltersPerCity) {
+			t.Errorf("city %s count = %v", r.Cells[0].Str(), r.Cells[ci].Text())
+		}
+	}
+	// Explanation of a summary row lists the contributing base tuples.
+	expl, err := e.ws.ExplainRow(0)
+	if err != nil || !strings.Contains(expl, "alternative derivations") {
+		t.Errorf("summary explanation = %q err %v", expl, err)
+	}
+	// Bad expressions error.
+	e.ws.SelectTab("Sheet1")
+	if _, err := e.ws.Summarize([]string{"City"}, "median(X)"); err == nil {
+		t.Error("bad aggregate should error")
+	}
+}
+
+func TestSmartSetCellDetectsIntent(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	// Editing a cell to a value that exists on the source page is a
+	// correction — generalized.
+	onPage := e.w.Shelters[5].Name
+	intent, err := e.ws.SmartSetCell(0, 0, onPage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intent != EditGeneralized {
+		t.Errorf("on-page edit intent = %s want generalized", intent)
+	}
+	// Editing to a value foreign to the page is cleaning.
+	intent, err = e.ws.SmartSetCell(1, 0, "Hand-Fixed Value 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intent != EditCleaning {
+		t.Errorf("foreign edit intent = %s want cleaning", intent)
+	}
+	// In cleaning mode, every edit stays local regardless of content.
+	e.ws.SetMode(ModeCleaning)
+	intent, err = e.ws.SmartSetCell(1, 0, onPage)
+	if err != nil || intent != EditCleaning {
+		t.Errorf("cleaning-mode intent = %s err %v", intent, err)
+	}
+	// Bad coordinates error.
+	if _, err := e.ws.SmartSetCell(999, 0, "x"); err == nil {
+		t.Error("bad cell should error")
+	}
+	if EditCleaning.String() != "cleaning" || EditGeneralized.String() != "generalized" {
+		t.Error("intent names wrong")
+	}
+}
+
+func TestSmartSetCellOnUnboundTab(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.ws.SelectTab("Fresh")
+	e.ws.SetMode(ModeCleaning)
+	sel := docmodel.Selection{Cells: [][]string{{"a", "b"}}}
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.SetMode(ModeImport)
+	intent, err := e.ws.SmartSetCell(0, 0, "zzz")
+	if err != nil || intent != EditCleaning {
+		t.Errorf("unbound tab edit = %s err %v", intent, err)
+	}
+}
+
+func TestAmbiguityResolutionExample1(t *testing.T) {
+	// A names-only tab fed through the Shelter Locator: duplicate
+	// institution names across cities yield multiple answers per input —
+	// the Example 1 ambiguity. The user picks the right one.
+	e := newEnv(t, webworld.StyleTable)
+	// Find a shelter name that exists in ≥2 cities.
+	counts := map[string]int{}
+	for _, s := range e.w.Shelters {
+		counts[s.Name]++
+	}
+	dup := ""
+	for n, c := range counts {
+		if c >= 2 {
+			dup = n
+			break
+		}
+	}
+	if dup == "" {
+		t.Skip("world has no duplicate shelter names")
+	}
+	sel, err := e.brows.CopyRows([][]string{{dup}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.RenameColumn(0, "Name")
+	e.ws.SetColumnType(0, modellearn.TypeOrgName)
+	// Keep only the single pasted row: reject all row suggestions.
+	for e.ws.RowSuggestions().Count > 0 && e.ws.RowSuggestions().Alternatives > 0 {
+		if err := e.ws.RejectRows(); err != nil {
+			break
+		}
+	}
+	tab := e.ws.ActiveTab()
+	tab.Rows = tab.Rows[:1]
+	if err := e.ws.CommitImport(); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.SetMode(ModeIntegration)
+	comps := e.ws.RefreshColumnSuggestions()
+	locIdx := -1
+	for i, c := range comps {
+		if c.Target == "Shelter Locator" {
+			locIdx = i
+		}
+	}
+	if locIdx < 0 {
+		t.Fatalf("no locator completion: %d comps", len(comps))
+	}
+	if err := e.ws.AcceptColumn(locIdx); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(e.ws.ActiveTab().Rows); got != counts[dup] {
+		t.Fatalf("ambiguous lookup rows = %d want %d", got, counts[dup])
+	}
+	groups := e.ws.AmbiguousGroups()
+	if len(groups) != 1 {
+		t.Fatalf("ambiguous groups = %d want 1", len(groups))
+	}
+	removed, err := e.ws.ChooseAlternative(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != counts[dup]-1 {
+		t.Errorf("removed %d siblings want %d", removed, counts[dup]-1)
+	}
+	if len(e.ws.ActiveTab().Rows) != 1 {
+		t.Errorf("rows after choice = %d", len(e.ws.ActiveTab().Rows))
+	}
+	if len(e.ws.AmbiguousGroups()) != 0 {
+		t.Error("ambiguity should be resolved")
+	}
+	// Errors on bad input.
+	if _, err := e.ws.ChooseAlternative(99); err == nil {
+		t.Error("bad row should error")
+	}
+}
+
+func TestServiceAlternatives(t *testing.T) {
+	e := importedEnv(t)
+	backup := services.NewZipResolver(e.w)
+	backup.SvcName = "Mirror Zip"
+	e.ws.Cat.AddService(backup, "mirror")
+	e.ws.Int.Graph.Discover(sourcegraph.DefaultOptions())
+	alts := e.ws.ServiceAlternatives("Zipcode Resolver")
+	if len(alts) != 1 || alts[0] != "Mirror Zip" {
+		t.Errorf("alternatives = %v", alts)
+	}
+	if e.ws.ServiceAlternatives("Nope") != nil {
+		t.Error("unknown service should have no alternatives")
+	}
+}

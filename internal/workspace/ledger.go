@@ -1,0 +1,96 @@
+package workspace
+
+import (
+	"fmt"
+
+	"copycat/internal/docmodel"
+)
+
+// Keystroke cost model for the E1 experiment, following the Karma
+// evaluation's methodology ([36]: auto-completions "saved approximately
+// 75% of keystrokes compared to manual integration of data by copy and
+// paste"). Costs are in keystroke-equivalents.
+const (
+	// CostPerChar is one keystroke per typed character.
+	CostPerChar = 1
+	// CostCopy covers selecting a region and pressing Ctrl-C.
+	CostCopy = 4
+	// CostPaste covers focusing the workspace cell and pressing Ctrl-V.
+	CostPaste = 3
+	// CostClick is a single mouse action (accept, reject, pick from a
+	// drop-down).
+	CostClick = 1
+)
+
+// Ledger tallies user effort in keystroke-equivalents.
+type Ledger struct {
+	Keystrokes int
+	Pastes     int
+	Copies     int
+	Accepts    int
+	Rejects    int
+	TypedChars int
+}
+
+// NewLedger creates a zeroed ledger.
+func NewLedger() *Ledger { return &Ledger{} }
+
+// Paste records a paste of the selection (plus the copy that preceded it).
+func (l *Ledger) Paste(sel docmodel.Selection) {
+	l.Copies++
+	l.Pastes++
+	l.Keystrokes += CostCopy + CostPaste
+}
+
+// Type records typing a string.
+func (l *Ledger) Type(s string) {
+	l.TypedChars += len(s)
+	l.Keystrokes += len(s) * CostPerChar
+}
+
+// Click records one generic click.
+func (l *Ledger) Click() { l.Keystrokes += CostClick }
+
+// Accept records accepting a suggestion.
+func (l *Ledger) Accept() {
+	l.Accepts++
+	l.Keystrokes += CostClick
+}
+
+// Reject records rejecting a suggestion.
+func (l *Ledger) Reject() {
+	l.Rejects++
+	l.Keystrokes += CostClick
+}
+
+// Reset zeroes the ledger.
+func (l *Ledger) Reset() { *l = Ledger{} }
+
+// String summarizes the ledger.
+func (l *Ledger) String() string {
+	return fmt.Sprintf("keystrokes=%d (pastes=%d copies=%d accepts=%d rejects=%d typed=%d)",
+		l.Keystrokes, l.Pastes, l.Copies, l.Accepts, l.Rejects, l.TypedChars)
+}
+
+// ManualCost estimates the keystrokes to enter the given rows entirely by
+// hand-typing — the baseline the Karma comparison uses.
+func ManualCost(rows [][]string) int {
+	n := 0
+	for _, row := range rows {
+		for _, cell := range row {
+			n += len(cell)*CostPerChar + CostClick // type + advance cell
+		}
+	}
+	return n
+}
+
+// ManualCopyPasteCost estimates the keystrokes to build the rows by
+// copying and pasting each cell individually from source applications —
+// the paper's "manual integration of data by copy and paste" baseline.
+func ManualCopyPasteCost(rows [][]string) int {
+	n := 0
+	for _, row := range rows {
+		n += len(row) * (CostCopy + CostPaste)
+	}
+	return n
+}

@@ -1,0 +1,259 @@
+package workspace
+
+import (
+	"fmt"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/modellearn"
+	"copycat/internal/provenance"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/structlearn"
+	"copycat/internal/table"
+)
+
+// Paste routes a clipboard selection into the active tab. In import mode
+// the structure learner generalizes the paste into row auto-completions
+// and the model learner types the columns (Figure 1). Pasting from a new
+// source while a tab is already bound to a different source switches the
+// workspace into integration mode (§2.1).
+func (w *Workspace) Paste(sel docmodel.Selection) error {
+	w.checkpoint()
+	w.Keys.Paste(sel)
+	t := w.ActiveTab()
+
+	if w.mode == ModeCleaning {
+		return w.pasteLiteral(sel)
+	}
+
+	// Detect a cross-source paste: the active tab is bound to a source
+	// document, and this paste came from a different one.
+	if lrn, ok := w.structLearners[t.Name]; ok && sel.Doc != nil && lrn.Doc() != sel.Doc {
+		w.mode = ModeIntegration
+		return w.pasteIntegration(sel)
+	}
+	if w.mode == ModeIntegration {
+		return w.pasteIntegration(sel)
+	}
+	return w.pasteImport(sel)
+}
+
+// pasteLiteral appends the cells without any learning.
+func (w *Workspace) pasteLiteral(sel docmodel.Selection) error {
+	t := w.ActiveTab()
+	for _, row := range sel.Cells {
+		if len(t.Schema) == 0 {
+			t.Schema = defaultSchema(len(row))
+		}
+		if len(row) != len(t.Schema) {
+			return fmt.Errorf("workspace: pasted row width %d != tab width %d", len(row), len(t.Schema))
+		}
+		t.Rows = append(t.Rows, Row{Cells: table.FromStrings(row), Prov: provenance.None{}})
+	}
+	return nil
+}
+
+func defaultSchema(n int) table.Schema {
+	s := make(table.Schema, n)
+	for i := range s {
+		s[i] = table.Column{Name: fmt.Sprintf("Col%d", i+1), Kind: table.KindString}
+	}
+	return s
+}
+
+// pasteImport is the Figure 1 flow: add rows, learn the extractor,
+// propose row auto-completions, and type the columns.
+func (w *Workspace) pasteImport(sel docmodel.Selection) error {
+	t := w.ActiveTab()
+	if len(t.Schema) == 0 && len(sel.Cells) > 0 {
+		t.Schema = defaultSchema(len(sel.Cells[0]))
+	}
+	// Drop previous suggestions; they will be recomputed.
+	t.Rows = t.Rows[:len(t.ConcreteRows())]
+	for _, row := range sel.Cells {
+		if len(row) != len(t.Schema) {
+			return fmt.Errorf("workspace: pasted row width %d != tab width %d", len(row), len(t.Schema))
+		}
+		t.Rows = append(t.Rows, Row{Cells: table.FromStrings(row), Prov: provenance.None{}})
+	}
+
+	// Structure learning needs source context; a context-free paste just
+	// keeps the literal rows.
+	if sel.Doc != nil {
+		lrn, ok := w.structLearners[t.Name]
+		var err error
+		if !ok {
+			lrn, err = structlearn.NewLearner(sel)
+			if err == nil {
+				w.structLearners[t.Name] = lrn
+			}
+		} else {
+			err = lrn.AddExamples(sel)
+		}
+		if err == nil && lrn != nil {
+			w.refreshRowSuggestions()
+		}
+	}
+
+	// Model learner: type the columns from the concrete values; suggest
+	// header names from the hypothesis's source headers when the user
+	// hasn't named them.
+	w.annotateActiveTab()
+	return nil
+}
+
+// refreshRowSuggestions replaces the active tab's suggested rows with the
+// current hypothesis's unseen rows.
+func (w *Workspace) refreshRowSuggestions() {
+	t := w.ActiveTab()
+	lrn, ok := w.structLearners[t.Name]
+	if !ok {
+		return
+	}
+	t.Rows = t.Rows[:len(t.ConcreteRows())]
+	h := lrn.Current()
+	if h == nil {
+		return
+	}
+	prov := provenance.Expr(provenance.Leaf{
+		ID:     table.TupleID(fmt.Sprintf("extract:%s", h.Cand.PageURL)),
+		Source: t.Name,
+	})
+	// Never suggest a row the tab already holds (matters for unions,
+	// where the tab accumulates rows from several sources).
+	have := map[string]bool{}
+	for _, r := range t.ConcreteRows() {
+		have[r.Cells.Key()] = true
+	}
+	for _, row := range lrn.Suggestions() {
+		if len(row) != len(t.Schema) {
+			continue
+		}
+		cells := table.FromStrings(row)
+		if have[cells.Key()] {
+			continue
+		}
+		t.Rows = append(t.Rows, Row{Cells: cells, Prov: prov, Suggested: true})
+	}
+	// Suggest headers from the source's declared column names.
+	if hdrs := h.HeadersFor(); hdrs != nil {
+		for i, name := range hdrs {
+			if i < len(t.Schema) && isDefaultName(t.Schema[i].Name) && name != "" {
+				t.Schema[i].Name = name
+			}
+		}
+	}
+}
+
+func isDefaultName(n string) bool {
+	return len(n) >= 4 && n[:3] == "Col"
+}
+
+// annotateActiveTab runs semantic-type recognition over the tab columns.
+func (w *Workspace) annotateActiveTab() {
+	t := w.ActiveTab()
+	t.TypeHints = w.Types.AnnotateSchema(t.Schema, columnValues(t))
+}
+
+// RowSuggestionInfo describes the current row auto-completion offer.
+type RowSuggestionInfo struct {
+	Count        int    // suggested rows on display
+	Description  string // hypothesis description
+	Alternatives int    // remaining hypotheses (incl. current)
+}
+
+// RowSuggestions reports the active tab's pending row auto-completion.
+func (w *Workspace) RowSuggestions() RowSuggestionInfo {
+	t := w.ActiveTab()
+	info := RowSuggestionInfo{Count: len(t.SuggestedRows())}
+	if lrn, ok := w.structLearners[t.Name]; ok {
+		if h := lrn.Current(); h != nil {
+			info.Description = h.Desc
+		}
+		info.Alternatives = lrn.Alternatives()
+	}
+	return info
+}
+
+// AcceptRows accepts the suggested rows (the user keeping the
+// highlighted auto-completion of Figure 1): they become concrete, and the
+// import is committed to the catalog so the integration learner can use
+// the source.
+func (w *Workspace) AcceptRows() error {
+	w.checkpoint()
+	w.Keys.Accept()
+	t := w.ActiveTab()
+	if len(t.SuggestedRows()) == 0 {
+		return fmt.Errorf("workspace: no suggested rows to accept")
+	}
+	for i := range t.Rows {
+		t.Rows[i].Suggested = false
+	}
+	w.annotateActiveTab()
+	return w.CommitImport()
+}
+
+// RejectRows rejects the current row suggestions; the structure learner
+// falls to its next hypothesis and the display refreshes (§3.1).
+func (w *Workspace) RejectRows() error {
+	w.Keys.Reject()
+	t := w.ActiveTab()
+	lrn, ok := w.structLearners[t.Name]
+	if !ok {
+		return fmt.Errorf("workspace: nothing to reject")
+	}
+	lrn.Reject()
+	w.refreshRowSuggestions()
+	return nil
+}
+
+// ExtendAcrossSite asks the structure learner to widen the current
+// hypothesis across the source site (multi-page/form sources) and
+// refreshes the suggestions.
+func (w *Workspace) ExtendAcrossSite() int {
+	t := w.ActiveTab()
+	lrn, ok := w.structLearners[t.Name]
+	if !ok {
+		return 0
+	}
+	n := lrn.ExtendCurrentAcrossSite()
+	if n > 0 {
+		w.refreshRowSuggestions()
+	}
+	return n
+}
+
+// CommitImport registers the active tab's concrete rows as a catalog
+// source and refreshes the source graph. Idempotent per tab.
+func (w *Workspace) CommitImport() error {
+	t := w.ActiveTab()
+	rel := t.Relation()
+	if rel.Len() == 0 {
+		return fmt.Errorf("workspace: tab %q has no rows to commit", t.Name)
+	}
+	origin := "workspace"
+	if lrn, ok := w.structLearners[t.Name]; ok && lrn.Doc() != nil {
+		origin = lrn.Doc().URL
+	}
+	w.Cat.AddRelation(rel, origin)
+	t.SourceNode = rel.Name
+	// Rows imported from a committed source get base-tuple provenance.
+	concrete := 0
+	for i := range t.Rows {
+		if !t.Rows[i].Suggested {
+			t.Rows[i].Prov = provenance.Leaf{ID: provenance.BaseID(rel.Name, concrete), Source: rel.Name}
+			concrete++
+		}
+	}
+	w.Int.Graph.Discover(sourcegraph.DefaultOptions())
+	return nil
+}
+
+// RecognizedTypeFor exposes the top semantic-type hypothesis for a column
+// (tests and the CLI use it).
+func (w *Workspace) RecognizedTypeFor(col int) (modellearn.TypeScore, bool) {
+	t := w.ActiveTab()
+	if col < 0 || col >= len(t.TypeHints) || len(t.TypeHints[col]) == 0 {
+		return modellearn.TypeScore{}, false
+	}
+	return t.TypeHints[col][0], true
+}

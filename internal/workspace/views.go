@@ -1,0 +1,64 @@
+package workspace
+
+import (
+	"fmt"
+	"sort"
+
+	"copycat/internal/intlearn"
+)
+
+// Views implement the paper's alternative to one-off queries (§1): "it
+// could be persistently saved as an integrated, mediated view of the
+// data, enabling user or application queries over a unified
+// representation". A saved view remembers the integration query; running
+// it re-executes against the current catalog, so updates to the
+// underlying sources flow through.
+
+// SaveView names the query behind the active tab (an accepted query
+// output) as a persistent mediated view.
+func (w *Workspace) SaveView(name string) error {
+	t := w.ActiveTab()
+	if t.Query == nil {
+		return fmt.Errorf("workspace: tab %q is not a query output", t.Name)
+	}
+	if w.views == nil {
+		w.views = map[string]*intlearn.Query{}
+	}
+	w.views[name] = t.Query
+	return nil
+}
+
+// Views lists saved view names, sorted.
+func (w *Workspace) Views() []string {
+	out := make([]string, 0, len(w.views))
+	for n := range w.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunView re-executes a saved view against the current catalog contents
+// and loads the result into a tab named after the view.
+func (w *Workspace) RunView(name string) error {
+	q, ok := w.views[name]
+	if !ok {
+		return fmt.Errorf("workspace: no view %q", name)
+	}
+	plan, err := w.Int.CompileQuery(q)
+	if err != nil {
+		return err
+	}
+	res, err := plan.Execute()
+	if err != nil {
+		return err
+	}
+	tab := w.SelectTab(name)
+	tab.Schema = res.Schema.Clone()
+	tab.Query = q
+	tab.Rows = nil
+	for _, a := range res.Rows {
+		tab.Rows = append(tab.Rows, Row{Cells: a.Row, Prov: a.Prov})
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package workspace
+
+import (
+	"testing"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/modellearn"
+	"copycat/internal/table"
+	"copycat/internal/webworld"
+	"copycat/internal/wrappers"
+)
+
+// queryOutputEnv drives the workspace to an accepted query output tab
+// joining Shelters and Contacts.
+func queryOutputEnv(t *testing.T) *env {
+	t.Helper()
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	e.ws.RenameColumn(0, "Name")
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.SetColumnType(0, modellearn.TypeOrgName)
+	// Second source: contacts.
+	e.ws.SelectTab("Contacts")
+	e.ws.SetMode(ModeImport)
+	sheet := wrappers.NewSpreadsheet(e.ws.Clip, e.w.ContactsSpreadsheet())
+	sel, err := sheet.CopyRange(1, 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range e.ws.ActiveTab().Schema {
+		switch c.Name {
+		case "Organization":
+			e.ws.SetColumnType(i, modellearn.TypeOrgName)
+		case "Contact":
+			e.ws.SetColumnType(i, modellearn.TypePersonName)
+		}
+	}
+	// Integration paste combining both sources.
+	e.ws.SelectTab("Joined")
+	e.ws.SetMode(ModeIntegration)
+	c0 := e.w.Contacts[0]
+	s0 := e.w.Shelters[0]
+	if err := e.ws.Paste(docmodel.Selection{Cells: [][]string{{s0.Name, s0.Street, s0.City, c0.Person}}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ws.PendingQueries()) == 0 {
+		t.Fatal("no pending queries")
+	}
+	if err := e.ws.AcceptQuery(0); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestSaveViewRequiresQueryOutput(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	if err := e.ws.SaveView("v"); err == nil {
+		t.Error("non-query tab should not save as a view")
+	}
+	if len(e.ws.Views()) != 0 {
+		t.Error("no views yet")
+	}
+	if err := e.ws.RunView("missing"); err == nil {
+		t.Error("unknown view should error")
+	}
+}
+
+func TestSaveAndRunView(t *testing.T) {
+	e := queryOutputEnv(t)
+	out := e.ws.ActiveTab()
+	if out.Query == nil {
+		t.Fatal("query output tab has no query")
+	}
+	if err := e.ws.SaveView("ShelterContacts"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.ws.Views(); len(got) != 1 || got[0] != "ShelterContacts" {
+		t.Fatalf("views = %v", got)
+	}
+	before := len(out.Rows)
+	if before == 0 {
+		t.Fatal("query output empty")
+	}
+	// The underlying source gains a row; re-running the view reflects it
+	// ("enabling user or application queries over a unified
+	// representation" as data changes).
+	src := e.ws.Cat.Get("Sheet1")
+	extra := e.w.Shelters[3]
+	newRow := make(table.Tuple, len(src.Schema))
+	for i := range newRow {
+		newRow[i] = table.S("")
+	}
+	newRow[0] = table.S(extra.Name + " Annex")
+	newRow[1] = table.S(extra.Street)
+	newRow[2] = table.S(extra.City)
+	src.Rel.MustAppend(newRow)
+
+	if err := e.ws.RunView("ShelterContacts"); err != nil {
+		t.Fatal(err)
+	}
+	refreshed := e.ws.ActiveTab()
+	if refreshed.Name != "ShelterContacts" {
+		t.Errorf("view tab = %q", refreshed.Name)
+	}
+	if refreshed.Query == nil {
+		t.Error("view tab should keep its query")
+	}
+	// The result was recomputed (same or more rows; exact count depends
+	// on the query kind), and rows carry provenance.
+	if len(refreshed.Rows) == 0 {
+		t.Fatal("refreshed view empty")
+	}
+	for _, r := range refreshed.Rows[:2] {
+		if r.Prov == nil {
+			t.Error("view rows should carry provenance")
+		}
+	}
+}
+
+func TestViewSurvivesReRun(t *testing.T) {
+	e := queryOutputEnv(t)
+	if err := e.ws.SaveView("V"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.RunView("V"); err != nil {
+		t.Fatal(err)
+	}
+	n1 := len(e.ws.ActiveTab().Rows)
+	if err := e.ws.RunView("V"); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ws.ActiveTab().Rows) != n1 {
+		t.Error("idempotent re-run changed the result")
+	}
+}

@@ -1,0 +1,495 @@
+package workspace
+
+import (
+	"strings"
+	"testing"
+
+	"copycat/internal/catalog"
+	"copycat/internal/docmodel"
+	"copycat/internal/modellearn"
+	"copycat/internal/services"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/webworld"
+	"copycat/internal/wrappers"
+)
+
+// env bundles a fresh world, workspace, and browser for tests.
+type env struct {
+	w     *webworld.World
+	ws    *Workspace
+	brows *wrappers.Browser
+}
+
+func newEnv(t *testing.T, style webworld.SiteStyle) *env {
+	t.Helper()
+	w := webworld.Generate(webworld.DefaultConfig())
+	cat := catalog.New()
+	for _, svc := range services.Builtin(w) {
+		cat.AddService(svc, "builtin")
+	}
+	types := modellearn.NewLibrary()
+	modellearn.TrainBuiltins(types, w)
+	ws := New(cat, types)
+	site := w.ShelterSite(style)
+	return &env{w: w, ws: ws, brows: wrappers.NewBrowser(ws.Clip, site)}
+}
+
+// pasteShelters copies n shelters from the browser and pastes them.
+func (e *env) pasteShelters(t *testing.T, n int) {
+	t.Helper()
+	var rows [][]string
+	for _, s := range e.w.Shelters[:n] {
+		rows = append(rows, []string{s.Name, s.Street, s.City})
+	}
+	sel, err := e.brows.CopyRows(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeImport.String() != "import" || ModeIntegration.String() != "integration" || ModeCleaning.String() != "cleaning" {
+		t.Error("mode names wrong")
+	}
+	if !strings.Contains(Mode(7).String(), "7") {
+		t.Error("unknown mode should embed number")
+	}
+}
+
+func TestImportFlowFigure1(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	tab := e.ws.ActiveTab()
+	if len(tab.ConcreteRows()) != 2 {
+		t.Fatalf("concrete rows = %d", len(tab.ConcreteRows()))
+	}
+	// Row auto-completions: the remaining shelters are suggested.
+	info := e.ws.RowSuggestions()
+	if info.Count != len(e.w.Shelters)-2 {
+		t.Errorf("suggested rows = %d want %d", info.Count, len(e.w.Shelters)-2)
+	}
+	if info.Description == "" || info.Alternatives == 0 {
+		t.Error("suggestion metadata missing")
+	}
+	// The model learner typed the street and city columns (Figure 1's
+	// PR-Street and PR-City).
+	if tab.Schema[1].SemType != modellearn.TypeStreet {
+		t.Errorf("street semtype = %q", tab.Schema[1].SemType)
+	}
+	if tab.Schema[2].SemType != modellearn.TypeCity {
+		t.Errorf("city semtype = %q", tab.Schema[2].SemType)
+	}
+	// Headers suggested from the page's <th> row.
+	if tab.Schema[0].Name != "Shelter" {
+		t.Errorf("suggested header = %q", tab.Schema[0].Name)
+	}
+	// Recognized types are exposed for the drop-down.
+	if ts, ok := e.ws.RecognizedTypeFor(1); !ok || ts.Type != modellearn.TypeStreet {
+		t.Errorf("RecognizedTypeFor = %v %v", ts, ok)
+	}
+	// The user renames a column (manual label for Name).
+	if err := e.ws.RenameColumn(0, "Name"); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Schema[0].Name != "Name" {
+		t.Error("rename failed")
+	}
+	if err := e.ws.RenameColumn(99, "X"); err == nil {
+		t.Error("bad column rename should error")
+	}
+}
+
+func TestAcceptRowsCommitsSource(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	tab := e.ws.ActiveTab()
+	if len(tab.ConcreteRows()) != len(e.w.Shelters) {
+		t.Fatalf("after accept rows = %d want %d", len(tab.ConcreteRows()), len(e.w.Shelters))
+	}
+	if tab.SourceNode == "" {
+		t.Fatal("tab not bound to a catalog source")
+	}
+	src := e.ws.Cat.Get(tab.SourceNode)
+	if src == nil || src.Rel.Len() != len(e.w.Shelters) {
+		t.Error("catalog source missing or wrong size")
+	}
+	// Provenance: committed rows carry base-tuple leaves.
+	expl, err := e.ws.ExplainRow(0)
+	if err != nil || !strings.Contains(expl, tab.SourceNode) {
+		t.Errorf("ExplainRow = %q err %v", expl, err)
+	}
+	// Accepting again with no suggestions errors.
+	if err := e.ws.AcceptRows(); err == nil {
+		t.Error("accept without suggestions should error")
+	}
+}
+
+func TestRejectRowsAdvancesHypothesis(t *testing.T) {
+	e := newEnv(t, webworld.StyleGrouped)
+	city := e.w.Cities[0].Name
+	in := e.w.SheltersIn(city)
+	sel, err := e.brows.CopyRows([][]string{
+		{in[0].Name, in[0].Street, in[0].City},
+		{in[1].Name, in[1].Street, in[1].City},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	first := e.ws.RowSuggestions()
+	if first.Count != len(e.w.Shelters)-2 {
+		t.Fatalf("first hypothesis should cover the whole page: %d", first.Count)
+	}
+	// Reject until the suggestions shrink to the city scope.
+	sawScoped := false
+	for i := 0; i < first.Alternatives; i++ {
+		if err := e.ws.RejectRows(); err != nil {
+			t.Fatal(err)
+		}
+		if e.ws.RowSuggestions().Count == len(in)-2 {
+			sawScoped = true
+			break
+		}
+	}
+	if !sawScoped {
+		t.Error("rejecting never produced the city-scoped suggestion")
+	}
+	// Rejecting with no learner errors.
+	e.ws.SelectTab("Fresh")
+	if err := e.ws.RejectRows(); err == nil {
+		t.Error("reject on fresh tab should error")
+	}
+}
+
+func TestExtendAcrossSitePaged(t *testing.T) {
+	e := newEnv(t, webworld.StylePaged)
+	e.pasteShelters(t, 2)
+	before := e.ws.RowSuggestions().Count
+	n := e.ws.ExtendAcrossSite()
+	if n == 0 {
+		t.Fatal("no pages unified")
+	}
+	after := e.ws.RowSuggestions().Count
+	if after <= before {
+		t.Errorf("extension did not add rows: %d → %d", before, after)
+	}
+	if after != len(e.w.Shelters)-2 {
+		t.Errorf("extended suggestions = %d want %d", after, len(e.w.Shelters)-2)
+	}
+	// No learner on a fresh tab → 0.
+	e.ws.SelectTab("Fresh")
+	if e.ws.ExtendAcrossSite() != 0 {
+		t.Error("fresh tab should not extend")
+	}
+}
+
+func TestColumnCompletionFigure2(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	e.ws.RenameColumn(0, "Name")
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.SetMode(ModeIntegration)
+	comps := e.ws.RefreshColumnSuggestions()
+	if len(comps) == 0 {
+		t.Fatal("no column completions")
+	}
+	zipIdx := -1
+	for i, c := range comps {
+		if c.Target == "Zipcode Resolver" {
+			zipIdx = i
+		}
+	}
+	if zipIdx < 0 {
+		t.Fatal("no Zip completion")
+	}
+	// Explanation before deciding.
+	expl, err := e.ws.ExplainCompletion(zipIdx, 2)
+	if err != nil || !strings.Contains(expl, "Zipcode Resolver") {
+		t.Errorf("ExplainCompletion = %v err %v", expl, err)
+	}
+	if err := e.ws.AcceptColumn(zipIdx); err != nil {
+		t.Fatal(err)
+	}
+	tab := e.ws.ActiveTab()
+	zi := tab.Schema.Index("Zip")
+	if zi < 0 {
+		t.Fatalf("no Zip column after accept: %s", tab.Schema)
+	}
+	// Every row's zip matches ground truth.
+	// Key by (name, street): institution names repeat across cities.
+	truth := map[string]string{}
+	for _, s := range e.w.Shelters {
+		truth[s.Name+"|"+s.Street] = s.Zip
+	}
+	for _, r := range tab.ConcreteRows() {
+		k := r.Cells[0].Str() + "|" + r.Cells[1].Str()
+		if truth[k] != r.Cells[zi].Str() {
+			t.Errorf("zip for %s = %s want %s", k, r.Cells[zi].Str(), truth[k])
+		}
+	}
+	// Explanations now show the dependent join.
+	expl, _ = e.ws.ExplainRow(0)
+	if !strings.Contains(expl, "Zipcode Resolver") || !strings.Contains(expl, "joined from") {
+		t.Errorf("row explanation missing dependent join:\n%s", expl)
+	}
+	// Bad indexes error.
+	if err := e.ws.AcceptColumn(99); err == nil || e.ws.RejectColumn(99) == nil {
+		t.Error("bad completion index should error")
+	}
+}
+
+func TestRejectColumnSuppressesSuggestion(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.SetMode(ModeIntegration)
+	comps := e.ws.RefreshColumnSuggestions()
+	if len(comps) == 0 {
+		t.Fatal("no completions")
+	}
+	victimEdge := comps[0].Edge.ID
+	if err := e.ws.RejectColumn(0); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range e.ws.RefreshColumnSuggestions() {
+		if c.Edge.ID == victimEdge {
+			t.Error("rejected completion re-proposed")
+		}
+	}
+}
+
+func TestIntegrationModeAutoSwitchOnCrossSourcePaste(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	if e.ws.Mode() != ModeImport {
+		t.Fatal("should still be import mode")
+	}
+	// Import contacts in a second tab, then paste from the spreadsheet
+	// into the shelters tab — that's a cross-source paste.
+	sheet := wrappers.NewSpreadsheet(e.ws.Clip, e.w.ContactsSpreadsheet())
+	sel, err := sheet.CopyRange(1, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pad the selection to the tab width (3 cols) is not required; a
+	// single-cell paste into a 4-wide tab errors — so paste a full row of
+	// matching width from the contacts sheet instead.
+	sel, err = sheet.CopyRange(1, 0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = e.ws.Paste(sel) // width mismatch errors are acceptable here
+	if e.ws.Mode() != ModeIntegration {
+		t.Errorf("cross-source paste should switch to integration mode, mode=%s", e.ws.Mode())
+	}
+}
+
+func TestSteinerQueryFlowAcrossSources(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	// Import shelters.
+	e.pasteShelters(t, 2)
+	e.ws.RenameColumn(0, "Name")
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	// Import contacts in a second tab.
+	e.ws.SelectTab("Contacts")
+	e.ws.SetMode(ModeImport)
+	sheet := wrappers.NewSpreadsheet(e.ws.Clip, e.w.ContactsSpreadsheet())
+	sel, err := sheet.CopyRange(1, 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	if e.ws.RowSuggestions().Count == 0 {
+		t.Fatal("contacts rows not generalized")
+	}
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	// Type the org column so record linking is discoverable.
+	ct := e.ws.ActiveTab()
+	for i, c := range ct.Schema {
+		switch c.Name {
+		case "Organization":
+			e.ws.SetColumnType(i, modellearn.TypeOrgName)
+		case "Contact":
+			e.ws.SetColumnType(i, modellearn.TypePersonName)
+		}
+	}
+	// Also type the shelters tab's Name column.
+	e.ws.SelectTab("Sheet1")
+	e.ws.SetColumnType(0, modellearn.TypeOrgName)
+	e.ws.Int.Graph.Discover(sourcegraph.DefaultOptions())
+
+	// Paste a joined tuple: shelter name + contact person.
+	c0 := e.w.Contacts[0]
+	sel2 := docmodel.Selection{Cells: [][]string{{
+		e.w.Shelters[0].Name, e.w.Shelters[0].Street, e.w.Shelters[0].City, c0.Person,
+	}}}
+	e.ws.SelectTab("Joined")
+	e.ws.SetMode(ModeIntegration)
+	if err := e.ws.Paste(sel2); err != nil {
+		t.Fatal(err)
+	}
+	qs := e.ws.PendingQueries()
+	if len(qs) == 0 {
+		t.Fatal("no queries proposed for the joined paste")
+	}
+	if err := e.ws.AcceptQuery(0); err != nil {
+		t.Fatal(err)
+	}
+	out := e.ws.ActiveTab()
+	if out.Name != "Query Output" || len(out.Rows) == 0 {
+		t.Fatalf("query output tab missing/empty: %s %d", out.Name, len(out.Rows))
+	}
+	// Output rows carry multi-source provenance.
+	expl, _ := e.ws.ExplainRow(0)
+	if !strings.Contains(expl, "Sources:") {
+		t.Errorf("no sources in explanation:\n%s", expl)
+	}
+}
+
+func TestCleaningModeDoesNotGeneralize(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.SetMode(ModeCleaning)
+	before := len(e.ws.ActiveTab().Rows)
+	sel, err := e.brows.CopyText(e.w.Shelters[3].Name, e.w.Shelters[3].Street, e.w.Shelters[3].City)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Width mismatch (tab now has committed schema of width 3): paste ok.
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.ws.ActiveTab().Rows) != before+1 {
+		t.Error("cleaning paste should add exactly one literal row")
+	}
+	// Direct cell edit.
+	if err := e.ws.SetCell(0, 0, "Edited Name"); err != nil {
+		t.Fatal(err)
+	}
+	if e.ws.ActiveTab().Rows[0].Cells[0].Str() != "Edited Name" {
+		t.Error("edit not applied")
+	}
+	if err := e.ws.SetCell(999, 0, "x"); err == nil {
+		t.Error("bad cell edit should error")
+	}
+}
+
+func TestDefineNewTypeOnTheFly(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 3)
+	if err := e.ws.SetColumnType(0, "PR-ShelterName"); err != nil {
+		t.Fatal(err)
+	}
+	if e.ws.Types.Model("PR-ShelterName") == nil {
+		t.Fatal("new type not trained")
+	}
+	// The freshly defined type now recognizes other shelter names.
+	scores := e.ws.Types.Recognize([]string{e.w.Shelters[10].Name, e.w.Shelters[11].Name})
+	found := false
+	for _, s := range scores {
+		if s.Type == "PR-ShelterName" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("session-defined type not recognized: %v", scores)
+	}
+	if err := e.ws.SetColumnType(99, "T"); err == nil {
+		t.Error("bad column should error")
+	}
+}
+
+func TestRenderShowsSuggestions(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	out := e.ws.Render()
+	if !strings.Contains(out, "?") {
+		t.Error("render should mark suggested rows")
+	}
+	if !strings.Contains(out, "import mode") {
+		t.Errorf("render should show the mode:\n%s", out)
+	}
+	if !strings.Contains(out, e.w.Shelters[0].Name) {
+		t.Error("render should show data")
+	}
+}
+
+func TestLedgerAccounting(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	if e.ws.Keys.Pastes != 1 || e.ws.Keys.Copies != 1 {
+		t.Errorf("paste accounting wrong: %s", e.ws.Keys)
+	}
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	if e.ws.Keys.Accepts != 1 {
+		t.Error("accept not recorded")
+	}
+	total := e.ws.Keys.Keystrokes
+	if total <= 0 {
+		t.Error("keystrokes should be positive")
+	}
+	// Manual baselines are much larger for the same table.
+	var rows [][]string
+	for _, s := range e.w.Shelters {
+		rows = append(rows, []string{s.Name, s.Street, s.City})
+	}
+	if ManualCost(rows) <= total || ManualCopyPasteCost(rows) <= total {
+		t.Errorf("SCP (%d) should beat manual typing (%d) and manual c&p (%d)",
+			total, ManualCost(rows), ManualCopyPasteCost(rows))
+	}
+	e.ws.Keys.Reset()
+	if e.ws.Keys.Keystrokes != 0 {
+		t.Error("reset failed")
+	}
+	if !strings.Contains(e.ws.Keys.String(), "keystrokes=0") {
+		t.Error("ledger String wrong")
+	}
+}
+
+func TestSelectTabCreatesAndSwitches(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	if len(e.ws.Tabs()) != 1 {
+		t.Fatal("fresh workspace should have one tab")
+	}
+	t2 := e.ws.SelectTab("Second")
+	if e.ws.ActiveTab() != t2 || len(e.ws.Tabs()) != 2 {
+		t.Error("tab creation wrong")
+	}
+	t1 := e.ws.SelectTab("Sheet1")
+	if e.ws.ActiveTab() != t1 {
+		t.Error("tab switch wrong")
+	}
+}
+
+func TestCommitImportEmptyTabErrors(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	if err := e.ws.CommitImport(); err == nil {
+		t.Error("empty tab commit should error")
+	}
+}

@@ -1,0 +1,220 @@
+// Package wrappers implements CopyCat's application wrappers (§2.3): the
+// components that monitor copy operations in source applications — the
+// Web browser, the spreadsheet program, the word processor — and deliver
+// each copied selection together with its source context to the learners.
+//
+// In the paper these hook Internet Explorer and Microsoft Office; here
+// they wrap webworld documents, exposing the same contract: the user
+// performs a copy, and the wrapper emits a docmodel.Selection carrying
+// the copied cells, the displayed document, and the owning site.
+package wrappers
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"copycat/internal/docmodel"
+)
+
+// Clipboard is the copy/paste bus between applications and the SCP
+// workspace. Subscribers (the workspace) receive every copy event.
+type Clipboard struct {
+	mu        sync.Mutex
+	last      docmodel.Selection
+	hasData   bool
+	listeners []func(docmodel.Selection)
+}
+
+// NewClipboard creates an empty clipboard.
+func NewClipboard() *Clipboard { return &Clipboard{} }
+
+// Copy places a selection on the clipboard and notifies subscribers.
+func (c *Clipboard) Copy(sel docmodel.Selection) {
+	c.mu.Lock()
+	c.last = sel
+	c.hasData = true
+	ls := make([]func(docmodel.Selection), len(c.listeners))
+	copy(ls, c.listeners)
+	c.mu.Unlock()
+	for _, fn := range ls {
+		fn(sel)
+	}
+}
+
+// Current returns the clipboard contents, if any.
+func (c *Clipboard) Current() (docmodel.Selection, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last, c.hasData
+}
+
+// Subscribe registers a copy-event listener.
+func (c *Clipboard) Subscribe(fn func(docmodel.Selection)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.listeners = append(c.listeners, fn)
+}
+
+// Browser wraps a web site the way CopyCat's IE wrapper does: it tracks
+// the displayed page, supports navigation (links and forms), and turns
+// user text selections into clipboard copies with full source context.
+type Browser struct {
+	Clip    *Clipboard
+	site    *docmodel.Site
+	current *docmodel.Document
+}
+
+// NewBrowser opens a browser on a site's root page.
+func NewBrowser(clip *Clipboard, site *docmodel.Site) *Browser {
+	return &Browser{Clip: clip, site: site, current: site.RootPage()}
+}
+
+// Current returns the displayed document.
+func (b *Browser) Current() *docmodel.Document { return b.current }
+
+// Site returns the browsed site.
+func (b *Browser) Site() *docmodel.Site { return b.site }
+
+// Navigate loads the page at url.
+func (b *Browser) Navigate(url string) error {
+	d := b.site.Get(url)
+	if d == nil {
+		return fmt.Errorf("wrappers: 404: %s", url)
+	}
+	b.current = d
+	return nil
+}
+
+// SubmitForm submits the site's form with the given input value and loads
+// the result page.
+func (b *Browser) SubmitForm(formIdx int, value string) error {
+	if formIdx < 0 || formIdx >= len(b.site.Forms) {
+		return fmt.Errorf("wrappers: no form %d on site %s", formIdx, b.site.Name)
+	}
+	return b.Navigate(b.site.Forms[formIdx].Action + value)
+}
+
+// CopyText selects the given text values on the current page (in order,
+// as one clipboard row) and copies them. It fails if a value does not
+// appear on the page — mirroring that a user can only copy what is
+// displayed. Values may be substrings of a text chunk.
+func (b *Browser) CopyText(values ...string) (docmodel.Selection, error) {
+	chunks := b.current.Chunks()
+	for _, v := range values {
+		found := false
+		for _, ch := range chunks {
+			if strings.Contains(ch.Text, v) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return docmodel.Selection{}, fmt.Errorf("wrappers: %q not on page %s", v, b.current.URL)
+		}
+	}
+	sel := docmodel.Selection{
+		Cells: [][]string{append([]string(nil), values...)},
+		Doc:   b.current,
+		Site:  b.site,
+		App:   "browser",
+	}
+	b.Clip.Copy(sel)
+	return sel, nil
+}
+
+// CopyRows selects multiple aligned rows of text values (a rectangular
+// block) and copies them in one operation — e.g. the two shelters of
+// Figure 1.
+func (b *Browser) CopyRows(rows [][]string) (docmodel.Selection, error) {
+	chunks := b.current.Chunks()
+	for _, row := range rows {
+		for _, v := range row {
+			found := false
+			for _, ch := range chunks {
+				if strings.Contains(ch.Text, v) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return docmodel.Selection{}, fmt.Errorf("wrappers: %q not on page %s", v, b.current.URL)
+			}
+		}
+	}
+	cells := make([][]string, len(rows))
+	for i, row := range rows {
+		cells[i] = append([]string(nil), row...)
+	}
+	sel := docmodel.Selection{Cells: cells, Doc: b.current, Site: b.site, App: "browser"}
+	b.Clip.Copy(sel)
+	return sel, nil
+}
+
+// Spreadsheet wraps an Excel-like document; selections are cell ranges.
+type Spreadsheet struct {
+	Clip *Clipboard
+	doc  *docmodel.Document
+}
+
+// NewSpreadsheet opens a spreadsheet document.
+func NewSpreadsheet(clip *Clipboard, doc *docmodel.Document) *Spreadsheet {
+	return &Spreadsheet{Clip: clip, doc: doc}
+}
+
+// Doc returns the wrapped document.
+func (s *Spreadsheet) Doc() *docmodel.Document { return s.doc }
+
+// CopyRange copies the rectangular cell range [r0,r1] × [c0,c1]
+// (inclusive, 0-based).
+func (s *Spreadsheet) CopyRange(r0, c0, r1, c1 int) (docmodel.Selection, error) {
+	grid := s.doc.Grid()
+	if r0 < 0 || c0 < 0 || r1 >= len(grid) || r0 > r1 || c0 > c1 {
+		return docmodel.Selection{}, fmt.Errorf("wrappers: range (%d,%d)-(%d,%d) out of bounds", r0, c0, r1, c1)
+	}
+	var cells [][]string
+	for r := r0; r <= r1; r++ {
+		if c1 >= len(grid[r]) {
+			return docmodel.Selection{}, fmt.Errorf("wrappers: row %d has %d columns, need %d", r, len(grid[r]), c1+1)
+		}
+		cells = append(cells, append([]string(nil), grid[r][c0:c1+1]...))
+	}
+	sel := docmodel.Selection{Cells: cells, Doc: s.doc, App: "excel"}
+	s.Clip.Copy(sel)
+	return sel, nil
+}
+
+// FindRow returns the index of the first data row whose cell in column
+// col equals value, or -1. Simulated users use it to locate the record
+// they want to copy.
+func (s *Spreadsheet) FindRow(col int, value string) int {
+	for r, row := range s.doc.Grid() {
+		if col < len(row) && row[col] == value {
+			return r
+		}
+	}
+	return -1
+}
+
+// TextDoc wraps a plain-text document (the Word wrapper); selections are
+// substrings of lines.
+type TextDoc struct {
+	Clip *Clipboard
+	doc  *docmodel.Document
+}
+
+// NewTextDoc opens a text document.
+func NewTextDoc(clip *Clipboard, doc *docmodel.Document) *TextDoc {
+	return &TextDoc{Clip: clip, doc: doc}
+}
+
+// CopyLine copies the text of line i.
+func (t *TextDoc) CopyLine(i int) (docmodel.Selection, error) {
+	lines := strings.Split(t.doc.Raw, "\n")
+	if i < 0 || i >= len(lines) {
+		return docmodel.Selection{}, fmt.Errorf("wrappers: line %d out of range", i)
+	}
+	sel := docmodel.Selection{Cells: [][]string{{lines[i]}}, Doc: t.doc, App: "word"}
+	t.Clip.Copy(sel)
+	return sel, nil
+}

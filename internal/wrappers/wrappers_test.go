@@ -1,0 +1,160 @@
+package wrappers
+
+import (
+	"testing"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/webworld"
+)
+
+func world() *webworld.World { return webworld.Generate(webworld.DefaultConfig()) }
+
+func TestClipboardCopySubscribe(t *testing.T) {
+	clip := NewClipboard()
+	if _, ok := clip.Current(); ok {
+		t.Error("empty clipboard should have no data")
+	}
+	var events []docmodel.Selection
+	clip.Subscribe(func(s docmodel.Selection) { events = append(events, s) })
+	sel := docmodel.Selection{Cells: [][]string{{"x"}}, App: "test"}
+	clip.Copy(sel)
+	cur, ok := clip.Current()
+	if !ok || cur.App != "test" {
+		t.Error("Current should return the copied selection")
+	}
+	if len(events) != 1 || events[0].App != "test" {
+		t.Error("subscriber should receive the copy event")
+	}
+}
+
+func TestBrowserNavigateAndCopy(t *testing.T) {
+	w := world()
+	site := w.ShelterSite(webworld.StyleTable)
+	clip := NewClipboard()
+	b := NewBrowser(clip, site)
+	if b.Current() != site.RootPage() || b.Site() != site {
+		t.Fatal("browser should open at the root page")
+	}
+	s := w.Shelters[0]
+	sel, err := b.CopyText(s.Name, s.Street, s.City)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.App != "browser" || sel.Doc != site.RootPage() || sel.Site != site {
+		t.Error("selection context wrong")
+	}
+	row, ok := sel.SingleRow()
+	if !ok || len(row) != 3 || row[0] != s.Name {
+		t.Errorf("selection cells wrong: %v", sel.Cells)
+	}
+	// The clipboard saw it too.
+	if cur, ok := clip.Current(); !ok || cur.App != "browser" {
+		t.Error("copy should land on the clipboard")
+	}
+	// Copying absent text fails.
+	if _, err := b.CopyText("Not On This Page At All"); err == nil {
+		t.Error("copying absent text should fail")
+	}
+	if err := b.Navigate("http://nope/"); err == nil {
+		t.Error("navigating to unknown URL should fail")
+	}
+}
+
+func TestBrowserCopyRows(t *testing.T) {
+	w := world()
+	site := w.ShelterSite(webworld.StyleTable)
+	b := NewBrowser(NewClipboard(), site)
+	s0, s1 := w.Shelters[0], w.Shelters[1]
+	sel, err := b.CopyRows([][]string{
+		{s0.Name, s0.Street, s0.City},
+		{s1.Name, s1.Street, s1.City},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Cells) != 2 || sel.Cells[1][0] != s1.Name {
+		t.Errorf("rows wrong: %v", sel.Cells)
+	}
+	if _, err := b.CopyRows([][]string{{"Missing Value"}}); err == nil {
+		t.Error("missing value should fail")
+	}
+}
+
+func TestBrowserSubmitForm(t *testing.T) {
+	w := world()
+	site := w.ShelterSite(webworld.StyleForm)
+	b := NewBrowser(NewClipboard(), site)
+	city := w.Cities[0].Name
+	if err := b.SubmitForm(0, city); err != nil {
+		t.Fatal(err)
+	}
+	if b.Current().URL != site.Forms[0].Action+city {
+		t.Errorf("current url = %s", b.Current().URL)
+	}
+	// The city's shelters are now copyable.
+	sh := w.SheltersIn(city)[0]
+	if _, err := b.CopyText(sh.Name); err != nil {
+		t.Errorf("copy after form submit: %v", err)
+	}
+	if err := b.SubmitForm(3, city); err == nil {
+		t.Error("bad form index should fail")
+	}
+}
+
+func TestSpreadsheetCopyRange(t *testing.T) {
+	w := world()
+	doc := w.ContactsSpreadsheet()
+	clip := NewClipboard()
+	s := NewSpreadsheet(clip, doc)
+	if s.Doc() != doc {
+		t.Error("Doc accessor wrong")
+	}
+	sel, err := s.CopyRange(1, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Cells) != 2 || len(sel.Cells[0]) != 3 {
+		t.Fatalf("range shape wrong: %v", sel.Cells)
+	}
+	if sel.Cells[0][0] != w.Contacts[0].Person {
+		t.Errorf("cell content wrong: %v", sel.Cells[0])
+	}
+	if sel.App != "excel" {
+		t.Error("app should be excel")
+	}
+	for _, bad := range [][4]int{{-1, 0, 0, 0}, {0, 0, 99999, 0}, {2, 0, 1, 0}, {0, 5, 0, 4}, {0, 0, 0, 99}} {
+		if _, err := s.CopyRange(bad[0], bad[1], bad[2], bad[3]); err == nil {
+			t.Errorf("range %v should fail", bad)
+		}
+	}
+}
+
+func TestSpreadsheetFindRow(t *testing.T) {
+	w := world()
+	s := NewSpreadsheet(NewClipboard(), w.ContactsSpreadsheet())
+	r := s.FindRow(0, w.Contacts[2].Person)
+	if r < 1 {
+		t.Fatalf("FindRow = %d", r)
+	}
+	if s.FindRow(0, "Nobody Here") != -1 {
+		t.Error("missing value should be -1")
+	}
+	if s.FindRow(99, "x") != -1 {
+		t.Error("out-of-range column should be -1")
+	}
+}
+
+func TestTextDocCopyLine(t *testing.T) {
+	doc := docmodel.NewText("file:notes.txt", "Notes", "first line\nsecond line")
+	td := NewTextDoc(NewClipboard(), doc)
+	sel, err := td.CopyLine(1)
+	if err != nil || sel.Cells[0][0] != "second line" || sel.App != "word" {
+		t.Errorf("CopyLine wrong: %v %v", sel, err)
+	}
+	if _, err := td.CopyLine(5); err == nil {
+		t.Error("out-of-range line should fail")
+	}
+	if _, err := td.CopyLine(-1); err == nil {
+		t.Error("negative line should fail")
+	}
+}
