@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test test-race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the packages with real concurrency: the executor's shared
+# stats/cache, the parallel candidate pool, the Lawler fan-out, and the
+# workspace threading that ties them together.
+test-race:
+	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace
+
+bench:
+	$(GO) test -bench . -benchtime 2s -run '^$$' .
+
+# Tier-1 gate: everything a PR must keep green.
+check: build vet test test-race

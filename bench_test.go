@@ -261,7 +261,7 @@ func BenchmarkQueryEngine(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := join.Execute()
+		res, err := engine.Run(join)
 		if err != nil || len(res.Rows) == 0 {
 			b.Fatal("join failed")
 		}

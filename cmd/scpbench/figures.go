@@ -1,10 +1,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"copycat"
+	"copycat/internal/engine"
 	"copycat/internal/simuser"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/webworld"
@@ -46,6 +48,7 @@ func expF1() error {
 	printTable([]string{"measure", "value"}, rows)
 	fmt.Println("\npaper shape: the paste generalizes to the page's full shelter list;")
 	fmt.Println("street/city columns are auto-typed PR-Street / PR-City (user labels Name).")
+	printStats(sys.Stats())
 	return nil
 }
 
@@ -113,6 +116,7 @@ func expF2() error {
 	}
 	fmt.Println("\ntuple explanation pane (first row):")
 	fmt.Println(expl)
+	printStats(sys.Stats())
 	return nil
 }
 
@@ -188,7 +192,9 @@ func expF4() error {
 	}
 	printTable([]string{"from", "kind", "to", "on", "cost"}, rows)
 
-	qs, err := ws.Int.TopQueries([]string{"Sheet1", "Contacts"}, 3)
+	ec := engine.NewExecCtx(context.Background(),
+		engine.WithStats(ws.ExecStats), engine.WithServiceCache(ws.SvcCache))
+	qs, err := ws.Int.TopQueriesCtx(ec, []string{"Sheet1", "Contacts"}, 3)
 	if err != nil {
 		return err
 	}
@@ -199,6 +205,7 @@ func expF4() error {
 			fmt.Printf("     %s\n", e.Label())
 		}
 	}
+	printStats(ws.ExecStats.Snapshot())
 	return nil
 }
 

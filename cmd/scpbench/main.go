@@ -17,6 +17,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"copycat"
 )
 
 // experiment is one runnable entry of the harness.
@@ -42,10 +44,25 @@ var experiments = []experiment{
 	{"matcher", "A3: approximate schema matcher on renamed, untyped columns (§4.1)", expMatcher},
 }
 
+// statsMode mirrors the -stats flag: experiments that drive a workspace
+// print the executor instrumentation block when it is set.
+var statsMode bool
+
+// printStats renders the executor statistics accumulated by a run.
+func printStats(snap copycat.ExecStats) {
+	if !statsMode {
+		return
+	}
+	fmt.Println("\nexecutor stats (ExecCtx instrumentation):")
+	fmt.Print(snap)
+}
+
 func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
+	stats := flag.Bool("stats", false, "print per-operator executor stats (rows in/out, service calls, cache hits, trees pruned) after workspace-driven experiments")
 	flag.Parse()
+	statsMode = *stats
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-18s %s\n", e.name, e.desc)

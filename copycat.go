@@ -26,6 +26,8 @@
 package copycat
 
 import (
+	"time"
+
 	"copycat/internal/catalog"
 	"copycat/internal/docmodel"
 	"copycat/internal/engine"
@@ -70,6 +72,11 @@ type (
 	Schema = table.Schema
 	// Service is a callable source with input binding restrictions.
 	Service = engine.Service
+	// ExecCtx is the execution context threaded through plan execution:
+	// deadline/cancellation, row budget, service cache, and stats.
+	ExecCtx = engine.ExecCtx
+	// ExecStats is a point-in-time copy of executor instrumentation.
+	ExecStats = engine.StatsSnapshot
 	// WorldConfig sizes the synthetic demo world.
 	WorldConfig = webworld.Config
 	// World is the generated synthetic world.
@@ -146,6 +153,26 @@ func NewDemoSystem(cfg WorldConfig) *System {
 // the source graph's associations.
 func (s *System) RegisterService(svc Service, origin string) {
 	s.Catalog.AddService(svc, origin)
+}
+
+// Stats snapshots the executor instrumentation accumulated across the
+// session: per-operator rows in/out, service calls, service-cache hits,
+// and Steiner branches pruned. scpbench surfaces this via -stats.
+func (s *System) Stats() ExecStats {
+	return s.Workspace.ExecStats.Snapshot()
+}
+
+// ResetStats zeroes the accumulated executor statistics.
+func (s *System) ResetStats() {
+	s.Workspace.ExecStats.Reset()
+}
+
+// SetSuggestionTimeout bounds each suggestion refresh and query
+// execution. Expired executions abort promptly (cancellation is checked
+// inside joins, dependent joins, and the Steiner search) and drop the
+// affected candidates; 0 removes the deadline.
+func (s *System) SetSuggestionTimeout(d time.Duration) {
+	s.Workspace.ExecTimeout = d
 }
 
 // ShelterSite renders the demo world's TV-news shelter site in the given

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"copycat/internal/engine"
 	"copycat/internal/table"
 )
 
@@ -41,7 +42,7 @@ func TestAddRelationAndGet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := plan.Execute()
+	res, err := engine.Run(plan)
 	if err != nil || len(res.Rows) != 1 {
 		t.Error("scan failed")
 	}

@@ -151,14 +151,18 @@ type aggGroup struct {
 }
 
 // Execute implements Plan.
-func (a *Aggregate) Execute() (*Result, error) {
-	in, err := a.Input.Execute()
+func (a *Aggregate) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	in, err := a.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
 	groups := map[string]*aggGroup{}
 	var order []*aggGroup
-	for _, row := range in.Rows {
+	for ri, row := range in.Rows {
+		if err := ec.checkEvery(ri); err != nil {
+			return nil, err
+		}
 		key := make(table.Tuple, len(a.GroupBy))
 		for i, g := range a.GroupBy {
 			if g < 0 || g >= len(row.Row) {
@@ -228,6 +232,9 @@ func (a *Aggregate) Execute() (*Result, error) {
 			}
 		}
 		out.Rows = append(out.Rows, provenance.Annotated{Row: row, Prov: grp.prov})
+	}
+	if err := ec.opDone("Aggregate", len(in.Rows), len(out.Rows)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -23,7 +23,7 @@ func TestAggregateCountSumAvg(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := agg.Execute()
+	res, err := agg.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +57,7 @@ func TestAggregateMinMax(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := agg.Execute()
+	res, err := agg.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestAggregateGlobalGroup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := agg.Execute()
+	res, err := agg.Execute(Background())
 	if err != nil || len(res.Rows) != 1 {
 		t.Fatalf("global group rows = %d err %v", len(res.Rows), err)
 	}
@@ -93,7 +93,7 @@ func TestAggregateNonNumericAvg(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := agg.Execute()
+	res, err := agg.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +105,7 @@ func TestAggregateNonNumericAvg(t *testing.T) {
 	r2.MustAppend(table.FromStrings([]string{"a", "10"}))
 	r2.MustAppend(table.Tuple{table.S("a"), table.S(" 20 ")})
 	agg2, _ := NewAggregateByName(NewScan(r2), []string{"K"}, "sum(V)")
-	res2, _ := agg2.Execute()
+	res2, _ := agg2.Execute(Background())
 	if res2.Rows[0].Row[1].Num() != 30 {
 		t.Errorf("string-number sum = %v", res2.Rows[0].Row.Texts())
 	}

@@ -50,7 +50,7 @@ func (z *zipSvc) Call(in table.Tuple) ([]table.Tuple, error) {
 }
 
 func TestScanAnnotatesLeaves(t *testing.T) {
-	res, err := NewScan(shelters()).Execute()
+	res, err := NewScan(shelters()).Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +68,7 @@ func TestScanAnnotatesLeaves(t *testing.T) {
 func TestValues(t *testing.T) {
 	v := &Values{Name: "W", Schema_: table.NewSchema("A"),
 		Rows: []provenance.Annotated{{Row: table.Tuple{table.S("x")}, Prov: provenance.None{}}}}
-	res, err := v.Execute()
+	res, err := v.Execute(Background())
 	if err != nil || len(res.Rows) != 1 || res.Name != "W" {
 		t.Fatalf("values exec wrong: %v %v", res, err)
 	}
@@ -83,7 +83,7 @@ func TestSelect(t *testing.T) {
 		Pred:  func(r table.Tuple) bool { return r[2].Str() == "Coconut Creek" },
 		Desc:  "City=Coconut Creek",
 	}
-	res, err := p.Execute()
+	res, err := p.Execute(Background())
 	if err != nil || len(res.Rows) != 2 {
 		t.Fatalf("select: %v rows=%d", err, len(res.Rows))
 	}
@@ -97,7 +97,7 @@ func TestProjectByName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := p.Execute()
+	res, err := p.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestProjectByName(t *testing.T) {
 
 func TestRename(t *testing.T) {
 	r := &Rename{Input: NewScan(shelters()), Name: "S2", Columns: []string{"", "Addr"}}
-	res, err := r.Execute()
+	res, err := r.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestRename(t *testing.T) {
 	}
 	// Empty name keeps the input's.
 	r2 := &Rename{Input: NewScan(shelters())}
-	res2, _ := r2.Execute()
+	res2, _ := r2.Execute(Background())
 	if res2.Name != "Shelters" {
 		t.Error("empty rename should keep name")
 	}
@@ -138,7 +138,7 @@ func TestHashJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := j.Execute()
+	res, err := j.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestDependentJoin(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := dj.Execute()
+	res, err := dj.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestDependentJoinCachesPerBinding(t *testing.T) {
 	rel.MustAppend(table.FromStrings([]string{"1 Main", "Coconut Creek"}))
 	rel.MustAppend(table.FromStrings([]string{"1 Main", "Coconut Creek"}))
 	dj, _ := NewDependentJoinByName(NewScan(rel), svc, "Street", "City")
-	if _, err := dj.Execute(); err != nil {
+	if _, err := dj.Execute(Background()); err != nil {
 		t.Fatal(err)
 	}
 	if svc.calls != 1 {
@@ -216,13 +216,13 @@ func TestDependentJoinOuterAndErrors(t *testing.T) {
 	rel.MustAppend(table.Tuple{table.S("1 Oak"), table.Null()})
 	svc := &zipSvc{}
 	inner, _ := NewDependentJoinByName(NewScan(rel), svc, "Street", "City")
-	res, err := inner.Execute()
+	res, err := inner.Execute(Background())
 	if err != nil || len(res.Rows) != 0 {
 		t.Errorf("inner dependent join should drop unmatched rows: %d", len(res.Rows))
 	}
 	outer, _ := NewDependentJoinByName(NewScan(rel), svc, "Street", "City")
 	outer.Outer = true
-	res, err = outer.Execute()
+	res, err = outer.Execute(Background())
 	if err != nil || len(res.Rows) != 2 {
 		t.Fatalf("outer dependent join should keep rows: %d %v", len(res.Rows), err)
 	}
@@ -230,7 +230,7 @@ func TestDependentJoinOuterAndErrors(t *testing.T) {
 		t.Error("outer join should null-pad")
 	}
 	failing, _ := NewDependentJoinByName(NewScan(shelters()), &zipSvc{fail: true}, "Street", "City")
-	if _, err := failing.Execute(); err == nil {
+	if _, err := failing.Execute(Background()); err == nil {
 		t.Error("service failure should propagate")
 	}
 }
@@ -252,7 +252,7 @@ func TestRecordLinkJoin(t *testing.T) {
 		LeftCols: []int{0}, RightCols: []int{0},
 		Sim: sim, Threshold: 0.5, BestOnly: true,
 	}
-	res, err := rl.Execute()
+	res, err := rl.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestRecordLinkJoin(t *testing.T) {
 	// Without BestOnly and low threshold, both match.
 	rl.BestOnly = false
 	rl.Threshold = 0.05
-	res, _ = rl.Execute()
+	res, _ = rl.Execute(Background())
 	if len(res.Rows) != 2 {
 		t.Errorf("non-best link should keep all above threshold: %d", len(res.Rows))
 	}
@@ -278,7 +278,7 @@ func TestUnionMergesDuplicateProvenance(t *testing.T) {
 	b.MustAppend(table.Tuple{table.S("v")})
 	b.MustAppend(table.Tuple{table.S("w")})
 	u := &Union{Inputs: []Plan{NewScan(a), NewScan(b)}}
-	res, err := u.Execute()
+	res, err := u.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -292,11 +292,11 @@ func TestUnionMergesDuplicateProvenance(t *testing.T) {
 	c := table.NewRelation("C", table.NewSchema("X", "Y"))
 	c.MustAppend(table.FromStrings([]string{"1", "2"}))
 	bad := &Union{Inputs: []Plan{NewScan(a), NewScan(c)}}
-	if _, err := bad.Execute(); err == nil {
+	if _, err := bad.Execute(Background()); err == nil {
 		t.Error("union arity mismatch should error")
 	}
 	empty := &Union{}
-	if res, err := empty.Execute(); err != nil || len(res.Rows) != 0 {
+	if res, err := empty.Execute(Background()); err != nil || len(res.Rows) != 0 {
 		t.Error("empty union should be empty")
 	}
 }
@@ -304,7 +304,7 @@ func TestUnionMergesDuplicateProvenance(t *testing.T) {
 func TestPadTo(t *testing.T) {
 	target := table.NewSchema("Name", "Street", "City", "Zip")
 	p := PadTo(NewScan(contacts()), target) // Contacts has City, Phone
-	res, err := p.Execute()
+	res, err := p.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +323,7 @@ func TestDistinct(t *testing.T) {
 	a.MustAppend(table.Tuple{table.S("v")})
 	a.MustAppend(table.Tuple{table.S("w")})
 	d := &Distinct{Input: NewScan(a)}
-	res, err := d.Execute()
+	res, err := d.Execute(Background())
 	if err != nil || len(res.Rows) != 2 {
 		t.Fatalf("distinct rows = %d", len(res.Rows))
 	}
@@ -334,12 +334,12 @@ func TestDistinct(t *testing.T) {
 
 func TestLimit(t *testing.T) {
 	l := &Limit{Input: NewScan(shelters()), N: 2}
-	res, err := l.Execute()
+	res, err := l.Execute(Background())
 	if err != nil || len(res.Rows) != 2 {
 		t.Fatalf("limit rows = %d", len(res.Rows))
 	}
 	l.N = 100
-	res, _ = l.Execute()
+	res, _ = l.Execute(Background())
 	if len(res.Rows) != 3 {
 		t.Error("limit larger than input should keep all")
 	}
@@ -358,7 +358,7 @@ func TestEndToEndDependentJoinPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := proj.Execute()
+	res, err := proj.Execute(Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"copycat/internal/table"
+)
+
+// ErrRowBudget is returned when an execution produces more rows than its
+// ExecCtx allows. It bounds runaway candidate queries so one bad
+// suggestion cannot stall the interactive loop.
+var ErrRowBudget = errors.New("engine: row budget exceeded")
+
+// Stats is the executor's instrumentation block. One Stats may be shared
+// by many concurrent executions (the suggestion pipeline runs candidate
+// plans in parallel), so every counter is atomic. Zero value is ready to
+// use via NewStats; a nil *Stats is tolerated by ExecCtx and counts
+// nothing.
+type Stats struct {
+	// RowsIn / RowsOut total rows consumed / produced across operators.
+	RowsIn, RowsOut atomic.Int64
+	// ServiceCalls counts actual Service.Call invocations.
+	ServiceCalls atomic.Int64
+	// ServiceCacheHits counts dependent-join rows answered from a memo
+	// (shared ServiceCache or per-execution) instead of a live call.
+	ServiceCacheHits atomic.Int64
+	// TreesPruned counts Steiner enumeration branches discarded as
+	// infeasible or duplicate during top-k query search.
+	TreesPruned atomic.Int64
+	// PlansExecuted counts root-level plan executions.
+	PlansExecuted atomic.Int64
+	// CandidatesRun counts candidate completion plans executed by the
+	// suggestion pipeline (including ones later filtered out).
+	CandidatesRun atomic.Int64
+
+	mu    sync.Mutex
+	perOp map[string]*OpStats
+}
+
+// NewStats returns an empty stats block.
+func NewStats() *Stats { return &Stats{} }
+
+// OpStats is one operator type's counters.
+type OpStats struct {
+	Invocations, RowsIn, RowsOut atomic.Int64
+}
+
+// Op returns the per-operator counter block for an operator name,
+// creating it on first use.
+func (s *Stats) Op(name string) *OpStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.perOp == nil {
+		s.perOp = map[string]*OpStats{}
+	}
+	op, ok := s.perOp[name]
+	if !ok {
+		op = &OpStats{}
+		s.perOp[name] = op
+	}
+	return op
+}
+
+// record tallies one operator invocation.
+func (s *Stats) record(op string, rowsIn, rowsOut int) {
+	if s == nil {
+		return
+	}
+	s.RowsIn.Add(int64(rowsIn))
+	s.RowsOut.Add(int64(rowsOut))
+	o := s.Op(op)
+	o.Invocations.Add(1)
+	o.RowsIn.Add(int64(rowsIn))
+	o.RowsOut.Add(int64(rowsOut))
+}
+
+// Reset zeroes every counter.
+func (s *Stats) Reset() {
+	s.RowsIn.Store(0)
+	s.RowsOut.Store(0)
+	s.ServiceCalls.Store(0)
+	s.ServiceCacheHits.Store(0)
+	s.TreesPruned.Store(0)
+	s.PlansExecuted.Store(0)
+	s.CandidatesRun.Store(0)
+	s.mu.Lock()
+	s.perOp = nil
+	s.mu.Unlock()
+}
+
+// OpSnapshot is a point-in-time copy of one operator's counters.
+type OpSnapshot struct {
+	Invocations, RowsIn, RowsOut int64
+}
+
+// StatsSnapshot is a point-in-time, plain-value copy of a Stats block,
+// safe to read, print, and compare without atomics.
+type StatsSnapshot struct {
+	RowsIn, RowsOut  int64
+	ServiceCalls     int64
+	ServiceCacheHits int64
+	TreesPruned      int64
+	PlansExecuted    int64
+	CandidatesRun    int64
+	PerOp            map[string]OpSnapshot
+}
+
+// Snapshot copies the current counter values.
+func (s *Stats) Snapshot() StatsSnapshot {
+	if s == nil {
+		return StatsSnapshot{}
+	}
+	snap := StatsSnapshot{
+		RowsIn:           s.RowsIn.Load(),
+		RowsOut:          s.RowsOut.Load(),
+		ServiceCalls:     s.ServiceCalls.Load(),
+		ServiceCacheHits: s.ServiceCacheHits.Load(),
+		TreesPruned:      s.TreesPruned.Load(),
+		PlansExecuted:    s.PlansExecuted.Load(),
+		CandidatesRun:    s.CandidatesRun.Load(),
+		PerOp:            map[string]OpSnapshot{},
+	}
+	s.mu.Lock()
+	for name, op := range s.perOp {
+		snap.PerOp[name] = OpSnapshot{
+			Invocations: op.Invocations.Load(),
+			RowsIn:      op.RowsIn.Load(),
+			RowsOut:     op.RowsOut.Load(),
+		}
+	}
+	s.mu.Unlock()
+	return snap
+}
+
+// String renders the snapshot as an aligned report.
+func (s StatsSnapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "plans executed    %d\n", s.PlansExecuted)
+	fmt.Fprintf(&b, "candidates run    %d\n", s.CandidatesRun)
+	fmt.Fprintf(&b, "rows in/out       %d/%d\n", s.RowsIn, s.RowsOut)
+	fmt.Fprintf(&b, "service calls     %d\n", s.ServiceCalls)
+	fmt.Fprintf(&b, "service cache hit %d\n", s.ServiceCacheHits)
+	fmt.Fprintf(&b, "trees pruned      %d\n", s.TreesPruned)
+	names := make([]string, 0, len(s.PerOp))
+	for n := range s.PerOp {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		op := s.PerOp[n]
+		fmt.Fprintf(&b, "  %-12s calls=%-6d in=%-8d out=%d\n", n, op.Invocations, op.RowsIn, op.RowsOut)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------- cache
+
+// ServiceCache memoizes service calls across plan executions, keyed by
+// service name plus the normalized input tuple. Dependent joins dominate
+// the F2/E6 latency profile, and candidate completions re-invoke the same
+// services with the same bindings on every suggestion refresh — sharing
+// one cache per session removes almost all of those calls. Safe for
+// concurrent use.
+type ServiceCache struct {
+	mu sync.RWMutex
+	m  map[string][]table.Tuple
+}
+
+// NewServiceCache returns an empty cache.
+func NewServiceCache() *ServiceCache {
+	return &ServiceCache{m: map[string][]table.Tuple{}}
+}
+
+// Len reports the number of distinct (service, input) bindings cached.
+func (c *ServiceCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// Clear drops every cached answer.
+func (c *ServiceCache) Clear() {
+	c.mu.Lock()
+	c.m = map[string][]table.Tuple{}
+	c.mu.Unlock()
+}
+
+func (c *ServiceCache) lookup(key string) ([]table.Tuple, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rows, ok := c.m[key]
+	return rows, ok
+}
+
+func (c *ServiceCache) store(key string, rows []table.Tuple) {
+	c.mu.Lock()
+	c.m[key] = rows
+	c.mu.Unlock()
+}
+
+// ---------------------------------------------------------------- ctx
+
+// ExecCtx is the execution context threaded through every Plan.Execute:
+// a context.Context for deadlines and cancellation, an optional row
+// budget, an optional cross-execution service cache, and an atomic Stats
+// block. One ExecCtx may drive many plan executions concurrently (the
+// parallel candidate executor); everything it holds is goroutine-safe.
+//
+// The zero value is not usable — build one with NewExecCtx or Background.
+// Operators tolerate a nil *ExecCtx by upgrading it to Background, so
+// hand-built plans keep working without ceremony.
+type ExecCtx struct {
+	ctx     context.Context
+	stats   *Stats
+	cache   *ServiceCache
+	noMemo  bool
+	maxRows int64
+	rows    atomic.Int64 // rows produced under this ctx, for the budget
+}
+
+// ExecOption configures an ExecCtx.
+type ExecOption func(*ExecCtx)
+
+// WithStats attaches a (possibly shared) stats block.
+func WithStats(s *Stats) ExecOption { return func(ec *ExecCtx) { ec.stats = s } }
+
+// WithServiceCache attaches a cross-execution service-call cache.
+func WithServiceCache(c *ServiceCache) ExecOption { return func(ec *ExecCtx) { ec.cache = c } }
+
+// WithoutServiceMemo disables service-call memoization entirely — even
+// the per-execution memo dependent joins otherwise keep. Used to verify
+// cache transparency.
+func WithoutServiceMemo() ExecOption { return func(ec *ExecCtx) { ec.noMemo = true } }
+
+// WithRowBudget bounds the total rows this context may produce across
+// all operators; exceeding it fails the execution with ErrRowBudget.
+// n <= 0 means unlimited.
+func WithRowBudget(n int) ExecOption { return func(ec *ExecCtx) { ec.maxRows = int64(n) } }
+
+// NewExecCtx builds an execution context over ctx.
+func NewExecCtx(ctx context.Context, opts ...ExecOption) *ExecCtx {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ec := &ExecCtx{ctx: ctx, stats: NewStats()}
+	for _, o := range opts {
+		o(ec)
+	}
+	return ec
+}
+
+// Background returns an ExecCtx with no deadline, no budget, and a fresh
+// stats block — the compat path for call sites that have not migrated.
+func Background() *ExecCtx { return NewExecCtx(context.Background()) }
+
+// Run executes a plan under a background ExecCtx. It is the incremental
+// migration helper for the Execute() → Execute(*ExecCtx) interface
+// change: old call sites become engine.Run(p).
+func Run(p Plan) (*Result, error) { return p.Execute(Background()) }
+
+// orBackground upgrades a nil receiver so operators never nil-check.
+func (ec *ExecCtx) orBackground() *ExecCtx {
+	if ec == nil {
+		return Background()
+	}
+	return ec
+}
+
+// Context returns the wrapped context.Context.
+func (ec *ExecCtx) Context() context.Context { return ec.ctx }
+
+// Stats returns the attached stats block (never nil).
+func (ec *ExecCtx) Stats() *Stats {
+	if ec.stats == nil {
+		ec.stats = NewStats()
+	}
+	return ec.stats
+}
+
+// Cache returns the shared service cache, or nil if none is attached.
+func (ec *ExecCtx) Cache() *ServiceCache { return ec.cache }
+
+// Err reports why the execution should stop: context cancellation,
+// deadline, or an exhausted row budget. nil means keep going.
+func (ec *ExecCtx) Err() error {
+	if err := ec.ctx.Err(); err != nil {
+		return err
+	}
+	if ec.maxRows > 0 && ec.rows.Load() > ec.maxRows {
+		return ErrRowBudget
+	}
+	return nil
+}
+
+// checkEvery is a cheap periodic cancellation probe for tight loops: it
+// only consults the context every 1024th iteration.
+func (ec *ExecCtx) checkEvery(i int) error {
+	if i&1023 != 0 {
+		return nil
+	}
+	return ec.Err()
+}
+
+// opDone records an operator invocation and enforces the row budget.
+func (ec *ExecCtx) opDone(op string, rowsIn, rowsOut int) error {
+	ec.stats.record(op, rowsIn, rowsOut)
+	if ec.maxRows > 0 && ec.rows.Add(int64(rowsOut)) > ec.maxRows {
+		return fmt.Errorf("%w (limit %d)", ErrRowBudget, ec.maxRows)
+	}
+	return nil
+}
+
+// lookupService consults the shared cache, then the per-execution memo.
+// It does not count the hit; the caller tallies stats.
+func (ec *ExecCtx) lookupService(key string, local map[string][]table.Tuple) ([]table.Tuple, bool) {
+	if ec.noMemo {
+		return nil, false
+	}
+	if ec.cache != nil {
+		if rows, ok := ec.cache.lookup(key); ok {
+			return rows, true
+		}
+	}
+	rows, ok := local[key]
+	return rows, ok
+}
+
+// storeService records a service answer in the shared cache (if any) and
+// the per-execution memo.
+func (ec *ExecCtx) storeService(key string, local map[string][]table.Tuple, rows []table.Tuple) {
+	if ec.noMemo {
+		return
+	}
+	if ec.cache != nil {
+		ec.cache.store(key, rows)
+	}
+	local[key] = rows
+}

@@ -55,8 +55,12 @@ func (r *Result) Relation() *table.Relation {
 type Plan interface {
 	// Schema is the output schema of the node.
 	Schema() table.Schema
-	// Execute evaluates the plan, producing annotated rows.
-	Execute() (*Result, error)
+	// Execute evaluates the plan under an execution context, producing
+	// annotated rows. Operators honor the context's deadline/cancellation
+	// and row budget, and tally per-operator counters into its Stats. A
+	// nil context is upgraded to Background; old call sites can use the
+	// engine.Run compat helper.
+	Execute(ec *ExecCtx) (*Result, error)
 	// String renders a one-line description of the operator tree.
 	String() string
 }
@@ -75,13 +79,20 @@ func NewScan(rel *table.Relation) *Scan { return &Scan{Rel: rel} }
 func (s *Scan) Schema() table.Schema { return s.Rel.Schema }
 
 // Execute implements Plan.
-func (s *Scan) Execute() (*Result, error) {
+func (s *Scan) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
 	res := &Result{Name: s.Rel.Name, Schema: s.Rel.Schema}
 	for i, row := range s.Rel.Rows {
 		res.Rows = append(res.Rows, provenance.Annotated{
 			Row:  row,
 			Prov: provenance.Leaf{ID: provenance.BaseID(s.Rel.Name, i), Source: s.Rel.Name},
 		})
+	}
+	if err := ec.opDone("Scan", 0, len(res.Rows)); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
@@ -102,7 +113,14 @@ type Values struct {
 func (v *Values) Schema() table.Schema { return v.Schema_ }
 
 // Execute implements Plan.
-func (v *Values) Execute() (*Result, error) {
+func (v *Values) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	if err := ec.Err(); err != nil {
+		return nil, err
+	}
+	if err := ec.opDone("Values", 0, len(v.Rows)); err != nil {
+		return nil, err
+	}
 	return &Result{Name: v.Name, Schema: v.Schema_, Rows: v.Rows}, nil
 }
 
@@ -121,16 +139,23 @@ type Select struct {
 func (s *Select) Schema() table.Schema { return s.Input.Schema() }
 
 // Execute implements Plan.
-func (s *Select) Execute() (*Result, error) {
-	in, err := s.Input.Execute()
+func (s *Select) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	in, err := s.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{Name: in.Name, Schema: in.Schema}
-	for _, a := range in.Rows {
+	for i, a := range in.Rows {
+		if err := ec.checkEvery(i); err != nil {
+			return nil, err
+		}
 		if s.Pred(a.Row) {
 			out.Rows = append(out.Rows, a)
 		}
+	}
+	if err := ec.opDone("Select", len(in.Rows), len(out.Rows)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -173,8 +198,9 @@ func (p *Project) Schema() table.Schema {
 }
 
 // Execute implements Plan.
-func (p *Project) Execute() (*Result, error) {
-	in, err := p.Input.Execute()
+func (p *Project) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	in, err := p.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
@@ -188,6 +214,9 @@ func (p *Project) Execute() (*Result, error) {
 			row[i] = a.Row[c]
 		}
 		out.Rows = append(out.Rows, provenance.Annotated{Row: row, Prov: a.Prov})
+	}
+	if err := ec.opDone("Project", len(in.Rows), len(out.Rows)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -216,8 +245,8 @@ func (r *Rename) Schema() table.Schema {
 }
 
 // Execute implements Plan.
-func (r *Rename) Execute() (*Result, error) {
-	in, err := r.Input.Execute()
+func (r *Rename) Execute(ec *ExecCtx) (*Result, error) {
+	in, err := r.Input.Execute(ec.orBackground())
 	if err != nil {
 		return nil, err
 	}
@@ -264,18 +293,22 @@ func (j *HashJoin) Schema() table.Schema {
 }
 
 // Execute implements Plan.
-func (j *HashJoin) Execute() (*Result, error) {
-	l, err := j.Left.Execute()
+func (j *HashJoin) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	l, err := j.Left.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
-	r, err := j.Right.Execute()
+	r, err := j.Right.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
 	// Build hash table on the right.
 	index := make(map[string][]provenance.Annotated, len(r.Rows))
-	for _, a := range r.Rows {
+	for i, a := range r.Rows {
+		if err := ec.checkEvery(i); err != nil {
+			return nil, err
+		}
 		k, err := joinKey(a.Row, j.RightCols)
 		if err != nil {
 			return nil, err
@@ -283,7 +316,10 @@ func (j *HashJoin) Execute() (*Result, error) {
 		index[k] = append(index[k], a)
 	}
 	out := &Result{Name: l.Name + "⋈" + r.Name, Schema: j.Schema()}
-	for _, la := range l.Rows {
+	for i, la := range l.Rows {
+		if err := ec.checkEvery(i); err != nil {
+			return nil, err
+		}
 		k, err := joinKey(la.Row, j.LeftCols)
 		if err != nil {
 			return nil, err
@@ -295,6 +331,9 @@ func (j *HashJoin) Execute() (*Result, error) {
 				Prov: provenance.Join(la.Prov, ra.Prov),
 			})
 		}
+	}
+	if err := ec.opDone("HashJoin", len(l.Rows)+len(r.Rows), len(out.Rows)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -45,15 +45,26 @@ func (d *DependentJoin) Schema() table.Schema {
 }
 
 // Execute implements Plan.
-func (d *DependentJoin) Execute() (*Result, error) {
-	in, err := d.Input.Execute()
+//
+// Service calls dominate the latency of the F2/E6 paths, so lookups are
+// memoized: per execution always, and across executions when the ExecCtx
+// carries a shared ServiceCache. The context is consulted before every
+// call — a cancelled or expired execution stops without touching the
+// service again.
+func (d *DependentJoin) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	in, err := d.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
 	outWidth := len(d.Svc.OutputSchema())
 	out := &Result{Name: in.Name + "→" + d.Svc.Name(), Schema: d.Schema()}
-	cache := map[string][]table.Tuple{}
+	local := map[string][]table.Tuple{}
+	stats := ec.Stats()
 	for _, a := range in.Rows {
+		if err := ec.Err(); err != nil {
+			return nil, err
+		}
 		args := make(table.Tuple, len(d.InputCols))
 		skip := false
 		for i, c := range d.InputCols {
@@ -67,14 +78,17 @@ func (d *DependentJoin) Execute() (*Result, error) {
 		}
 		var answers []table.Tuple
 		if !skip {
-			key := args.Key()
-			var ok bool
-			if answers, ok = cache[key]; !ok {
+			key := d.Svc.Name() + "\x00" + args.Key()
+			var hit bool
+			if answers, hit = ec.lookupService(key, local); hit {
+				stats.ServiceCacheHits.Add(1)
+			} else {
+				stats.ServiceCalls.Add(1)
 				answers, err = d.Svc.Call(args)
 				if err != nil {
 					return nil, fmt.Errorf("engine: service %s: %w", d.Svc.Name(), err)
 				}
-				cache[key] = answers
+				ec.storeService(key, local, answers)
 			}
 		}
 		if len(answers) == 0 {
@@ -101,6 +115,9 @@ func (d *DependentJoin) Execute() (*Result, error) {
 				Prov: provenance.Join(a.Prov, leaf),
 			})
 		}
+	}
+	if err := ec.opDone("DepJoin", len(in.Rows), len(out.Rows)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -132,17 +149,22 @@ func (r *RecordLinkJoin) Schema() table.Schema {
 }
 
 // Execute implements Plan.
-func (r *RecordLinkJoin) Execute() (*Result, error) {
-	l, err := r.Left.Execute()
+func (r *RecordLinkJoin) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	l, err := r.Left.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
-	rr, err := r.Right.Execute()
+	rr, err := r.Right.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{Name: l.Name + "≈" + rr.Name, Schema: r.Schema()}
-	for _, la := range l.Rows {
+	for li, la := range l.Rows {
+		// The similarity scan is quadratic; honor cancellation per left row.
+		if err := ec.checkEvery(li); err != nil {
+			return nil, err
+		}
 		lkey, err := restrict(la.Row, r.LeftCols)
 		if err != nil {
 			return nil, err
@@ -175,6 +197,9 @@ func (r *RecordLinkJoin) Execute() (*Result, error) {
 			}
 		}
 		out.Rows = append(out.Rows, matches...)
+	}
+	if err := ec.opDone("LinkJoin", len(l.Rows)+len(rr.Rows), len(out.Rows)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -213,19 +238,25 @@ func (u *Union) Schema() table.Schema {
 }
 
 // Execute implements Plan.
-func (u *Union) Execute() (*Result, error) {
+func (u *Union) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
 	if len(u.Inputs) == 0 {
 		return &Result{Name: "union"}, nil
 	}
 	out := &Result{Name: "union", Schema: u.Schema()}
 	index := map[string]int{} // tuple key -> position in out.Rows
 	arity := len(out.Schema)
+	rowsIn := 0
 	for _, in := range u.Inputs {
-		res, err := in.Execute()
+		res, err := in.Execute(ec)
 		if err != nil {
 			return nil, err
 		}
-		for _, a := range res.Rows {
+		rowsIn += len(res.Rows)
+		for i, a := range res.Rows {
+			if err := ec.checkEvery(i); err != nil {
+				return nil, err
+			}
 			if len(a.Row) != arity {
 				return nil, fmt.Errorf("engine: union arity mismatch: %d vs %d", len(a.Row), arity)
 			}
@@ -237,6 +268,9 @@ func (u *Union) Execute() (*Result, error) {
 				out.Rows = append(out.Rows, a)
 			}
 		}
+	}
+	if err := ec.opDone("Union", rowsIn, len(out.Rows)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -268,8 +302,8 @@ type pad struct {
 
 func (p *pad) Schema() table.Schema { return p.Target }
 
-func (p *pad) Execute() (*Result, error) {
-	in, err := p.Input.Execute()
+func (p *pad) Execute(ec *ExecCtx) (*Result, error) {
+	in, err := p.Input.Execute(ec.orBackground())
 	if err != nil {
 		return nil, err
 	}
@@ -305,14 +339,18 @@ type Distinct struct {
 func (d *Distinct) Schema() table.Schema { return d.Input.Schema() }
 
 // Execute implements Plan.
-func (d *Distinct) Execute() (*Result, error) {
-	in, err := d.Input.Execute()
+func (d *Distinct) Execute(ec *ExecCtx) (*Result, error) {
+	ec = ec.orBackground()
+	in, err := d.Input.Execute(ec)
 	if err != nil {
 		return nil, err
 	}
 	out := &Result{Name: in.Name, Schema: in.Schema}
 	index := map[string]int{}
-	for _, a := range in.Rows {
+	for i, a := range in.Rows {
+		if err := ec.checkEvery(i); err != nil {
+			return nil, err
+		}
 		k := a.Row.Key()
 		if i, ok := index[k]; ok {
 			out.Rows[i].Prov = provenance.Merge(out.Rows[i].Prov, a.Prov)
@@ -320,6 +358,9 @@ func (d *Distinct) Execute() (*Result, error) {
 			index[k] = len(out.Rows)
 			out.Rows = append(out.Rows, a)
 		}
+	}
+	if err := ec.opDone("Distinct", len(in.Rows), len(out.Rows)); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -338,8 +379,8 @@ type Limit struct {
 func (l *Limit) Schema() table.Schema { return l.Input.Schema() }
 
 // Execute implements Plan.
-func (l *Limit) Execute() (*Result, error) {
-	in, err := l.Input.Execute()
+func (l *Limit) Execute(ec *ExecCtx) (*Result, error) {
+	in, err := l.Input.Execute(ec.orBackground())
 	if err != nil {
 		return nil, err
 	}

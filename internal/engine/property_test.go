@@ -41,7 +41,7 @@ func TestJoinProvenanceExactlyTwoLeavesProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := j.Execute()
+		res, err := j.Execute(Background())
 		if err != nil {
 			return false
 		}
@@ -76,7 +76,7 @@ func TestJoinCardinalityMatchesNestedLoopProperty(t *testing.T) {
 			}
 		}
 		j, _ := NewHashJoinByName(NewScan(l), NewScan(r), [][2]string{{"K", "K"}})
-		res, err := j.Execute()
+		res, err := j.Execute(Background())
 		return err == nil && len(res.Rows) == want
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
@@ -91,7 +91,7 @@ func TestUnionProvenancePreservesAllLeavesProperty(t *testing.T) {
 		a := randRel("A", ks1, 2)
 		b := randRel("B", ks2, 2)
 		u := &Union{Inputs: []Plan{NewScan(a), NewScan(b)}}
-		res, err := u.Execute()
+		res, err := u.Execute(Background())
 		if err != nil {
 			return false
 		}
@@ -112,7 +112,7 @@ func TestDistinctLosslessProperty(t *testing.T) {
 	f := func(ks []uint8) bool {
 		r := randRel("R", ks, 2)
 		d := &Distinct{Input: NewScan(r)}
-		res, err := d.Execute()
+		res, err := d.Execute(Background())
 		if err != nil {
 			return false
 		}
@@ -146,7 +146,7 @@ func TestAggregateGroupCountInvariantProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := agg.Execute()
+		res, err := agg.Execute(Background())
 		if err != nil {
 			return false
 		}
@@ -183,7 +183,7 @@ func TestProjectSelectPreserveProvenanceProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := proj.Execute()
+		res, err := proj.Execute(Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -9,8 +9,10 @@ package intlearn
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"copycat/internal/catalog"
 	"copycat/internal/engine"
@@ -201,14 +203,36 @@ func colIndexes(schema table.Schema, names []string) ([]int, error) {
 // ColumnCompletions proposes auto-completions for the current query: every
 // suggestable association from its nodes to a source not yet in the
 // query, compiled and executed (§4.2's first mode; Figure 2's Zip column).
-// Results come back best (cheapest) first.
+// Results come back best (cheapest) first. Compat wrapper over
+// ColumnCompletionsCtx with a background execution context.
 func (l *Learner) ColumnCompletions(base engine.Plan, baseNodes []string) []Completion {
+	return l.ColumnCompletionsCtx(engine.Background(), base, baseNodes)
+}
+
+// ColumnCompletionsCtx is ColumnCompletions under an execution context.
+// Candidate plans are gathered serially (compilation is cheap) and then
+// executed concurrently by a bounded worker pool sharing ec — its
+// deadline, row budget, service cache, and stats. Candidates that error,
+// return no rows, or are cut off by cancellation are dropped; the
+// survivors sort deterministically by (cost, edge id), so parallel and
+// serial execution produce identical suggestion lists.
+func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, baseNodes []string) []Completion {
+	if ec == nil {
+		ec = engine.Background()
+	}
+	type candidate struct {
+		edge    *sourcegraph.Edge
+		target  string
+		plan    engine.Plan
+		newCols []table.Column
+		cost    float64
+	}
 	in := map[string]bool{}
 	for _, n := range baseNodes {
 		in[n] = true
 	}
 	seenTarget := map[string]bool{}
-	var out []Completion
+	var cands []candidate
 	for _, node := range baseNodes {
 		for _, e := range l.Graph.EdgesAt(node) {
 			cost := l.edgeCost(e)
@@ -224,15 +248,57 @@ func (l *Learner) ColumnCompletions(base engine.Plan, baseNodes []string) []Comp
 			if err != nil {
 				continue
 			}
-			res, err := plan.Execute()
-			if err != nil || len(res.Rows) == 0 {
-				continue
-			}
-			out = append(out, Completion{
-				Edge: e, Target: target, Plan: plan, Result: res,
-				NewCols: newCols, Cost: cost,
-			})
+			cands = append(cands, candidate{edge: e, target: target, plan: plan, newCols: newCols, cost: cost})
 		}
+	}
+	results := make([]*engine.Result, len(cands))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers > 1 {
+		var wg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					if ec.Err() != nil {
+						continue // drain remaining work after cancellation
+					}
+					ec.Stats().CandidatesRun.Add(1)
+					if res, err := cands[i].plan.Execute(ec); err == nil {
+						results[i] = res
+					}
+				}
+			}()
+		}
+		for i := range cands {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	} else {
+		for i := range cands {
+			if ec.Err() != nil {
+				break
+			}
+			ec.Stats().CandidatesRun.Add(1)
+			if res, err := cands[i].plan.Execute(ec); err == nil {
+				results[i] = res
+			}
+		}
+	}
+	var out []Completion
+	for i, c := range cands {
+		if results[i] == nil || len(results[i].Rows) == 0 {
+			continue
+		}
+		out = append(out, Completion{
+			Edge: c.edge, Target: c.target, Plan: c.plan, Result: results[i],
+			NewCols: c.newCols, Cost: c.cost,
+		})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Cost != out[j].Cost {
@@ -280,8 +346,21 @@ func (l *Learner) buildSteiner() (*steiner.Graph, *steinerIndex) {
 // TopQueries explains a set of terminal sources (the sources whose
 // attributes appear in user-pasted tuples) as the k best Steiner-tree
 // queries (§4.2's second mode). Small graphs use the exact solver; large
-// ones the SPCSH approximation with pruning.
+// ones the SPCSH approximation with pruning. Compat wrapper over
+// TopQueriesCtx with a background execution context.
 func (l *Learner) TopQueries(terminals []string, k int) ([]*Query, error) {
+	return l.TopQueriesCtx(engine.Background(), terminals, k)
+}
+
+// TopQueriesCtx is TopQueries under an execution context: the Steiner
+// search (branch-and-bound and Lawler partitioning) honors the context's
+// deadline/cancellation, Lawler subproblems run concurrently, and the
+// branches pruned during enumeration are tallied into
+// ec.Stats().TreesPruned.
+func (l *Learner) TopQueriesCtx(ec *engine.ExecCtx, terminals []string, k int) ([]*Query, error) {
+	if ec == nil {
+		ec = engine.Background()
+	}
 	g, ix := l.buildSteiner()
 	var terms []int
 	for _, t := range terminals {
@@ -291,11 +370,16 @@ func (l *Learner) TopQueries(terminals []string, k int) ([]*Query, error) {
 		}
 		terms = append(terms, i)
 	}
-	solve := steiner.Solver(steiner.Exact)
+	solve := steiner.CtxSolver(steiner.ExactCtx)
 	if g.N() > l.MaxExactNodes {
-		solve = steiner.Approx(l.PruneFrac)
+		solve = steiner.ApproxCtx(l.PruneFrac)
 	}
-	trees := steiner.TopK(g, terms, k, solve)
+	var m steiner.Metrics
+	trees, err := steiner.TopKCtx(ec.Context(), g, terms, k, solve, &m)
+	ec.Stats().TreesPruned.Add(m.Pruned())
+	if err != nil {
+		return nil, err
+	}
 	var out []*Query
 	for _, tr := range trees {
 		q := &Query{}

@@ -54,7 +54,7 @@ func setup(t *testing.T) (*Learner, *webworld.World) {
 func workspaceValues(l *Learner) *engine.Values {
 	src := l.Graph.Catalog().Get("Shelters")
 	scan, _ := src.Scan()
-	res, _ := scan.Execute()
+	res, _ := engine.Run(scan)
 	return &engine.Values{Name: "Workspace", Schema_: src.Schema.Clone(), Rows: res.Rows}
 }
 
@@ -210,7 +210,7 @@ func TestCompileQueryExecutes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := plan.Execute()
+	res, err := engine.Run(plan)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +326,7 @@ func TestExtendPlanSemTypeFallback(t *testing.T) {
 	// learned semantic types.
 	src := l.Graph.Catalog().Get("Shelters")
 	scan, _ := src.Scan()
-	res, _ := scan.Execute()
+	res, _ := engine.Run(scan)
 	schema := table.Schema{
 		{Name: "ShelterName", Kind: table.KindString, SemType: modellearn.TypeOrgName},
 		{Name: "Addr", Kind: table.KindString, SemType: modellearn.TypeStreet},
@@ -349,7 +349,7 @@ func TestExtendPlanSemTypeFallback(t *testing.T) {
 	if len(newCols) != 1 || newCols[0].Name != "Zip" {
 		t.Errorf("new cols = %v", newCols)
 	}
-	res2, err := plan.Execute()
+	res2, err := engine.Run(plan)
 	if err != nil || len(res2.Rows) == 0 {
 		t.Errorf("renamed-workspace dependent join failed: %v", err)
 	}
@@ -417,7 +417,7 @@ func TestCompileChainedServiceComposition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := plan.Execute()
+	res, err := engine.Run(plan)
 	if err != nil {
 		t.Fatal(err)
 	}

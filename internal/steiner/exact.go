@@ -2,9 +2,16 @@ package steiner
 
 import (
 	"container/heap"
+	"context"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
+
+// atomicCounter is the counter type used by Metrics.
+type atomicCounter = atomic.Int64
 
 // Exact computes a minimum-cost Steiner tree for the terminals using the
 // Dreyfus–Wagner dynamic program (with Dijkstra-style relaxation per
@@ -14,6 +21,17 @@ import (
 // typically sees (§4.2: "the number of sources is often relatively
 // small").
 func Exact(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
+	return ExactCtx(context.Background(), g, terminals, banned)
+}
+
+// ExactCtx is Exact under a context: the subset dynamic program checks
+// for cancellation between terminal subsets, so an expired suggestion
+// deadline aborts the search instead of grinding through 3^t states.
+// Cancellation reports ok=false (no tree).
+func ExactCtx(ctx context.Context, g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
+	if ctx != nil && ctx.Err() != nil {
+		return nil, false
+	}
 	terminals = dedupeTerminals(terminals)
 	if len(terminals) == 0 {
 		return &Tree{}, true
@@ -47,6 +65,9 @@ func Exact(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
 		dp[1<<i][term] = 0
 	}
 	for s := 1; s <= full; s++ {
+		if s&15 == 0 && ctx.Err() != nil {
+			return nil, false
+		}
 		// Merge step: combine sub-subsets at a shared node.
 		for s1 := (s - 1) & s; s1 > 0; s1 = (s1 - 1) & s {
 			s2 := s ^ s1
@@ -140,11 +161,11 @@ type costItem struct {
 
 type costHeap []costItem
 
-func (h costHeap) Len() int            { return len(h) }
-func (h costHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
-func (h costHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *costHeap) Push(x interface{}) { *h = append(*h, x.(costItem)) }
-func (h *costHeap) Pop() interface{} {
+func (h costHeap) Len() int           { return len(h) }
+func (h costHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
+func (h costHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *costHeap) Push(x any)        { *h = append(*h, x.(costItem)) }
+func (h *costHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]
@@ -156,44 +177,125 @@ func (h *costHeap) Pop() interface{} {
 // fit, letting TopK share the enumeration machinery.
 type Solver func(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool)
 
+// CtxSolver is a Solver that honors a context's deadline/cancellation.
+// ExactCtx, SPCSHCtx, and ApproxCtx all fit.
+type CtxSolver func(ctx context.Context, g *Graph, terminals []int, banned map[int]bool) (*Tree, bool)
+
+// WithCtx adapts a plain Solver to the CtxSolver shape (ignoring the
+// context), for call sites migrating incrementally.
+func WithCtx(s Solver) CtxSolver {
+	return func(_ context.Context, g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
+		return s(g, terminals, banned)
+	}
+}
+
+// Metrics counts enumeration work during TopKCtx: solver invocations and
+// branches discarded as infeasible or duplicate. The counters are atomic
+// because Lawler subproblems run concurrently.
+type Metrics struct {
+	SolverCalls, Infeasible, Duplicates atomicCounter
+}
+
+// Pruned totals the branches that produced no new tree.
+func (m *Metrics) Pruned() int64 { return m.Infeasible.Load() + m.Duplicates.Load() }
+
 // TopK enumerates the k best (locally minimal) Steiner trees, best first,
 // by Lawler-style exclusion branching over the solver: each result
 // spawns subproblems banning one of its edges, and a best-first queue
 // with deduplication yields distinct trees in cost order. With the Exact
 // solver this matches the paper's exact top-k queries; with SPCSH it is
 // the scalable approximation.
+//
+// API-boundary guards: k <= 0 yields nil and duplicate terminals are
+// deduped once here, so every solver invocation (and every ban-set
+// subproblem) sees the canonical terminal set.
 func TopK(g *Graph, terminals []int, k int, solve Solver) []*Tree {
+	trees, _ := TopKCtx(context.Background(), g, terminals, k, WithCtx(solve), nil)
+	return trees
+}
+
+// TopKCtx is TopK under a context, with optional work metrics. The
+// Lawler branching step solves each single-edge exclusion subproblem of
+// an accepted tree concurrently (bounded by GOMAXPROCS); results are
+// collected and pushed in edge order, so the enumeration stays
+// deterministic. A cancelled or expired context returns ctx.Err() with
+// no partial results; all workers are joined before returning, so
+// cancellation leaks no goroutines.
+func TopKCtx(ctx context.Context, g *Graph, terminals []int, k int, solve CtxSolver, m *Metrics) ([]*Tree, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
-	first, ok := solve(g, terminals, nil)
+	terminals = dedupeTerminals(terminals)
+	if m == nil {
+		m = &Metrics{}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.SolverCalls.Add(1)
+	first, ok := solve(ctx, g, terminals, nil)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if !ok {
-		return nil
+		m.Infeasible.Add(1)
+		return nil, nil
 	}
+	workers := runtime.GOMAXPROCS(0)
 	pq := &candHeap{}
 	heap.Push(pq, candHeapItem{tree: first, banned: map[int]bool{}})
 	seen := map[string]bool{}
 	var out []*Tree
 	for pq.Len() > 0 && len(out) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		c := heap.Pop(pq).(candHeapItem)
 		key := c.tree.Key()
 		if seen[key] {
+			m.Duplicates.Add(1)
 			continue
 		}
 		seen[key] = true
 		out = append(out, c.tree)
-		for _, e := range c.tree.Edges {
-			nb := make(map[int]bool, len(c.banned)+1)
-			for id := range c.banned {
-				nb[id] = true
-			}
-			nb[e] = true
-			if t, ok := solve(g, terminals, nb); ok {
-				heap.Push(pq, candHeapItem{tree: t, banned: nb})
+		// Solve the |Edges| exclusion subproblems concurrently, then push
+		// the surviving children in edge order for determinism.
+		children := make([]*candHeapItem, len(c.tree.Edges))
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for idx, e := range c.tree.Edges {
+			wg.Add(1)
+			go func(idx, e int) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				if ctx.Err() != nil {
+					return
+				}
+				nb := make(map[int]bool, len(c.banned)+1)
+				for id := range c.banned {
+					nb[id] = true
+				}
+				nb[e] = true
+				m.SolverCalls.Add(1)
+				if t, ok := solve(ctx, g, terminals, nb); ok {
+					children[idx] = &candHeapItem{tree: t, banned: nb}
+				} else {
+					m.Infeasible.Add(1)
+				}
+			}(idx, e)
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		for _, ch := range children {
+			if ch != nil {
+				heap.Push(pq, *ch)
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 type candHeapItem = struct {
@@ -203,11 +305,11 @@ type candHeapItem = struct {
 
 type candHeap []candHeapItem
 
-func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].tree.Cost < h[j].tree.Cost }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(candHeapItem)) }
-func (h *candHeap) Pop() interface{} {
+func (h candHeap) Len() int           { return len(h) }
+func (h candHeap) Less(i, j int) bool { return h[i].tree.Cost < h[j].tree.Cost }
+func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x any)        { *h = append(*h, x.(candHeapItem)) }
+func (h *candHeap) Pop() any {
 	old := *h
 	n := len(old)
 	it := old[n-1]

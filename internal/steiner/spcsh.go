@@ -2,6 +2,7 @@ package steiner
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"sort"
 )
@@ -12,6 +13,13 @@ import (
 // graph paths, and prune non-terminal leaves. The result is within 2× of
 // optimal (classic KMB bound) and usually much closer.
 func SPCSH(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
+	return SPCSHCtx(context.Background(), g, terminals, banned)
+}
+
+// SPCSHCtx is SPCSH under a context: cancellation is checked between the
+// per-terminal Dijkstra runs (the dominant cost on large graphs) and
+// reports ok=false.
+func SPCSHCtx(ctx context.Context, g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
 	terminals = dedupeTerminals(terminals)
 	if len(terminals) <= 1 {
 		return &Tree{}, true
@@ -25,6 +33,9 @@ func SPCSH(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
 	}
 	runs := make([]sssp, len(terminals))
 	for i, s := range terminals {
+		if ctx.Err() != nil {
+			return nil, false
+		}
 		runs[i] = dijkstra(g, s, banned)
 	}
 	// Prim's MST over the terminal closure.
@@ -209,7 +220,15 @@ func PruneExpensive(g *Graph, terminals []int, frac float64) map[int]bool {
 
 // Approx composes pruning with SPCSH: the default large-graph solver.
 func Approx(pruneFrac float64) Solver {
+	ctxSolve := ApproxCtx(pruneFrac)
 	return func(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
+		return ctxSolve(context.Background(), g, terminals, banned)
+	}
+}
+
+// ApproxCtx is Approx as a context-aware solver.
+func ApproxCtx(pruneFrac float64) CtxSolver {
+	return func(ctx context.Context, g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
 		merged := banned
 		if pruneFrac > 0 {
 			merged = map[int]bool{}
@@ -222,10 +241,10 @@ func Approx(pruneFrac float64) Solver {
 				merged[id] = true
 			}
 		}
-		t, ok := SPCSH(g, terminals, merged)
-		if !ok && pruneFrac > 0 {
+		t, ok := SPCSHCtx(ctx, g, terminals, merged)
+		if !ok && pruneFrac > 0 && ctx.Err() == nil {
 			// Pruning can interact with bans; retry without it.
-			return SPCSH(g, terminals, banned)
+			return SPCSHCtx(ctx, g, terminals, banned)
 		}
 		return t, ok
 	}

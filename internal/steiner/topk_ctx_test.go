@@ -1,0 +1,66 @@
+package steiner
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestTopKBoundaryGuards(t *testing.T) {
+	g := diamond()
+	if TopK(g, []int{0, 3}, -1, Exact) != nil {
+		t.Error("k<0 should be nil")
+	}
+	if TopK(g, []int{0, 3}, 0, Exact) != nil {
+		t.Error("k=0 should be nil")
+	}
+	// Duplicate terminals must behave exactly like the deduped list.
+	dup := TopK(g, []int{0, 3, 3, 0, 3}, 3, Exact)
+	clean := TopK(g, []int{0, 3}, 3, Exact)
+	if len(dup) != len(clean) {
+		t.Fatalf("dup terminals: %d trees, deduped: %d", len(dup), len(clean))
+	}
+	for i := range dup {
+		if dup[i].Key() != clean[i].Key() || dup[i].Cost != clean[i].Cost {
+			t.Fatalf("tree %d differs: dup %s/%.1f vs clean %s/%.1f",
+				i, dup[i].Key(), dup[i].Cost, clean[i].Key(), clean[i].Cost)
+		}
+	}
+}
+
+func TestTopKCtxCancelled(t *testing.T) {
+	g := diamond()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	trees, err := TopKCtx(ctx, g, []int{0, 3}, 3, WithCtx(Exact), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (trees=%v)", err, trees)
+	}
+	if trees != nil {
+		t.Fatalf("cancelled run returned %d trees", len(trees))
+	}
+}
+
+func TestTopKCtxMetrics(t *testing.T) {
+	g := diamond()
+	var m Metrics
+	trees, err := TopKCtx(context.Background(), g, []int{0, 3}, 3, WithCtx(Exact), &m)
+	if err != nil || len(trees) != 3 {
+		t.Fatalf("trees=%d err=%v", len(trees), err)
+	}
+	if m.SolverCalls.Load() == 0 {
+		t.Error("metrics did not count solver calls")
+	}
+	if m.Pruned() != m.Infeasible.Load()+m.Duplicates.Load() {
+		t.Error("Pruned() should sum infeasible and duplicate branches")
+	}
+}
+
+func TestExactCtxCancelled(t *testing.T) {
+	g := diamond()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := ExactCtx(ctx, g, []int{0, 3}, nil); ok {
+		t.Error("cancelled ExactCtx should report infeasible")
+	}
+}

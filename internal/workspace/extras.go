@@ -187,7 +187,10 @@ func (w *Workspace) Summarize(groupBy []string, aggExprs ...string) (*Tab, error
 	if err != nil {
 		return nil, err
 	}
-	res, err := agg.Execute()
+	ec, cancel := w.execCtx()
+	ec.Stats().PlansExecuted.Add(1)
+	res, err := agg.Execute(ec)
+	cancel()
 	if err != nil {
 		return nil, err
 	}

@@ -32,7 +32,9 @@ func (w *Workspace) pasteIntegration(sel docmodel.Selection) error {
 	}
 	terminals := w.FindSourcesOfValues(sel.Flat())
 	if len(terminals) >= 2 {
-		qs, err := w.Int.TopQueries(terminals, 3)
+		ec, cancel := w.execCtx()
+		qs, err := w.Int.TopQueriesCtx(ec, terminals, 3)
+		cancel()
 		if err != nil {
 			return err
 		}
@@ -112,7 +114,10 @@ func (w *Workspace) AcceptQuery(i int) error {
 	if err != nil {
 		return err
 	}
-	res, err := plan.Execute()
+	ec, cancel := w.execCtx()
+	ec.Stats().PlansExecuted.Add(1)
+	res, err := plan.Execute(ec)
+	cancel()
 	if err != nil {
 		return err
 	}
@@ -157,7 +162,9 @@ func (w *Workspace) RefreshColumnSuggestions() []intlearn.Completion {
 		return nil
 	}
 	base := w.valuesPlan()
-	w.pendingCols = w.Int.ColumnCompletions(base, []string{t.SourceNode})
+	ec, cancel := w.execCtx()
+	w.pendingCols = w.Int.ColumnCompletionsCtx(ec, base, []string{t.SourceNode})
+	cancel()
 	return w.pendingCols
 }
 

@@ -49,7 +49,10 @@ func (w *Workspace) RunView(name string) error {
 	if err != nil {
 		return err
 	}
-	res, err := plan.Execute()
+	ec, cancel := w.execCtx()
+	ec.Stats().PlansExecuted.Add(1)
+	res, err := plan.Execute(ec)
+	cancel()
 	if err != nil {
 		return err
 	}

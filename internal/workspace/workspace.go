@@ -11,8 +11,10 @@
 package workspace
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"copycat/internal/catalog"
 	"copycat/internal/engine"
@@ -116,6 +118,19 @@ type Workspace struct {
 	Int   *intlearn.Learner
 	Keys  *Ledger
 
+	// ExecStats accumulates executor instrumentation (rows, service
+	// calls, cache hits, pruned trees) across every suggestion refresh
+	// and query run of the session.
+	ExecStats *engine.Stats
+	// SvcCache memoizes service calls across plan executions — candidate
+	// completions re-invoke the same services with the same bindings on
+	// every refresh, and this removes those repeat calls.
+	SvcCache *engine.ServiceCache
+	// ExecTimeout bounds each suggestion/query execution; 0 means no
+	// deadline. Interactive hosts set this to keep suggestion refreshes
+	// within typing latency.
+	ExecTimeout time.Duration
+
 	mode   Mode
 	tabs   []*Tab
 	active int
@@ -145,6 +160,8 @@ func New(cat *catalog.Catalog, types *modellearn.Library) *Workspace {
 		Types:          types,
 		Int:            intlearn.New(g),
 		Keys:           NewLedger(),
+		ExecStats:      engine.NewStats(),
+		SvcCache:       engine.NewServiceCache(),
 		structLearners: map[string]*structlearn.Learner{},
 		demotions:      map[string]int{},
 	}
@@ -307,6 +324,20 @@ func columnValues(t *Tab) [][]string {
 		}
 	}
 	return out
+}
+
+// execCtx builds the workspace's execution context: the session's shared
+// stats block and service cache, plus the configured deadline. The
+// returned cancel func must be called when the execution finishes.
+func (w *Workspace) execCtx() (*engine.ExecCtx, context.CancelFunc) {
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if w.ExecTimeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), w.ExecTimeout)
+	}
+	ec := engine.NewExecCtx(ctx,
+		engine.WithStats(w.ExecStats),
+		engine.WithServiceCache(w.SvcCache))
+	return ec, cancel
 }
 
 // valuesPlan exposes the active tab's concrete rows to the engine.
