@@ -14,10 +14,11 @@ test:
 	$(GO) test ./...
 
 # Race-check the packages with real concurrency: the executor's shared
-# stats/cache, the parallel candidate pool, the Lawler fan-out, and the
-# workspace threading that ties them together.
+# stats/cache, the parallel candidate pool, the Lawler fan-out, the
+# workspace threading that ties them together, and the resilience layer
+# (shared breakers/jitter stream) with its fault injector.
 test-race:
-	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace
+	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .

@@ -156,7 +156,14 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, "no column completions (is the tab committed?)")
 			}
 			for i, c := range comps {
-				fmt.Fprintf(out, "  [%d] %s (cost %.2f, %d rows)\n", i, c.Edge.Label(), c.Cost, len(c.Result.Rows))
+				note := ""
+				if p := c.PartialNote(); p != "" {
+					note = ", " + p
+				}
+				fmt.Fprintf(out, "  [%d] %s (cost %.2f, %d rows%s)\n", i, c.Edge.Label(), c.Cost, len(c.Result.Rows), note)
+			}
+			for _, d := range ws.SuggestionDrops() {
+				fmt.Fprintf(out, "  dropped %s: %s\n", d.Target, d.Reason)
 			}
 		case "acceptcol":
 			err = withIndex(args, func(i int) error { return ws.AcceptColumn(i) })

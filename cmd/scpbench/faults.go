@@ -1,0 +1,111 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"copycat"
+)
+
+// expFaults measures suggestion availability and latency under injected
+// service faults (R1): every builtin service is wrapped in a
+// deterministic fault injector at increasing transient-error rates, and
+// the full paste → accept → integrate → column-completion pipeline runs
+// behind the resilience layer (retries, circuit breakers, graceful row
+// degradation). Availability is completions surviving relative to the
+// fault-free baseline; latency is virtual (injected latency + backoff on
+// the virtual clock — deterministic, no wall-clock sleeps).
+func expFaults() error {
+	rates := []float64{0, 0.05, 0.1, 0.2, 0.4, 0.6}
+	type sample struct {
+		rate        float64
+		completions int
+		rows        int
+		degraded    int64
+		retries     int64
+		trips       int64
+		calls       int64
+		drops       int
+		virtual     time.Duration
+	}
+	run := func(rate float64) (sample, error) {
+		cfg := copycat.DefaultWorldConfig()
+		cfg.FaultRate = rate
+		cfg.FaultSeed = 7
+		sys := copycat.NewDemoSystem(cfg)
+		w := sys.World
+		browser := sys.OpenBrowser(sys.ShelterSite(copycat.StyleTable))
+		s0, s1 := w.Shelters[0], w.Shelters[1]
+		sel, err := browser.CopyRows([][]string{
+			{s0.Name, s0.Street, s0.City},
+			{s1.Name, s1.Street, s1.City},
+		})
+		if err != nil {
+			return sample{}, err
+		}
+		if err := sys.Workspace.Paste(sel); err != nil {
+			return sample{}, err
+		}
+		if err := sys.Workspace.AcceptRows(); err != nil {
+			return sample{}, err
+		}
+		sys.Workspace.SetMode(copycat.ModeIntegration)
+		var start time.Time
+		if sys.Clock != nil {
+			start = sys.Clock.Now()
+		}
+		comps := sys.Workspace.RefreshColumnSuggestions()
+		out := sample{rate: rate, completions: len(comps), drops: len(sys.Workspace.SuggestionDrops())}
+		if sys.Clock != nil {
+			out.virtual = sys.Clock.Now().Sub(start)
+		}
+		for _, c := range comps {
+			out.rows += len(c.Result.Rows)
+		}
+		snap := sys.Stats()
+		out.degraded = snap.DegradedRows
+		out.retries = snap.Retries
+		out.trips = snap.BreakerTrips
+		out.calls = snap.ServiceCalls
+		return out, nil
+	}
+
+	var samples []sample
+	for _, r := range rates {
+		s, err := run(r)
+		if err != nil {
+			return err
+		}
+		samples = append(samples, s)
+	}
+	baseline := samples[0].completions
+	var rows [][]string
+	for _, s := range samples {
+		avail := "-"
+		if baseline > 0 {
+			avail = f("%.0f%%", 100*float64(s.completions)/float64(baseline))
+		}
+		rows = append(rows, []string{
+			f("%.2f", s.rate),
+			fmt.Sprint(s.completions),
+			avail,
+			fmt.Sprint(s.rows),
+			fmt.Sprint(s.degraded),
+			fmt.Sprint(s.retries),
+			fmt.Sprint(s.trips),
+			fmt.Sprint(s.calls),
+			fmt.Sprint(s.drops),
+			s.virtual.Round(time.Millisecond).String(),
+		})
+	}
+	printTable(
+		[]string{"fault rate", "completions", "availability", "rows", "degraded", "retries", "breaker trips", "service calls", "drops", "virtual latency"},
+		rows)
+	fmt.Println("\npaper shape: the prototype ran against live Google/Yahoo services (§4);")
+	fmt.Println("with the resilience layer, suggestions keep arriving under injected faults —")
+	fmt.Println("failing rows degrade (and are counted) instead of killing whole candidate plans.")
+	if statsMode {
+		fmt.Println()
+	}
+	return nil
+}

@@ -42,6 +42,7 @@ var experiments = []experiment{
 	{"ablation-types", "A1: association discovery with vs without semantic types", expAblationTypes},
 	{"ablation-steiner", "A2: exact vs approximate Steiner inside the integration learner", expAblationSteiner},
 	{"matcher", "A3: approximate schema matcher on renamed, untyped columns (§4.1)", expMatcher},
+	{"faults", "R1: suggestion availability and latency vs injected service fault rate", expFaults},
 }
 
 // statsMode mirrors the -stats flag: experiments that drive a workspace

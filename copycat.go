@@ -34,6 +34,7 @@ import (
 	"copycat/internal/export"
 	"copycat/internal/modellearn"
 	"copycat/internal/persist"
+	"copycat/internal/resilience"
 	"copycat/internal/services"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/table"
@@ -110,6 +111,11 @@ type System struct {
 	Types     *TypeLibrary
 	// World is non-nil for demo systems built with NewDemoSystem.
 	World *World
+	// Clock is the virtual clock driving injected latency, backoff, and
+	// breaker cooldowns when the demo system was built with a positive
+	// FaultRate; nil otherwise. Its elapsed time is the experiment's
+	// simulated latency.
+	Clock *resilience.VirtualClock
 }
 
 // NewSystem creates an empty CopyCat installation: no sources, no
@@ -133,20 +139,57 @@ func DefaultWorldConfig() WorldConfig { return webworld.DefaultConfig() }
 // shelter locator, reverse directory, converters) are registered and the
 // builtin semantic types are pre-trained — the "previously learned
 // knowledge" the prototype ships with.
+//
+// When cfg.FaultRate is positive, every builtin service is wrapped in a
+// deterministic fault injector (seeded transient errors and latency
+// spikes on a virtual clock) and the workspace gets a resilience layer —
+// retries, circuit breakers, graceful row degradation — so the system
+// behaves like the paper's live Google/Yahoo-backed prototype on a bad
+// network day, reproducibly. With FaultRate 0 the system is identical to
+// a plain demo system.
 func NewDemoSystem(cfg WorldConfig) *System {
 	w := webworld.Generate(cfg)
 	cat := catalog.New()
-	for _, svc := range services.Builtin(w) {
+	svcs := services.Builtin(w)
+	var clock *resilience.VirtualClock
+	if cfg.FaultRate > 0 {
+		clock = resilience.NewVirtualClock()
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		svcs = services.WrapFlaky(svcs, services.FaultConfig{
+			Seed:             seed,
+			TransientRate:    cfg.FaultRate,
+			BaseLatency:      2 * time.Millisecond,
+			LatencySpikeRate: cfg.FaultRate / 4,
+			LatencySpike:     250 * time.Millisecond,
+			Clock:            clock,
+		})
+	}
+	for _, svc := range svcs {
 		cat.AddService(svc, "builtin")
 	}
 	types := modellearn.NewLibrary()
 	modellearn.TrainBuiltins(types, w)
-	return &System{
+	sys := &System{
 		Workspace: workspace.New(cat, types),
 		Catalog:   cat,
 		Types:     types,
 		World:     w,
+		Clock:     clock,
 	}
+	if cfg.FaultRate > 0 {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		policy := resilience.DefaultPolicy()
+		policy.Seed = seed
+		policy.Clock = clock
+		sys.Workspace.Resilience = resilience.NewCaller(policy, resilience.DefaultBreakerConfig())
+	}
+	return sys
 }
 
 // RegisterService adds a callable service to the catalog and refreshes

@@ -210,7 +210,7 @@ func (a *Aggregate) Execute(ec *ExecCtx) (*Result, error) {
 			}
 		}
 	}
-	out := &Result{Name: in.Name + "γ", Schema: a.Schema()}
+	out := &Result{Name: in.Name + "γ", Schema: a.Schema(), Degraded: in.Degraded}
 	for _, grp := range order {
 		row := grp.key.Clone()
 		for i, spec := range a.Aggs {

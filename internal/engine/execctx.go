@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"copycat/internal/resilience"
 	"copycat/internal/table"
 )
 
@@ -38,6 +39,16 @@ type Stats struct {
 	// CandidatesRun counts candidate completion plans executed by the
 	// suggestion pipeline (including ones later filtered out).
 	CandidatesRun atomic.Int64
+	// Retries counts service-call retry attempts made by the resilience
+	// layer beyond each call's first attempt.
+	Retries atomic.Int64
+	// BreakerTrips counts circuit-breaker open transitions observed
+	// during service calls.
+	BreakerTrips atomic.Int64
+	// DegradedRows counts dependent-join input rows degraded — skipped,
+	// or null-padded under Outer — because their service call failed
+	// transiently after retries were exhausted or the breaker was open.
+	DegradedRows atomic.Int64
 
 	mu    sync.Mutex
 	perOp map[string]*OpStats
@@ -89,6 +100,9 @@ func (s *Stats) Reset() {
 	s.TreesPruned.Store(0)
 	s.PlansExecuted.Store(0)
 	s.CandidatesRun.Store(0)
+	s.Retries.Store(0)
+	s.BreakerTrips.Store(0)
+	s.DegradedRows.Store(0)
 	s.mu.Lock()
 	s.perOp = nil
 	s.mu.Unlock()
@@ -108,6 +122,9 @@ type StatsSnapshot struct {
 	TreesPruned      int64
 	PlansExecuted    int64
 	CandidatesRun    int64
+	Retries          int64
+	BreakerTrips     int64
+	DegradedRows     int64
 	PerOp            map[string]OpSnapshot
 }
 
@@ -124,6 +141,9 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		TreesPruned:      s.TreesPruned.Load(),
 		PlansExecuted:    s.PlansExecuted.Load(),
 		CandidatesRun:    s.CandidatesRun.Load(),
+		Retries:          s.Retries.Load(),
+		BreakerTrips:     s.BreakerTrips.Load(),
+		DegradedRows:     s.DegradedRows.Load(),
 		PerOp:            map[string]OpSnapshot{},
 	}
 	s.mu.Lock()
@@ -147,6 +167,9 @@ func (s StatsSnapshot) String() string {
 	fmt.Fprintf(&b, "service calls     %d\n", s.ServiceCalls)
 	fmt.Fprintf(&b, "service cache hit %d\n", s.ServiceCacheHits)
 	fmt.Fprintf(&b, "trees pruned      %d\n", s.TreesPruned)
+	fmt.Fprintf(&b, "retries           %d\n", s.Retries)
+	fmt.Fprintf(&b, "breaker trips     %d\n", s.BreakerTrips)
+	fmt.Fprintf(&b, "degraded rows     %d\n", s.DegradedRows)
 	names := make([]string, 0, len(s.PerOp))
 	for n := range s.PerOp {
 		names = append(names, n)
@@ -219,6 +242,7 @@ type ExecCtx struct {
 	ctx     context.Context
 	stats   *Stats
 	cache   *ServiceCache
+	res     *resilience.Caller
 	noMemo  bool
 	maxRows int64
 	rows    atomic.Int64 // rows produced under this ctx, for the budget
@@ -232,6 +256,12 @@ func WithStats(s *Stats) ExecOption { return func(ec *ExecCtx) { ec.stats = s } 
 
 // WithServiceCache attaches a cross-execution service-call cache.
 func WithServiceCache(c *ServiceCache) ExecOption { return func(ec *ExecCtx) { ec.cache = c } }
+
+// WithResilience routes every service call through a resilience.Caller:
+// per-call timeouts, retry with backoff on transient failures, and a
+// per-service circuit breaker. Without it, dependent joins call services
+// directly and any error fails the plan (the pre-resilience behavior).
+func WithResilience(c *resilience.Caller) ExecOption { return func(ec *ExecCtx) { ec.res = c } }
 
 // WithoutServiceMemo disables service-call memoization entirely — even
 // the per-execution memo dependent joins otherwise keep. Used to verify
@@ -285,6 +315,33 @@ func (ec *ExecCtx) Stats() *Stats {
 
 // Cache returns the shared service cache, or nil if none is attached.
 func (ec *ExecCtx) Cache() *ServiceCache { return ec.cache }
+
+// Resilience returns the attached resilient caller, or nil.
+func (ec *ExecCtx) Resilience() *resilience.Caller { return ec.res }
+
+// callService invokes a service, through the resilience layer when one
+// is attached (tallying retries and breaker trips into Stats), and
+// directly otherwise — the exact seed behavior.
+func (ec *ExecCtx) callService(svc Service, args table.Tuple) ([]table.Tuple, error) {
+	if ec.res == nil {
+		return svc.Call(args)
+	}
+	var rows []table.Tuple
+	out, err := ec.res.Do(ec.ctx, svc.Name(), func() error {
+		var callErr error
+		rows, callErr = svc.Call(args)
+		return callErr
+	})
+	stats := ec.Stats()
+	stats.Retries.Add(int64(out.Retries))
+	if out.Tripped {
+		stats.BreakerTrips.Add(1)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
 
 // Err reports why the execution should stop: context cancellation,
 // deadline, or an exhausted row budget. nil means keep going.

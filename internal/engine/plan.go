@@ -40,6 +40,12 @@ type Result struct {
 	Name   string
 	Schema table.Schema
 	Rows   []provenance.Annotated
+	// Degraded counts input rows anywhere in this result's plan whose
+	// service lookups failed transiently after retries and were skipped
+	// (or null-padded) instead of failing the plan. Non-zero means the
+	// result is partial; the workspace surfaces it as a "partial
+	// results (N rows degraded)" marker.
+	Degraded int
 }
 
 // Relation strips provenance, yielding a plain table for display/export.
@@ -145,7 +151,7 @@ func (s *Select) Execute(ec *ExecCtx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Name: in.Name, Schema: in.Schema}
+	out := &Result{Name: in.Name, Schema: in.Schema, Degraded: in.Degraded}
 	for i, a := range in.Rows {
 		if err := ec.checkEvery(i); err != nil {
 			return nil, err
@@ -204,7 +210,7 @@ func (p *Project) Execute(ec *ExecCtx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Name: in.Name, Schema: p.Schema()}
+	out := &Result{Name: in.Name, Schema: p.Schema(), Degraded: in.Degraded}
 	for _, a := range in.Rows {
 		row := make(table.Tuple, len(p.Cols))
 		for i, c := range p.Cols {
@@ -254,7 +260,7 @@ func (r *Rename) Execute(ec *ExecCtx) (*Result, error) {
 	if name == "" {
 		name = in.Name
 	}
-	return &Result{Name: name, Schema: r.Schema(), Rows: in.Rows}, nil
+	return &Result{Name: name, Schema: r.Schema(), Rows: in.Rows, Degraded: in.Degraded}, nil
 }
 
 func (r *Rename) String() string { return fmt.Sprintf("Rename(%s)", r.Input) }
@@ -315,7 +321,7 @@ func (j *HashJoin) Execute(ec *ExecCtx) (*Result, error) {
 		}
 		index[k] = append(index[k], a)
 	}
-	out := &Result{Name: l.Name + "⋈" + r.Name, Schema: j.Schema()}
+	out := &Result{Name: l.Name + "⋈" + r.Name, Schema: j.Schema(), Degraded: l.Degraded + r.Degraded}
 	for i, la := range l.Rows {
 		if err := ec.checkEvery(i); err != nil {
 			return nil, err

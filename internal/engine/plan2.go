@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"copycat/internal/provenance"
+	"copycat/internal/resilience"
 	"copycat/internal/table"
 )
 
@@ -51,6 +52,12 @@ func (d *DependentJoin) Schema() table.Schema {
 // carries a shared ServiceCache. The context is consulted before every
 // call — a cancelled or expired execution stops without touching the
 // service again.
+//
+// When the ExecCtx carries a resilience layer, a call that still fails
+// transiently after retries (or finds its breaker open) degrades only
+// its own row — skipped, or null-padded under Outer — and is counted in
+// Stats.DegradedRows and Result.Degraded; permanent errors fail the
+// plan as before.
 func (d *DependentJoin) Execute(ec *ExecCtx) (*Result, error) {
 	ec = ec.orBackground()
 	in, err := d.Input.Execute(ec)
@@ -58,7 +65,7 @@ func (d *DependentJoin) Execute(ec *ExecCtx) (*Result, error) {
 		return nil, err
 	}
 	outWidth := len(d.Svc.OutputSchema())
-	out := &Result{Name: in.Name + "→" + d.Svc.Name(), Schema: d.Schema()}
+	out := &Result{Name: in.Name + "→" + d.Svc.Name(), Schema: d.Schema(), Degraded: in.Degraded}
 	local := map[string][]table.Tuple{}
 	stats := ec.Stats()
 	for _, a := range in.Rows {
@@ -84,10 +91,28 @@ func (d *DependentJoin) Execute(ec *ExecCtx) (*Result, error) {
 				stats.ServiceCacheHits.Add(1)
 			} else {
 				stats.ServiceCalls.Add(1)
-				answers, err = d.Svc.Call(args)
-				if err != nil {
-					return nil, fmt.Errorf("engine: service %s: %w", d.Svc.Name(), err)
+				res, callErr := ec.callService(d.Svc, args)
+				if callErr != nil {
+					// Degradation engages only under a resilience layer;
+					// without one any error fails the plan, as before.
+					if ec.Resilience() == nil || !resilience.Transient(callErr) {
+						return nil, fmt.Errorf("engine: service %s: %w", d.Svc.Name(), callErr)
+					}
+					// Graceful degradation: a transient failure that
+					// outlived its retries costs this row, not the plan.
+					// The miss is not cached — a later refresh may succeed.
+					stats.DegradedRows.Add(1)
+					out.Degraded++
+					if d.Outer {
+						row := a.Row.Clone()
+						for i := 0; i < outWidth; i++ {
+							row = append(row, table.Null())
+						}
+						out.Rows = append(out.Rows, provenance.Annotated{Row: row, Prov: a.Prov})
+					}
+					continue
 				}
+				answers = res
 				ec.storeService(key, local, answers)
 			}
 		}
@@ -159,7 +184,7 @@ func (r *RecordLinkJoin) Execute(ec *ExecCtx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Name: l.Name + "≈" + rr.Name, Schema: r.Schema()}
+	out := &Result{Name: l.Name + "≈" + rr.Name, Schema: r.Schema(), Degraded: l.Degraded + rr.Degraded}
 	for li, la := range l.Rows {
 		// The similarity scan is quadratic; honor cancellation per left row.
 		if err := ec.checkEvery(li); err != nil {
@@ -253,6 +278,7 @@ func (u *Union) Execute(ec *ExecCtx) (*Result, error) {
 			return nil, err
 		}
 		rowsIn += len(res.Rows)
+		out.Degraded += res.Degraded
 		for i, a := range res.Rows {
 			if err := ec.checkEvery(i); err != nil {
 				return nil, err
@@ -311,7 +337,7 @@ func (p *pad) Execute(ec *ExecCtx) (*Result, error) {
 	for i, c := range p.Target {
 		mapping[i] = in.Schema.Index(c.Name)
 	}
-	out := &Result{Name: in.Name, Schema: p.Target}
+	out := &Result{Name: in.Name, Schema: p.Target, Degraded: in.Degraded}
 	for _, a := range in.Rows {
 		row := make(table.Tuple, len(p.Target))
 		for i, m := range mapping {
@@ -345,7 +371,7 @@ func (d *Distinct) Execute(ec *ExecCtx) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &Result{Name: in.Name, Schema: in.Schema}
+	out := &Result{Name: in.Name, Schema: in.Schema, Degraded: in.Degraded}
 	index := map[string]int{}
 	for i, a := range in.Rows {
 		if err := ec.checkEvery(i); err != nil {
@@ -388,7 +414,7 @@ func (l *Limit) Execute(ec *ExecCtx) (*Result, error) {
 	if l.N >= 0 && l.N < len(rows) {
 		rows = rows[:l.N]
 	}
-	return &Result{Name: in.Name, Schema: in.Schema, Rows: rows}, nil
+	return &Result{Name: in.Name, Schema: in.Schema, Rows: rows, Degraded: in.Degraded}, nil
 }
 
 func (l *Limit) String() string { return fmt.Sprintf("Limit[%d](%s)", l.N, l.Input) }

@@ -56,6 +56,25 @@ type Completion struct {
 	Cost    float64
 }
 
+// PartialNote describes a degraded completion — one whose plan skipped
+// rows because service lookups kept failing transiently — for display
+// next to the suggestion. It is empty for complete results.
+func (c Completion) PartialNote() string {
+	if c.Result == nil || c.Result.Degraded == 0 {
+		return ""
+	}
+	return fmt.Sprintf("partial results (%d rows degraded)", c.Result.Degraded)
+}
+
+// CandidateDrop records a candidate completion whose plan failed to
+// execute, and why — surfaced so a permanently-failing service shows up
+// as an explained absence rather than a silently missing suggestion.
+type CandidateDrop struct {
+	Edge   string // source-graph edge id
+	Target string // the node the candidate would have added
+	Reason string // the execution error
+}
+
 // Learner is the integration learner.
 type Learner struct {
 	Graph  *sourcegraph.Graph
@@ -68,6 +87,26 @@ type Learner struct {
 	MaxExactNodes int
 	// PruneFrac is the non-promising-edge pruning fraction for SPCSH.
 	PruneFrac float64
+
+	dropMu    sync.Mutex
+	lastDrops []CandidateDrop // candidates dropped by the last completion pass
+}
+
+// LastDrops reports the candidates dropped (with reasons) by the most
+// recent ColumnCompletionsCtx pass.
+func (l *Learner) LastDrops() []CandidateDrop {
+	l.dropMu.Lock()
+	defer l.dropMu.Unlock()
+	out := make([]CandidateDrop, len(l.lastDrops))
+	copy(out, l.lastDrops)
+	return out
+}
+
+// setDrops replaces the recorded drop list.
+func (l *Learner) setDrops(d []CandidateDrop) {
+	l.dropMu.Lock()
+	l.lastDrops = d
+	l.dropMu.Unlock()
 }
 
 // New creates a learner over a discovered source graph. Edges whose cost
@@ -252,6 +291,7 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 		}
 	}
 	results := make([]*engine.Result, len(cands))
+	errs := make([]error, len(cands))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(cands) {
 		workers = len(cands)
@@ -270,6 +310,8 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 					ec.Stats().CandidatesRun.Add(1)
 					if res, err := cands[i].plan.Execute(ec); err == nil {
 						results[i] = res
+					} else {
+						errs[i] = err
 					}
 				}
 			}()
@@ -287,11 +329,18 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 			ec.Stats().CandidatesRun.Add(1)
 			if res, err := cands[i].plan.Execute(ec); err == nil {
 				results[i] = res
+			} else {
+				errs[i] = err
 			}
 		}
 	}
 	var out []Completion
+	var drops []CandidateDrop
 	for i, c := range cands {
+		if errs[i] != nil {
+			drops = append(drops, CandidateDrop{Edge: c.edge.ID, Target: c.target, Reason: errs[i].Error()})
+			continue
+		}
 		if results[i] == nil || len(results[i].Rows) == 0 {
 			continue
 		}
@@ -300,6 +349,8 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 			NewCols: c.newCols, Cost: c.cost,
 		})
 	}
+	sort.SliceStable(drops, func(i, j int) bool { return drops[i].Edge < drops[j].Edge })
+	l.setDrops(drops)
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].Cost != out[j].Cost {
 			return out[i].Cost < out[j].Cost

@@ -130,6 +130,8 @@ func (l *Learner) Update(c Constraint) bool {
 	if l.C > 0 && tau > l.C {
 		tau = l.C
 	}
+	clamped := false
+	newDot := 0.0
 	for f, v := range phi {
 		w, ok := l.weights[f]
 		if !ok {
@@ -138,8 +140,18 @@ func (l *Learner) Update(c Constraint) bool {
 		w += tau * v
 		if w < l.MinFloor {
 			w = l.MinFloor
+			clamped = true
 		}
 		l.weights[f] = w
+		newDot += w * v
+	}
+	// The MinFloor clamp can absorb the whole step, leaving the
+	// constraint as violated as before. Reporting true then would be
+	// phantom progress: UpdateBatch would spin through its entire epoch
+	// budget re-applying a no-op. Only claim a change when the margin
+	// actually moved.
+	if clamped && newDot <= dot+1e-12 {
+		return false
 	}
 	return true
 }

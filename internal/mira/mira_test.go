@@ -199,3 +199,36 @@ func TestRepeatedFeatureCounts(t *testing.T) {
 		t.Error("still violated without floor")
 	}
 }
+
+// TestClampedNoProgressReturnsFalse is a regression test: Update used to
+// return true after the MinFloor clamp even when the clamp absorbed the
+// whole step, so UpdateBatch saw phantom progress and burned its entire
+// epoch budget re-applying a no-op.
+func TestClampedNoProgressReturnsFalse(t *testing.T) {
+	l := New(1.0)
+	// Satisfying this needs w(e) ≤ −0.5, below the floor: unsatisfiable.
+	c := Constraint{Preferred: []string{"e"}, Margin: 0.5}
+	if !l.Update(c) {
+		t.Fatal("first update moves w(e) down to the floor: real progress")
+	}
+	if l.Update(c) {
+		t.Error("second update is fully clamped: no progress, must return false")
+	}
+}
+
+func TestUpdateBatchConvergesOnFloorBoundConstraint(t *testing.T) {
+	l := New(1.0)
+	cs := []Constraint{{Preferred: []string{"e"}, Margin: 0.5}}
+	updates := l.UpdateBatch(cs, 1000)
+	if updates > 2 {
+		t.Errorf("floor-bound constraint should converge immediately, got %d updates", updates)
+	}
+	// A clamped-but-progressing mix still converges to satisfied: the
+	// other feature carries the separation the floored one cannot.
+	l2 := New(1.0)
+	cs2 := []Constraint{{Preferred: []string{"a"}, Other: []string{"b"}, Margin: 0.5}}
+	l2.UpdateBatch(cs2, 1000)
+	if l2.Violated(cs2[0]) {
+		t.Error("satisfiable constraint should end satisfied")
+	}
+}

@@ -1,0 +1,141 @@
+package persist
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"copycat/internal/catalog"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/table"
+)
+
+// randomValue draws a value biased toward the JSON omitempty hazards:
+// zero numbers, empty strings, and false bools all encode as an absent
+// field in cellDump, and must still round-trip by kind.
+func randomValue(rng *rand.Rand) table.Value {
+	switch rng.Intn(8) {
+	case 0:
+		return table.S("")
+	case 1:
+		return table.N(0)
+	case 2:
+		return table.B(false)
+	case 3:
+		return table.Null()
+	case 4:
+		return table.B(true)
+	case 5:
+		return table.N(rng.NormFloat64() * 1000)
+	default:
+		return table.S(fmt.Sprintf("v%d", rng.Intn(1000)))
+	}
+}
+
+func kindOf(v table.Value) table.Kind { return v.Kind() }
+
+// TestRoundTripProperty generates random relations — heavy on values
+// whose JSON encodings are empty — and checks Save→Load preserves every
+// cell, kind, semantic type, and key map exactly.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		cat := catalog.New()
+		ncols := 1 + rng.Intn(5)
+		schema := make(table.Schema, ncols)
+		for c := range schema {
+			schema[c] = table.Column{
+				Name:    fmt.Sprintf("C%d", c),
+				Kind:    table.Kind(rng.Intn(4)),
+				SemType: []string{"", "PR-City", "PR-Zip"}[rng.Intn(3)],
+			}
+		}
+		rel := table.NewRelation(fmt.Sprintf("R%d", trial), schema)
+		nrows := rng.Intn(6)
+		for r := 0; r < nrows; r++ {
+			row := make(table.Tuple, ncols)
+			for c := range row {
+				row[c] = randomValue(rng)
+			}
+			rel.MustAppend(row)
+		}
+		src := cat.AddRelation(rel, "prop-test")
+		if rng.Intn(2) == 0 {
+			src.Keys = map[string]string{"C0": "Other.C0", "": "Weird.Empty"}
+		}
+
+		data, err := Save(cat, nil, nil)
+		if err != nil {
+			t.Fatalf("trial %d: Save: %v", trial, err)
+		}
+		cat2 := catalog.New()
+		if _, err := Load(data, cat2, nil); err != nil {
+			t.Fatalf("trial %d: Load: %v", trial, err)
+		}
+		got := cat2.Get(rel.Name)
+		if got == nil {
+			t.Fatalf("trial %d: relation lost", trial)
+		}
+		if got.Rel.Len() != nrows {
+			t.Fatalf("trial %d: rows %d want %d", trial, got.Rel.Len(), nrows)
+		}
+		for c := range schema {
+			if got.Schema[c].Name != schema[c].Name || got.Schema[c].SemType != schema[c].SemType {
+				t.Fatalf("trial %d: column %d schema changed: %+v", trial, c, got.Schema[c])
+			}
+		}
+		for r := 0; r < nrows; r++ {
+			for c := 0; c < ncols; c++ {
+				want, have := rel.Rows[r][c], got.Rel.Rows[r][c]
+				if kindOf(want) != kindOf(have) {
+					t.Fatalf("trial %d cell (%d,%d): kind %v became %v", trial, r, c, kindOf(want), kindOf(have))
+				}
+				if !want.Equal(have) {
+					t.Fatalf("trial %d cell (%d,%d): %q became %q", trial, r, c, want.Text(), have.Text())
+				}
+			}
+		}
+		for k, v := range src.Keys {
+			if got.Keys[k] != v {
+				t.Fatalf("trial %d: key %q: %q became %q", trial, k, v, got.Keys[k])
+			}
+		}
+	}
+}
+
+// TestApplyCostsOntoRediscoveredGraphWithMissingEdges saves costs for a
+// graph, then re-applies them to a re-discovered graph missing some of
+// the original sources: surviving edges get their costs, vanished edges
+// are skipped, and the count reports only what stuck.
+func TestApplyCostsOntoRediscoveredGraphWithMissingEdges(t *testing.T) {
+	cat, _, g := buildState(t)
+	edges := g.Edges()
+	if len(edges) == 0 {
+		t.Skip("no edges discovered")
+	}
+	costs := map[string]float64{}
+	for i, e := range edges {
+		costs[e.ID] = 0.1 + float64(i)*0.01
+	}
+	costs["ghost|join|edge|x=y"] = 0.9 // an edge that will not exist
+
+	data, err := Save(cat, nil, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat2 := catalog.New()
+	if _, err := Load(data, cat2, nil); err != nil {
+		t.Fatal(err)
+	}
+	g2 := sourcegraph.New(cat2)
+	g2.Discover(sourcegraph.DefaultOptions())
+	applied := ApplyCosts(g2, costs)
+	if applied >= len(costs) {
+		t.Errorf("applied %d of %d costs; the ghost edge should be skipped", applied, len(costs))
+	}
+	for _, e := range g2.Edges() {
+		if want, ok := costs[e.ID]; ok && e.Cost != want {
+			t.Errorf("edge %s cost %v want %v", e.ID, e.Cost, want)
+		}
+	}
+}

@@ -78,6 +78,13 @@ type Config struct {
 	ContactsNoise   float64 // probability a contact's org/street is perturbed
 	Supplies        int
 	Roads           int
+
+	// FaultRate, when positive, makes the demo system wrap every builtin
+	// service in a deterministic fault injector with this transient-error
+	// probability. Generate ignores it — world data is unchanged.
+	FaultRate float64
+	// FaultSeed selects the fault pattern (defaults to Seed when zero).
+	FaultSeed int64
 }
 
 // DefaultConfig matches the paper's "moderate number of Web and document

@@ -111,13 +111,14 @@ func (w *Workspace) PromoteSuggestedTuple(compIdx, rowIdx int) error {
 
 // snapshot captures the active tab and mode for undo.
 type snapshot struct {
-	mode        Mode
-	active      int
-	tabName     string
-	schema      table.Schema
-	rows        []Row
-	sourceNode  string
-	pendingCols []intlearn.Completion
+	mode           Mode
+	active         int
+	tabName        string
+	schema         table.Schema
+	rows           []Row
+	sourceNode     string
+	pendingCols    []intlearn.Completion
+	pendingQueries []*intlearn.Query
 }
 
 const maxUndo = 32
@@ -138,9 +139,18 @@ func (w *Workspace) checkpoint() {
 		snap.rows = append(snap.rows, Row{Cells: r.Cells.Clone(), Prov: r.Prov, Suggested: r.Suggested})
 	}
 	snap.pendingCols = append(snap.pendingCols, w.pendingCols...)
+	snap.pendingQueries = append(snap.pendingQueries, w.pendingQueries...)
 	w.undoStack = append(w.undoStack, snap)
 	if len(w.undoStack) > maxUndo {
 		w.undoStack = w.undoStack[1:]
+	}
+}
+
+// dropCheckpoint discards the most recent checkpoint — for operations
+// that fail after checkpointing without having mutated anything.
+func (w *Workspace) dropCheckpoint() {
+	if len(w.undoStack) > 0 {
+		w.undoStack = w.undoStack[:len(w.undoStack)-1]
 	}
 }
 
@@ -162,6 +172,7 @@ func (w *Workspace) Undo() error {
 	tab.Rows = snap.rows
 	tab.SourceNode = snap.sourceNode
 	w.pendingCols = snap.pendingCols
+	w.pendingQueries = snap.pendingQueries
 	// Keep the catalog in sync with the restored contents.
 	if tab.SourceNode != "" {
 		rel := tab.Relation()

@@ -103,9 +103,11 @@ func (w *Workspace) PendingQueries() []*intlearn.Query { return w.pendingQueries
 // AcceptQuery accepts the i-th proposed query: its results replace the
 // active tab's contents (becoming the query-output pane of §2.1), and the
 // feedback re-ranks the source graph.
+//
+// The undo checkpoint is taken only once the index and compilation are
+// validated, and is rolled back if execution fails — a failed accept
+// must not leave a spurious entry on the undo stack.
 func (w *Workspace) AcceptQuery(i int) error {
-	w.checkpoint()
-	w.Keys.Accept()
 	if i < 0 || i >= len(w.pendingQueries) {
 		return fmt.Errorf("workspace: no pending query %d", i)
 	}
@@ -114,11 +116,14 @@ func (w *Workspace) AcceptQuery(i int) error {
 	if err != nil {
 		return err
 	}
+	w.checkpoint()
+	w.Keys.Accept()
 	ec, cancel := w.execCtx()
 	ec.Stats().PlansExecuted.Add(1)
 	res, err := plan.Execute(ec)
 	cancel()
 	if err != nil {
+		w.dropCheckpoint()
 		return err
 	}
 	var alts []*intlearn.Query
@@ -148,7 +153,12 @@ func (w *Workspace) RejectQuery(i int) error {
 	}
 	q := w.pendingQueries[i]
 	w.Int.RejectQuery(q)
-	w.pendingQueries = append(w.pendingQueries[:i], w.pendingQueries[i+1:]...)
+	// Copy-on-delete: slices previously handed out by PendingQueries()
+	// must not be corrupted by the splice.
+	rest := make([]*intlearn.Query, 0, len(w.pendingQueries)-1)
+	rest = append(rest, w.pendingQueries[:i]...)
+	rest = append(rest, w.pendingQueries[i+1:]...)
+	w.pendingQueries = rest
 	return nil
 }
 
@@ -170,6 +180,12 @@ func (w *Workspace) RefreshColumnSuggestions() []intlearn.Completion {
 
 // PendingColumns lists the current column-completion proposals.
 func (w *Workspace) PendingColumns() []intlearn.Completion { return w.pendingCols }
+
+// SuggestionDrops reports the candidate completions the last refresh
+// dropped because their plans failed to execute (e.g. a permanently
+// failing service), with the reason — the absence of a suggestion is
+// explained rather than silent.
+func (w *Workspace) SuggestionDrops() []intlearn.CandidateDrop { return w.Int.LastDrops() }
 
 // AcceptColumn accepts the i-th column completion: the new columns are
 // appended to the active tab, values fill in per row, provenance carries
@@ -220,7 +236,10 @@ func (w *Workspace) RejectColumn(i int) error {
 		return fmt.Errorf("workspace: no pending column %d", i)
 	}
 	w.Int.RejectCompletion(w.pendingCols[i])
-	w.pendingCols = append(w.pendingCols[:i], w.pendingCols[i+1:]...)
+	rest := make([]intlearn.Completion, 0, len(w.pendingCols)-1)
+	rest = append(rest, w.pendingCols[:i]...)
+	rest = append(rest, w.pendingCols[i+1:]...)
+	w.pendingCols = rest
 	return nil
 }
 
@@ -234,6 +253,9 @@ func (w *Workspace) ExplainCompletion(i int, rows int) (string, error) {
 	c := w.pendingCols[i]
 	var b strings.Builder
 	fmt.Fprintf(&b, "Suggested column(s) %s via %s\n", colNames(c.NewCols), c.Edge.Label())
+	if note := c.PartialNote(); note != "" {
+		fmt.Fprintf(&b, "⚠ %s — some service lookups kept failing and were skipped\n", note)
+	}
 	for j, a := range c.Result.Rows {
 		if j >= rows {
 			break

@@ -1,0 +1,97 @@
+package workspace
+
+import (
+	"testing"
+	"time"
+
+	"copycat/internal/intlearn"
+	"copycat/internal/table"
+)
+
+// TestAcceptQueryInvalidIndexLeavesNoCheckpoint is a regression test:
+// AcceptQuery used to checkpoint before validating the index, so a
+// mistyped accept pushed a spurious undo entry.
+func TestAcceptQueryInvalidIndexLeavesNoCheckpoint(t *testing.T) {
+	e := newEnv(t, 0)
+	if err := e.ws.AcceptQuery(3); err == nil {
+		t.Fatal("expected error for invalid index")
+	}
+	if e.ws.CanUndo() {
+		t.Error("failed AcceptQuery left a checkpoint on the undo stack")
+	}
+}
+
+func TestAcceptQueryCompileFailureLeavesNoCheckpoint(t *testing.T) {
+	e := newEnv(t, 0)
+	// A query with only service nodes has no materialized source to root
+	// at, so compilation fails.
+	e.ws.pendingQueries = []*intlearn.Query{{Nodes: []string{"Zipcode Resolver"}}}
+	if err := e.ws.AcceptQuery(0); err == nil {
+		t.Fatal("expected compile error")
+	}
+	if e.ws.CanUndo() {
+		t.Error("compile failure left a checkpoint on the undo stack")
+	}
+	if len(e.ws.PendingQueries()) != 1 {
+		t.Error("failed accept should keep the pending query")
+	}
+}
+
+func TestAcceptQueryExecuteFailureRollsBackCheckpoint(t *testing.T) {
+	e := newEnv(t, 0)
+	rel := table.NewRelation("TestRel", table.NewSchema("A"))
+	rel.MustAppend(table.FromStrings([]string{"x"}))
+	e.ws.Cat.AddRelation(rel, "test")
+	e.ws.pendingQueries = []*intlearn.Query{{Nodes: []string{"TestRel"}}}
+	e.ws.ExecTimeout = time.Nanosecond // execution dies on the deadline
+	if err := e.ws.AcceptQuery(0); err == nil {
+		t.Fatal("expected execute error under a 1ns deadline")
+	}
+	if e.ws.CanUndo() {
+		t.Error("execute failure left a checkpoint on the undo stack")
+	}
+}
+
+// TestRejectQueryDoesNotCorruptReturnedSlices is a regression test:
+// RejectQuery used to splice pendingQueries in place, corrupting slices
+// previously returned by PendingQueries().
+func TestRejectQueryDoesNotCorruptReturnedSlices(t *testing.T) {
+	e := newEnv(t, 0)
+	qs := []*intlearn.Query{
+		{Nodes: []string{"A"}}, {Nodes: []string{"B"}}, {Nodes: []string{"C"}},
+	}
+	e.ws.pendingQueries = qs
+	before := e.ws.PendingQueries()
+	snapshot := append([]*intlearn.Query(nil), before...)
+	if err := e.ws.RejectQuery(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if before[i] != snapshot[i] {
+			t.Fatalf("RejectQuery mutated a previously returned slice at %d: %v != %v", i, before[i], snapshot[i])
+		}
+	}
+	if got := e.ws.PendingQueries(); len(got) != 2 || got[0].Nodes[0] != "B" {
+		t.Errorf("reject should drop the first query, got %v", got)
+	}
+}
+
+// TestUndoRestoresPendingQueries is a regression test: Undo restored
+// pendingCols but silently dropped pendingQueries.
+func TestUndoRestoresPendingQueries(t *testing.T) {
+	e := newEnv(t, 0)
+	e.pasteShelters(t, 2)
+	e.ws.pendingQueries = []*intlearn.Query{{Nodes: []string{"A"}}, {Nodes: []string{"B"}}}
+	// A mutating operation checkpoints, then the proposals are cleared.
+	if err := e.ws.SetCell(0, 0, "edited"); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.pendingQueries = nil
+	if err := e.ws.Undo(); err != nil {
+		t.Fatal(err)
+	}
+	got := e.ws.PendingQueries()
+	if len(got) != 2 || got[0].Nodes[0] != "A" || got[1].Nodes[0] != "B" {
+		t.Errorf("Undo did not restore pendingQueries: %v", got)
+	}
+}

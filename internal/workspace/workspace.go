@@ -21,6 +21,7 @@ import (
 	"copycat/internal/intlearn"
 	"copycat/internal/modellearn"
 	"copycat/internal/provenance"
+	"copycat/internal/resilience"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/structlearn"
 	"copycat/internal/table"
@@ -130,6 +131,11 @@ type Workspace struct {
 	// deadline. Interactive hosts set this to keep suggestion refreshes
 	// within typing latency.
 	ExecTimeout time.Duration
+	// Resilience, when non-nil, shields service calls with retries and
+	// per-service circuit breakers; rows whose lookups still fail
+	// transiently degrade (are skipped or null-padded) instead of failing
+	// the plan. Nil preserves fail-fast execution.
+	Resilience *resilience.Caller
 
 	mode   Mode
 	tabs   []*Tab
@@ -334,10 +340,14 @@ func (w *Workspace) execCtx() (*engine.ExecCtx, context.CancelFunc) {
 	if w.ExecTimeout > 0 {
 		ctx, cancel = context.WithTimeout(context.Background(), w.ExecTimeout)
 	}
-	ec := engine.NewExecCtx(ctx,
+	opts := []engine.ExecOption{
 		engine.WithStats(w.ExecStats),
-		engine.WithServiceCache(w.SvcCache))
-	return ec, cancel
+		engine.WithServiceCache(w.SvcCache),
+	}
+	if w.Resilience != nil {
+		opts = append(opts, engine.WithResilience(w.Resilience))
+	}
+	return engine.NewExecCtx(ctx, opts...), cancel
 }
 
 // valuesPlan exposes the active tab's concrete rows to the engine.
