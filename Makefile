@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench check
+.PHONY: all build vet test test-race bench obs-smoke check
 
 all: check
 
@@ -15,13 +15,20 @@ test:
 
 # Race-check the packages with real concurrency: the executor's shared
 # stats/cache, the parallel candidate pool, the Lawler fan-out, the
-# workspace threading that ties them together, and the resilience layer
-# (shared breakers/jitter stream) with its fault injector.
+# workspace threading that ties them together, the resilience layer
+# (shared breakers/jitter stream) with its fault injector, and the
+# observability substrate (spans/metrics shared across the candidate pool).
 test-race:
-	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services
+	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .
+	$(GO) run ./cmd/scpbench -exp pipeline -json -bench-out BENCH_3.json -trace trace_pipeline.json > /dev/null
+
+# Observability smoke: machine-readable metrics + Chrome trace, failing
+# if tracing-enabled runs cost more than 10% over untraced ones.
+obs-smoke:
+	$(GO) run ./cmd/scpbench -exp pipeline -json -bench-out BENCH_3.json -trace trace_pipeline.json -overhead-budget 0.10
 
 # Tier-1 gate: everything a PR must keep green.
 check: build vet test test-race

@@ -72,6 +72,44 @@ func BenchmarkColumnCompletion(b *testing.B) {
 	}
 }
 
+// BenchmarkColumnCompletionTraced is the same loop with the span tracer
+// enabled — compare against BenchmarkColumnCompletion to see what
+// tracing costs on the suggestion hot path (the disabled path itself is
+// covered by BenchmarkDisabledSpan in internal/obs).
+func BenchmarkColumnCompletionTraced(b *testing.B) {
+	sys := NewDemoSystem(DefaultWorldConfig())
+	browser := sys.OpenBrowser(sys.ShelterSite(StyleTable))
+	s0, s1 := sys.World.Shelters[0], sys.World.Shelters[1]
+	sel, err := browser.CopyRows([][]string{
+		{s0.Name, s0.Street, s0.City}, {s1.Name, s1.Street, s1.City},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Workspace.Paste(sel); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.Workspace.AcceptRows(); err != nil {
+		b.Fatal(err)
+	}
+	sys.Workspace.SetMode(ModeIntegration)
+	sys.EnableTracing()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comps := sys.Workspace.RefreshColumnSuggestions()
+		if len(comps) == 0 {
+			b.Fatal("no completions")
+		}
+		// Keep the span buffer from growing without bound across b.N.
+		if sys.Workspace.Trace().Len() > 1<<16 {
+			b.StopTimer()
+			sys.Workspace.Trace().Reset()
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(sys.Workspace.Trace().Len())/float64(b.N), "spans/op")
+}
+
 // BenchmarkKeystrokeSavings is E1: the full demo session; the savings
 // fraction vs manual copy-and-paste is reported as a metric (the paper's
 // ~75% claim).

@@ -251,6 +251,44 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 			}
 		case "effort":
 			fmt.Fprintln(out, ws.Keys)
+		case ":metrics", "metrics":
+			fmt.Fprint(out, copycat.RenderMetrics(sys.Metrics()))
+		case ":trace", "trace":
+			// :trace on | :trace off | :trace save <file>
+			switch {
+			case len(args) == 1 && args[0] == "on":
+				sys.EnableTracing()
+				fmt.Fprintln(out, "tracing on — spans record until :trace off or :trace save")
+			case len(args) == 1 && args[0] == "off":
+				sys.DisableTracing()
+				fmt.Fprintln(out, "tracing off; trace discarded")
+			case len(args) == 2 && args[0] == "save":
+				if !sys.Tracing() {
+					err = fmt.Errorf("tracing is off (use `:trace on` first)")
+					break
+				}
+				var f *os.File
+				if f, err = os.Create(args[1]); err == nil {
+					err = sys.TraceTo(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err == nil {
+					fmt.Fprintf(out, "trace written to %s (load in chrome://tracing)\n", args[1])
+				}
+			default:
+				err = fmt.Errorf("usage: :trace on|off|save <file>")
+			}
+		case ":why", "why":
+			needle := strings.Join(args, " ")
+			lines := sys.Why(needle)
+			if len(lines) == 0 {
+				fmt.Fprintln(out, "no decisions recorded for that candidate")
+			}
+			for _, l := range lines {
+				fmt.Fprintf(out, "  %s\n", l)
+			}
 		default:
 			err = fmt.Errorf("unknown command %q (try `help`)", cmd)
 		}
@@ -349,6 +387,9 @@ func printHelp(out io.Writer) {
   save <file>                save the session as JSON
   load <file>                restore a saved session
   effort                     keystroke ledger
+  :metrics                   unified metrics (counters, cache gauges, stage latencies)
+  :trace on|off|save <file>  record pipeline spans; save as Chrome trace JSON
+  :why [candidate]           decision log: why candidates were pruned/suggested/rejected
   quit
 `)
 }

@@ -145,3 +145,48 @@ func TestReplSaveLoadRoundTrip(t *testing.T) {
 		t.Error("missing file should report an error")
 	}
 }
+
+func TestReplObservabilityCommands(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.json")
+	out := drive(t, strings.Join([]string{
+		":trace on",
+		"open shelters",
+		"copy Sunset Recreation Center | 335 NW Copans Rd | Mangrove Lakes",
+		"paste",
+		"accept",
+		"mode integration",
+		"cols",
+		"rejectcol 0",
+		":metrics",
+		":why",
+		":why Geocoder",
+		":trace save " + trace,
+		":trace off",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"tracing on",
+		"engine.service_calls",
+		"cache.hit_rate",
+		"latency.suggest.refresh",
+		"suggested (rank",
+		"rejected",
+		"Geocoder",
+		"trace written to " + trace,
+		"tracing off",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil || !strings.Contains(string(data), "traceEvents") {
+		t.Errorf("trace file bad: %v", err)
+	}
+	// Saving without tracing reports an error instead of writing garbage.
+	out = drive(t, ":trace save "+filepath.Join(dir, "no.json")+"\nquit\n")
+	if !strings.Contains(out, "error:") {
+		t.Errorf("save without tracing should report an error:\n%s", out)
+	}
+}

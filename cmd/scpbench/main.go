@@ -12,9 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 
@@ -43,11 +46,24 @@ var experiments = []experiment{
 	{"ablation-steiner", "A2: exact vs approximate Steiner inside the integration learner", expAblationSteiner},
 	{"matcher", "A3: approximate schema matcher on renamed, untyped columns (§4.1)", expMatcher},
 	{"faults", "R1: suggestion availability and latency vs injected service fault rate", expFaults},
+	{"pipeline", "O1: observability — per-stage suggestion latency, tracing overhead, Chrome trace export", expPipeline},
 }
 
 // statsMode mirrors the -stats flag: experiments that drive a workspace
 // print the executor instrumentation block when it is set.
 var statsMode bool
+
+// Observability flags consumed by the pipeline experiment.
+var (
+	traceFile      string  // -trace: Chrome trace_event JSON destination
+	benchOut       string  // -bench-out: machine-readable benchmark report
+	overheadBudget float64 // -overhead-budget: fail if tracing costs more than this fraction
+	jsonMode       bool    // -json: emit the final report as JSON on stdout
+
+	// jsonReport collects whatever the last experiment wants to expose
+	// under -json; marshaled to the real stdout after all experiments ran.
+	jsonReport any
+)
 
 // printStats renders the executor statistics accumulated by a run.
 func printStats(snap copycat.ExecStats) {
@@ -62,6 +78,12 @@ func main() {
 	exp := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
 	list := flag.Bool("list", false, "list experiments and exit")
 	stats := flag.Bool("stats", false, "print per-operator executor stats (rows in/out, service calls, cache hits, trees pruned) after workspace-driven experiments")
+	flag.StringVar(&traceFile, "trace", "", "write a Chrome trace_event JSON of the pipeline experiment to this file")
+	flag.StringVar(&benchOut, "bench-out", "", "write the pipeline experiment's machine-readable report (JSON) to this file")
+	flag.Float64Var(&overheadBudget, "overhead-budget", 0, "fail the pipeline experiment if tracing overhead exceeds this fraction (e.g. 0.10); 0 disables")
+	flag.BoolVar(&jsonMode, "json", false, "emit the final report as JSON on stdout (tables go to stderr)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
 	statsMode = *stats
 	if *list {
@@ -69,6 +91,26 @@ func main() {
 			fmt.Printf("%-18s %s\n", e.name, e.desc)
 		}
 		return
+	}
+
+	// Under -json the human-readable tables move to stderr so stdout
+	// carries exactly one machine-readable JSON document.
+	realOut := os.Stdout
+	if jsonMode {
+		os.Stdout = os.Stderr
+	}
+
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scpbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "scpbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 	want := map[string]bool{}
 	for _, n := range strings.Split(*exp, ",") {
@@ -89,6 +131,32 @@ func main() {
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "scpbench: no experiment matched %q (use -list)\n", *exp)
 		os.Exit(1)
+	}
+
+	if *memprofile != "" {
+		pf, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scpbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(pf); err != nil {
+			fmt.Fprintf(os.Stderr, "scpbench: %v\n", err)
+			os.Exit(1)
+		}
+		pf.Close()
+	}
+
+	if jsonMode {
+		if jsonReport == nil {
+			jsonReport = map[string]string{"error": "no experiment produced a JSON report (run -exp pipeline)"}
+		}
+		enc := json.NewEncoder(realOut)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonReport); err != nil {
+			fmt.Fprintf(os.Stderr, "scpbench: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

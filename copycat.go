@@ -26,6 +26,7 @@
 package copycat
 
 import (
+	"io"
 	"time"
 
 	"copycat/internal/catalog"
@@ -33,6 +34,7 @@ import (
 	"copycat/internal/engine"
 	"copycat/internal/export"
 	"copycat/internal/modellearn"
+	"copycat/internal/obs"
 	"copycat/internal/persist"
 	"copycat/internal/resilience"
 	"copycat/internal/services"
@@ -78,6 +80,14 @@ type (
 	ExecCtx = engine.ExecCtx
 	// ExecStats is a point-in-time copy of executor instrumentation.
 	ExecStats = engine.StatsSnapshot
+	// MetricsSnapshot is the unified, JSON-serializable metrics surface:
+	// counters, gauges, and latency histograms with p50/p95/p99.
+	MetricsSnapshot = obs.Snapshot
+	// Trace is the pipeline span tracer (Chrome trace_event exportable).
+	Trace = obs.Trace
+	// Decision is one decision-log entry: why a candidate was pruned,
+	// degraded, suggested, outranked, accepted, or rejected.
+	Decision = obs.Decision
 	// WorldConfig sizes the synthetic demo world.
 	WorldConfig = webworld.Config
 	// World is the generated synthetic world.
@@ -189,6 +199,11 @@ func NewDemoSystem(cfg WorldConfig) *System {
 		policy.Clock = clock
 		sys.Workspace.Resilience = resilience.NewCaller(policy, resilience.DefaultBreakerConfig())
 	}
+	if clock != nil {
+		// Stage latencies and traces run on the same virtual clock as the
+		// injected faults, keeping the whole session deterministic.
+		sys.Workspace.Clock = clock
+	}
 	return sys
 }
 
@@ -209,6 +224,43 @@ func (s *System) Stats() ExecStats {
 func (s *System) ResetStats() {
 	s.Workspace.ExecStats.Reset()
 }
+
+// Metrics returns the unified observability snapshot: the engine's
+// execution counters (prefixed "engine."), service-cache gauges
+// (cache.entries, cache.hit_rate), and per-stage latency histograms
+// with p50/p95/p99. It is JSON-serializable as-is (scpbench -json).
+func (s *System) Metrics() MetricsSnapshot {
+	return s.Workspace.MetricsSnapshot()
+}
+
+// ResetMetrics zeroes the metrics registry and the executor statistics
+// (histogram bucket ladders and instrument names are kept).
+func (s *System) ResetMetrics() {
+	s.Workspace.Metrics.Reset()
+	s.Workspace.ExecStats.Reset()
+	s.Workspace.Decisions.Reset()
+}
+
+// EnableTracing starts recording pipeline spans — learn, search,
+// execute (with per-candidate children and service calls), and rank —
+// into a fresh trace. Tracing off (the default) costs ~nothing.
+func (s *System) EnableTracing() { s.Workspace.EnableTracing() }
+
+// DisableTracing stops span recording and discards the trace.
+func (s *System) DisableTracing() { s.Workspace.DisableTracing() }
+
+// Tracing reports whether span recording is active.
+func (s *System) Tracing() bool { return s.Workspace.Tracing() }
+
+// TraceTo writes the collected spans as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto.
+func (s *System) TraceTo(w io.Writer) error { return s.Workspace.TraceTo(w) }
+
+// Why returns the decision-log lines explaining what happened to
+// candidates matching the given substring ("" for the full log) —
+// the System.Explain-style accessor over the suggestion pipeline's
+// choices.
+func (s *System) Why(candidate string) []string { return s.Workspace.Why(candidate) }
 
 // SetSuggestionTimeout bounds each suggestion refresh and query
 // execution. Expired executions abort promptly (cancellation is checked
@@ -264,6 +316,10 @@ func (s *System) LoadSession(data []byte) error {
 	}
 	return nil
 }
+
+// RenderMetrics renders a MetricsSnapshot as an aligned human-readable
+// report (counters, gauges, then histograms with p50/p95/p99).
+var RenderMetrics = workspace.RenderMetrics
 
 // Export helpers (the §8 "export to common application formats").
 var (

@@ -8,7 +8,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"copycat/internal/obs"
 	"copycat/internal/resilience"
 	"copycat/internal/table"
 )
@@ -110,22 +112,26 @@ func (s *Stats) Reset() {
 
 // OpSnapshot is a point-in-time copy of one operator's counters.
 type OpSnapshot struct {
-	Invocations, RowsIn, RowsOut int64
+	Invocations int64 `json:"invocations"`
+	RowsIn      int64 `json:"rows_in"`
+	RowsOut     int64 `json:"rows_out"`
 }
 
 // StatsSnapshot is a point-in-time, plain-value copy of a Stats block,
-// safe to read, print, and compare without atomics.
+// safe to read, print, compare, and serialize (scpbench -json) without
+// atomics.
 type StatsSnapshot struct {
-	RowsIn, RowsOut  int64
-	ServiceCalls     int64
-	ServiceCacheHits int64
-	TreesPruned      int64
-	PlansExecuted    int64
-	CandidatesRun    int64
-	Retries          int64
-	BreakerTrips     int64
-	DegradedRows     int64
-	PerOp            map[string]OpSnapshot
+	RowsIn           int64                 `json:"rows_in"`
+	RowsOut          int64                 `json:"rows_out"`
+	ServiceCalls     int64                 `json:"service_calls"`
+	ServiceCacheHits int64                 `json:"service_cache_hits"`
+	TreesPruned      int64                 `json:"trees_pruned"`
+	PlansExecuted    int64                 `json:"plans_executed"`
+	CandidatesRun    int64                 `json:"candidates_run"`
+	Retries          int64                 `json:"retries"`
+	BreakerTrips     int64                 `json:"breaker_trips"`
+	DegradedRows     int64                 `json:"degraded_rows"`
+	PerOp            map[string]OpSnapshot `json:"per_op,omitempty"`
 }
 
 // Snapshot copies the current counter values.
@@ -239,13 +245,21 @@ func (c *ServiceCache) store(key string, rows []table.Tuple) {
 // Operators tolerate a nil *ExecCtx by upgrading it to Background, so
 // hand-built plans keep working without ceremony.
 type ExecCtx struct {
-	ctx     context.Context
-	stats   *Stats
-	cache   *ServiceCache
-	res     *resilience.Caller
-	noMemo  bool
-	maxRows int64
-	rows    atomic.Int64 // rows produced under this ctx, for the budget
+	ctx       context.Context
+	stats     *Stats
+	cache     *ServiceCache
+	res       *resilience.Caller
+	trace     *obs.Trace       // nil = tracing disabled (the common case)
+	metrics   *obs.Registry    // nil = no latency histograms
+	decisions *obs.DecisionLog // nil = no decision log
+	span      *obs.Span        // current parent span for StartSpan
+	clock     resilience.Clock // nil = wall clock; virtual in tests/benches
+	noMemo    bool
+	maxRows   int64
+	// rows is the count produced under this budget. It is a pointer so a
+	// derived context (WithSpan) shares the budget with its parent —
+	// atomic.Int64 cannot be struct-copied.
+	rows *atomic.Int64
 }
 
 // ExecOption configures an ExecCtx.
@@ -273,14 +287,39 @@ func WithoutServiceMemo() ExecOption { return func(ec *ExecCtx) { ec.noMemo = tr
 // n <= 0 means unlimited.
 func WithRowBudget(n int) ExecOption { return func(ec *ExecCtx) { ec.maxRows = int64(n) } }
 
-// NewExecCtx builds an execution context over ctx.
+// WithTrace attaches a span tracer. Execution emits spans for plan
+// roots, dependent joins, and service calls; nil leaves tracing
+// disabled at ~zero cost.
+func WithTrace(t *obs.Trace) ExecOption { return func(ec *ExecCtx) { ec.trace = t } }
+
+// WithMetrics attaches a metrics registry for latency histograms.
+func WithMetrics(r *obs.Registry) ExecOption { return func(ec *ExecCtx) { ec.metrics = r } }
+
+// WithDecisions attaches a decision log recording why candidates were
+// pruned, degraded, or outranked.
+func WithDecisions(l *obs.DecisionLog) ExecOption { return func(ec *ExecCtx) { ec.decisions = l } }
+
+// WithExecClock sets the clock used to time service calls for the
+// latency histograms (virtual in tests; wall clock by default).
+func WithExecClock(c resilience.Clock) ExecOption { return func(ec *ExecCtx) { ec.clock = c } }
+
+// NewExecCtx builds an execution context over ctx. The stats block is
+// guaranteed non-nil on return — even under WithStats(nil) — so no
+// call site ever lazily initializes it (the old lazy path raced when a
+// shared ExecCtx first touched Stats from two goroutines).
 func NewExecCtx(ctx context.Context, opts ...ExecOption) *ExecCtx {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ec := &ExecCtx{ctx: ctx, stats: NewStats()}
+	ec := &ExecCtx{ctx: ctx, stats: NewStats(), rows: new(atomic.Int64)}
 	for _, o := range opts {
 		o(ec)
+	}
+	if ec.stats == nil {
+		ec.stats = NewStats()
+	}
+	if ec.rows == nil {
+		ec.rows = new(atomic.Int64)
 	}
 	return ec
 }
@@ -305,10 +344,15 @@ func (ec *ExecCtx) orBackground() *ExecCtx {
 // Context returns the wrapped context.Context.
 func (ec *ExecCtx) Context() context.Context { return ec.ctx }
 
-// Stats returns the attached stats block (never nil).
+// Stats returns the attached stats block (never nil). NewExecCtx
+// guarantees the field is set at construction, so this is a plain read
+// — no lazy initialization, no write, no race on a shared ExecCtx.
 func (ec *ExecCtx) Stats() *Stats {
 	if ec.stats == nil {
-		ec.stats = NewStats()
+		// Only reachable from a hand-built struct literal, which the
+		// type contract forbids; return a throwaway rather than racing
+		// to publish one.
+		return NewStats()
 	}
 	return ec.stats
 }
@@ -319,10 +363,93 @@ func (ec *ExecCtx) Cache() *ServiceCache { return ec.cache }
 // Resilience returns the attached resilient caller, or nil.
 func (ec *ExecCtx) Resilience() *resilience.Caller { return ec.res }
 
+// Trace returns the attached tracer, or nil when tracing is disabled.
+func (ec *ExecCtx) Trace() *obs.Trace { return ec.trace }
+
+// Metrics returns the attached metrics registry, or nil.
+func (ec *ExecCtx) Metrics() *obs.Registry { return ec.metrics }
+
+// Decisions returns the attached decision log, or nil.
+func (ec *ExecCtx) Decisions() *obs.DecisionLog { return ec.decisions }
+
+// Span returns the current parent span, or nil.
+func (ec *ExecCtx) Span() *obs.Span { return ec.span }
+
+// WithSpan derives a child execution context whose spans parent under
+// sp and whose context.Context carries sp for deeper layers. The
+// derived context shares everything else — stats, caches, resilience,
+// and crucially the row budget — with its parent, so the parallel
+// candidate executor can give each candidate its own span lane without
+// splitting the budget.
+func (ec *ExecCtx) WithSpan(sp *obs.Span) *ExecCtx {
+	if ec == nil {
+		return nil
+	}
+	if sp == nil {
+		return ec
+	}
+	ec2 := *ec
+	ec2.span = sp
+	ec2.ctx = obs.ContextWithSpan(ec.ctx, sp)
+	return &ec2
+}
+
+// StartSpan opens a span on the attached trace, parented under the
+// context's current span when one is set. Returns nil (inert) when
+// tracing is disabled — the caller just calls End() on it regardless.
+func (ec *ExecCtx) StartSpan(name, cat string) *obs.Span {
+	if ec == nil || ec.trace == nil {
+		return nil
+	}
+	if ec.span != nil {
+		return ec.span.Child(name, cat)
+	}
+	return ec.trace.Start(name, cat)
+}
+
+// now reads the exec clock (wall clock unless one was injected).
+func (ec *ExecCtx) now() time.Time {
+	if ec.clock != nil {
+		return ec.clock.Now()
+	}
+	return time.Now()
+}
+
+// Now exposes the exec clock for callers timing their own stages into
+// the metrics registry (the suggestion pipeline's per-stage latencies).
+func (ec *ExecCtx) Now() time.Time { return ec.now() }
+
 // callService invokes a service, through the resilience layer when one
 // is attached (tallying retries and breaker trips into Stats), and
-// directly otherwise — the exact seed behavior.
+// directly otherwise — the exact seed behavior. With a trace attached
+// each call gets a span carrying retry/breaker attributes; with a
+// metrics registry attached its latency lands in "latency.svc.call".
 func (ec *ExecCtx) callService(svc Service, args table.Tuple) ([]table.Tuple, error) {
+	if ec.trace == nil && ec.metrics == nil {
+		return ec.rawServiceCall(svc, args, nil)
+	}
+	sp := ec.StartSpan("svc.call:"+svc.Name(), "service")
+	h := ec.metrics.Histogram("latency.svc.call")
+	var start time.Time
+	if h != nil {
+		start = ec.now()
+	}
+	rows, err := ec.rawServiceCall(svc, args, sp)
+	if h != nil {
+		h.Observe(ec.now().Sub(start))
+	}
+	if sp != nil {
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		} else {
+			sp.SetAttrInt("rows", int64(len(rows)))
+		}
+		sp.End()
+	}
+	return rows, err
+}
+
+func (ec *ExecCtx) rawServiceCall(svc Service, args table.Tuple, sp *obs.Span) ([]table.Tuple, error) {
 	if ec.res == nil {
 		return svc.Call(args)
 	}
@@ -337,6 +464,14 @@ func (ec *ExecCtx) callService(svc Service, args table.Tuple) ([]table.Tuple, er
 	if out.Tripped {
 		stats.BreakerTrips.Add(1)
 	}
+	if sp != nil {
+		if out.Retries > 0 {
+			sp.SetAttrInt("retries", int64(out.Retries))
+		}
+		if out.Tripped {
+			sp.SetAttr("breaker", "tripped")
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -349,7 +484,7 @@ func (ec *ExecCtx) Err() error {
 	if err := ec.ctx.Err(); err != nil {
 		return err
 	}
-	if ec.maxRows > 0 && ec.rows.Load() > ec.maxRows {
+	if ec.maxRows > 0 && ec.rows != nil && ec.rows.Load() > ec.maxRows {
 		return ErrRowBudget
 	}
 	return nil
@@ -367,7 +502,7 @@ func (ec *ExecCtx) checkEvery(i int) error {
 // opDone records an operator invocation and enforces the row budget.
 func (ec *ExecCtx) opDone(op string, rowsIn, rowsOut int) error {
 	ec.stats.record(op, rowsIn, rowsOut)
-	if ec.maxRows > 0 && ec.rows.Add(int64(rowsOut)) > ec.maxRows {
+	if ec.maxRows > 0 && ec.rows != nil && ec.rows.Add(int64(rowsOut)) > ec.maxRows {
 		return fmt.Errorf("%w (limit %d)", ErrRowBudget, ec.maxRows)
 	}
 	return nil

@@ -68,6 +68,21 @@ func (d *DependentJoin) Execute(ec *ExecCtx) (*Result, error) {
 	out := &Result{Name: in.Name + "→" + d.Svc.Name(), Schema: d.Schema(), Degraded: in.Degraded}
 	local := map[string][]table.Tuple{}
 	stats := ec.Stats()
+	// opHits/opCalls shadow the shared stats counters for this operator
+	// alone: the span attrs must not pick up concurrent candidates'
+	// traffic, or traces stop being deterministic.
+	var opHits, opCalls int64
+	if sp := ec.StartSpan("op.DepJoin:"+d.Svc.Name(), "operator"); sp != nil {
+		// Nest the per-row service-call spans under this operator span.
+		ec = ec.WithSpan(sp)
+		defer func() {
+			sp.SetAttrInt("rows_in", int64(len(in.Rows)))
+			sp.SetAttrInt("rows_out", int64(len(out.Rows)))
+			sp.SetAttrInt("cache_hits", opHits)
+			sp.SetAttrInt("svc_calls", opCalls)
+			sp.End()
+		}()
+	}
 	for _, a := range in.Rows {
 		if err := ec.Err(); err != nil {
 			return nil, err
@@ -89,8 +104,10 @@ func (d *DependentJoin) Execute(ec *ExecCtx) (*Result, error) {
 			var hit bool
 			if answers, hit = ec.lookupService(key, local); hit {
 				stats.ServiceCacheHits.Add(1)
+				opHits++
 			} else {
 				stats.ServiceCalls.Add(1)
+				opCalls++
 				res, callErr := ec.callService(d.Svc, args)
 				if callErr != nil {
 					// Degradation engages only under a resilience layer;

@@ -13,11 +13,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"copycat/internal/catalog"
 	"copycat/internal/engine"
 	"copycat/internal/linkage"
 	"copycat/internal/mira"
+	"copycat/internal/obs"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/steiner"
 	"copycat/internal/table"
@@ -271,20 +273,33 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 		in[n] = true
 	}
 	seenTarget := map[string]bool{}
+	decisions := ec.Decisions()
 	var cands []candidate
 	for _, node := range baseNodes {
 		for _, e := range l.Graph.EdgesAt(node) {
 			cost := l.edgeCost(e)
+			target := e.Other(node)
 			if cost > sourcegraph.SuggestThreshold {
+				if !in[target] {
+					decisions.Record(obs.Decision{
+						Stage: "suggest.columns", Candidate: e.ID + "→" + target,
+						Action: obs.ActionPruned, Cost: cost, Rank: -1,
+						Reason: fmt.Sprintf("edge cost %.2f above suggestion threshold %.2f", cost, sourcegraph.SuggestThreshold),
+					})
+				}
 				continue
 			}
-			target := e.Other(node)
 			if in[target] || seenTarget[target+e.ID] {
 				continue
 			}
 			seenTarget[target+e.ID] = true
 			plan, newCols, err := l.ExtendPlan(base, node, e)
 			if err != nil {
+				decisions.Record(obs.Decision{
+					Stage: "suggest.columns", Candidate: e.ID + "→" + target,
+					Action: obs.ActionPruned, Cost: cost, Rank: -1,
+					Reason: "plan compilation failed: " + err.Error(),
+				})
 				continue
 			}
 			cands = append(cands, candidate{edge: e, target: target, plan: plan, newCols: newCols, cost: cost})
@@ -292,6 +307,37 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 	}
 	results := make([]*engine.Result, len(cands))
 	errs := make([]error, len(cands))
+	// runOne executes candidate i under its own span lane (sharing the
+	// parent's budget, cache, and stats) and times it into the
+	// per-candidate latency histogram.
+	runOne := func(i int) {
+		ec.Stats().CandidatesRun.Add(1)
+		ecc := ec
+		sp := ec.StartSpan("execute.candidate:"+cands[i].edge.ID, "candidate")
+		if sp != nil {
+			sp.SetAttr("target", cands[i].target)
+			ecc = ec.WithSpan(sp)
+		}
+		h := ec.Metrics().Histogram("latency.execute.candidate")
+		var start time.Time
+		if h != nil {
+			start = ec.Now()
+		}
+		res, err := cands[i].plan.Execute(ecc)
+		if h != nil {
+			h.Observe(ec.Now().Sub(start))
+		}
+		if err == nil {
+			results[i] = res
+			sp.SetAttrInt("rows", int64(len(res.Rows)))
+		} else {
+			errs[i] = err
+			if sp != nil {
+				sp.SetAttr("error", err.Error())
+			}
+		}
+		sp.End()
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(cands) {
 		workers = len(cands)
@@ -307,12 +353,7 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 					if ec.Err() != nil {
 						continue // drain remaining work after cancellation
 					}
-					ec.Stats().CandidatesRun.Add(1)
-					if res, err := cands[i].plan.Execute(ec); err == nil {
-						results[i] = res
-					} else {
-						errs[i] = err
-					}
+					runOne(i)
 				}
 			}()
 		}
@@ -326,12 +367,7 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 			if ec.Err() != nil {
 				break
 			}
-			ec.Stats().CandidatesRun.Add(1)
-			if res, err := cands[i].plan.Execute(ec); err == nil {
-				results[i] = res
-			} else {
-				errs[i] = err
-			}
+			runOne(i)
 		}
 	}
 	var out []Completion
@@ -339,9 +375,19 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 	for i, c := range cands {
 		if errs[i] != nil {
 			drops = append(drops, CandidateDrop{Edge: c.edge.ID, Target: c.target, Reason: errs[i].Error()})
+			decisions.Record(obs.Decision{
+				Stage: "suggest.columns", Candidate: c.edge.ID + "→" + c.target,
+				Action: obs.ActionDropped, Cost: c.cost, Rank: -1,
+				Reason: "execution failed: " + errs[i].Error(),
+			})
 			continue
 		}
 		if results[i] == nil || len(results[i].Rows) == 0 {
+			decisions.Record(obs.Decision{
+				Stage: "suggest.columns", Candidate: c.edge.ID + "→" + c.target,
+				Action: obs.ActionEmpty, Cost: c.cost, Rank: -1,
+				Reason: "plan produced no rows",
+			})
 			continue
 		}
 		out = append(out, Completion{
@@ -357,6 +403,17 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 		}
 		return out[i].Edge.ID < out[j].Edge.ID
 	})
+	for rank, c := range out {
+		action, reason := obs.ActionSuggested, ""
+		if c.Result != nil && c.Result.Degraded > 0 {
+			action = obs.ActionDegraded
+			reason = fmt.Sprintf("suggested with %d rows degraded by transient service failures", c.Result.Degraded)
+		}
+		decisions.Record(obs.Decision{
+			Stage: "suggest.columns", Candidate: c.Edge.ID + "→" + c.Target,
+			Action: action, Cost: c.Cost, Rank: rank, Reason: reason,
+		})
+	}
 	return out
 }
 
@@ -450,6 +507,13 @@ func (l *Learner) TopQueriesCtx(ec *engine.ExecCtx, terminals []string, k int) (
 		sort.Strings(q.Nodes)
 		q.Cost = l.Mira.Cost(q.EdgeIDs())
 		out = append(out, q)
+	}
+	decisions := ec.Decisions()
+	for rank, q := range out {
+		decisions.Record(obs.Decision{
+			Stage: "suggest.queries", Candidate: strings.Join(q.Nodes, "+"),
+			Action: obs.ActionSuggested, Cost: q.Cost, Rank: rank,
+		})
 	}
 	return out, nil
 }

@@ -1,0 +1,29 @@
+package obs
+
+import "context"
+
+// spanKey is the context key carrying the current span.
+type spanKey struct{}
+
+// ContextWithSpan returns a context carrying sp as the current span.
+// Deep pipeline layers that only see a context.Context (the Steiner
+// enumeration, for one) pull it back out with SpanFromContext and hang
+// their sub-spans off it — no API change required along the way.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the current span, or nil (inert) if none.
+func SpanFromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

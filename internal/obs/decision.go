@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Action classifies what happened to a candidate at some pipeline stage.
+type Action string
+
+// The decision vocabulary. "pruned" candidates never executed (cost
+// above the suggestion threshold, compile failure); "dropped" ones
+// executed and failed; "empty" ones executed and produced no rows;
+// "degraded" ones survived with partial results; "suggested" ones made
+// the list at some rank; "outranked" ones lost to an accepted
+// alternative; "accepted"/"rejected" record explicit user feedback.
+const (
+	ActionPruned    Action = "pruned"
+	ActionDropped   Action = "dropped"
+	ActionEmpty     Action = "empty"
+	ActionDegraded  Action = "degraded"
+	ActionSuggested Action = "suggested"
+	ActionOutranked Action = "outranked"
+	ActionAccepted  Action = "accepted"
+	ActionRejected  Action = "rejected"
+)
+
+// Decision is one entry of the decision log: why a candidate query was
+// pruned, degraded, outranked, or kept, at which stage, with the cost
+// and rank that drove the call.
+type Decision struct {
+	Seq       int     `json:"seq"`
+	Stage     string  `json:"stage"`     // e.g. "suggest.columns", "search.steiner"
+	Candidate string  `json:"candidate"` // edge label / target node
+	Action    Action  `json:"action"`
+	Reason    string  `json:"reason,omitempty"`
+	Cost      float64 `json:"cost,omitempty"`
+	Rank      int     `json:"rank"` // position in the ranked list; -1 if not ranked
+}
+
+// String renders the decision as a single explanation line.
+func (d Decision) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] %s: %s", d.Stage, d.Candidate, d.Action)
+	if d.Rank >= 0 {
+		fmt.Fprintf(&b, " (rank %d)", d.Rank)
+	}
+	if d.Cost != 0 {
+		fmt.Fprintf(&b, " (cost %.2f)", d.Cost)
+	}
+	if d.Reason != "" {
+		fmt.Fprintf(&b, " — %s", d.Reason)
+	}
+	return b.String()
+}
+
+// maxDecisions bounds the log; the oldest half is discarded on
+// overflow, so a long session keeps recent explanations.
+const maxDecisions = 4096
+
+// DecisionLog records candidate decisions across the session. Safe for
+// concurrent use (the parallel candidate executor records into one
+// shared log). A nil *DecisionLog is inert.
+type DecisionLog struct {
+	mu   sync.Mutex
+	next int
+	ds   []Decision
+}
+
+// NewDecisionLog creates an empty log.
+func NewDecisionLog() *DecisionLog { return &DecisionLog{} }
+
+// Record appends a decision, stamping its sequence number.
+func (l *DecisionLog) Record(d Decision) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.next++
+	d.Seq = l.next
+	l.ds = append(l.ds, d)
+	if len(l.ds) > maxDecisions {
+		l.ds = append(l.ds[:0:0], l.ds[len(l.ds)/2:]...)
+	}
+	l.mu.Unlock()
+}
+
+// Decisions returns a copy of the log, oldest first.
+func (l *DecisionLog) Decisions() []Decision {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Decision(nil), l.ds...)
+}
+
+// For returns the decisions whose candidate contains the given
+// substring (case-insensitive), oldest first — the ":why <candidate>"
+// lookup.
+func (l *DecisionLog) For(candidate string) []Decision {
+	if l == nil {
+		return nil
+	}
+	needle := strings.ToLower(candidate)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Decision
+	for _, d := range l.ds {
+		if strings.Contains(strings.ToLower(d.Candidate), needle) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained decisions.
+func (l *DecisionLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.ds)
+}
+
+// Reset clears the log.
+func (l *DecisionLog) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.ds = nil
+	l.mu.Unlock()
+}

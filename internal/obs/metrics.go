@@ -1,0 +1,348 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry is the unified metrics surface: named counters, gauges, and
+// fixed-bucket latency histograms, created on first use and safe for
+// concurrent access. It supersedes ad-hoc tallies scattered across the
+// engine and resilience layers — everything observable funnels into one
+// Snapshot. A nil *Registry is inert (every lookup returns nil, every
+// recording no-ops).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = map[string]*Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = map[string]*Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named latency histogram
+// with the default bucket ladder.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = map[string]*Histogram{}
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(DefaultLatencyBuckets())
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Reset zeroes every registered instrument (names are kept).
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.bits.Store(0)
+	}
+	for _, h := range r.histograms {
+		h.reset()
+	}
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load reads the counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomically settable float value (sizes, rates, ratios).
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Load reads the gauge.
+func (g *Gauge) Load() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultLatencyBuckets is the standard upper-bound ladder for latency
+// histograms: 50µs → 10s, roughly ×2–2.5 per step. Observations above
+// the last bound land in an implicit overflow bucket.
+func DefaultLatencyBuckets() []time.Duration {
+	return []time.Duration{
+		50 * time.Microsecond,
+		100 * time.Microsecond,
+		250 * time.Microsecond,
+		500 * time.Microsecond,
+		1 * time.Millisecond,
+		2500 * time.Microsecond,
+		5 * time.Millisecond,
+		10 * time.Millisecond,
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		250 * time.Millisecond,
+		500 * time.Millisecond,
+		1 * time.Second,
+		2500 * time.Millisecond,
+		5 * time.Second,
+		10 * time.Second,
+	}
+}
+
+// Histogram is a fixed-bucket latency histogram: atomic per-bucket
+// counts plus total count and sum, from which p50/p95/p99 are estimated
+// by linear interpolation inside the covering bucket.
+type Histogram struct {
+	bounds []time.Duration // ascending upper bounds
+	counts []atomic.Int64  // len(bounds)+1; last is overflow
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds (a copy is taken).
+func NewHistogram(bounds []time.Duration) *Histogram {
+	b := append([]time.Duration(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the total observed duration.
+func (h *Histogram) Sum() time.Duration {
+	if h == nil {
+		return 0
+	}
+	return time.Duration(h.sum.Load())
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the covering bucket. The overflow bucket reports
+// its lower bound. Returns 0 with no observations.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo := time.Duration(0)
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i == len(h.bounds) { // overflow: no upper bound to lerp to
+				return lo
+			}
+			hi := h.bounds[i]
+			frac := (rank - cum) / n
+			return lo + time.Duration(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// ---------------------------------------------------------------- snapshot
+
+// BucketSnapshot is one histogram bucket: upper bound and count.
+type BucketSnapshot struct {
+	LeNs  int64 `json:"le_ns"` // upper bound; -1 for the overflow bucket
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, with the
+// headline quantiles pre-computed.
+type HistogramSnapshot struct {
+	Count   int64            `json:"count"`
+	SumNs   int64            `json:"sum_ns"`
+	P50Ns   int64            `json:"p50_ns"`
+	P95Ns   int64            `json:"p95_ns"`
+	P99Ns   int64            `json:"p99_ns"`
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// P50 returns the median as a duration.
+func (h HistogramSnapshot) P50() time.Duration { return time.Duration(h.P50Ns) }
+
+// P95 returns the 95th percentile as a duration.
+func (h HistogramSnapshot) P95() time.Duration { return time.Duration(h.P95Ns) }
+
+// P99 returns the 99th percentile as a duration.
+func (h HistogramSnapshot) P99() time.Duration { return time.Duration(h.P99Ns) }
+
+// Snapshot copies the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumNs: h.sum.Load(),
+		P50Ns: h.Quantile(0.50).Nanoseconds(),
+		P95Ns: h.Quantile(0.95).Nanoseconds(),
+		P99Ns: h.Quantile(0.99).Nanoseconds(),
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(h.bounds) {
+			le = h.bounds[i].Nanoseconds()
+		}
+		snap.Buckets = append(snap.Buckets, BucketSnapshot{LeNs: le, Count: n})
+	}
+	return snap
+}
+
+// Snapshot is a point-in-time, JSON-serializable copy of a Registry —
+// the single machine-readable metrics surface (scpbench -json, the REPL
+// :metrics command).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies every instrument.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		snap.Histograms[name] = h.Snapshot()
+	}
+	return snap
+}

@@ -8,6 +8,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"copycat/internal/obs"
 )
 
 // atomicCounter is the counter type used by Metrics.
@@ -229,11 +231,25 @@ func TopKCtx(ctx context.Context, g *Graph, terminals []int, k int, solve CtxSol
 	if m == nil {
 		m = &Metrics{}
 	}
+	// The enumeration span hangs off whatever span the caller put in the
+	// context (the suggestion pipeline's search stage) — no signature
+	// change, inert when tracing is off.
+	sp := obs.SpanFromContext(ctx).Child("search.topk", "steiner")
+	var out []*Tree
+	defer func() {
+		if sp != nil {
+			sp.SetAttrInt("k", int64(k))
+			sp.SetAttrInt("trees_out", int64(len(out)))
+			sp.SetAttrInt("solver_calls", m.SolverCalls.Load())
+			sp.SetAttrInt("pruned", m.Pruned())
+			sp.End()
+		}
+	}()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	m.SolverCalls.Add(1)
-	first, ok := solve(ctx, g, terminals, nil)
+	first, ok := solveSpanned(ctx, sp, -1, g, terminals, nil, solve)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -245,7 +261,6 @@ func TopKCtx(ctx context.Context, g *Graph, terminals []int, k int, solve CtxSol
 	pq := &candHeap{}
 	heap.Push(pq, candHeapItem{tree: first, banned: map[int]bool{}})
 	seen := map[string]bool{}
-	var out []*Tree
 	for pq.Len() > 0 && len(out) < k {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -278,7 +293,7 @@ func TopKCtx(ctx context.Context, g *Graph, terminals []int, k int, solve CtxSol
 				}
 				nb[e] = true
 				m.SolverCalls.Add(1)
-				if t, ok := solve(ctx, g, terminals, nb); ok {
+				if t, ok := solveSpanned(ctx, sp, e, g, terminals, nb, solve); ok {
 					children[idx] = &candHeapItem{tree: t, banned: nb}
 				} else {
 					m.Infeasible.Add(1)
@@ -296,6 +311,27 @@ func TopKCtx(ctx context.Context, g *Graph, terminals []int, k int, solve CtxSol
 		}
 	}
 	return out, nil
+}
+
+// solveSpanned wraps one solver invocation in a child span of the
+// enumeration span (nil-safe). ban is the edge excluded by this Lawler
+// subproblem, or -1 for the unrestricted root solve; it doubles as the
+// attribute that keeps sibling spans distinct, so the deterministic
+// exporter has a stable sort key even when subproblems race.
+func solveSpanned(ctx context.Context, parent *obs.Span, ban int, g *Graph, terminals []int, banned map[int]bool, solve CtxSolver) (*Tree, bool) {
+	if parent == nil {
+		return solve(ctx, g, terminals, banned)
+	}
+	ssp := parent.Child("steiner.solve", "steiner")
+	ssp.SetAttrInt("ban", int64(ban))
+	t, ok := solve(ctx, g, terminals, banned)
+	if ok {
+		ssp.SetAttrInt("edges", int64(len(t.Edges)))
+	} else {
+		ssp.SetAttr("result", "infeasible")
+	}
+	ssp.End()
+	return t, ok
 }
 
 type candHeapItem = struct {

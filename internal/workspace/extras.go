@@ -198,7 +198,7 @@ func (w *Workspace) Summarize(groupBy []string, aggExprs ...string) (*Tab, error
 	if err != nil {
 		return nil, err
 	}
-	ec, cancel := w.execCtx()
+	ec, cancel := w.execCtx("execute.summarize")
 	ec.Stats().PlansExecuted.Add(1)
 	res, err := agg.Execute(ec)
 	cancel()

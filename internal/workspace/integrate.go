@@ -8,6 +8,7 @@ import (
 	"copycat/internal/catalog"
 	"copycat/internal/docmodel"
 	"copycat/internal/intlearn"
+	"copycat/internal/obs"
 	"copycat/internal/provenance"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/structlearn"
@@ -32,7 +33,7 @@ func (w *Workspace) pasteIntegration(sel docmodel.Selection) error {
 	}
 	terminals := w.FindSourcesOfValues(sel.Flat())
 	if len(terminals) >= 2 {
-		ec, cancel := w.execCtx()
+		ec, cancel := w.execCtx("search.queries")
 		qs, err := w.Int.TopQueriesCtx(ec, terminals, 3)
 		cancel()
 		if err != nil {
@@ -118,7 +119,7 @@ func (w *Workspace) AcceptQuery(i int) error {
 	}
 	w.checkpoint()
 	w.Keys.Accept()
-	ec, cancel := w.execCtx()
+	ec, cancel := w.execCtx("execute.query")
 	ec.Stats().PlansExecuted.Add(1)
 	res, err := plan.Execute(ec)
 	cancel()
@@ -132,7 +133,20 @@ func (w *Workspace) AcceptQuery(i int) error {
 			alts = append(alts, alt)
 		}
 	}
+	_, rankDone := w.stage("rank.mira")
 	w.Int.AcceptQuery(q, alts)
+	rankDone()
+	w.Decisions.Record(obs.Decision{
+		Stage: "feedback.queries", Candidate: strings.Join(q.Nodes, "+"),
+		Action: obs.ActionAccepted, Cost: q.Cost, Rank: i,
+	})
+	for _, alt := range alts {
+		w.Decisions.Record(obs.Decision{
+			Stage: "feedback.queries", Candidate: strings.Join(alt.Nodes, "+"),
+			Action: obs.ActionOutranked, Cost: alt.Cost, Rank: -1,
+			Reason: fmt.Sprintf("lost to accepted query %s", strings.Join(q.Nodes, "+")),
+		})
+	}
 	out := w.SelectTab("Query Output")
 	out.Schema = res.Schema.Clone()
 	out.Query = q
@@ -152,7 +166,14 @@ func (w *Workspace) RejectQuery(i int) error {
 		return fmt.Errorf("workspace: no pending query %d", i)
 	}
 	q := w.pendingQueries[i]
+	_, rankDone := w.stage("rank.mira")
 	w.Int.RejectQuery(q)
+	rankDone()
+	w.Decisions.Record(obs.Decision{
+		Stage: "feedback.queries", Candidate: strings.Join(q.Nodes, "+"),
+		Action: obs.ActionRejected, Cost: q.Cost, Rank: -1,
+		Reason: "rejected by user; demoted below suggestion threshold",
+	})
 	// Copy-on-delete: slices previously handed out by PendingQueries()
 	// must not be corrupted by the splice.
 	rest := make([]*intlearn.Query, 0, len(w.pendingQueries)-1)
@@ -172,7 +193,7 @@ func (w *Workspace) RefreshColumnSuggestions() []intlearn.Completion {
 		return nil
 	}
 	base := w.valuesPlan()
-	ec, cancel := w.execCtx()
+	ec, cancel := w.execCtx("suggest.refresh")
 	w.pendingCols = w.Int.ColumnCompletionsCtx(ec, base, []string{t.SourceNode})
 	cancel()
 	return w.pendingCols
@@ -203,7 +224,20 @@ func (w *Workspace) AcceptColumn(i int) error {
 			alts = append(alts, c)
 		}
 	}
+	_, rankDone := w.stage("rank.mira")
 	w.Int.AcceptCompletion(chosen, alts)
+	rankDone()
+	w.Decisions.Record(obs.Decision{
+		Stage: "feedback.columns", Candidate: chosen.Edge.ID + "→" + chosen.Target,
+		Action: obs.ActionAccepted, Cost: chosen.Cost, Rank: i,
+	})
+	for _, alt := range alts {
+		w.Decisions.Record(obs.Decision{
+			Stage: "feedback.columns", Candidate: alt.Edge.ID + "→" + alt.Target,
+			Action: obs.ActionOutranked, Cost: alt.Cost, Rank: -1,
+			Reason: "lost to accepted completion " + chosen.Edge.ID,
+		})
+	}
 
 	t := w.ActiveTab()
 	t.Schema = chosen.Result.Schema.Clone()
@@ -235,7 +269,15 @@ func (w *Workspace) RejectColumn(i int) error {
 	if i < 0 || i >= len(w.pendingCols) {
 		return fmt.Errorf("workspace: no pending column %d", i)
 	}
-	w.Int.RejectCompletion(w.pendingCols[i])
+	rejected := w.pendingCols[i]
+	_, rankDone := w.stage("rank.mira")
+	w.Int.RejectCompletion(rejected)
+	rankDone()
+	w.Decisions.Record(obs.Decision{
+		Stage: "feedback.columns", Candidate: rejected.Edge.ID + "→" + rejected.Target,
+		Action: obs.ActionRejected, Cost: rejected.Cost, Rank: -1,
+		Reason: "rejected by user; edge demoted below suggestion threshold",
+	})
 	rest := make([]intlearn.Completion, 0, len(w.pendingCols)-1)
 	rest = append(rest, w.pendingCols[:i]...)
 	rest = append(rest, w.pendingCols[i+1:]...)

@@ -1,0 +1,139 @@
+package workspace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"copycat/internal/obs"
+)
+
+// now reads the workspace clock (wall clock unless one was injected —
+// benchmarks and the determinism tests inject a VirtualClock).
+func (w *Workspace) now() time.Time {
+	if w.Clock != nil {
+		return w.Clock.Now()
+	}
+	return time.Now()
+}
+
+// EnableTracing starts recording spans for every pipeline stage into a
+// fresh trace on the workspace clock. Until called, tracing is disabled
+// and costs nothing beyond a nil check per stage.
+func (w *Workspace) EnableTracing() {
+	w.trace = obs.NewTrace(w.Clock)
+}
+
+// DisableTracing stops span recording (the trace collected so far is
+// discarded).
+func (w *Workspace) DisableTracing() { w.trace = nil }
+
+// Tracing reports whether span recording is active.
+func (w *Workspace) Tracing() bool { return w.trace != nil }
+
+// Trace exposes the active trace (nil when tracing is disabled).
+func (w *Workspace) Trace() *obs.Trace { return w.trace }
+
+// TraceTo writes the collected spans as Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto. Safe (and empty) when
+// tracing was never enabled.
+func (w *Workspace) TraceTo(out io.Writer) error { return w.trace.WriteChrome(out) }
+
+// stage opens one top-level pipeline stage: a root span on the session
+// trace (when tracing is on) and a sample in the stage's latency
+// histogram. The returned done func ends both.
+func (w *Workspace) stage(name string) (*obs.Span, func()) {
+	sp := w.trace.Start(name, "stage")
+	h := w.Metrics.Histogram("latency." + name)
+	if sp == nil && h == nil {
+		return nil, func() {}
+	}
+	var start time.Time
+	if h != nil {
+		start = w.now()
+	}
+	return sp, func() {
+		if h != nil {
+			h.Observe(w.now().Sub(start))
+		}
+		sp.End()
+	}
+}
+
+// Why returns the decision-log explanation lines for candidates whose
+// name contains the given substring (case-insensitive) — why each was
+// pruned, dropped, degraded, suggested, outranked, accepted, or
+// rejected. An empty substring returns the whole log.
+func (w *Workspace) Why(candidate string) []string {
+	ds := w.Decisions.Decisions()
+	if candidate != "" {
+		ds = w.Decisions.For(candidate)
+	}
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+// MetricsSnapshot folds every observable surface into one obs.Snapshot:
+// the latency histograms and gauges of the registry, the engine's
+// execution counters (prefixed "engine."), and the service-cache
+// health gauges — cache.entries and cache.hit_rate, the fraction of
+// dependent-join lookups answered without a live service call.
+func (w *Workspace) MetricsSnapshot() obs.Snapshot {
+	snap := w.Metrics.Snapshot()
+	es := w.ExecStats.Snapshot()
+	snap.Counters["engine.rows_in"] = es.RowsIn
+	snap.Counters["engine.rows_out"] = es.RowsOut
+	snap.Counters["engine.service_calls"] = es.ServiceCalls
+	snap.Counters["engine.service_cache_hits"] = es.ServiceCacheHits
+	snap.Counters["engine.trees_pruned"] = es.TreesPruned
+	snap.Counters["engine.plans_executed"] = es.PlansExecuted
+	snap.Counters["engine.candidates_run"] = es.CandidatesRun
+	snap.Counters["engine.retries"] = es.Retries
+	snap.Counters["engine.breaker_trips"] = es.BreakerTrips
+	snap.Counters["engine.degraded_rows"] = es.DegradedRows
+	if w.SvcCache != nil {
+		snap.Gauges["cache.entries"] = float64(w.SvcCache.Len())
+	}
+	if total := es.ServiceCacheHits + es.ServiceCalls; total > 0 {
+		snap.Gauges["cache.hit_rate"] = float64(es.ServiceCacheHits) / float64(total)
+	}
+	return snap
+}
+
+// RenderMetrics renders the snapshot as an aligned human-readable
+// report (the REPL's :metrics command).
+func RenderMetrics(snap obs.Snapshot) string {
+	var b strings.Builder
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %d\n", n, snap.Counters[n])
+	}
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-32s %.3f\n", n, snap.Gauges[n])
+	}
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		fmt.Fprintf(&b, "%-32s n=%-6d p50=%-10s p95=%-10s p99=%s\n",
+			n, h.Count, h.P50(), h.P95(), h.P99())
+	}
+	return b.String()
+}

@@ -79,6 +79,7 @@ func (w *Workspace) pasteImport(sel docmodel.Selection) error {
 	// Structure learning needs source context; a context-free paste just
 	// keeps the literal rows.
 	if sel.Doc != nil {
+		_, done := w.stage("learn.generalize")
 		lrn, ok := w.structLearners[t.Name]
 		var err error
 		if !ok {
@@ -92,12 +93,15 @@ func (w *Workspace) pasteImport(sel docmodel.Selection) error {
 		if err == nil && lrn != nil {
 			w.refreshRowSuggestions()
 		}
+		done()
 	}
 
 	// Model learner: type the columns from the concrete values; suggest
 	// header names from the hypothesis's source headers when the user
 	// hasn't named them.
+	_, done := w.stage("learn.type")
 	w.annotateActiveTab()
+	done()
 	return nil
 }
 
@@ -244,7 +248,9 @@ func (w *Workspace) CommitImport() error {
 			concrete++
 		}
 	}
+	_, done := w.stage("sourcegraph.discover")
 	w.Int.Graph.Discover(sourcegraph.DefaultOptions())
+	done()
 	return nil
 }
 

@@ -49,7 +49,7 @@ func (w *Workspace) RunView(name string) error {
 	if err != nil {
 		return err
 	}
-	ec, cancel := w.execCtx()
+	ec, cancel := w.execCtx("execute.view")
 	ec.Stats().PlansExecuted.Add(1)
 	res, err := plan.Execute(ec)
 	cancel()

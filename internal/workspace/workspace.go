@@ -20,6 +20,7 @@ import (
 	"copycat/internal/engine"
 	"copycat/internal/intlearn"
 	"copycat/internal/modellearn"
+	"copycat/internal/obs"
 	"copycat/internal/provenance"
 	"copycat/internal/resilience"
 	"copycat/internal/sourcegraph"
@@ -136,6 +137,22 @@ type Workspace struct {
 	// transiently degrade (are skipped or null-padded) instead of failing
 	// the plan. Nil preserves fail-fast execution.
 	Resilience *resilience.Caller
+	// Metrics is the unified metrics registry: per-stage latency
+	// histograms plus any gauges the session publishes. Always non-nil
+	// after New.
+	Metrics *obs.Registry
+	// Decisions logs why each candidate was pruned, degraded, suggested,
+	// outranked, accepted, or rejected (the :why surface). Always
+	// non-nil after New.
+	Decisions *obs.DecisionLog
+	// Clock drives stage timing and (when tracing) span timestamps; nil
+	// means the wall clock. Inject a resilience.VirtualClock for
+	// deterministic traces.
+	Clock resilience.Clock
+
+	// trace is the active span tracer; nil (the default) disables
+	// tracing at ~zero cost. Managed by EnableTracing/DisableTracing.
+	trace *obs.Trace
 
 	mode   Mode
 	tabs   []*Tab
@@ -168,6 +185,8 @@ func New(cat *catalog.Catalog, types *modellearn.Library) *Workspace {
 		Keys:           NewLedger(),
 		ExecStats:      engine.NewStats(),
 		SvcCache:       engine.NewServiceCache(),
+		Metrics:        obs.NewRegistry(),
+		Decisions:      obs.NewDecisionLog(),
 		structLearners: map[string]*structlearn.Learner{},
 		demotions:      map[string]int{},
 	}
@@ -333,9 +352,11 @@ func columnValues(t *Tab) [][]string {
 }
 
 // execCtx builds the workspace's execution context: the session's shared
-// stats block and service cache, plus the configured deadline. The
-// returned cancel func must be called when the execution finishes.
-func (w *Workspace) execCtx() (*engine.ExecCtx, context.CancelFunc) {
+// stats block and service cache, the configured deadline, and the
+// observability surfaces — a stage span (when tracing), the stage's
+// latency histogram, and the decision log. The returned cancel func
+// must be called when the execution finishes; it also closes the stage.
+func (w *Workspace) execCtx(stage string) (*engine.ExecCtx, context.CancelFunc) {
 	ctx, cancel := context.Background(), context.CancelFunc(func() {})
 	if w.ExecTimeout > 0 {
 		ctx, cancel = context.WithTimeout(context.Background(), w.ExecTimeout)
@@ -347,7 +368,28 @@ func (w *Workspace) execCtx() (*engine.ExecCtx, context.CancelFunc) {
 	if w.Resilience != nil {
 		opts = append(opts, engine.WithResilience(w.Resilience))
 	}
-	return engine.NewExecCtx(ctx, opts...), cancel
+	if w.trace != nil {
+		opts = append(opts, engine.WithTrace(w.trace))
+	}
+	if w.Metrics != nil {
+		opts = append(opts, engine.WithMetrics(w.Metrics))
+	}
+	if w.Decisions != nil {
+		opts = append(opts, engine.WithDecisions(w.Decisions))
+	}
+	if w.Clock != nil {
+		opts = append(opts, engine.WithExecClock(w.Clock))
+	}
+	ec := engine.NewExecCtx(ctx, opts...)
+	sp, done := w.stage(stage)
+	if sp != nil {
+		ec = ec.WithSpan(sp)
+	}
+	realCancel := cancel
+	return ec, func() {
+		done()
+		realCancel()
+	}
 }
 
 // valuesPlan exposes the active tab's concrete rows to the engine.
