@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench obs-smoke check
+.PHONY: all build vet test test-race bench bench-check obs-smoke check
 
 all: check
 
@@ -16,10 +16,12 @@ test:
 # Race-check the packages with real concurrency: the executor's shared
 # stats/cache, the parallel candidate pool, the Lawler fan-out, the
 # workspace threading that ties them together, the resilience layer
-# (shared breakers/jitter stream) with its fault injector, and the
-# observability substrate (spans/metrics shared across the candidate pool).
+# (shared breakers/jitter stream) with its fault injector, the
+# observability substrate (spans/metrics shared across the candidate pool),
+# the plan result cache (shared LRU hit from every candidate worker), and
+# the warm≡cold equivalence property test in simuser.
 test-race:
-	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs
+	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/plancache ./internal/simuser
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .
@@ -29,6 +31,13 @@ bench:
 # if tracing-enabled runs cost more than 10% over untraced ones.
 obs-smoke:
 	$(GO) run ./cmd/scpbench -exp pipeline -json -bench-out BENCH_3.json -trace trace_pipeline.json -overhead-budget 0.10
+
+# Incremental-refresh regression gate: run the warm/cold pipeline
+# comparison (which also proves warm ≡ cold over lockstep twin sessions),
+# fail if the warm refresh p99 regressed more than 10% against the
+# committed BENCH_4.json, and refresh the report in place.
+bench-check:
+	$(GO) run ./cmd/scpbench -exp pipeline -warm -cold -baseline BENCH_4.json -bench-out BENCH_4.json
 
 # Tier-1 gate: everything a PR must keep green.
 check: build vet test test-race

@@ -35,6 +35,7 @@ func BenchmarkImportMode(b *testing.B) {
 		{s1.Name, s1.Street, s1.City},
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cands := structlearn.Analyze(doc)
 		hyps := structlearn.Hypotheses(cands, examples)
@@ -64,6 +65,7 @@ func BenchmarkColumnCompletion(b *testing.B) {
 	}
 	sys.Workspace.SetMode(ModeIntegration)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		comps := sys.Workspace.RefreshColumnSuggestions()
 		if len(comps) == 0 {
@@ -95,6 +97,7 @@ func BenchmarkColumnCompletionTraced(b *testing.B) {
 	sys.Workspace.SetMode(ModeIntegration)
 	sys.EnableTracing()
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		comps := sys.Workspace.RefreshColumnSuggestions()
 		if len(comps) == 0 {
@@ -115,6 +118,7 @@ func BenchmarkColumnCompletionTraced(b *testing.B) {
 // ~75% claim).
 func BenchmarkKeystrokeSavings(b *testing.B) {
 	w := benchWorld()
+	b.ReportAllocs()
 	var savings float64
 	for i := 0; i < b.N; i++ {
 		res, err := simuser.RunShelterTask(w, webworld.StyleTable)
@@ -129,6 +133,7 @@ func BenchmarkKeystrokeSavings(b *testing.B) {
 // BenchmarkMIRAConvergence is E2: feedback rounds until a single query's
 // ranking is fixed plus family training; metrics carry the counts.
 func BenchmarkMIRAConvergence(b *testing.B) {
+	b.ReportAllocs()
 	var res *simuser.ConvergenceResult
 	var err error
 	for i := 0; i < b.N; i++ {
@@ -147,6 +152,7 @@ func BenchmarkWrapperInduction(b *testing.B) {
 	w := benchWorld()
 	for _, style := range webworld.AllStyles() {
 		b.Run(style.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var needed int
 			for i := 0; i < b.N; i++ {
 				n, ok := simuser.ExamplesNeeded(w, style, 15)
@@ -171,6 +177,7 @@ func BenchmarkTypeRecognition(b *testing.B) {
 		w.Shelters[3].Street, w.Shelters[4].Street,
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		scores := lib.Recognize(col)
 		if len(scores) == 0 || scores[0].Type != modellearn.TypeStreet {
@@ -192,6 +199,7 @@ func BenchmarkSteinerTopK(b *testing.B) {
 	}
 	terms := []int{0, 3, 6}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if trees := steiner.TopK(g, terms, 3, steiner.Exact); len(trees) == 0 {
 			b.Fatal("no trees")
@@ -215,6 +223,7 @@ func BenchmarkSteinerScaleup(b *testing.B) {
 		}
 		terms := rng.Perm(n)[:4]
 		b.Run(fmt.Sprintf("exact/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, ok := steiner.Exact(g, terms, nil); !ok {
 					b.Fatal("infeasible")
@@ -222,6 +231,7 @@ func BenchmarkSteinerScaleup(b *testing.B) {
 			}
 		})
 		b.Run(fmt.Sprintf("spcsh/n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
 			var ratio float64
 			ex, _ := steiner.Exact(g, terms, nil)
 			for i := 0; i < b.N; i++ {
@@ -241,6 +251,7 @@ func BenchmarkDemoTask(b *testing.B) {
 	w := benchWorld()
 	for _, style := range []webworld.SiteStyle{webworld.StyleTable, webworld.StylePaged, webworld.StyleForm} {
 		b.Run(style.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := simuser.RunShelterTask(w, style); err != nil {
 					b.Fatal(err)
@@ -267,6 +278,7 @@ func BenchmarkAssociationDiscovery(b *testing.B) {
 		"without-types": {UseSemTypes: false},
 	} {
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			var pairs int
 			for i := 0; i < b.N; i++ {
 				g := sourcegraph.New(env.WS.Cat)
@@ -298,6 +310,7 @@ func BenchmarkQueryEngine(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := engine.Run(join)
 		if err != nil || len(res.Rows) == 0 {
@@ -312,6 +325,7 @@ func BenchmarkRecordLinking(b *testing.B) {
 	w := benchWorld()
 	linker := linkage.NewLinker()
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		hits := 0
 		for _, c := range w.Contacts {

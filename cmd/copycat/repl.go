@@ -253,6 +253,8 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 			fmt.Fprintln(out, ws.Keys)
 		case ":metrics", "metrics":
 			fmt.Fprint(out, copycat.RenderMetrics(sys.Metrics()))
+		case ":cache", "cache":
+			fmt.Fprint(out, ws.CacheInfo())
 		case ":trace", "trace":
 			// :trace on | :trace off | :trace save <file>
 			switch {
@@ -388,6 +390,7 @@ func printHelp(out io.Writer) {
   load <file>                restore a saved session
   effort                     keystroke ledger
   :metrics                   unified metrics (counters, cache gauges, stage latencies)
+  :cache                     plan-result cache state (entries, hit rate, reuse counters)
   :trace on|off|save <file>  record pipeline spans; save as Chrome trace JSON
   :why [candidate]           decision log: why candidates were pruned/suggested/rejected
   quit

@@ -59,6 +59,9 @@ var (
 	benchOut       string  // -bench-out: machine-readable benchmark report
 	overheadBudget float64 // -overhead-budget: fail if tracing costs more than this fraction
 	jsonMode       bool    // -json: emit the final report as JSON on stdout
+	warmMode       bool    // -warm: time the incremental (plan-cached) refresh loop
+	coldMode       bool    // -cold: time the recompute-everything refresh loop
+	baselineFile   string  // -baseline: fail if warm p99 regresses >10% vs this report
 
 	// jsonReport collects whatever the last experiment wants to expose
 	// under -json; marshaled to the real stdout after all experiments ran.
@@ -82,6 +85,9 @@ func main() {
 	flag.StringVar(&benchOut, "bench-out", "", "write the pipeline experiment's machine-readable report (JSON) to this file")
 	flag.Float64Var(&overheadBudget, "overhead-budget", 0, "fail the pipeline experiment if tracing overhead exceeds this fraction (e.g. 0.10); 0 disables")
 	flag.BoolVar(&jsonMode, "json", false, "emit the final report as JSON on stdout (tables go to stderr)")
+	flag.BoolVar(&warmMode, "warm", false, "pipeline: time the warm (incremental, plan-cached) refresh loop")
+	flag.BoolVar(&coldMode, "cold", false, "pipeline: time the cold (recompute-everything) refresh loop")
+	flag.StringVar(&baselineFile, "baseline", "", "pipeline: fail if the warm refresh p99 regresses >10% against this committed report (JSON)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()

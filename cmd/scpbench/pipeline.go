@@ -116,6 +116,12 @@ func pipelineRun(traced bool) (*copycat.System, time.Duration, error) {
 // pipeline, and honors the -trace/-json/-bench-out/-overhead-budget
 // flags.
 func expPipeline() error {
+	// -warm / -cold switch the pipeline experiment to the incremental
+	// refresh comparison (P1 in EXPERIMENTS.md); without them it remains
+	// the O1 observability measurement.
+	if warmMode || coldMode {
+		return expRefresh()
+	}
 	_, plain, err := pipelineRun(false)
 	if err != nil {
 		return err

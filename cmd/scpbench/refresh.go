@@ -1,0 +1,253 @@
+package main
+
+// The incremental-refresh experiment (P1 in EXPERIMENTS.md): the pipeline
+// scenario's steady-state paste/feedback loop timed twice — warm, with the
+// plan result cache serving unchanged candidates, and cold, with the cache
+// disabled so every refresh recomputes the whole learn→search→execute→rank
+// loop. Selected by the -warm/-cold flags on `-exp pipeline`; with both
+// flags the report carries the reuse fraction, the wall-time speedup, and
+// a warm≡cold equivalence verdict from twin sessions driven in lockstep.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"copycat"
+)
+
+// refreshModeReport is one mode's numbers over the timed reps.
+type refreshModeReport struct {
+	WallNs           int64 `json:"wall_ns"`           // best-of-reps workload wall time
+	CandidatesRun    int64 `json:"candidates_run"`    // candidate plans actually executed
+	PlansReused      int64 `json:"plans_reused"`      // candidates served from the plan cache
+	PlansInvalidated int64 `json:"plans_invalidated"` // cached candidates forced to re-run
+	RefreshP99Ns     int64 `json:"refresh_p99_ns"`    // latency.suggest.refresh p99 (session)
+}
+
+// refreshReport is what -bench-out persists as BENCH_4.json.
+type refreshReport struct {
+	Experiment string             `json:"experiment"`
+	Refreshes  int                `json:"refreshes"`
+	Reps       int                `json:"reps"`
+	Warm       *refreshModeReport `json:"warm,omitempty"`
+	Cold       *refreshModeReport `json:"cold,omitempty"`
+	// ReuseFrac is warm plans_reused / (plans_reused + candidates_run):
+	// the fraction of candidate plans the warm loop did not execute.
+	ReuseFrac float64 `json:"reuse_frac,omitempty"`
+	// Speedup is cold wall time / warm wall time.
+	Speedup float64 `json:"speedup,omitempty"`
+	// Equivalent reports whether warm and cold twin sessions produced
+	// byte-identical suggestion lists across the whole workload.
+	Equivalent bool `json:"equivalent"`
+}
+
+// refreshFeedback applies the workload's steady-state feedback: alternate
+// the accepted completion between the two best suggestions, so MIRA keeps
+// moving the same two edges — a recurring dirty set that exercises
+// invalidation without pushing other candidates over the suggestion
+// threshold.
+func refreshFeedback(sys *copycat.System, comps []copycat.Completion, i int) {
+	if len(comps) < 2 {
+		return
+	}
+	j, k := i%2, (i+1)%2
+	sys.Workspace.Int.AcceptCompletion(comps[j], comps[k:k+1])
+}
+
+// refreshWorkload runs `refreshes` suggestion refreshes with feedback.
+func refreshWorkload(sys *copycat.System, refreshes int) error {
+	for i := 0; i < refreshes; i++ {
+		comps := sys.Workspace.RefreshColumnSuggestions()
+		if len(comps) == 0 {
+			return fmt.Errorf("refresh %d returned no completions", i)
+		}
+		refreshFeedback(sys, comps, i)
+	}
+	return nil
+}
+
+// refreshRun sets up the pipeline scenario, runs one warmup workload to
+// settle the caches and the feedback oscillation, then times
+// pipelineReps repetitions and returns the mode's counters.
+func refreshRun(warm bool) (*refreshModeReport, error) {
+	sys, err := pipelineSetup(false)
+	if err != nil {
+		return nil, err
+	}
+	if !warm {
+		sys.Workspace.PlanCache = nil // cold: recompute everything, every refresh
+	}
+	if err := refreshWorkload(sys, pipelineRefreshes); err != nil {
+		return nil, err
+	}
+	before := sys.Stats()
+	best := time.Duration(0)
+	for r := 0; r < pipelineReps; r++ {
+		start := time.Now()
+		if err := refreshWorkload(sys, pipelineRefreshes); err != nil {
+			return nil, err
+		}
+		if d := time.Since(start); best == 0 || d < best {
+			best = d
+		}
+	}
+	after := sys.Stats()
+	rep := &refreshModeReport{
+		WallNs:           best.Nanoseconds(),
+		CandidatesRun:    after.CandidatesRun - before.CandidatesRun,
+		PlansReused:      after.PlansReused - before.PlansReused,
+		PlansInvalidated: after.PlansInvalidated - before.PlansInvalidated,
+	}
+	if h, ok := sys.Metrics().Histograms["latency.suggest.refresh"]; ok {
+		rep.RefreshP99Ns = h.P99Ns
+	}
+	return rep, nil
+}
+
+// completionsDigest canonically renders a suggestion list — edge, target,
+// cost, and every result row — for the warm≡cold comparison.
+func completionsDigest(comps []copycat.Completion) string {
+	var b strings.Builder
+	for _, c := range comps {
+		fmt.Fprintf(&b, "%s→%s@%.9g[", c.Edge.ID, c.Target, c.Cost)
+		if c.Result != nil {
+			for _, a := range c.Result.Rows {
+				b.WriteString(a.Row.Key())
+				b.WriteByte(';')
+			}
+		}
+		b.WriteString("]\n")
+	}
+	return b.String()
+}
+
+// refreshEquivalence drives a warm and a cold twin session through the
+// identical workload, comparing the full suggestion list after every
+// refresh. Any divergence fails the experiment — the cache must be
+// invisible in the output.
+func refreshEquivalence(refreshes int) error {
+	warm, err := pipelineSetup(false)
+	if err != nil {
+		return err
+	}
+	cold, err := pipelineSetup(false)
+	if err != nil {
+		return err
+	}
+	cold.Workspace.PlanCache = nil
+	for i := 0; i < refreshes; i++ {
+		wc := warm.Workspace.RefreshColumnSuggestions()
+		cc := cold.Workspace.RefreshColumnSuggestions()
+		wd, cd := completionsDigest(wc), completionsDigest(cc)
+		if wd != cd {
+			return fmt.Errorf("warm/cold divergence at refresh %d:\nwarm:\n%s\ncold:\n%s", i, wd, cd)
+		}
+		refreshFeedback(warm, wc, i)
+		refreshFeedback(cold, cc, i)
+	}
+	return nil
+}
+
+// expRefresh is the -warm/-cold entry point.
+func expRefresh() error {
+	report := refreshReport{
+		Experiment: "pipeline-refresh",
+		Refreshes:  pipelineRefreshes,
+		Reps:       pipelineReps,
+	}
+	if warmMode && coldMode {
+		if err := refreshEquivalence(2 * pipelineRefreshes); err != nil {
+			return err
+		}
+		report.Equivalent = true
+		fmt.Printf("warm ≡ cold: %d lockstep refreshes produced identical suggestion lists\n\n", 2*pipelineRefreshes)
+	}
+	var err error
+	if coldMode {
+		if report.Cold, err = refreshRun(false); err != nil {
+			return err
+		}
+	}
+	if warmMode {
+		if report.Warm, err = refreshRun(true); err != nil {
+			return err
+		}
+	}
+	if report.Warm != nil {
+		if total := report.Warm.PlansReused + report.Warm.CandidatesRun; total > 0 {
+			report.ReuseFrac = float64(report.Warm.PlansReused) / float64(total)
+		}
+	}
+	if report.Warm != nil && report.Cold != nil && report.Warm.WallNs > 0 {
+		report.Speedup = float64(report.Cold.WallNs) / float64(report.Warm.WallNs)
+	}
+
+	var rows [][]string
+	addMode := func(name string, m *refreshModeReport) {
+		if m == nil {
+			return
+		}
+		rows = append(rows,
+			[]string{name + " wall (best of reps)", time.Duration(m.WallNs).String()},
+			[]string{name + " candidates executed", fmt.Sprint(m.CandidatesRun)},
+			[]string{name + " plans reused", fmt.Sprint(m.PlansReused)},
+			[]string{name + " plans invalidated", fmt.Sprint(m.PlansInvalidated)},
+			[]string{name + " refresh p99", time.Duration(m.RefreshP99Ns).String()},
+		)
+	}
+	rows = append(rows, []string{"refreshes per rep", fmt.Sprint(pipelineRefreshes)})
+	addMode("cold", report.Cold)
+	addMode("warm", report.Warm)
+	if report.ReuseFrac > 0 {
+		rows = append(rows, []string{"reuse fraction", fmt.Sprintf("%.3f", report.ReuseFrac)})
+	}
+	if report.Speedup > 0 {
+		rows = append(rows, []string{"speedup (cold/warm)", fmt.Sprintf("%.2fx", report.Speedup)})
+	}
+	printTable([]string{"measure", "value"}, rows)
+
+	if baselineFile != "" && report.Warm != nil {
+		if err := checkRefreshBaseline(baselineFile, report.Warm.RefreshP99Ns); err != nil {
+			return err
+		}
+	}
+	if benchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbenchmark report written to %s\n", benchOut)
+	}
+	jsonReport = report
+	return nil
+}
+
+// checkRefreshBaseline fails if the measured warm-refresh p99 regressed
+// more than 10% against the committed baseline report.
+func checkRefreshBaseline(path string, p99Ns int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var base refreshReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if base.Warm == nil || base.Warm.RefreshP99Ns <= 0 {
+		return fmt.Errorf("baseline %s has no warm refresh p99", path)
+	}
+	limit := base.Warm.RefreshP99Ns + base.Warm.RefreshP99Ns/10
+	if p99Ns > limit {
+		return fmt.Errorf("warm refresh p99 %s regressed >10%% against baseline %s (limit %s)",
+			time.Duration(p99Ns), time.Duration(base.Warm.RefreshP99Ns), time.Duration(limit))
+	}
+	fmt.Printf("baseline check: warm p99 %s within 10%% of committed %s\n",
+		time.Duration(p99Ns), time.Duration(base.Warm.RefreshP99Ns))
+	return nil
+}

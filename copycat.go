@@ -33,9 +33,11 @@ import (
 	"copycat/internal/docmodel"
 	"copycat/internal/engine"
 	"copycat/internal/export"
+	"copycat/internal/intlearn"
 	"copycat/internal/modellearn"
 	"copycat/internal/obs"
 	"copycat/internal/persist"
+	"copycat/internal/plancache"
 	"copycat/internal/resilience"
 	"copycat/internal/services"
 	"copycat/internal/sourcegraph"
@@ -80,6 +82,11 @@ type (
 	ExecCtx = engine.ExecCtx
 	// ExecStats is a point-in-time copy of executor instrumentation.
 	ExecStats = engine.StatsSnapshot
+	// Completion is one proposed column auto-completion.
+	Completion = intlearn.Completion
+	// PlanCache is the fingerprint-keyed candidate-plan result cache
+	// behind incremental suggestion refresh.
+	PlanCache = plancache.Cache
 	// MetricsSnapshot is the unified, JSON-serializable metrics surface:
 	// counters, gauges, and latency histograms with p50/p95/p99.
 	MetricsSnapshot = obs.Snapshot

@@ -81,11 +81,40 @@ func (s *Source) Scan() (engine.Plan, error) {
 type Catalog struct {
 	mu      sync.RWMutex
 	sources map[string]*Source
+	// versions tracks per-source mutation counters (registration,
+	// replacement, semantic-type edits) so cached plan results keyed on a
+	// source's version invalidate exactly when that source changes.
+	versions map[string]uint64
+	version  uint64
 }
 
 // New creates an empty catalog.
 func New() *Catalog {
-	return &Catalog{sources: map[string]*Source{}}
+	return &Catalog{sources: map[string]*Source{}, versions: map[string]uint64{}}
+}
+
+// Version reports the catalog-wide mutation counter: it advances on
+// every registration, replacement, removal, or schema edit.
+func (c *Catalog) Version() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.version
+}
+
+// SourceVersion reports the named source's mutation counter (0 if the
+// source was never registered). Two equal versions guarantee the source
+// definition and its materialized contents have not been replaced in
+// between.
+func (c *Catalog) SourceVersion(name string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.versions[name]
+}
+
+// bump advances the catalog and per-source counters; callers hold mu.
+func (c *Catalog) bump(name string) {
+	c.version++
+	c.versions[name] = c.version
 }
 
 // AddRelation registers (or replaces) a materialized source.
@@ -121,6 +150,7 @@ func (c *Catalog) put(s *Source) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.sources[s.Name] = s
+	c.bump(s.Name)
 }
 
 // Get returns the named source, or nil.
@@ -136,6 +166,9 @@ func (c *Catalog) Remove(name string) bool {
 	defer c.mu.Unlock()
 	_, ok := c.sources[name]
 	delete(c.sources, name)
+	if ok {
+		c.bump(name)
+	}
 	return ok
 }
 
@@ -186,6 +219,7 @@ func (c *Catalog) SetSemType(source, column, semType string) error {
 	if s.Rel != nil && s.Rel.Schema.Index(column) == i {
 		s.Rel.Schema[i].SemType = semType
 	}
+	c.bump(source)
 	return nil
 }
 
@@ -205,5 +239,6 @@ func (c *Catalog) AddKey(source, column, targetSource, targetColumn string) erro
 		s.Keys = map[string]string{}
 	}
 	s.Keys[column] = targetSource + "." + targetColumn
+	c.bump(source)
 	return nil
 }

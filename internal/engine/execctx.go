@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"copycat/internal/obs"
+	"copycat/internal/plancache"
 	"copycat/internal/resilience"
 	"copycat/internal/table"
 )
@@ -41,6 +42,13 @@ type Stats struct {
 	// CandidatesRun counts candidate completion plans executed by the
 	// suggestion pipeline (including ones later filtered out).
 	CandidatesRun atomic.Int64
+	// PlansReused counts candidate plans answered from the plan result
+	// cache instead of executing (fingerprint unchanged since last run).
+	PlansReused atomic.Int64
+	// PlansInvalidated counts candidate plans whose cached result was
+	// unusable — the fingerprint moved because feedback shifted an edge
+	// weight or a paste grew the graph — forcing a re-execution.
+	PlansInvalidated atomic.Int64
 	// Retries counts service-call retry attempts made by the resilience
 	// layer beyond each call's first attempt.
 	Retries atomic.Int64
@@ -102,6 +110,8 @@ func (s *Stats) Reset() {
 	s.TreesPruned.Store(0)
 	s.PlansExecuted.Store(0)
 	s.CandidatesRun.Store(0)
+	s.PlansReused.Store(0)
+	s.PlansInvalidated.Store(0)
 	s.Retries.Store(0)
 	s.BreakerTrips.Store(0)
 	s.DegradedRows.Store(0)
@@ -128,6 +138,8 @@ type StatsSnapshot struct {
 	TreesPruned      int64                 `json:"trees_pruned"`
 	PlansExecuted    int64                 `json:"plans_executed"`
 	CandidatesRun    int64                 `json:"candidates_run"`
+	PlansReused      int64                 `json:"plans_reused"`
+	PlansInvalidated int64                 `json:"plans_invalidated"`
 	Retries          int64                 `json:"retries"`
 	BreakerTrips     int64                 `json:"breaker_trips"`
 	DegradedRows     int64                 `json:"degraded_rows"`
@@ -147,6 +159,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		TreesPruned:      s.TreesPruned.Load(),
 		PlansExecuted:    s.PlansExecuted.Load(),
 		CandidatesRun:    s.CandidatesRun.Load(),
+		PlansReused:      s.PlansReused.Load(),
+		PlansInvalidated: s.PlansInvalidated.Load(),
 		Retries:          s.Retries.Load(),
 		BreakerTrips:     s.BreakerTrips.Load(),
 		DegradedRows:     s.DegradedRows.Load(),
@@ -169,6 +183,8 @@ func (s StatsSnapshot) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plans executed    %d\n", s.PlansExecuted)
 	fmt.Fprintf(&b, "candidates run    %d\n", s.CandidatesRun)
+	fmt.Fprintf(&b, "plans reused      %d\n", s.PlansReused)
+	fmt.Fprintf(&b, "plans invalidated %d\n", s.PlansInvalidated)
 	fmt.Fprintf(&b, "rows in/out       %d/%d\n", s.RowsIn, s.RowsOut)
 	fmt.Fprintf(&b, "service calls     %d\n", s.ServiceCalls)
 	fmt.Fprintf(&b, "service cache hit %d\n", s.ServiceCacheHits)
@@ -254,6 +270,7 @@ type ExecCtx struct {
 	decisions *obs.DecisionLog // nil = no decision log
 	span      *obs.Span        // current parent span for StartSpan
 	clock     resilience.Clock // nil = wall clock; virtual in tests/benches
+	plans     *plancache.Cache // nil = incremental refresh disabled (cold path)
 	noMemo    bool
 	maxRows   int64
 	// rows is the count produced under this budget. It is a pointer so a
@@ -270,6 +287,12 @@ func WithStats(s *Stats) ExecOption { return func(ec *ExecCtx) { ec.stats = s } 
 
 // WithServiceCache attaches a cross-execution service-call cache.
 func WithServiceCache(c *ServiceCache) ExecOption { return func(ec *ExecCtx) { ec.cache = c } }
+
+// WithPlanCache attaches a fingerprint-keyed plan result cache. The
+// suggestion pipeline consults it to skip re-executing candidate plans
+// whose inputs (sources, join columns, edge generations) are unchanged
+// since the last refresh; nil keeps the cold, recompute-everything path.
+func WithPlanCache(c *plancache.Cache) ExecOption { return func(ec *ExecCtx) { ec.plans = c } }
 
 // WithResilience routes every service call through a resilience.Caller:
 // per-call timeouts, retry with backoff on transient failures, and a
@@ -359,6 +382,10 @@ func (ec *ExecCtx) Stats() *Stats {
 
 // Cache returns the shared service cache, or nil if none is attached.
 func (ec *ExecCtx) Cache() *ServiceCache { return ec.cache }
+
+// PlanCache returns the attached plan result cache, or nil when
+// incremental refresh is disabled.
+func (ec *ExecCtx) PlanCache() *plancache.Cache { return ec.plans }
 
 // Resilience returns the attached resilient caller, or nil.
 func (ec *ExecCtx) Resilience() *resilience.Caller { return ec.res }

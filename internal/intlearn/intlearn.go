@@ -20,6 +20,8 @@ import (
 	"copycat/internal/linkage"
 	"copycat/internal/mira"
 	"copycat/internal/obs"
+	"copycat/internal/plancache"
+	"copycat/internal/provenance"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/steiner"
 	"copycat/internal/table"
@@ -92,6 +94,25 @@ type Learner struct {
 
 	dropMu    sync.Mutex
 	lastDrops []CandidateDrop // candidates dropped by the last completion pass
+
+	// Cached Steiner compilation of the source graph (DESIGN.md §10).
+	// Rebuilt when the graph gains edges or the catalog's node set moves;
+	// weight-only changes (MIRA feedback) are patched in place via the
+	// graph's per-edge dirty set. steinMu is held for the whole solve —
+	// Lawler subproblems read the graph concurrently, so patching under a
+	// narrower lock would race.
+	steinMu     sync.Mutex
+	steinG      *steiner.Graph
+	steinIx     *steinerIndex
+	steinGen    uint64 // source-graph generation the cached costs reflect
+	steinStruct uint64 // struct generation the cached topology reflects
+	steinCatVer uint64 // catalog version the cached node set reflects
+
+	// lastFP remembers each candidate completion's most recent fingerprint
+	// so a refresh can tell "new candidate" apart from "candidate whose
+	// inputs moved" (the plans_invalidated counter).
+	fpMu   sync.Mutex
+	lastFP map[string]uint64
 }
 
 // LastDrops reports the candidates dropped (with reasons) by the most
@@ -239,6 +260,78 @@ func colIndexes(schema table.Schema, names []string) ([]int, error) {
 	return out, nil
 }
 
+// ---------------------------------------------------------------- fingerprints
+
+// basePlanFingerprint canonically hashes the base plan's visible state:
+// relation name, schema (names, kinds, semantic types), and every row's
+// values and provenance. Only *engine.Values bases — the workspace's
+// materialized tab, which is what the suggestion pipeline always passes —
+// are fingerprintable; for anything else result caching is disabled for
+// the pass rather than risking a stale hit.
+func basePlanFingerprint(base engine.Plan) (plancache.Fingerprint, bool) {
+	v, ok := base.(*engine.Values)
+	if !ok {
+		return plancache.Fingerprint{}, false
+	}
+	f := plancache.NewFingerprint().String("base").String(v.Name)
+	for _, c := range v.Schema_ {
+		f = f.String(c.Name).Int(int(c.Kind)).String(c.SemType)
+	}
+	for _, a := range v.Rows {
+		f = f.String(a.Row.Key())
+		if a.Prov != nil {
+			f = f.String(a.Prov.String())
+		}
+	}
+	return f, true
+}
+
+// candidateFingerprint extends the base fingerprint with everything a
+// candidate completion's result depends on: the edge's identity, kind and
+// join columns, the node it extends from, the generation at which the
+// edge's weight last moved (the dirty-set input: feedback that shifts the
+// edge invalidates its plans), the target source's catalog version (a
+// re-registered or re-typed source invalidates), and the link threshold
+// for record-link joins.
+func (l *Learner) candidateFingerprint(base plancache.Fingerprint, node string, e *sourcegraph.Edge, target string) uint64 {
+	f := base.String("edge").String(e.ID).String(node).String(target).Int(int(e.Kind))
+	for _, c := range e.FromCols {
+		f = f.String(c)
+	}
+	for _, c := range e.ToCols {
+		f = f.String(c)
+	}
+	return f.
+		Uint64(l.Graph.EdgeGeneration(e.ID)).
+		Uint64(l.Graph.Catalog().SourceVersion(target)).
+		Uint64(math.Float64bits(l.LinkThreshold)).
+		Sum()
+}
+
+// noteFingerprint records a candidate's current fingerprint and reports
+// whether the candidate was seen before with a different one — i.e. its
+// cached plan result just became stale.
+func (l *Learner) noteFingerprint(key string, fp uint64) bool {
+	l.fpMu.Lock()
+	defer l.fpMu.Unlock()
+	if l.lastFP == nil {
+		l.lastFP = map[string]uint64{}
+	}
+	prev, ok := l.lastFP[key]
+	l.lastFP[key] = fp
+	return ok && prev != fp
+}
+
+// copyResult clones a result with a fresh outer Rows slice. The workspace
+// splices suggestion rows in place on tuple-level feedback (demotion), so
+// both directions of the plan cache — storing and serving — must hand out
+// a slice whose backing array nobody else mutates.
+func copyResult(r *engine.Result) *engine.Result {
+	cp := *r
+	cp.Rows = append([]provenance.Annotated(nil), r.Rows...)
+	return &cp
+}
+
 // ---------------------------------------------------------------- column completions
 
 // ColumnCompletions proposes auto-completions for the current query: every
@@ -267,20 +360,40 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 		plan    engine.Plan
 		newCols []table.Column
 		cost    float64
+		fp      uint64         // plan-cache key (valid only when cached-path enabled)
+		cached  *engine.Result // non-nil: served from the plan cache, skip execution
 	}
 	in := map[string]bool{}
 	for _, n := range baseNodes {
 		in[n] = true
 	}
-	seenTarget := map[string]bool{}
 	decisions := ec.Decisions()
-	var cands []candidate
-	for _, node := range baseNodes {
-		for _, e := range l.Graph.EdgesAt(node) {
+	// Gather the edge lists up front so cands/results/seenTarget can be
+	// sized to the total edge count — no append growth or map rehashing on
+	// the refresh hot path.
+	edgeLists := make([][]*sourcegraph.Edge, len(baseNodes))
+	totalEdges := 0
+	for i, node := range baseNodes {
+		edgeLists[i] = l.Graph.EdgesAt(node)
+		totalEdges += len(edgeLists[i])
+	}
+	seenTarget := make(map[string]bool, totalEdges)
+	cands := make([]candidate, 0, totalEdges)
+	cache := ec.PlanCache()
+	var baseFP plancache.Fingerprint
+	useCache := false
+	if cache != nil {
+		baseFP, useCache = basePlanFingerprint(base)
+	}
+	for i, node := range baseNodes {
+		for _, e := range edgeLists[i] {
 			cost := l.edgeCost(e)
 			target := e.Other(node)
 			if cost > sourcegraph.SuggestThreshold {
-				if !in[target] {
+				// Decision strings are built only when a log is attached —
+				// the Sprintf and key concatenation used to run even with
+				// the log disabled.
+				if decisions != nil && !in[target] {
 					decisions.Record(obs.Decision{
 						Stage: "suggest.columns", Candidate: e.ID + "→" + target,
 						Action: obs.ActionPruned, Cost: cost, Rank: -1,
@@ -295,18 +408,41 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 			seenTarget[target+e.ID] = true
 			plan, newCols, err := l.ExtendPlan(base, node, e)
 			if err != nil {
-				decisions.Record(obs.Decision{
-					Stage: "suggest.columns", Candidate: e.ID + "→" + target,
-					Action: obs.ActionPruned, Cost: cost, Rank: -1,
-					Reason: "plan compilation failed: " + err.Error(),
-				})
+				if decisions != nil {
+					decisions.Record(obs.Decision{
+						Stage: "suggest.columns", Candidate: e.ID + "→" + target,
+						Action: obs.ActionPruned, Cost: cost, Rank: -1,
+						Reason: "plan compilation failed: " + err.Error(),
+					})
+				}
 				continue
 			}
-			cands = append(cands, candidate{edge: e, target: target, plan: plan, newCols: newCols, cost: cost})
+			c := candidate{edge: e, target: target, plan: plan, newCols: newCols, cost: cost}
+			if useCache {
+				c.fp = l.candidateFingerprint(baseFP, node, e, target)
+				changed := l.noteFingerprint(e.ID+"→"+target, c.fp)
+				if v, ok := cache.Get(c.fp); ok {
+					if res, isRes := v.(*engine.Result); isRes {
+						c.cached = copyResult(res)
+						ec.Stats().PlansReused.Add(1)
+					}
+				} else if changed {
+					ec.Stats().PlansInvalidated.Add(1)
+				}
+			}
+			cands = append(cands, c)
 		}
 	}
 	results := make([]*engine.Result, len(cands))
 	errs := make([]error, len(cands))
+	misses := make([]int, 0, len(cands))
+	for i := range cands {
+		if cands[i].cached != nil {
+			results[i] = cands[i].cached
+		} else {
+			misses = append(misses, i)
+		}
+	}
 	// runOne executes candidate i under its own span lane (sharing the
 	// parent's budget, cache, and stats) and times it into the
 	// per-candidate latency histogram.
@@ -330,6 +466,13 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 		if err == nil {
 			results[i] = res
 			sp.SetAttrInt("rows", int64(len(res.Rows)))
+			// Cache complete results only: errored plans may recover
+			// (transient service failures) and degraded ones are partial —
+			// both must re-execute next refresh. Empty results are cached;
+			// re-deriving "no rows" is as wasteful as re-deriving rows.
+			if useCache && res.Degraded == 0 {
+				cache.Put(cands[i].fp, copyResult(res))
+			}
 		} else {
 			errs[i] = err
 			if sp != nil {
@@ -339,8 +482,8 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 		sp.End()
 	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cands) {
-		workers = len(cands)
+	if workers > len(misses) {
+		workers = len(misses)
 	}
 	if workers > 1 {
 		var wg sync.WaitGroup
@@ -357,37 +500,41 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 				}
 			}()
 		}
-		for i := range cands {
+		for _, i := range misses {
 			idx <- i
 		}
 		close(idx)
 		wg.Wait()
 	} else {
-		for i := range cands {
+		for _, i := range misses {
 			if ec.Err() != nil {
 				break
 			}
 			runOne(i)
 		}
 	}
-	var out []Completion
+	out := make([]Completion, 0, len(cands))
 	var drops []CandidateDrop
 	for i, c := range cands {
 		if errs[i] != nil {
 			drops = append(drops, CandidateDrop{Edge: c.edge.ID, Target: c.target, Reason: errs[i].Error()})
-			decisions.Record(obs.Decision{
-				Stage: "suggest.columns", Candidate: c.edge.ID + "→" + c.target,
-				Action: obs.ActionDropped, Cost: c.cost, Rank: -1,
-				Reason: "execution failed: " + errs[i].Error(),
-			})
+			if decisions != nil {
+				decisions.Record(obs.Decision{
+					Stage: "suggest.columns", Candidate: c.edge.ID + "→" + c.target,
+					Action: obs.ActionDropped, Cost: c.cost, Rank: -1,
+					Reason: "execution failed: " + errs[i].Error(),
+				})
+			}
 			continue
 		}
 		if results[i] == nil || len(results[i].Rows) == 0 {
-			decisions.Record(obs.Decision{
-				Stage: "suggest.columns", Candidate: c.edge.ID + "→" + c.target,
-				Action: obs.ActionEmpty, Cost: c.cost, Rank: -1,
-				Reason: "plan produced no rows",
-			})
+			if decisions != nil {
+				decisions.Record(obs.Decision{
+					Stage: "suggest.columns", Candidate: c.edge.ID + "→" + c.target,
+					Action: obs.ActionEmpty, Cost: c.cost, Rank: -1,
+					Reason: "plan produced no rows",
+				})
+			}
 			continue
 		}
 		out = append(out, Completion{
@@ -403,16 +550,18 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 		}
 		return out[i].Edge.ID < out[j].Edge.ID
 	})
-	for rank, c := range out {
-		action, reason := obs.ActionSuggested, ""
-		if c.Result != nil && c.Result.Degraded > 0 {
-			action = obs.ActionDegraded
-			reason = fmt.Sprintf("suggested with %d rows degraded by transient service failures", c.Result.Degraded)
+	if decisions != nil {
+		for rank, c := range out {
+			action, reason := obs.ActionSuggested, ""
+			if c.Result != nil && c.Result.Degraded > 0 {
+				action = obs.ActionDegraded
+				reason = fmt.Sprintf("suggested with %d rows degraded by transient service failures", c.Result.Degraded)
+			}
+			decisions.Record(obs.Decision{
+				Stage: "suggest.columns", Candidate: c.Edge.ID + "→" + c.Target,
+				Action: action, Cost: c.Cost, Rank: rank, Reason: reason,
+			})
 		}
-		decisions.Record(obs.Decision{
-			Stage: "suggest.columns", Candidate: c.Edge.ID + "→" + c.Target,
-			Action: action, Cost: c.Cost, Rank: rank, Reason: reason,
-		})
 	}
 	return out
 }
@@ -421,16 +570,22 @@ func (l *Learner) ColumnCompletionsCtx(ec *engine.ExecCtx, base engine.Plan, bas
 
 // steinerIndex maps between source-graph node names and steiner node ids.
 type steinerIndex struct {
-	names []string
-	idx   map[string]int
-	edges []*sourcegraph.Edge // steiner edge id → source-graph edge
+	names  []string
+	idx    map[string]int
+	edges  []*sourcegraph.Edge // steiner edge id → source-graph edge
+	byEdge map[string]int      // source-graph edge id → steiner edge id
 }
 
 // buildSteiner converts the source graph (with learned costs) into a
 // steiner.Graph.
 func (l *Learner) buildSteiner() (*steiner.Graph, *steinerIndex) {
-	ix := &steinerIndex{idx: map[string]int{}}
-	for _, name := range l.Graph.Catalog().Names() {
+	cat := l.Graph.Catalog()
+	names := cat.Names()
+	ix := &steinerIndex{
+		idx:    make(map[string]int, len(names)),
+		byEdge: make(map[string]int, len(l.Graph.Edges())),
+	}
+	for _, name := range names {
 		ix.idx[name] = len(ix.names)
 		ix.names = append(ix.names, name)
 	}
@@ -445,10 +600,42 @@ func (l *Learner) buildSteiner() (*steiner.Graph, *steinerIndex) {
 		if cost < 0 {
 			cost = 0
 		}
-		g.AddEdge(u, v, cost)
+		ix.byEdge[e.ID] = g.AddEdge(u, v, cost)
 		ix.edges = append(ix.edges, e)
 	}
 	return g, ix
+}
+
+// steinerGraphLocked returns the learner's cached Steiner compilation,
+// rebuilding it only when the topology moved (new edges from a paste, a
+// source added to or dropped from the catalog) and patching edge costs in
+// place when only weights changed since the last solve — the common case
+// after accept/reject feedback. Callers must hold steinMu for the whole
+// solve: Lawler subproblems read the graph from many goroutines.
+func (l *Learner) steinerGraphLocked() (*steiner.Graph, *steinerIndex) {
+	cat := l.Graph.Catalog()
+	if l.steinG == nil || l.steinStruct != l.Graph.StructGeneration() || l.steinCatVer != cat.Version() {
+		l.steinG, l.steinIx = l.buildSteiner()
+		l.steinStruct = l.Graph.StructGeneration()
+		l.steinGen = l.Graph.Generation()
+		l.steinCatVer = cat.Version()
+		return l.steinG, l.steinIx
+	}
+	if gen := l.Graph.Generation(); gen != l.steinGen {
+		for _, e := range l.Graph.ChangedSince(l.steinGen) {
+			id, ok := l.steinIx.byEdge[e.ID]
+			if !ok {
+				continue // edge endpoints were outside the catalog at build time
+			}
+			cost := l.edgeCost(e)
+			if cost < 0 {
+				cost = 0
+			}
+			l.steinG.SetEdgeCost(id, cost)
+		}
+		l.steinGen = gen
+	}
+	return l.steinG, l.steinIx
 }
 
 // TopQueries explains a set of terminal sources (the sources whose
@@ -469,8 +656,36 @@ func (l *Learner) TopQueriesCtx(ec *engine.ExecCtx, terminals []string, k int) (
 	if ec == nil {
 		ec = engine.Background()
 	}
-	g, ix := l.buildSteiner()
-	var terms []int
+	// Memo: a query search is fully determined by the terminal set, k, the
+	// graph's generations (weights + topology), the catalog's node set,
+	// and the solver configuration. Steady-state refreshes with no
+	// intervening feedback hit here and skip the solve entirely.
+	cache := ec.PlanCache()
+	var memoKey uint64
+	if cache != nil {
+		f := plancache.NewFingerprint().String("topqueries").Int(k)
+		for _, t := range terminals {
+			f = f.String(t)
+		}
+		memoKey = f.
+			Uint64(l.Graph.Generation()).
+			Uint64(l.Graph.StructGeneration()).
+			Uint64(l.Graph.Catalog().Version()).
+			Int(l.MaxExactNodes).
+			Uint64(math.Float64bits(l.PruneFrac)).
+			Sum()
+		if v, ok := cache.Get(memoKey); ok {
+			if qs, isQ := v.([]*Query); isQ {
+				out := append([]*Query(nil), qs...)
+				recordQueryDecisions(ec.Decisions(), out)
+				return out, nil
+			}
+		}
+	}
+	l.steinMu.Lock()
+	defer l.steinMu.Unlock()
+	g, ix := l.steinerGraphLocked()
+	terms := make([]int, 0, len(terminals))
 	for _, t := range terminals {
 		i, ok := ix.idx[t]
 		if !ok {
@@ -508,14 +723,28 @@ func (l *Learner) TopQueriesCtx(ec *engine.ExecCtx, terminals []string, k int) (
 		q.Cost = l.Mira.Cost(q.EdgeIDs())
 		out = append(out, q)
 	}
-	decisions := ec.Decisions()
+	if cache != nil {
+		// Queries are immutable after construction; cache the slice and
+		// hand copies of the outer slice to callers.
+		cache.Put(memoKey, append([]*Query(nil), out...))
+	}
+	recordQueryDecisions(ec.Decisions(), out)
+	return out, nil
+}
+
+// recordQueryDecisions logs the ranked query list; it runs identically on
+// the solved and memoized paths so warm and cold refreshes leave the same
+// decision trail.
+func recordQueryDecisions(decisions *obs.DecisionLog, out []*Query) {
+	if decisions == nil {
+		return
+	}
 	for rank, q := range out {
 		decisions.Record(obs.Decision{
 			Stage: "suggest.queries", Candidate: strings.Join(q.Nodes, "+"),
 			Action: obs.ActionSuggested, Cost: q.Cost, Rank: rank,
 		})
 	}
-	return out, nil
 }
 
 // CompileQuery turns a Steiner query into an executable plan, walking the

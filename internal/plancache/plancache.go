@@ -1,0 +1,198 @@
+// Package plancache provides the bounded LRU result cache behind
+// incremental suggestion refresh (DESIGN.md §10). Candidate plans are
+// identified by a canonical fingerprint — a structural hash over the
+// operators, sources, join columns, and the source-graph edge
+// generations they depend on — so a cache hit means "this exact plan,
+// over these exact inputs, at these exact weights, already executed".
+// Values are opaque (`any`) to keep this a leaf package: the engine and
+// learner store their own result types without an import cycle.
+//
+// The cache is safe for concurrent use; the learner's worker pool reads
+// and writes it from many goroutines during one refresh.
+package plancache
+
+import "sync"
+
+// Fingerprint is an incremental FNV-1a (64-bit) hasher for building
+// canonical plan identities. Mix calls are order-sensitive, so callers
+// must feed components in a fixed, documented order. The zero value is
+// NOT ready to use — call NewFingerprint for the correct offset basis.
+type Fingerprint struct {
+	h uint64
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// NewFingerprint returns a fingerprint seeded with the FNV offset basis.
+func NewFingerprint() Fingerprint {
+	return Fingerprint{h: fnvOffset}
+}
+
+func (f Fingerprint) byte(b byte) Fingerprint {
+	f.h ^= uint64(b)
+	f.h *= fnvPrime
+	return f
+}
+
+// String mixes a string plus a length terminator (so "ab"+"c" and
+// "a"+"bc" hash differently).
+func (f Fingerprint) String(s string) Fingerprint {
+	for i := 0; i < len(s); i++ {
+		f = f.byte(s[i])
+	}
+	return f.Uint64(uint64(len(s)))
+}
+
+// Uint64 mixes a 64-bit value, little-endian.
+func (f Fingerprint) Uint64(v uint64) Fingerprint {
+	for i := 0; i < 8; i++ {
+		f = f.byte(byte(v))
+		v >>= 8
+	}
+	return f
+}
+
+// Int mixes a signed integer.
+func (f Fingerprint) Int(v int) Fingerprint { return f.Uint64(uint64(int64(v))) }
+
+// Sum returns the 64-bit hash accumulated so far.
+func (f Fingerprint) Sum() uint64 { return f.h }
+
+// entry is one cache slot, doubly linked in recency order.
+type entry struct {
+	key        uint64
+	value      any
+	prev, next *entry
+}
+
+// Cache is a bounded, concurrency-safe LRU mapping plan fingerprints to
+// cached results. Capacity is fixed at construction; inserting past it
+// evicts the least-recently-used entry. Hit/miss/eviction counters feed
+// the plancache.* gauges in the workspace metrics snapshot.
+type Cache struct {
+	mu         sync.Mutex
+	cap        int
+	items      map[uint64]*entry
+	head, tail *entry // head = most recent
+	hits       uint64
+	misses     uint64
+	evictions  uint64
+}
+
+// New creates a cache holding at most capacity entries. A capacity <= 0
+// is clamped to 1 so the cache stays well-formed.
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Cache{cap: capacity, items: make(map[uint64]*entry, capacity)}
+}
+
+// Get returns the cached value for key and whether it was present,
+// promoting the entry to most-recently-used.
+func (c *Cache) Get(key uint64) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.moveToFront(e)
+	return e.value, true
+}
+
+// Put inserts or replaces the value for key, evicting the LRU entry if
+// the cache is full.
+func (c *Cache) Put(key uint64, value any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		e.value = value
+		c.moveToFront(e)
+		return
+	}
+	if len(c.items) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.items, lru.key)
+		c.evictions++
+	}
+	e := &entry{key: key, value: value}
+	c.items[key] = e
+	c.pushFront(e)
+}
+
+// Purge empties the cache, keeping counters.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[uint64]*entry, c.cap)
+	c.head, c.tail = nil, nil
+}
+
+// Len reports the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+// Cap reports the fixed capacity.
+func (c *Cache) Cap() int { return c.cap }
+
+// Stats reports lifetime hit/miss/eviction counts.
+func (c *Cache) Stats() (hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions
+}
+
+// HitRate is hits/(hits+misses), or 0 before any lookup.
+func (c *Cache) HitRate() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(total)
+}
+
+// moveToFront promotes an already-linked entry; callers hold mu.
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *Cache) unlink(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}

@@ -1,0 +1,142 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestLRUBasics(t *testing.T) {
+	c := New(2)
+	if c.Cap() != 2 {
+		t.Fatalf("cap = %d, want 2", c.Cap())
+	}
+	if _, ok := c.Get(1); ok {
+		t.Fatal("empty cache reported a hit")
+	}
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if v, ok := c.Get(1); !ok || v.(string) != "a" {
+		t.Fatalf("Get(1) = %v, %v", v, ok)
+	}
+	// 2 is now LRU; inserting 3 evicts it.
+	c.Put(3, "c")
+	if _, ok := c.Get(2); ok {
+		t.Fatal("LRU entry 2 not evicted")
+	}
+	if v, ok := c.Get(1); !ok || v.(string) != "a" {
+		t.Fatalf("Get(1) after eviction = %v, %v", v, ok)
+	}
+	if v, ok := c.Get(3); !ok || v.(string) != "c" {
+		t.Fatalf("Get(3) = %v, %v", v, ok)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", c.Len())
+	}
+	hits, misses, evictions := c.Stats()
+	if hits != 3 || misses != 2 || evictions != 1 {
+		t.Fatalf("stats = %d/%d/%d, want 3/2/1", hits, misses, evictions)
+	}
+	if got := c.HitRate(); got != 0.6 {
+		t.Fatalf("hit rate = %v, want 0.6", got)
+	}
+}
+
+func TestPutReplacePromotes(t *testing.T) {
+	c := New(2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	c.Put(1, "a2") // replace promotes 1, so 2 is LRU
+	c.Put(3, "c")
+	if _, ok := c.Get(2); ok {
+		t.Fatal("2 should have been evicted")
+	}
+	if v, ok := c.Get(1); !ok || v.(string) != "a2" {
+		t.Fatalf("Get(1) = %v, %v, want a2", v, ok)
+	}
+}
+
+func TestPurge(t *testing.T) {
+	c := New(4)
+	for i := uint64(0); i < 4; i++ {
+		c.Put(i, i)
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Fatalf("Len after purge = %d", c.Len())
+	}
+	for i := uint64(0); i < 4; i++ {
+		if _, ok := c.Get(i); ok {
+			t.Fatalf("key %d survived purge", i)
+		}
+	}
+}
+
+func TestCapacityClamp(t *testing.T) {
+	c := New(0)
+	if c.Cap() != 1 {
+		t.Fatalf("cap = %d, want 1", c.Cap())
+	}
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestFingerprintDeterministicAndSensitive(t *testing.T) {
+	fp := func(parts ...string) uint64 {
+		f := NewFingerprint()
+		for _, p := range parts {
+			f = f.String(p)
+		}
+		return f.Sum()
+	}
+	if fp("scan", "Shelters") != fp("scan", "Shelters") {
+		t.Fatal("fingerprint not deterministic")
+	}
+	if fp("scan", "Shelters") == fp("scan", "Contacts") {
+		t.Fatal("fingerprint insensitive to content")
+	}
+	// Length terminator: concatenation boundaries matter.
+	if fp("ab", "c") == fp("a", "bc") {
+		t.Fatal("fingerprint insensitive to string boundaries")
+	}
+	a := NewFingerprint().Uint64(7).Int(-1).Sum()
+	b := NewFingerprint().Uint64(7).Int(-1).Sum()
+	if a != b {
+		t.Fatal("numeric fingerprint not deterministic")
+	}
+	if NewFingerprint().Uint64(7).Sum() == NewFingerprint().Uint64(8).Sum() {
+		t.Fatal("fingerprint insensitive to uint64 value")
+	}
+}
+
+// TestConcurrentAccess exercises the cache from many goroutines; run
+// under -race (make test-race covers this package) to check locking.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := uint64(i % 100)
+				if i%3 == 0 {
+					c.Put(k, fmt.Sprintf("w%d-%d", w, i))
+				} else {
+					if v, ok := c.Get(k); ok {
+						if _, isStr := v.(string); !isStr {
+							t.Errorf("unexpected value type %T", v)
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Len() > c.Cap() {
+		t.Fatalf("Len %d exceeds Cap %d", c.Len(), c.Cap())
+	}
+}

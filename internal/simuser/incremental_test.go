@@ -1,0 +1,187 @@
+package simuser
+
+// Property test for the incremental-refresh contract (DESIGN.md §10):
+// a warm workspace (plan result cache enabled) and a cold twin (cache
+// disabled) driven through identical seeded, randomized paste/feedback
+// sequences must produce byte-identical suggestion lists — same
+// completions, same ranks, same result rows — and identical pending
+// queries and tab contents after every step.
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"copycat/internal/docmodel"
+	"copycat/internal/intlearn"
+	"copycat/internal/webworld"
+	"copycat/internal/workspace"
+)
+
+// setupIntegration drives an Env to integration mode with the two-shelter
+// paste accepted — the state every randomized sequence starts from.
+func setupIntegration(t *testing.T, w *webworld.World) *Env {
+	t.Helper()
+	e := NewEnv(w, webworld.StyleTable)
+	s0, s1 := w.Shelters[0], w.Shelters[1]
+	sel, err := e.Brows.CopyRows([][]string{
+		{s0.Name, s0.Street, s0.City},
+		{s1.Name, s1.Street, s1.City},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WS.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.WS.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	e.WS.SetMode(workspace.ModeIntegration)
+	return e
+}
+
+// completionsDigest canonically renders a suggestion list: rank order,
+// edge, target, cost, added columns, degradation, and every result row
+// with its provenance.
+func completionsDigest(comps []intlearn.Completion) string {
+	var b strings.Builder
+	for rank, c := range comps {
+		fmt.Fprintf(&b, "#%d %s→%s @%.12g deg=%d cols=", rank, c.Edge.ID, c.Target, c.Cost, resultDegraded(c))
+		for _, col := range c.NewCols {
+			b.WriteString(col.Name)
+			b.WriteByte(',')
+		}
+		b.WriteString(" rows=")
+		if c.Result != nil {
+			for _, a := range c.Result.Rows {
+				b.WriteString(a.Row.Key())
+				if a.Prov != nil {
+					b.WriteByte('|')
+					b.WriteString(a.Prov.String())
+				}
+				b.WriteByte(';')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func resultDegraded(c intlearn.Completion) int {
+	if c.Result == nil {
+		return 0
+	}
+	return c.Result.Degraded
+}
+
+// queriesDigest renders the pending query-explanation list.
+func queriesDigest(qs []*intlearn.Query) string {
+	var b strings.Builder
+	for rank, q := range qs {
+		fmt.Fprintf(&b, "#%d %s @%.12g edges=%s\n", rank, strings.Join(q.Nodes, "+"), q.Cost, strings.Join(q.EdgeIDs(), ","))
+	}
+	return b.String()
+}
+
+// tabDigest renders the active tab's concrete contents.
+func tabDigest(ws *workspace.Workspace) string {
+	var b strings.Builder
+	rel := ws.ActiveTab().Relation()
+	b.WriteString(rel.Schema.String())
+	b.WriteByte('\n')
+	for _, r := range rel.Rows {
+		b.WriteString(r.Key())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestIncrementalRefreshEquivalence is the warm≡cold property test.
+func TestIncrementalRefreshEquivalence(t *testing.T) {
+	w := webworld.Generate(webworld.DefaultConfig())
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			warm := setupIntegration(t, w)
+			cold := setupIntegration(t, w)
+			if warm.WS.PlanCache == nil {
+				t.Fatal("warm workspace has no plan cache")
+			}
+			cold.WS.PlanCache = nil
+
+			rng := rand.New(rand.NewSource(seed))
+			const steps = 25
+			for step := 0; step < steps; step++ {
+				wc := warm.WS.RefreshColumnSuggestions()
+				cc := cold.WS.RefreshColumnSuggestions()
+				if wd, cd := completionsDigest(wc), completionsDigest(cc); wd != cd {
+					t.Fatalf("step %d: warm/cold completions diverged\nwarm:\n%s\ncold:\n%s", step, wd, cd)
+				}
+				if wd, cd := queriesDigest(warm.WS.PendingQueries()), queriesDigest(cold.WS.PendingQueries()); wd != cd {
+					t.Fatalf("step %d: warm/cold pending queries diverged\nwarm:\n%s\ncold:\n%s", step, wd, cd)
+				}
+				if wd, cd := tabDigest(warm.WS), tabDigest(cold.WS); wd != cd {
+					t.Fatalf("step %d: warm/cold tab contents diverged\nwarm:\n%s\ncold:\n%s", step, wd, cd)
+				}
+
+				// Apply one randomized action identically to both twins.
+				// Indices are drawn once so the twins see the same choice.
+				action := rng.Intn(6)
+				switch {
+				case action == 0 && len(wc) >= 2:
+					// Accept-feedback on the learner: preferred vs alternative.
+					a := rng.Intn(len(wc))
+					b := rng.Intn(len(wc))
+					warm.WS.Int.AcceptCompletion(wc[a], wc[b:b+1])
+					cold.WS.Int.AcceptCompletion(cc[a], cc[b:b+1])
+				case action == 1 && len(wc) >= 2:
+					// Reject the last suggestion (keeps at least one alive).
+					i := len(wc) - 1
+					mustBoth(t, step, "RejectColumn",
+						warm.WS.RejectColumn(i), cold.WS.RejectColumn(i))
+				case action == 2 && len(wc) > 0 && len(wc[0].Result.Rows) > 0:
+					// Demote a suggested tuple — splices the displayed
+					// result rows in place, the cache-corruption hazard.
+					row := rng.Intn(len(wc[0].Result.Rows))
+					mustBoth(t, step, "DemoteSuggestedTuple",
+						warm.WS.DemoteSuggestedTuple(0, row), cold.WS.DemoteSuggestedTuple(0, row))
+				case action == 3 && len(wc) > 0 && len(wc[0].Result.Rows) > 0:
+					row := rng.Intn(len(wc[0].Result.Rows))
+					mustBoth(t, step, "PromoteSuggestedTuple",
+						warm.WS.PromoteSuggestedTuple(0, row), cold.WS.PromoteSuggestedTuple(0, row))
+				case action == 4:
+					// New paste frontier: explain a mixed tuple, growing the
+					// source graph and triggering the Steiner search.
+					si := rng.Intn(len(w.Shelters))
+					ci := rng.Intn(len(w.Contacts))
+					cells := [][]string{{w.Shelters[si].Name, w.Contacts[ci].Org}}
+					tab := fmt.Sprintf("Mix%d", step)
+					warm.WS.SelectTab(tab)
+					cold.WS.SelectTab(tab)
+					mustBoth(t, step, "Paste",
+						warm.WS.Paste(docmodel.Selection{Cells: cells}),
+						cold.WS.Paste(docmodel.Selection{Cells: cells}))
+					warm.WS.SelectTab("Sheet1")
+					cold.WS.SelectTab("Sheet1")
+				default:
+					// Plain refresh step: no state change beyond the refresh
+					// itself — the steady-state hot path.
+				}
+			}
+		})
+	}
+}
+
+// mustBoth asserts an action succeeded (or failed identically) on both
+// twins.
+func mustBoth(t *testing.T, step int, what string, warmErr, coldErr error) {
+	t.Helper()
+	if (warmErr == nil) != (coldErr == nil) {
+		t.Fatalf("step %d: %s diverged: warm err=%v cold err=%v", step, what, warmErr, coldErr)
+	}
+	if warmErr != nil && coldErr != nil && warmErr.Error() != coldErr.Error() {
+		t.Fatalf("step %d: %s errors differ: warm=%v cold=%v", step, what, warmErr, coldErr)
+	}
+}

@@ -83,15 +83,55 @@ type Graph struct {
 	// CandidatePairs counts attribute pairs considered during discovery —
 	// the ablation metric for the semantic-type constraint (A1).
 	CandidatePairs int
+
+	// gen counts every observable change to the graph — an edge added or
+	// an edge cost actually moved — so downstream consumers (the plan
+	// cache, the Steiner memo) can invalidate selectively instead of
+	// recomputing per refresh. structGen counts only structural changes
+	// (edge additions): when it is unchanged, a cached Steiner graph can
+	// be patched in place rather than rebuilt. edgeGen records the
+	// generation at which each edge last changed, forming the per-edge
+	// dirty set feedback propagates to the suggestion pipeline.
+	gen       uint64
+	structGen uint64
+	edgeGen   map[string]uint64
 }
 
 // New creates an empty graph over a catalog.
 func New(cat *catalog.Catalog) *Graph {
-	return &Graph{cat: cat, edges: map[string]*Edge{}, byNode: map[string][]string{}}
+	return &Graph{cat: cat, edges: map[string]*Edge{}, byNode: map[string][]string{}, edgeGen: map[string]uint64{}}
 }
 
 // Catalog returns the underlying catalog.
 func (g *Graph) Catalog() *catalog.Catalog { return g.cat }
+
+// Generation reports the graph's change counter: it advances once per
+// edge addition and per effective cost update. Equal generations mean no
+// observable difference between two points in time.
+func (g *Graph) Generation() uint64 { return g.gen }
+
+// StructGeneration reports the structural change counter (edge
+// additions only). While it holds still, the node/edge sets are frozen
+// and only weights may have moved.
+func (g *Graph) StructGeneration() uint64 { return g.structGen }
+
+// EdgeGeneration reports the generation at which the given edge last
+// changed (was added, or had its cost moved); 0 for unknown edges.
+func (g *Graph) EdgeGeneration(id string) uint64 { return g.edgeGen[id] }
+
+// ChangedSince returns the edges whose generation is later than gen —
+// the dirty set a consumer holding a snapshot at gen must re-examine.
+// Results come back sorted by ID for determinism.
+func (g *Graph) ChangedSince(gen uint64) []*Edge {
+	var out []*Edge
+	for id, eg := range g.edgeGen {
+		if eg > gen {
+			out = append(out, g.edges[id])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
 
 // AddEdge inserts an association if not already present; it returns the
 // canonical edge (existing or new).
@@ -111,6 +151,9 @@ func (g *Graph) AddEdge(e Edge) *Edge {
 	if e.To != e.From {
 		g.byNode[e.To] = append(g.byNode[e.To], e.ID)
 	}
+	g.gen++
+	g.structGen++
+	g.edgeGen[e.ID] = g.gen
 	return &stored
 }
 
@@ -152,13 +195,20 @@ func (g *Graph) EdgesAt(node string) []*Edge {
 	return out
 }
 
-// SetCost updates an edge's cost (the MIRA learner's write path).
+// SetCost updates an edge's cost (the MIRA learner's write path). The
+// generation counters advance only when the cost actually moves, so a
+// full weight re-sync after feedback dirties exactly the edges the MIRA
+// update touched.
 func (g *Graph) SetCost(id string, cost float64) bool {
 	e, ok := g.edges[id]
 	if !ok {
 		return false
 	}
-	e.Cost = cost
+	if e.Cost != cost {
+		e.Cost = cost
+		g.gen++
+		g.edgeGen[id] = g.gen
+	}
 	return true
 }
 

@@ -144,16 +144,35 @@ func ExactCtx(ctx context.Context, g *Graph, terminals []int, banned map[int]boo
 	return tree, true
 }
 
+// dedupeTerminals returns the terminals with duplicates removed,
+// preserving first-occurrence order. Terminal sets are tiny (one per
+// source), so a quadratic scan avoids a map allocation per solver call;
+// the input slice is returned unchanged when it is already duplicate-free
+// (the common case), so the hot path allocates nothing.
 func dedupeTerminals(terminals []int) []int {
-	seen := map[int]bool{}
-	var out []int
-	for _, t := range terminals {
-		if !seen[t] {
-			seen[t] = true
-			out = append(out, t)
+	for i := 1; i < len(terminals); i++ {
+		for j := 0; j < i; j++ {
+			if terminals[i] == terminals[j] {
+				// First duplicate found: fall back to a copying pass.
+				out := make([]int, i, len(terminals))
+				copy(out, terminals[:i])
+				for _, t := range terminals[i+1:] {
+					dup := false
+					for _, o := range out {
+						if o == t {
+							dup = true
+							break
+						}
+					}
+					if !dup {
+						out = append(out, t)
+					}
+				}
+				return out
+			}
 		}
 	}
-	return out
+	return terminals
 }
 
 type costItem struct {

@@ -65,6 +65,20 @@ func (g *Graph) AddEdge(u, v int, cost float64) int {
 // Edge returns the edge with the given ID.
 func (g *Graph) Edge(id int) EdgeInfo { return g.edges[id] }
 
+// SetEdgeCost updates an existing edge's cost in place, letting callers
+// that cache a built graph patch weights instead of reallocating the
+// whole structure. It panics on a negative cost or unknown ID —
+// programmer errors, same contract as AddEdge.
+func (g *Graph) SetEdgeCost(id int, cost float64) {
+	if id < 0 || id >= len(g.edges) {
+		panic(fmt.Sprintf("steiner: edge id out of range: %d (m=%d)", id, len(g.edges)))
+	}
+	if cost < 0 {
+		panic(fmt.Sprintf("steiner: negative edge cost %f", cost))
+	}
+	g.edges[id].Cost = cost
+}
+
 // Tree is a Steiner tree: a set of edge IDs and its total cost.
 type Tree struct {
 	Edges []int

@@ -93,6 +93,8 @@ func (w *Workspace) MetricsSnapshot() obs.Snapshot {
 	snap.Counters["engine.trees_pruned"] = es.TreesPruned
 	snap.Counters["engine.plans_executed"] = es.PlansExecuted
 	snap.Counters["engine.candidates_run"] = es.CandidatesRun
+	snap.Counters["engine.plans_reused"] = es.PlansReused
+	snap.Counters["engine.plans_invalidated"] = es.PlansInvalidated
 	snap.Counters["engine.retries"] = es.Retries
 	snap.Counters["engine.breaker_trips"] = es.BreakerTrips
 	snap.Counters["engine.degraded_rows"] = es.DegradedRows
@@ -102,7 +104,39 @@ func (w *Workspace) MetricsSnapshot() obs.Snapshot {
 	if total := es.ServiceCacheHits + es.ServiceCalls; total > 0 {
 		snap.Gauges["cache.hit_rate"] = float64(es.ServiceCacheHits) / float64(total)
 	}
+	if w.PlanCache != nil {
+		snap.Gauges["plancache.entries"] = float64(w.PlanCache.Len())
+		snap.Gauges["plancache.hit_rate"] = w.PlanCache.HitRate()
+	}
 	return snap
+}
+
+// CacheInfo renders the plan-result cache's state for the REPL's :cache
+// command: occupancy, lifetime hit/miss/eviction counts, and the
+// engine's reuse/invalidation counters.
+func (w *Workspace) CacheInfo() string {
+	var b strings.Builder
+	if w.PlanCache == nil {
+		b.WriteString("plan cache: disabled (cold refresh)\n")
+	} else {
+		hits, misses, evictions := w.PlanCache.Stats()
+		fmt.Fprintf(&b, "plan cache: %d/%d entries\n", w.PlanCache.Len(), w.PlanCache.Cap())
+		fmt.Fprintf(&b, "  hits/misses/evictions  %d/%d/%d\n", hits, misses, evictions)
+		fmt.Fprintf(&b, "  hit rate               %.4f\n", w.PlanCache.HitRate())
+	}
+	es := w.ExecStats.Snapshot()
+	fmt.Fprintf(&b, "  plans reused           %d\n", es.PlansReused)
+	fmt.Fprintf(&b, "  plans invalidated      %d\n", es.PlansInvalidated)
+	fmt.Fprintf(&b, "service cache: %d entries, hit rate %.4f\n",
+		w.SvcCache.Len(), svcHitRate(es.ServiceCacheHits, es.ServiceCalls))
+	return b.String()
+}
+
+func svcHitRate(hits, calls int64) float64 {
+	if hits+calls == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+calls)
 }
 
 // RenderMetrics renders the snapshot as an aligned human-readable

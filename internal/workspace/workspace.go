@@ -21,6 +21,7 @@ import (
 	"copycat/internal/intlearn"
 	"copycat/internal/modellearn"
 	"copycat/internal/obs"
+	"copycat/internal/plancache"
 	"copycat/internal/provenance"
 	"copycat/internal/resilience"
 	"copycat/internal/sourcegraph"
@@ -128,6 +129,11 @@ type Workspace struct {
 	// completions re-invoke the same services with the same bindings on
 	// every refresh, and this removes those repeat calls.
 	SvcCache *engine.ServiceCache
+	// PlanCache memoizes whole candidate-plan results keyed by canonical
+	// fingerprints (DESIGN.md §10), so steady-state refreshes re-execute
+	// only candidates whose inputs changed since the last pass. Set to
+	// nil to force cold, recompute-everything refreshes.
+	PlanCache *plancache.Cache
 	// ExecTimeout bounds each suggestion/query execution; 0 means no
 	// deadline. Interactive hosts set this to keep suggestion refreshes
 	// within typing latency.
@@ -173,6 +179,12 @@ type Workspace struct {
 	views map[string]*intlearn.Query
 }
 
+// DefaultPlanCacheSize bounds the plan result cache New installs. A
+// session's live candidate set is a few dozen plans; 256 keeps several
+// feedback epochs' worth of results resident so oscillating weights can
+// re-hit earlier entries.
+const DefaultPlanCacheSize = 256
+
 // New creates a workspace over a catalog and type library. The source
 // graph and integration learner are created on top of the catalog.
 func New(cat *catalog.Catalog, types *modellearn.Library) *Workspace {
@@ -185,6 +197,7 @@ func New(cat *catalog.Catalog, types *modellearn.Library) *Workspace {
 		Keys:           NewLedger(),
 		ExecStats:      engine.NewStats(),
 		SvcCache:       engine.NewServiceCache(),
+		PlanCache:      plancache.New(DefaultPlanCacheSize),
 		Metrics:        obs.NewRegistry(),
 		Decisions:      obs.NewDecisionLog(),
 		structLearners: map[string]*structlearn.Learner{},
@@ -364,6 +377,9 @@ func (w *Workspace) execCtx(stage string) (*engine.ExecCtx, context.CancelFunc) 
 	opts := []engine.ExecOption{
 		engine.WithStats(w.ExecStats),
 		engine.WithServiceCache(w.SvcCache),
+	}
+	if w.PlanCache != nil {
+		opts = append(opts, engine.WithPlanCache(w.PlanCache))
 	}
 	if w.Resilience != nil {
 		opts = append(opts, engine.WithResilience(w.Resilience))
