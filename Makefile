@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-check obs-smoke check
+.PHONY: all build vet test test-race bench bench-check obs-smoke serve-smoke serve-bench check
 
 all: check
 
@@ -18,10 +18,13 @@ test:
 # workspace threading that ties them together, the resilience layer
 # (shared breakers/jitter stream) with its fault injector, the
 # observability substrate (spans/metrics shared across the candidate pool),
-# the plan result cache (shared LRU hit from every candidate worker), and
-# the warm≡cold equivalence property test in simuser.
+# the plan result cache (shared LRU hit from every candidate worker), the
+# warm≡cold equivalence property test in simuser, the telemetry server
+# (subscriber ring, rolling SLO windows), and the root package's
+# concurrent-scrape test (live scrapes + span streaming while the
+# parallel candidate executor runs).
 test-race:
-	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/plancache ./internal/simuser
+	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/obs/serve ./internal/plancache ./internal/simuser .
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .
@@ -31,6 +34,29 @@ bench:
 # if tracing-enabled runs cost more than 10% over untraced ones.
 obs-smoke:
 	$(GO) run ./cmd/scpbench -exp pipeline -json -bench-out BENCH_3.json -trace trace_pipeline.json -overhead-budget 0.10
+
+# Telemetry-server smoke: start `scpbench -serve` against a live demo
+# session, curl the operational endpoints, and lint the /metrics body
+# with the exposition-format validator (fails on duplicate or untyped
+# series). Mirrors what an orchestrator and a Prometheus scraper do.
+serve-smoke:
+	$(GO) build -o bin/scpbench ./cmd/scpbench
+	$(GO) build -o bin/expolint ./cmd/expolint
+	./bin/scpbench -serve 127.0.0.1:19464 -serve-wait 60s & \
+	trap 'kill %1 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do curl -sf -o /dev/null http://127.0.0.1:19464/readyz && break; sleep 0.2; done; \
+	curl -sf http://127.0.0.1:19464/metrics | ./bin/expolint && \
+	curl -sf http://127.0.0.1:19464/healthz | grep -q '"status": "ok"' && \
+	curl -sf -o /dev/null 'http://127.0.0.1:19464/debug/pprof/heap?debug=1' && \
+	curl -sf http://127.0.0.1:19464/trace/stream | head -1 | grep -q '"name"' && \
+	curl -sf 'http://127.0.0.1:19464/decisions?q=Geocoder' | grep -q '"candidate"' && \
+	echo "serve-smoke: ok"
+
+# Telemetry serving overhead gate: compare the cold suggestion-refresh
+# loop with the telemetry server idle vs scraped at 20Hz, failing if
+# serving costs more than 10%.
+serve-bench:
+	$(GO) run ./cmd/scpbench -exp serve -json -overhead-budget 0.10 > BENCH_5.json
 
 # Incremental-refresh regression gate: run the warm/cold pipeline
 # comparison (which also proves warm ≡ cold over lockstep twin sessions),

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -33,6 +34,19 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 	var browser *wrappers.Browser
 	sheet := sys.OpenSpreadsheet(sys.ContactsSpreadsheet())
 
+	// Telemetry server state for :serve. stopServe cancels the server's
+	// context and waits for the drain; it is idempotent and also runs on
+	// quit so the listener never outlives the session.
+	var telem *copycat.TelemetryServer
+	var telemStop func()
+	stopServe := func() {
+		if telemStop != nil {
+			telemStop()
+		}
+		telem, telemStop = nil, nil
+	}
+	defer stopServe()
+
 	fmt.Fprintln(out, "CopyCat interactive session — type `help` for commands, `quit` to exit.")
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -51,7 +65,7 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 		case "quit", "exit":
 			fmt.Fprintln(out, "bye")
 			return nil
-		case "help":
+		case "help", ":help":
 			printHelp(out)
 		case "sites":
 			names := make([]string, 0, len(sites))
@@ -282,6 +296,37 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 			default:
 				err = fmt.Errorf("usage: :trace on|off|save <file>")
 			}
+		case ":slo", "slo":
+			fmt.Fprint(out, copycat.RenderSLO(sys.SLO()))
+		case ":serve", "serve":
+			// :serve <addr> | :serve off | :serve (status)
+			switch {
+			case len(args) == 1 && args[0] == "off":
+				if telem == nil {
+					err = fmt.Errorf("telemetry server not running")
+					break
+				}
+				stopServe()
+				fmt.Fprintln(out, "telemetry server stopped")
+			case len(args) == 1:
+				if telem != nil {
+					err = fmt.Errorf("already serving on %s (use `:serve off` first)", telem.Addr())
+					break
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				if telem, err = sys.Serve(ctx, args[0]); err != nil {
+					cancel()
+					telem = nil
+					break
+				}
+				srv := telem
+				telemStop = func() { cancel(); srv.Wait() }
+				fmt.Fprintf(out, "telemetry server on http://%s — /metrics /healthz /readyz /slo /trace/stream /decisions /debug/pprof\n", telem.Addr())
+			case len(args) == 0 && telem != nil:
+				fmt.Fprintf(out, "serving on http://%s\n", telem.Addr())
+			default:
+				err = fmt.Errorf("usage: :serve <addr> | :serve off")
+			}
 		case ":why", "why":
 			needle := strings.Join(args, " ")
 			lines := sys.Why(needle)
@@ -393,6 +438,8 @@ func printHelp(out io.Writer) {
   :cache                     plan-result cache state (entries, hit rate, reuse counters)
   :trace on|off|save <file>  record pipeline spans; save as Chrome trace JSON
   :why [candidate]           decision log: why candidates were pruned/suggested/rejected
+  :serve <addr>|off          live telemetry server (/metrics /healthz /trace/stream ...)
+  :slo                       suggestion-refresh latency objective: burn rates and alerts
   quit
 `)
 }

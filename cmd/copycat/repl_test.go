@@ -146,6 +146,67 @@ func TestReplSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+// TestReplHelpListsObservabilityCommands is the golden check on the
+// help screen: every observability command must appear with a one-line
+// description, so the surface stays discoverable as commands are added.
+func TestReplHelpListsObservabilityCommands(t *testing.T) {
+	out := drive(t, "help\nquit\n")
+	for cmd, blurb := range map[string]string{
+		":metrics": "unified metrics",
+		":cache":   "plan-result cache state",
+		":trace":   "record pipeline spans",
+		":why":     "decision log",
+		":serve":   "live telemetry server",
+		":slo":     "latency objective",
+	} {
+		found := false
+		for _, line := range strings.Split(out, "\n") {
+			fields := strings.Fields(line)
+			if len(fields) > 1 && strings.HasPrefix(fields[0], cmd) && strings.Contains(line, blurb) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("help is missing %q with description %q:\n%s", cmd, blurb, out)
+		}
+	}
+	// ":help" is an accepted alias.
+	if alias := drive(t, ":help\nquit\n"); !strings.Contains(alias, ":slo") {
+		t.Error(":help alias should print the same screen")
+	}
+}
+
+func TestReplServeAndSLOCommands(t *testing.T) {
+	out := drive(t, strings.Join([]string{
+		":slo",
+		":serve 127.0.0.1:0",
+		":serve",
+		":serve 127.0.0.1:0", // double start is an error, not a crash
+		":serve off",
+		":serve off", // stop when stopped is an error, not a crash
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"objective: 99.00% of suggest.refresh under 25ms",
+		"burn=",
+		"telemetry server on http://127.0.0.1:",
+		"serving on http://127.0.0.1:",
+		"already serving",
+		"telemetry server stopped",
+		"not running",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	// A server left running is shut down when the session ends.
+	out = drive(t, ":serve 127.0.0.1:0\nquit\n")
+	if !strings.Contains(out, "telemetry server on") {
+		t.Errorf("serve failed:\n%s", out)
+	}
+}
+
 func TestReplObservabilityCommands(t *testing.T) {
 	dir := t.TempDir()
 	trace := filepath.Join(dir, "trace.json")

@@ -1,0 +1,36 @@
+// Command expolint validates a Prometheus/OpenMetrics text exposition
+// body read from stdin (or a file argument): every sample must belong
+// to a family with a declared # TYPE, no series may repeat, histogram
+// child suffixes must match their family's type, and every value must
+// parse. The CI smoke job pipes the live /metrics body through it.
+//
+//	curl -s localhost:9464/metrics | expolint
+//	expolint metrics.txt
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"copycat/internal/obs/serve"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	name := "<stdin>"
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expolint: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in, name = f, os.Args[1]
+	}
+	if err := serve.Lint(in); err != nil {
+		fmt.Fprintf(os.Stderr, "expolint: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Println("expolint: ok")
+}

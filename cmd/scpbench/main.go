@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"matcher", "A3: approximate schema matcher on renamed, untyped columns (§4.1)", expMatcher},
 	{"faults", "R1: suggestion availability and latency vs injected service fault rate", expFaults},
 	{"pipeline", "O1: observability — per-stage suggestion latency, tracing overhead, Chrome trace export", expPipeline},
+	{"serve", "O2: telemetry serving — /metrics scrape cost and serving overhead vs unserved baseline", expServe},
 }
 
 // statsMode mirrors the -stats flag: experiments that drive a workspace
@@ -90,8 +91,17 @@ func main() {
 	flag.StringVar(&baselineFile, "baseline", "", "pipeline: fail if the warm refresh p99 regresses >10% against this committed report (JSON)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
+	serveAddr := flag.String("serve", "", "drive a traced demo session and serve its live telemetry on this address (e.g. 127.0.0.1:9464) instead of running experiments")
+	serveWait := flag.Duration("serve-wait", 0, "with -serve: shut the telemetry server down after this long (0 = until SIGINT/SIGTERM)")
 	flag.Parse()
 	statsMode = *stats
+	if *serveAddr != "" {
+		if err := runTelemetryServer(*serveAddr, *serveWait); err != nil {
+			fmt.Fprintf(os.Stderr, "scpbench: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, e := range experiments {
 			fmt.Printf("%-18s %s\n", e.name, e.desc)

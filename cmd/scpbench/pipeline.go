@@ -23,12 +23,12 @@ type pipelineReport struct {
 	Experiment   string                  `json:"experiment"`
 	Refreshes    int                     `json:"refreshes"`
 	Reps         int                     `json:"reps"`
-	PlainNs      int64                   `json:"plain_ns"`       // best untraced loop
-	TracedNs     int64                   `json:"traced_ns"`      // best traced loop
-	OverheadFrac float64                 `json:"overhead_frac"`  // (traced-plain)/plain
-	Spans        int                     `json:"spans"`          // spans recorded by the traced session
-	Metrics      copycat.MetricsSnapshot `json:"metrics"`        // unified snapshot (traced session)
-	ExecStats    copycat.ExecStats       `json:"exec_stats"`     // engine counters (traced session)
+	PlainNs      int64                   `json:"plain_ns"`      // best untraced loop
+	TracedNs     int64                   `json:"traced_ns"`     // best traced loop
+	OverheadFrac float64                 `json:"overhead_frac"` // (traced-plain)/plain
+	Spans        int                     `json:"spans"`         // spans recorded by the traced session
+	Metrics      copycat.MetricsSnapshot `json:"metrics"`       // unified snapshot (traced session)
+	ExecStats    copycat.ExecStats       `json:"exec_stats"`    // engine counters (traced session)
 	TraceFile    string                  `json:"trace_file,omitempty"`
 }
 

@@ -26,6 +26,7 @@
 package copycat
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"copycat/internal/intlearn"
 	"copycat/internal/modellearn"
 	"copycat/internal/obs"
+	"copycat/internal/obs/serve"
 	"copycat/internal/persist"
 	"copycat/internal/plancache"
 	"copycat/internal/resilience"
@@ -95,6 +97,16 @@ type (
 	// Decision is one decision-log entry: why a candidate was pruned,
 	// degraded, suggested, outranked, accepted, or rejected.
 	Decision = obs.Decision
+	// SLOStatus is the latency objective's point-in-time report:
+	// windowed error rates, fast/slow burn rates, and alert states.
+	SLOStatus = obs.SLOStatus
+	// BreakerStatus is one service circuit breaker's state and trip
+	// count, as exported by the telemetry server.
+	BreakerStatus = resilience.BreakerStatus
+	// TelemetryServer is the live telemetry HTTP server started by
+	// System.Serve: /metrics, /healthz, /readyz, /slo, /trace/stream,
+	// /decisions, and /debug/pprof.
+	TelemetryServer = serve.Server
 	// WorldConfig sizes the synthetic demo world.
 	WorldConfig = webworld.Config
 	// World is the generated synthetic world.
@@ -248,6 +260,41 @@ func (s *System) ResetMetrics() {
 	s.Workspace.Decisions.Reset()
 }
 
+// SLO reports the suggestion-refresh latency objective's current
+// status: error rates and burn rates over the rolling fast/slow
+// windows, and whether either burn alert is firing.
+func (s *System) SLO() SLOStatus {
+	return s.Workspace.SLO.Status()
+}
+
+// Breakers snapshots every service circuit breaker the resilience
+// layer has created (empty without a resilience layer or before any
+// service call).
+func (s *System) Breakers() []BreakerStatus {
+	return s.Workspace.Resilience.Status()
+}
+
+// Serve starts the live telemetry server on addr (":0" picks a free
+// port; read it back with Addr on the returned server). It exposes the
+// full observability surface of this system — unified metrics in
+// Prometheus/OpenMetrics text exposition, health and readiness
+// computed from breaker state and SLO burn, live span streaming, the
+// decision log, and pprof — and shuts down gracefully when ctx is
+// cancelled.
+func (s *System) Serve(ctx context.Context, addr string) (*TelemetryServer, error) {
+	srv := serve.New(serve.Config{
+		Metrics:   s.Workspace.MetricsSnapshot,
+		Breakers:  s.Workspace.Resilience.Status,
+		SLO:       s.Workspace.SLO,
+		Ring:      s.Workspace.SpanRing(),
+		Decisions: s.Workspace.Decisions,
+	})
+	if err := srv.Start(ctx, addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
 // EnableTracing starts recording pipeline spans — learn, search,
 // execute (with per-candidate children and service calls), and rank —
 // into a fresh trace. Tracing off (the default) costs ~nothing.
@@ -327,6 +374,10 @@ func (s *System) LoadSession(data []byte) error {
 // RenderMetrics renders a MetricsSnapshot as an aligned human-readable
 // report (counters, gauges, then histograms with p50/p95/p99).
 var RenderMetrics = workspace.RenderMetrics
+
+// RenderSLO renders an SLOStatus as an aligned human-readable report
+// (the REPL's :slo command).
+var RenderSLO = workspace.RenderSLO
 
 // Export helpers (the §8 "export to common application formats").
 var (

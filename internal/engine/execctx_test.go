@@ -35,7 +35,7 @@ func keysValues(n int) *Values {
 	v := &Values{Name: "keys", Schema_: table.NewSchema("K")}
 	for i := 0; i < n; i++ {
 		v.Rows = append(v.Rows, provenance.Annotated{
-			Row:  table.Tuple{table.S(string(rune('a' + i%26)) + string(rune('0'+i/26)))},
+			Row:  table.Tuple{table.S(string(rune('a'+i%26)) + string(rune('0'+i/26)))},
 			Prov: provenance.Leaf{ID: provenance.BaseID("keys", i), Source: "keys"},
 		})
 	}

@@ -213,12 +213,29 @@ func (h *Histogram) Sum() time.Duration {
 
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
 // interpolation within the covering bucket. The overflow bucket reports
-// its lower bound. Returns 0 with no observations.
+// its lower bound. Returns 0 with no observations; q below 0 clamps to
+// 0 (the smallest bucket's lower bound), q above 1 clamps to 1.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	if h == nil {
 		return 0
 	}
-	total := h.count.Load()
+	counts := make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return quantileFromCounts(h.bounds, counts, q)
+}
+
+// quantileFromCounts is the shared quantile estimator over a bucket
+// ladder: bounds are ascending upper bounds, counts has len(bounds)+1
+// entries (the last is the overflow bucket). Linear interpolation
+// inside the covering bucket; the overflow bucket reports its lower
+// bound (there is no upper bound to lerp to).
+func quantileFromCounts(bounds []time.Duration, counts []int64, q float64) time.Duration {
+	var total int64
+	for _, n := range counts {
+		total += n
+	}
 	if total == 0 {
 		return 0
 	}
@@ -230,26 +247,31 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	}
 	rank := q * float64(total)
 	var cum float64
-	for i := range h.counts {
-		n := float64(h.counts[i].Load())
+	for i, c := range counts {
+		n := float64(c)
 		if n == 0 {
 			continue
 		}
 		if cum+n >= rank {
 			lo := time.Duration(0)
 			if i > 0 {
-				lo = h.bounds[i-1]
+				lo = bounds[i-1]
 			}
-			if i == len(h.bounds) { // overflow: no upper bound to lerp to
+			if i == len(bounds) { // overflow: no upper bound to lerp to
 				return lo
 			}
-			hi := h.bounds[i]
+			hi := bounds[i]
 			frac := (rank - cum) / n
 			return lo + time.Duration(frac*float64(hi-lo))
 		}
 		cum += n
 	}
-	return h.bounds[len(h.bounds)-1]
+	// Unreachable for rank <= total, but keep a safe answer rather than
+	// indexing bounds[-1] on an empty ladder.
+	if len(bounds) == 0 {
+		return 0
+	}
+	return bounds[len(bounds)-1]
 }
 
 func (h *Histogram) reset() {

@@ -71,6 +71,68 @@ func TestHistogramOverflowAndEmpty(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// Empty histogram: every q reads 0, including out-of-range q.
+	h := NewHistogram(DefaultLatencyBuckets())
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// q <= 0 clamps to the low edge: at or below the smallest populated
+	// bucket's bound, never negative.
+	h.Observe(3 * time.Millisecond) // bucket (2.5ms, 5ms]
+	for _, q := range []float64{-0.5, 0} {
+		got := h.Quantile(q)
+		if got < 0 || got > 5*time.Millisecond {
+			t.Fatalf("Quantile(%v) = %v, want within the covering bucket", q, got)
+		}
+	}
+
+	// q >= 1 clamps to 1: the upper bound of the highest populated
+	// bucket, and identical for any q above 1.
+	if h.Quantile(1) != 5*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v, want 5ms", h.Quantile(1))
+	}
+	if h.Quantile(1) != h.Quantile(7.5) {
+		t.Fatalf("q>1 must clamp: %v vs %v", h.Quantile(1), h.Quantile(7.5))
+	}
+
+	// All observations in the overflow bucket: every quantile reports the
+	// overflow's lower bound (the last configured bound) — there is no
+	// upper bound to interpolate toward.
+	over := NewHistogram([]time.Duration{time.Millisecond, 10 * time.Millisecond})
+	for i := 0; i < 50; i++ {
+		over.Observe(time.Minute)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := over.Quantile(q); got != 10*time.Millisecond {
+			t.Fatalf("overflow-only Quantile(%v) = %v, want 10ms", q, got)
+		}
+	}
+
+	// A histogram built with no bounds puts everything in overflow and
+	// reports 0 (lower bound of an unbounded bucket) without panicking.
+	bare := NewHistogram(nil)
+	bare.Observe(time.Second)
+	if got := bare.Quantile(0.5); got != 0 {
+		t.Fatalf("boundless Quantile = %v, want 0", got)
+	}
+
+	// Exact bucket-boundary ranks interpolate to the bucket's upper
+	// bound, and stay monotone across the boundary.
+	hb := NewHistogram([]time.Duration{time.Millisecond, 2 * time.Millisecond})
+	hb.Observe(500 * time.Microsecond)  // bucket [0, 1ms]
+	hb.Observe(1500 * time.Microsecond) // bucket (1ms, 2ms]
+	if got := hb.Quantile(0.5); got != time.Millisecond {
+		t.Fatalf("boundary Quantile(0.5) = %v, want 1ms", got)
+	}
+	if got := hb.Quantile(1); got != 2*time.Millisecond {
+		t.Fatalf("boundary Quantile(1) = %v, want 2ms", got)
+	}
+}
+
 func TestHistogramConcurrentObserve(t *testing.T) {
 	h := NewHistogram(DefaultLatencyBuckets())
 	var wg sync.WaitGroup

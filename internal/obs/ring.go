@@ -1,0 +1,107 @@
+package obs
+
+import "sync"
+
+// SpanEvent is one finished span as published to a live exporter, in
+// end order with the trace's internal ids. Live streaming cannot use
+// the deterministic export reordering (that requires the whole span
+// set); consumers that need diffable output still use WriteJSONL /
+// WriteChrome on the completed trace.
+type SpanEvent struct {
+	Seq     int64  `json:"seq"` // ring sequence number, monotonically increasing
+	ID      int64  `json:"id"`
+	Parent  int64  `json:"parent"`
+	Name    string `json:"name"`
+	Cat     string `json:"cat"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+	Attrs   []Attr `json:"attrs,omitempty"`
+}
+
+// SpanRing is a bounded ring buffer of finished spans feeding the
+// telemetry server's /trace/stream endpoint: the tracer publishes every
+// ended span, the ring keeps the most recent `cap`, and any number of
+// stream subscribers read forward from a cursor, waiting on a broadcast
+// channel for more. Safe for concurrent use; a nil *SpanRing is inert.
+type SpanRing struct {
+	mu     sync.Mutex
+	cap    int
+	buf    []SpanEvent
+	next   int64 // sequence number the next published span receives
+	notify chan struct{}
+}
+
+// DefaultSpanRingSize bounds the live-span buffer: enough for several
+// suggestion refreshes' worth of spans without unbounded growth when no
+// client is streaming.
+const DefaultSpanRingSize = 4096
+
+// NewSpanRing creates a ring holding the most recent `capacity` spans.
+func NewSpanRing(capacity int) *SpanRing {
+	if capacity < 1 {
+		capacity = DefaultSpanRingSize
+	}
+	return &SpanRing{cap: capacity, notify: make(chan struct{})}
+}
+
+// Publish appends one span event, evicting the oldest on overflow, and
+// wakes every waiting subscriber. The event's Seq is assigned here.
+func (r *SpanRing) Publish(ev SpanEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	ev.Seq = r.next
+	r.next++
+	r.buf = append(r.buf, ev)
+	if len(r.buf) > r.cap {
+		// Copy down instead of re-slicing so the backing array's dropped
+		// prefix is reclaimable.
+		n := copy(r.buf, r.buf[len(r.buf)-r.cap:])
+		r.buf = r.buf[:n]
+	}
+	close(r.notify)
+	r.notify = make(chan struct{})
+	r.mu.Unlock()
+}
+
+// Since returns a copy of every buffered event with Seq >= cursor, the
+// cursor to resume from, and a channel that closes on the next Publish
+// — the subscriber loop is: drain, write, select on wait/ctx, repeat.
+// A subscriber that fell behind the ring's capacity silently resumes at
+// the oldest retained span.
+func (r *SpanRing) Since(cursor int64) (events []SpanEvent, next int64, wait <-chan struct{}) {
+	if r == nil {
+		closed := make(chan struct{})
+		close(closed)
+		return nil, 0, closed
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	first := r.next - int64(len(r.buf))
+	if cursor < first {
+		cursor = first
+	}
+	if cursor < r.next {
+		events = append(events, r.buf[cursor-first:]...)
+	}
+	return events, r.next, r.notify
+}
+
+// Len reports how many spans the ring currently retains.
+func (r *SpanRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Cap reports the ring's capacity.
+func (r *SpanRing) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return r.cap
+}

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"copycat/internal/resilience"
+)
+
+func TestSpanRingPublishSince(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 0; i < 3; i++ {
+		r.Publish(SpanEvent{Name: "s", DurNs: int64(i)})
+	}
+	events, next, _ := r.Since(0)
+	if len(events) != 3 || next != 3 {
+		t.Fatalf("Since(0) = %d events, next %d", len(events), next)
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i) || ev.DurNs != int64(i) {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+	}
+	// Resuming from the cursor returns nothing new.
+	if events, _, _ := r.Since(next); len(events) != 0 {
+		t.Fatalf("Since(cursor) should be empty, got %d", len(events))
+	}
+}
+
+func TestSpanRingEviction(t *testing.T) {
+	r := NewSpanRing(4)
+	for i := 0; i < 10; i++ {
+		r.Publish(SpanEvent{DurNs: int64(i)})
+	}
+	if r.Len() != 4 || r.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d", r.Len(), r.Cap())
+	}
+	// A cursor older than the retained window resumes at the oldest span.
+	events, next, _ := r.Since(0)
+	if len(events) != 4 || events[0].Seq != 6 || next != 10 {
+		t.Fatalf("Since(0) after eviction = %d events, first seq %d, next %d",
+			len(events), events[0].Seq, next)
+	}
+}
+
+func TestSpanRingWaitWakesOnPublish(t *testing.T) {
+	r := NewSpanRing(8)
+	_, cursor, wait := r.Since(0)
+	done := make(chan SpanEvent, 1)
+	go func() {
+		<-wait
+		events, _, _ := r.Since(cursor)
+		done <- events[0]
+	}()
+	r.Publish(SpanEvent{Name: "wake"})
+	select {
+	case ev := <-done:
+		if ev.Name != "wake" {
+			t.Fatalf("got %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("subscriber never woke")
+	}
+}
+
+func TestSpanRingNil(t *testing.T) {
+	var r *SpanRing
+	r.Publish(SpanEvent{}) // must not panic
+	events, next, wait := r.Since(0)
+	if len(events) != 0 || next != 0 || r.Len() != 0 || r.Cap() != 0 {
+		t.Fatal("nil ring should read as empty")
+	}
+	select {
+	case <-wait: // nil ring's wait channel is pre-closed: no hang
+	default:
+		t.Fatal("nil ring wait channel should be closed")
+	}
+}
+
+func TestTraceSinkPublishesEndedSpans(t *testing.T) {
+	clock := resilience.NewVirtualClock()
+	tr := NewTrace(clock)
+	ring := NewSpanRing(16)
+	tr.SetSink(ring.Publish)
+
+	root := tr.Start("refresh", "stage")
+	clock.Advance(time.Millisecond)
+	child := root.Child("execute", "engine")
+	child.SetAttr("candidate", "zip")
+	clock.Advance(2 * time.Millisecond)
+	child.End()
+	root.End()
+
+	events, _, _ := ring.Since(0)
+	if len(events) != 2 {
+		t.Fatalf("ring has %d events, want 2 (end order)", len(events))
+	}
+	if events[0].Name != "execute" || events[1].Name != "refresh" {
+		t.Fatalf("end order wrong: %q, %q", events[0].Name, events[1].Name)
+	}
+	if events[0].Parent != events[1].ID {
+		t.Fatal("child should reference root's id")
+	}
+	if events[0].DurNs != (2 * time.Millisecond).Nanoseconds() {
+		t.Fatalf("child dur = %d", events[0].DurNs)
+	}
+	if len(events[0].Attrs) != 1 || events[0].Attrs[0].Key != "candidate" {
+		t.Fatalf("attrs = %+v", events[0].Attrs)
+	}
+
+	// Removing the sink stops publication; the trace itself still records.
+	tr.SetSink(nil)
+	tr.Start("quiet", "stage").End()
+	if ring.Len() != 2 {
+		t.Fatal("sink removal should stop publication")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("trace len = %d, want 3", tr.Len())
+	}
+
+	// Concurrent spans publishing into one ring race-cleanly.
+	var wg sync.WaitGroup
+	tr.SetSink(ring.Publish)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr.Start("par", "stage").End()
+			}
+		}()
+	}
+	wg.Wait()
+	if ring.Len() != 16 {
+		t.Fatalf("ring should sit at capacity, len=%d", ring.Len())
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"copycat/internal/obs"
+	"copycat/internal/resilience"
+)
+
+// The exposition writer renders the unified obs.Snapshot — counters,
+// gauges, cumulative histogram buckets — plus per-service breaker state
+// and the SLO tracker's burn rates in the Prometheus/OpenMetrics text
+// format any scraper understands. Every family gets # HELP and # TYPE
+// headers, names are sanitized into the copycat_ namespace, durations
+// are exported in seconds, and output order is fully deterministic
+// (sorted families, sorted label sets) so two scrapes of identical
+// state are byte-identical.
+
+// MetricNamespace prefixes every exported family.
+const MetricNamespace = "copycat"
+
+// sanitizeMetricName maps a registry instrument name ("engine.rows_in",
+// "latency.suggest.refresh") onto a legal metric-name suffix.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// integers bare, floats with full precision.
+func formatValue(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// family is one metric family being assembled for output.
+type family struct {
+	name    string // fully-qualified family name
+	typ     string // counter | gauge | histogram
+	help    string
+	samples []sample
+}
+
+// sample is one series line; for histograms, suffix selects the child
+// series (_bucket/_sum/_count) and labels carries the le pair.
+type sample struct {
+	suffix string
+	labels string // rendered `{k="v",...}` or ""
+	value  float64
+}
+
+// expoBuilder accumulates families keyed by name.
+type expoBuilder struct {
+	fams map[string]*family
+}
+
+func newExpoBuilder() *expoBuilder { return &expoBuilder{fams: map[string]*family{}} }
+
+func (b *expoBuilder) family(name, typ, help string) *family {
+	f, ok := b.fams[name]
+	if !ok {
+		f = &family{name: name, typ: typ, help: help}
+		b.fams[name] = f
+	}
+	return f
+}
+
+func (f *family) add(suffix, labels string, value float64) {
+	f.samples = append(f.samples, sample{suffix: suffix, labels: labels, value: value})
+}
+
+// write renders every family, sorted by name, samples in insertion
+// order (callers insert deterministically).
+func (b *expoBuilder) write(w io.Writer) error {
+	names := make([]string, 0, len(b.fams))
+	for n := range b.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := b.fams[n]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", f.name, s.suffix, s.labels, formatValue(s.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// addHistogram renders one HistogramSnapshot as a classic Prometheus
+// histogram: cumulative le buckets in seconds, +Inf, _sum, _count.
+func (b *expoBuilder) addHistogram(name, help string, h obs.HistogramSnapshot) {
+	f := b.family(name, "histogram", help)
+	var cum int64
+	for _, bk := range h.Buckets {
+		if bk.LeNs < 0 {
+			continue // overflow folds into +Inf below
+		}
+		cum += bk.Count
+		le := strconv.FormatFloat(time.Duration(bk.LeNs).Seconds(), 'g', -1, 64)
+		f.add("_bucket", `{le="`+le+`"}`, float64(cum))
+	}
+	f.add("_bucket", `{le="+Inf"}`, float64(h.Count))
+	f.add("_sum", "", time.Duration(h.SumNs).Seconds())
+	f.add("_count", "", float64(h.Count))
+}
+
+// WriteExposition renders the full telemetry surface: every snapshot
+// counter as `copycat_<name>_total`, every gauge as `copycat_<name>`,
+// every latency histogram as `copycat_<name>_seconds`, breaker state
+// and trip counts labelled by service, and the SLO objective's
+// burn-rate block. snap's maps may be nil; breakers and slo may be
+// empty/nil.
+func WriteExposition(w io.Writer, snap obs.Snapshot, breakers []resilience.BreakerStatus, slo *obs.SLOStatus) error {
+	b := newExpoBuilder()
+
+	cnames := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		cnames = append(cnames, n)
+	}
+	sort.Strings(cnames)
+	for _, n := range cnames {
+		name := MetricNamespace + "_" + sanitizeMetricName(n) + "_total"
+		b.family(name, "counter", "Cumulative count of "+n+".").add("", "", float64(snap.Counters[n]))
+	}
+
+	gnames := make([]string, 0, len(snap.Gauges))
+	for n := range snap.Gauges {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		name := MetricNamespace + "_" + sanitizeMetricName(n)
+		b.family(name, "gauge", "Current value of "+n+".").add("", "", snap.Gauges[n])
+	}
+
+	hnames := make([]string, 0, len(snap.Histograms))
+	for n := range snap.Histograms {
+		hnames = append(hnames, n)
+	}
+	sort.Strings(hnames)
+	for _, n := range hnames {
+		name := MetricNamespace + "_" + sanitizeMetricName(n) + "_seconds"
+		b.addHistogram(name, "Latency distribution of "+n+".", snap.Histograms[n])
+	}
+
+	if len(breakers) > 0 {
+		state := b.family(MetricNamespace+"_breaker_state", "gauge",
+			"Circuit breaker position per service: 0 closed, 1 open, 2 half-open.")
+		trips := b.family(MetricNamespace+"_breaker_trips_total", "counter",
+			"Times each service's circuit breaker has opened.")
+		for _, bs := range breakers {
+			labels := `{service="` + escapeLabelValue(bs.Service) + `"}`
+			state.add("", labels, float64(bs.State))
+			trips.add("", labels, float64(bs.Trips))
+		}
+	}
+
+	if slo != nil {
+		labels := `{stage="` + escapeLabelValue(slo.Stage) + `"}`
+		add := func(name, help string, v float64) {
+			b.family(MetricNamespace+"_"+name, "gauge", help).add("", labels, v)
+		}
+		add("slo_target", "Fraction of executions that must meet the latency objective.", slo.Target)
+		add("slo_threshold_seconds", "Per-execution latency objective.", time.Duration(slo.ThresholdNs).Seconds())
+		add("slo_fast_burn", "Error-budget burn rate over the fast window.", slo.FastBurn)
+		add("slo_slow_burn", "Error-budget burn rate over the slow window.", slo.SlowBurn)
+		add("slo_fast_alert", "1 while the fast-burn alert fires.", boolGauge(slo.FastAlert))
+		add("slo_slow_alert", "1 while the slow-burn alert fires.", boolGauge(slo.SlowAlert))
+		add("slo_window_p99_seconds", "Tracked stage p99 over the fast window.", time.Duration(slo.FastP99Ns).Seconds())
+		b.family(MetricNamespace+"_slo_fast_window_observations", "gauge",
+			"Executions observed inside the fast window.").add("", labels, float64(slo.FastCount))
+	}
+
+	return b.write(w)
+}
+
+func boolGauge(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

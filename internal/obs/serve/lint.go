@@ -1,0 +1,217 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus/OpenMetrics text exposition body the way
+// the CI smoke job needs: every sample must belong to a family with a
+// declared # TYPE, no series (name + label set) may appear twice, TYPE
+// values must be legal, histogram children must match their family, and
+// every value must parse. It is a validator for our own endpoint, not a
+// full scraper — but everything it rejects, a real scraper would too.
+func Lint(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := map[string]string{} // family → declared type
+	seen := map[string]bool{}    // name+labels → sample already emitted
+	samples := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if err := lintComment(line, types); err != nil {
+				return fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		if err := lintSample(line, types, seen); err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		samples++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("exposition contains no samples")
+	}
+	return nil
+}
+
+// lintComment handles # HELP / # TYPE lines (other comments pass).
+func lintComment(line string, types map[string]string) error {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return nil // bare comment
+	}
+	switch fields[1] {
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[2], fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for %s", typ, name)
+		}
+		if prev, ok := types[name]; ok {
+			return fmt.Errorf("duplicate TYPE declaration for %s (was %s, now %s)", name, prev, typ)
+		}
+		types[name] = typ
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("malformed HELP line %q", line)
+		}
+	}
+	return nil
+}
+
+// lintSample validates one series line: name{labels} value [timestamp].
+func lintSample(line string, types map[string]string, seen map[string]bool) error {
+	name := line
+	labels := ""
+	rest := ""
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.IndexByte(line, '}')
+		if j < i {
+			return fmt.Errorf("unbalanced braces in %q", line)
+		}
+		name = line[:i]
+		labels = line[i : j+1]
+		rest = strings.TrimSpace(line[j+1:])
+	} else {
+		fields := strings.SplitN(line, " ", 2)
+		if len(fields) != 2 {
+			return fmt.Errorf("sample %q has no value", line)
+		}
+		name = fields[0]
+		rest = strings.TrimSpace(fields[1])
+	}
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	if err := lintLabels(labels); err != nil {
+		return fmt.Errorf("sample %s: %w", name, err)
+	}
+	valueField := strings.Fields(rest)
+	if len(valueField) < 1 || len(valueField) > 2 {
+		return fmt.Errorf("sample %s: want `value [timestamp]`, got %q", name, rest)
+	}
+	if _, err := strconv.ParseFloat(valueField[0], 64); err != nil {
+		return fmt.Errorf("sample %s: bad value %q", name, valueField[0])
+	}
+
+	fam, ok := familyFor(name, types)
+	if !ok {
+		return fmt.Errorf("untyped series %s: no # TYPE declared for its family", name)
+	}
+	if fam != name {
+		// A child series (_bucket/_sum/_count) is only legal under a
+		// histogram or summary family.
+		if t := types[fam]; t != "histogram" && t != "summary" {
+			return fmt.Errorf("series %s uses histogram suffix but family %s is %s", name, fam, t)
+		}
+	}
+
+	series := name + labels
+	if seen[series] {
+		return fmt.Errorf("duplicate series %s", series)
+	}
+	seen[series] = true
+	return nil
+}
+
+// familyFor resolves a sample name to its declared family, stripping
+// the histogram child suffixes when the base family is declared.
+func familyFor(name string, types map[string]string) (string, bool) {
+	if _, ok := types[name]; ok {
+		return name, true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if _, declared := types[base]; declared {
+			return base, true
+		}
+	}
+	return "", false
+}
+
+func validMetricName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// lintLabels validates a rendered label set `{k="v",...}` ("" passes).
+func lintLabels(labels string) error {
+	if labels == "" {
+		return nil
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(labels, "{"), "}")
+	if body == "" {
+		return nil
+	}
+	// Split on commas outside quotes.
+	inQuote := false
+	escaped := false
+	start := 0
+	var pairs []string
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			pairs = append(pairs, body[start:i])
+			start = i + 1
+		}
+	}
+	if inQuote {
+		return fmt.Errorf("unterminated label value in %s", labels)
+	}
+	pairs = append(pairs, body[start:])
+	seen := map[string]bool{}
+	for _, p := range pairs {
+		k, v, ok := strings.Cut(p, "=")
+		if !ok || !validMetricName(k) || strings.Contains(k, ":") {
+			return fmt.Errorf("bad label pair %q", p)
+		}
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return fmt.Errorf("label %s value not quoted: %q", k, v)
+		}
+		if seen[k] {
+			return fmt.Errorf("duplicate label %s in %s", k, labels)
+		}
+		seen[k] = true
+	}
+	return nil
+}

@@ -96,6 +96,7 @@ type Trace struct {
 	mu     sync.Mutex
 	nextID int64
 	spans  []spanRec
+	sink   func(SpanEvent)
 }
 
 // NewTrace creates a trace on the given clock; nil means the wall
@@ -144,6 +145,33 @@ func (t *Trace) record(s *Span, end time.Time) {
 	}
 	t.mu.Lock()
 	t.spans = append(t.spans, rec)
+	sink := t.sink
+	t.mu.Unlock()
+	if sink != nil {
+		// Outside the lock: the sink (a SpanRing) takes its own mutex and
+		// may wake stream subscribers.
+		sink(SpanEvent{
+			ID:      rec.id,
+			Parent:  rec.parentID,
+			Name:    rec.name,
+			Cat:     rec.cat,
+			StartNs: rec.startNs,
+			DurNs:   rec.durNs,
+			Attrs:   append([]Attr(nil), rec.attrs...),
+		})
+	}
+}
+
+// SetSink installs a live exporter called with every span as it ends
+// (in end order, concurrently with recording). nil removes it. The
+// telemetry server wires a SpanRing's Publish here to feed
+// /trace/stream.
+func (t *Trace) SetSink(sink func(SpanEvent)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.sink = sink
 	t.mu.Unlock()
 }
 

@@ -1,0 +1,229 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// WindowHistogram is a rolling-window latency histogram: a ring of
+// sub-window bucket arrays that rotates on an injectable clock, so
+// Snapshot reports only the last Window of behaviour instead of
+// everything since boot. It backs the SLO tracker's burn-rate math and
+// the telemetry server's "what is the system doing right now" series.
+//
+// Rotation is driven entirely by the now func passed at construction —
+// on a VirtualClock the whole window mechanism is deterministic. A nil
+// *WindowHistogram is inert, like every other obs instrument.
+type WindowHistogram struct {
+	mu        sync.Mutex
+	now       func() time.Time
+	bounds    []time.Duration // ascending upper bounds (shared with slots)
+	slot      time.Duration   // width of one sub-window
+	slots     []windowSlot    // ring; slots[head] is the live sub-window
+	head      int
+	headStart time.Time // start instant of the live sub-window
+}
+
+// windowSlot is one sub-window's bucket counts.
+type windowSlot struct {
+	counts []int64 // len(bounds)+1; last is overflow
+	count  int64
+	sum    int64 // nanoseconds
+}
+
+// NewWindowHistogram creates a rolling histogram covering `window` of
+// clock time split into `slots` sub-windows (minimum 2), with the given
+// ascending bucket bounds. now must not be nil; inject a virtual
+// clock's Now for deterministic tests.
+func NewWindowHistogram(bounds []time.Duration, window time.Duration, slots int, now func() time.Time) *WindowHistogram {
+	if slots < 2 {
+		slots = 2
+	}
+	if window <= 0 {
+		window = time.Minute
+	}
+	b := append([]time.Duration(nil), bounds...)
+	w := &WindowHistogram{
+		now:       now,
+		bounds:    b,
+		slot:      window / time.Duration(slots),
+		slots:     make([]windowSlot, slots),
+		headStart: now(),
+	}
+	for i := range w.slots {
+		w.slots[i].counts = make([]int64, len(b)+1)
+	}
+	return w
+}
+
+// Window reports the total span of clock time the histogram covers.
+func (w *WindowHistogram) Window() time.Duration {
+	if w == nil {
+		return 0
+	}
+	return w.slot * time.Duration(len(w.slots))
+}
+
+// rotate advances the ring to the sub-window containing now, clearing
+// every slot that expired on the way. A clock that moved backwards
+// (e.g. a VirtualClock injected after construction, whose epoch is
+// 1970) resets the ring and re-anchors on the new timeline. Callers
+// hold w.mu.
+func (w *WindowHistogram) rotate(now time.Time) {
+	if now.Before(w.headStart) {
+		for i := range w.slots {
+			w.slots[i].clear()
+		}
+		w.headStart = now
+		return
+	}
+	steps := int(now.Sub(w.headStart) / w.slot)
+	if steps <= 0 {
+		return
+	}
+	if steps >= len(w.slots) {
+		for i := range w.slots {
+			w.slots[i].clear()
+		}
+		w.headStart = w.headStart.Add(w.slot * time.Duration(steps))
+		return
+	}
+	for i := 0; i < steps; i++ {
+		w.head = (w.head + 1) % len(w.slots)
+		w.slots[w.head].clear()
+	}
+	w.headStart = w.headStart.Add(w.slot * time.Duration(steps))
+}
+
+func (s *windowSlot) clear() {
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.count = 0
+	s.sum = 0
+}
+
+// Observe records one duration into the live sub-window.
+func (w *WindowHistogram) Observe(d time.Duration) {
+	if w == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	i := bucketIndex(w.bounds, d)
+	w.mu.Lock()
+	w.rotate(w.now())
+	s := &w.slots[w.head]
+	s.counts[i]++
+	s.count++
+	s.sum += d.Nanoseconds()
+	w.mu.Unlock()
+}
+
+// bucketIndex finds the bucket covering d (len(bounds) = overflow).
+func bucketIndex(bounds []time.Duration, d time.Duration) int {
+	lo, hi := 0, len(bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d <= bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// merged folds every live sub-window into one counts array. Callers
+// hold w.mu.
+func (w *WindowHistogram) merged() ([]int64, int64, int64) {
+	counts := make([]int64, len(w.bounds)+1)
+	var count, sum int64
+	for i := range w.slots {
+		s := &w.slots[i]
+		for j, n := range s.counts {
+			counts[j] += n
+		}
+		count += s.count
+		sum += s.sum
+	}
+	return counts, count, sum
+}
+
+// Count reports the number of observations inside the current window.
+func (w *WindowHistogram) Count() int64 {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotate(w.now())
+	_, count, _ := w.merged()
+	return count
+}
+
+// Quantile estimates the q-th quantile over the current window, with
+// the same interpolation rules as Histogram.Quantile.
+func (w *WindowHistogram) Quantile(q float64) time.Duration {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotate(w.now())
+	counts, _, _ := w.merged()
+	return quantileFromCounts(w.bounds, counts, q)
+}
+
+// AboveThreshold reports how many of the window's observations exceeded
+// the given threshold, alongside the window total — the good/bad split
+// SLO burn rates are computed from. Thresholds that sit exactly on a
+// bucket bound are exact; others count whole buckets above the covering
+// bound (the conservative direction: a mid-bucket threshold never
+// under-reports violations from higher buckets).
+func (w *WindowHistogram) AboveThreshold(threshold time.Duration) (above, total int64) {
+	if w == nil {
+		return 0, 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotate(w.now())
+	counts, count, _ := w.merged()
+	cut := bucketIndex(w.bounds, threshold) // buckets <= cut are within threshold's covering bound
+	for i := cut + 1; i < len(counts); i++ {
+		above += counts[i]
+	}
+	return above, count
+}
+
+// Snapshot copies the window's merged state, with the headline
+// quantiles pre-computed — the same shape as a cumulative histogram's
+// snapshot, so render paths need not care which kind they display.
+func (w *WindowHistogram) Snapshot() HistogramSnapshot {
+	if w == nil {
+		return HistogramSnapshot{}
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.rotate(w.now())
+	counts, count, sum := w.merged()
+	snap := HistogramSnapshot{
+		Count: count,
+		SumNs: sum,
+		P50Ns: quantileFromCounts(w.bounds, counts, 0.50).Nanoseconds(),
+		P95Ns: quantileFromCounts(w.bounds, counts, 0.95).Nanoseconds(),
+		P99Ns: quantileFromCounts(w.bounds, counts, 0.99).Nanoseconds(),
+	}
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		le := int64(-1)
+		if i < len(w.bounds) {
+			le = w.bounds[i].Nanoseconds()
+		}
+		snap.Buckets = append(snap.Buckets, BucketSnapshot{LeNs: le, Count: n})
+	}
+	return snap
+}

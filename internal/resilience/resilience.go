@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -183,6 +184,45 @@ func (c *Caller) Breaker(service string) *Breaker {
 		c.breakers[service] = b
 	}
 	return b
+}
+
+// BreakerStatus is a point-in-time report of one service's breaker,
+// the shape the telemetry server's /metrics and /healthz export.
+type BreakerStatus struct {
+	Service string       `json:"service"`
+	State   BreakerState `json:"-"`
+	// StateName is State rendered ("closed", "open", "half-open") so the
+	// JSON surface is self-describing.
+	StateName string `json:"state"`
+	Trips     int64  `json:"trips"`
+}
+
+// Status snapshots every breaker the caller has created, sorted by
+// service name. Services never called have no breaker and do not
+// appear.
+func (c *Caller) Status() []BreakerStatus {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	names := make([]string, 0, len(c.breakers))
+	for name := range c.breakers {
+		names = append(names, name)
+	}
+	breakers := make([]*Breaker, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		breakers = append(breakers, c.breakers[name])
+	}
+	c.mu.Unlock()
+	// Read each breaker outside the caller lock: Breaker has its own
+	// mutex and Allow may be mid-flight on another goroutine.
+	out := make([]BreakerStatus, len(names))
+	for i, b := range breakers {
+		st := b.State()
+		out[i] = BreakerStatus{Service: names[i], State: st, StateName: st.String(), Trips: b.Trips()}
+	}
+	return out
 }
 
 // backoff computes the jittered delay before retry number attempt

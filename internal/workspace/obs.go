@@ -21,10 +21,18 @@ func (w *Workspace) now() time.Time {
 
 // EnableTracing starts recording spans for every pipeline stage into a
 // fresh trace on the workspace clock. Until called, tracing is disabled
-// and costs nothing beyond a nil check per stage.
+// and costs nothing beyond a nil check per stage. Ended spans also feed
+// the live span ring, so an attached telemetry server streams them as
+// they happen.
 func (w *Workspace) EnableTracing() {
 	w.trace = obs.NewTrace(w.Clock)
+	w.trace.SetSink(w.spanRing.Publish)
 }
+
+// SpanRing exposes the live-span buffer the telemetry server's
+// /trace/stream endpoint reads. Always non-nil after New; it only
+// receives spans while tracing is enabled.
+func (w *Workspace) SpanRing() *obs.SpanRing { return w.spanRing }
 
 // DisableTracing stops span recording (the trace collected so far is
 // discarded).
@@ -42,22 +50,25 @@ func (w *Workspace) Trace() *obs.Trace { return w.trace }
 func (w *Workspace) TraceTo(out io.Writer) error { return w.trace.WriteChrome(out) }
 
 // stage opens one top-level pipeline stage: a root span on the session
-// trace (when tracing is on) and a sample in the stage's latency
-// histogram. The returned done func ends both.
+// trace (when tracing is on), a sample in the stage's latency
+// histogram, and — for the stage the SLO objective covers — an
+// observation in the rolling burn windows. The returned done func ends
+// all of them.
 func (w *Workspace) stage(name string) (*obs.Span, func()) {
 	sp := w.trace.Start(name, "stage")
 	h := w.Metrics.Histogram("latency." + name)
-	if sp == nil && h == nil {
+	slo := w.SLO
+	if slo != nil && !slo.Tracks(name) {
+		slo = nil
+	}
+	if sp == nil && h == nil && slo == nil {
 		return nil, func() {}
 	}
-	var start time.Time
-	if h != nil {
-		start = w.now()
-	}
+	start := w.now()
 	return sp, func() {
-		if h != nil {
-			h.Observe(w.now().Sub(start))
-		}
+		d := w.now().Sub(start)
+		h.Observe(d)
+		slo.Observe(d)
 		sp.End()
 	}
 }
@@ -137,6 +148,26 @@ func svcHitRate(hits, calls int64) float64 {
 		return 0
 	}
 	return float64(hits) / float64(hits+calls)
+}
+
+// RenderSLO renders the SLO tracker's status as an aligned
+// human-readable report (the REPL's :slo command).
+func RenderSLO(st obs.SLOStatus) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "objective: %.2f%% of %s under %s\n",
+		100*st.Target, st.Stage, time.Duration(st.ThresholdNs))
+	window := func(label string, winNs, count int64, errRate, burn float64, alert bool, thresh float64) {
+		state := "ok"
+		if alert {
+			state = "ALERT"
+		}
+		fmt.Fprintf(&b, "  %-4s %-8s n=%-6d err=%-8.4f burn=%-8.2f (alert at %.1f: %s)\n",
+			label, time.Duration(winNs), count, errRate, burn, thresh, state)
+	}
+	window("fast", st.FastWindowNs, st.FastCount, st.FastErrRate, st.FastBurn, st.FastAlert, st.FastBurnThreshold)
+	window("slow", st.SlowWindowNs, st.SlowCount, st.SlowErrRate, st.SlowBurn, st.SlowAlert, st.SlowBurnThreshold)
+	fmt.Fprintf(&b, "  windowed p99           %s\n", time.Duration(st.FastP99Ns))
+	return b.String()
 }
 
 // RenderMetrics renders the snapshot as an aligned human-readable

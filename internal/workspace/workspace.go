@@ -151,6 +151,13 @@ type Workspace struct {
 	// outranked, accepted, or rejected (the :why surface). Always
 	// non-nil after New.
 	Decisions *obs.DecisionLog
+	// SLO tracks the suggestion-refresh latency objective over rolling
+	// fast/slow burn windows — the "recent behaviour" counterpart of the
+	// cumulative Metrics histograms, surfaced by the telemetry server's
+	// /healthz and /metrics and the REPL :slo command. Always non-nil
+	// after New; it reads the workspace clock, so virtual-clock sessions
+	// burn deterministically.
+	SLO *obs.SLOTracker
 	// Clock drives stage timing and (when tracing) span timestamps; nil
 	// means the wall clock. Inject a resilience.VirtualClock for
 	// deterministic traces.
@@ -159,6 +166,9 @@ type Workspace struct {
 	// trace is the active span tracer; nil (the default) disables
 	// tracing at ~zero cost. Managed by EnableTracing/DisableTracing.
 	trace *obs.Trace
+	// spanRing buffers ended spans for live streaming (/trace/stream);
+	// EnableTracing plugs it into the trace as a sink.
+	spanRing *obs.SpanRing
 
 	mode   Mode
 	tabs   []*Tab
@@ -200,9 +210,13 @@ func New(cat *catalog.Catalog, types *modellearn.Library) *Workspace {
 		PlanCache:      plancache.New(DefaultPlanCacheSize),
 		Metrics:        obs.NewRegistry(),
 		Decisions:      obs.NewDecisionLog(),
+		spanRing:       obs.NewSpanRing(obs.DefaultSpanRingSize),
 		structLearners: map[string]*structlearn.Learner{},
 		demotions:      map[string]int{},
 	}
+	// The tracker reads w.now at observe time, so a clock injected after
+	// New (NewDemoSystem installs the virtual clock last) still drives it.
+	w.SLO = obs.NewSLOTracker(obs.DefaultSLOConfig(), w.now)
 	w.tabs = []*Tab{{Name: "Sheet1", Schema: table.Schema{}}}
 	return w
 }
