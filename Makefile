@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-check obs-smoke serve-smoke serve-bench check
+.PHONY: all build vet test test-race bench bench-check obs-smoke serve-smoke serve-bench sessions-smoke check
 
 all: check
 
@@ -20,11 +20,13 @@ test:
 # observability substrate (spans/metrics shared across the candidate pool),
 # the plan result cache (shared LRU hit from every candidate worker), the
 # warm≡cold equivalence property test in simuser, the telemetry server
-# (subscriber ring, rolling SLO windows), and the root package's
-# concurrent-scrape test (live scrapes + span streaming while the
-# parallel candidate executor runs).
+# (subscriber ring, rolling SLO windows), the session host (pin/evict
+# locking under concurrent create/attach/refresh/evict), and the root
+# package's concurrent-scrape tests — including the race-build-only
+# 1000-session fleet sustaining refreshes under a binding memory budget
+# while /metrics is scraped and the span stream followed.
 test-race:
-	$(GO) test -race ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/obs/serve ./internal/plancache ./internal/simuser .
+	$(GO) test -race -timeout 20m ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/obs/serve ./internal/plancache ./internal/session ./internal/simuser .
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .
@@ -58,12 +60,43 @@ serve-smoke:
 serve-bench:
 	$(GO) run ./cmd/scpbench -exp serve -json -overhead-budget 0.10 > BENCH_5.json
 
+# Multi-tenant session smoke: boot the session host server (3-session
+# cap, two tenants pre-seeded), walk the /sessions lifecycle over HTTP —
+# create the third session, watch the next create shed with 503 and
+# /readyz flip to 503 under the induced overload, evict and attach a
+# seeded session through its snapshot, destroy to recover readiness —
+# and lint the per-tenant /metrics families with the exposition
+# validator.
+sessions-smoke:
+	$(GO) build -o bin/scpbench ./cmd/scpbench
+	$(GO) build -o bin/expolint ./cmd/expolint
+	./bin/scpbench -serve 127.0.0.1:19465 -serve-sessions 3 -serve-wait 60s & \
+	trap 'kill %1 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do curl -sf -o /dev/null http://127.0.0.1:19465/readyz && break; sleep 0.2; done; \
+	curl -sf -X POST 'http://127.0.0.1:19465/sessions?tenant=smoke' | grep -q '"id": "s000003"' && \
+	test "$$(curl -s -o /dev/null -w '%{http_code}' -X POST http://127.0.0.1:19465/sessions)" = 503 && \
+	curl -s http://127.0.0.1:19465/readyz | grep -q 'shedding' && \
+	test "$$(curl -s -o /dev/null -w '%{http_code}' http://127.0.0.1:19465/readyz)" = 503 && \
+	curl -sf -X POST http://127.0.0.1:19465/sessions/s000001/evict | grep -q '"resident": false' && \
+	curl -sf -X POST http://127.0.0.1:19465/sessions/s000001/attach | grep -q '"resident": true' && \
+	curl -sf -X DELETE -o /dev/null http://127.0.0.1:19465/sessions/s000003 && \
+	curl -sf -o /dev/null http://127.0.0.1:19465/readyz && \
+	curl -sf http://127.0.0.1:19465/metrics | ./bin/expolint && \
+	curl -sf http://127.0.0.1:19465/metrics | grep -q 'copycat_session_resident{session="s000001",tenant="alice"}' && \
+	curl -sf http://127.0.0.1:19465/sessions | grep -q '"tenant": "bob"' && \
+	echo "sessions-smoke: ok"
+
 # Incremental-refresh regression gate: run the warm/cold pipeline
 # comparison (which also proves warm ≡ cold over lockstep twin sessions),
 # fail if the warm refresh p99 regressed more than 10% against the
-# committed BENCH_4.json, and refresh the report in place.
+# committed BENCH_4.json, and refresh the report in place. Then the
+# session-capacity gate: re-run the fleet grid against the committed
+# BENCH_6.json, failing if availability drops below 99% at any point,
+# the admission cap stops rejecting, or the memory budget stops forcing
+# eviction/reload churn at the knee; the curve is refreshed in place.
 bench-check:
 	$(GO) run ./cmd/scpbench -exp pipeline -warm -cold -baseline BENCH_4.json -bench-out BENCH_4.json
+	$(GO) run ./cmd/scpbench -exp capacity -baseline BENCH_6.json -bench-out BENCH_6.json
 
 # Tier-1 gate: everything a PR must keep green.
 check: build vet test test-race

@@ -24,15 +24,42 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 	sys := copycat.NewDemoSystem(cfg)
 	ws := sys.Workspace
 
-	sites := map[string]*docmodel.Site{
-		"shelters":         sys.ShelterSite(copycat.StyleTable),
-		"shelters-grouped": sys.ShelterSite(copycat.StyleGrouped),
-		"shelters-prose":   sys.ShelterSite(copycat.StyleProse),
-		"supplies":         sys.World.SuppliesPage(),
-		"roads":            sys.World.RoadsPage(),
+	makeSites := func(s *copycat.System) map[string]*docmodel.Site {
+		return map[string]*docmodel.Site{
+			"shelters":         s.ShelterSite(copycat.StyleTable),
+			"shelters-grouped": s.ShelterSite(copycat.StyleGrouped),
+			"shelters-prose":   s.ShelterSite(copycat.StyleProse),
+			"supplies":         s.World.SuppliesPage(),
+			"roads":            s.World.RoadsPage(),
+		}
 	}
+	sites := makeSites(sys)
 	var browser *wrappers.Browser
 	sheet := sys.OpenSpreadsheet(sys.ContactsSpreadsheet())
+
+	// Multi-session hosting state for :session. The host is created
+	// lazily on the first `:session new`; until then the REPL drives the
+	// initial standalone system ("local"), which is never evicted.
+	// rebind points every wrapper handle — workspace, sites, browser,
+	// spreadsheet — at the target system, unpinning the previous hosted
+	// session so the evictor may reclaim it.
+	var host *copycat.Host
+	hosted := false
+	rebind := func(ns *copycat.System) {
+		if hosted {
+			sys.Release()
+		}
+		sys = ns
+		ws = sys.Workspace
+		sites = makeSites(sys)
+		browser = nil
+		sheet = sys.OpenSpreadsheet(sys.ContactsSpreadsheet())
+	}
+	defer func() {
+		if hosted {
+			sys.Release()
+		}
+	}()
 
 	// Telemetry server state for :serve. stopServe cancels the server's
 	// context and waits for the drain; it is idempotent and also runs on
@@ -327,6 +354,69 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 			default:
 				err = fmt.Errorf("usage: :serve <addr> | :serve off")
 			}
+		case ":session", "session":
+			// :session | :session new [tenant] | :session attach <id> |
+			// :session list | :session evict <id>
+			switch {
+			case len(args) == 0:
+				if hosted {
+					fmt.Fprintf(out, "session %s (tenant %s, hosted)\n", sys.Session.ID(), sys.Session.Tenant())
+				} else {
+					fmt.Fprintln(out, "session local (standalone)")
+				}
+			case args[0] == "new" && len(args) <= 2:
+				if host == nil {
+					host = copycat.NewDemoHost(cfg, copycat.SessionConfig{})
+				}
+				tenant := "default"
+				if len(args) == 2 {
+					tenant = args[1]
+				}
+				var ns *copycat.System
+				if ns, err = host.Create(tenant); err != nil {
+					break
+				}
+				rebind(ns)
+				hosted = true
+				fmt.Fprintf(out, "session %s created (tenant %s) — workspace switched\n", sys.Session.ID(), tenant)
+			case args[0] == "attach" && len(args) == 2:
+				if host == nil {
+					err = fmt.Errorf("no hosted sessions yet (use `:session new`)")
+					break
+				}
+				var ns *copycat.System
+				if ns, err = host.Attach(args[1]); err != nil {
+					break
+				}
+				rebind(ns)
+				hosted = true
+				fmt.Fprintf(out, "attached to session %s — workspace switched\n", sys.Session.ID())
+			case args[0] == "list":
+				if host == nil {
+					fmt.Fprintln(out, "  local (standalone); no hosted sessions yet")
+					break
+				}
+				for _, info := range host.Manager.List() {
+					marker := " "
+					if hosted && info.ID == sys.Session.ID() {
+						marker = "*"
+					}
+					fmt.Fprintf(out, " %s %s\n", marker, info)
+				}
+				st := host.Manager.Stats()
+				fmt.Fprintf(out, "  resident %d/%d (%dB); evictions=%d reloads=%d shed=%d\n",
+					st.Resident, st.Sessions, st.ResidentBytes, st.Evictions, st.Reloads, st.Rejected)
+			case args[0] == "evict" && len(args) == 2:
+				if host == nil {
+					err = fmt.Errorf("no hosted sessions yet (use `:session new`)")
+					break
+				}
+				if err = host.Manager.Evict(args[1]); err == nil {
+					fmt.Fprintf(out, "session %s evicted to its snapshot\n", args[1])
+				}
+			default:
+				err = fmt.Errorf("usage: :session [new [tenant] | attach <id> | list | evict <id>]")
+			}
 		case ":why", "why":
 			needle := strings.Join(args, " ")
 			lines := sys.Why(needle)
@@ -440,6 +530,7 @@ func printHelp(out io.Writer) {
   :why [candidate]           decision log: why candidates were pruned/suggested/rejected
   :serve <addr>|off          live telemetry server (/metrics /healthz /trace/stream ...)
   :slo                       suggestion-refresh latency objective: burn rates and alerts
+  :session [sub]             multi-tenant session hosting: new [tenant] | attach <id> | list | evict <id>
   quit
 `)
 }

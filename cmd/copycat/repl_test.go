@@ -158,6 +158,7 @@ func TestReplHelpListsObservabilityCommands(t *testing.T) {
 		":why":     "decision log",
 		":serve":   "live telemetry server",
 		":slo":     "latency objective",
+		":session": "multi-tenant session hosting",
 	} {
 		found := false
 		for _, line := range strings.Split(out, "\n") {
@@ -174,6 +175,50 @@ func TestReplHelpListsObservabilityCommands(t *testing.T) {
 	// ":help" is an accepted alias.
 	if alias := drive(t, ":help\nquit\n"); !strings.Contains(alias, ":slo") {
 		t.Error(":help alias should print the same screen")
+	}
+}
+
+// TestReplSessionCommands walks the :session lifecycle: create two
+// hosted sessions (importing into the first), list with the active
+// marker, evict the idle one, fail to evict the pinned one, and attach
+// back to the first with its workspace intact.
+func TestReplSessionCommands(t *testing.T) {
+	out := drive(t, strings.Join([]string{
+		":session",
+		":session list",
+		":session new alice",
+		"open shelters",
+		"copy Sunset Recreation Center | 335 NW Copans Rd | Mangrove Lakes",
+		"paste",
+		"accept",
+		":session new bob",
+		":session list",
+		":session evict s000001",
+		":session attach s000001",
+		":session",
+		":session evict s000001", // pinned by this REPL: ErrBusy, not a crash
+		":session attach nope",
+		"tabs",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"session local (standalone)",
+		"no hosted sessions yet",
+		"session s000001 created (tenant alice)",
+		"tab committed as source",
+		"session s000002 created (tenant bob)",
+		"* s000002",
+		"session s000001 evicted to its snapshot",
+		"attached to session s000001 — workspace switched",
+		"session s000001 (tenant alice, hosted)",
+		"Sheet1 (30 rows)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "error:"); n < 2 {
+		t.Errorf("pinned evict and bad attach should both report errors, got %d:\n%s", n, out)
 	}
 }
 

@@ -1,0 +1,293 @@
+package main
+
+// The session-capacity experiment (C1 in EXPERIMENTS.md): a multi-tenant
+// host serving a growing fleet of sessions from a fixed memory budget,
+// hammered by a worker pool doing attach → suggestion refresh → release.
+// As the fleet outgrows the budget the LRU evictor pushes idle sessions
+// to their snapshots and attaches transparently reload them, so the
+// curve shows where eviction churn starts to tax the p99 and whether
+// availability holds at the knee. `-bench-out BENCH_6.json` persists the
+// curve; `-baseline BENCH_6.json` is the bench-check regression gate.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"copycat"
+)
+
+// capacityBudget is the fixed aggregate memory budget every grid point
+// runs under. Small enough that the largest fleet cannot stay resident
+// (steady eviction/reload churn at the knee), large enough that the
+// smallest fleet never evicts.
+const capacityBudget = 2 << 20
+
+// capacityWorkers is the attach/refresh/release worker pool size.
+const capacityWorkers = 8
+
+// capacityOpsPerWorker is how many operations each worker performs per
+// grid point.
+const capacityOpsPerWorker = 50
+
+// capacityFleets is the session-count grid.
+var capacityFleets = []int{4, 16, 48}
+
+// capacityPoint is one fleet size's measurements.
+type capacityPoint struct {
+	Sessions  int     `json:"sessions"`
+	Workers   int     `json:"workers"`
+	Attempts  int64   `json:"attempts"`            // attach+refresh operations attempted
+	Successes int64   `json:"successes"`           // operations that returned suggestions
+	Avail     float64 `json:"availability"`        // successes / attempts
+	P50Ns     int64   `json:"attach_refresh_p50_ns"`
+	P99Ns     int64   `json:"attach_refresh_p99_ns"`
+	Evictions int64   `json:"evictions"`           // sessions pushed to snapshots
+	Reloads   int64   `json:"reloads"`             // transparent reloads on attach
+	Rejected  int64   `json:"admission_rejected"`  // creates shed at the full table
+	Resident  int     `json:"resident"`            // resident sessions after quiescence
+	ResidentB int64   `json:"resident_bytes"`      // estimated resident footprint
+}
+
+// capacityReport is what -bench-out persists as BENCH_6.json.
+type capacityReport struct {
+	Experiment   string          `json:"experiment"`
+	MemoryBudget int64           `json:"memory_budget_bytes"`
+	Points       []capacityPoint `json:"points"`
+}
+
+// capacitySeed drives a freshly created session to integration mode so
+// refreshes have suggestions to produce and snapshots are non-trivial:
+// paste two shelters, accept the generalized rows, import the contacts
+// sheet, switch modes.
+func capacitySeed(sys *copycat.System) error {
+	w := sys.World
+	ws := sys.Workspace
+	browser := sys.OpenBrowser(sys.ShelterSite(copycat.StyleTable))
+	s0, s1 := w.Shelters[0], w.Shelters[1]
+	sel, err := browser.CopyRows([][]string{
+		{s0.Name, s0.Street, s0.City},
+		{s1.Name, s1.Street, s1.City},
+	})
+	if err != nil {
+		return err
+	}
+	if err := ws.Paste(sel); err != nil {
+		return err
+	}
+	if err := ws.AcceptRows(); err != nil {
+		return err
+	}
+	sheetDoc := w.ContactsSpreadsheet()
+	grid := sheetDoc.Grid()
+	ws.SelectTab("Contacts")
+	if err := ws.Paste(copycat.Selection{Cells: grid[1:3], Doc: sheetDoc}); err != nil {
+		return err
+	}
+	if err := ws.AcceptRows(); err != nil {
+		return err
+	}
+	ws.SelectTab("Sheet1")
+	ws.SetMode(copycat.ModeIntegration)
+	return nil
+}
+
+// capacityRun measures one fleet size: build a host capped at exactly
+// that many sessions, seed the fleet, then run the worker pool.
+func capacityRun(worldCfg copycat.WorldConfig, fleet int) (*capacityPoint, error) {
+	host := copycat.NewDemoHost(worldCfg, copycat.SessionConfig{
+		MaxSessions:  fleet,
+		MemoryBudget: capacityBudget,
+	})
+
+	ids := make([]string, fleet)
+	for i := range ids {
+		sys, err := host.Create(fmt.Sprintf("tenant%02d", i%8))
+		if err != nil {
+			return nil, fmt.Errorf("create %d: %w", i, err)
+		}
+		if err := capacitySeed(sys); err != nil {
+			sys.Release()
+			return nil, fmt.Errorf("seed %d: %w", i, err)
+		}
+		ids[i] = sys.Session.ID()
+		sys.Release()
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		attempts  int64
+		successes int64
+		firstErr  error
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < capacityWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(fleet)*1000 + int64(g)))
+			local := make([]time.Duration, 0, capacityOpsPerWorker)
+			var localAttempts, localOK int64
+			for op := 0; op < capacityOpsPerWorker; op++ {
+				if op%10 == 9 {
+					// The table is full by construction: this create must be
+					// shed by admission control, not grow the fleet.
+					if _, err := host.Create("overflow"); err == nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = errors.New("create over the session cap was admitted")
+						}
+						mu.Unlock()
+					}
+					continue
+				}
+				id := ids[rng.Intn(len(ids))]
+				localAttempts++
+				start := time.Now()
+				sys, err := host.Attach(id)
+				if err != nil {
+					continue
+				}
+				n := len(sys.Workspace.RefreshColumnSuggestions())
+				sys.Release()
+				local = append(local, time.Since(start))
+				if n > 0 {
+					localOK++
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			attempts += localAttempts
+			successes += localOK
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) int64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx].Nanoseconds()
+	}
+	st := host.Manager.Stats()
+	pt := &capacityPoint{
+		Sessions:  fleet,
+		Workers:   capacityWorkers,
+		Attempts:  attempts,
+		Successes: successes,
+		P50Ns:     pct(0.50),
+		P99Ns:     pct(0.99),
+		Evictions: st.Evictions,
+		Reloads:   st.Reloads,
+		Rejected:  st.Rejected,
+		Resident:  st.Resident,
+		ResidentB: st.ResidentBytes,
+	}
+	if attempts > 0 {
+		pt.Avail = float64(successes) / float64(attempts)
+	}
+	return pt, nil
+}
+
+// expCapacity runs the full fleet-size grid and renders the capacity
+// curve; honors -json/-bench-out/-baseline.
+func expCapacity() error {
+	worldCfg := copycat.DefaultWorldConfig()
+	worldCfg.Cities, worldCfg.SheltersPerCity = 3, 3
+
+	report := capacityReport{Experiment: "session-capacity", MemoryBudget: capacityBudget}
+	for _, fleet := range capacityFleets {
+		pt, err := capacityRun(worldCfg, fleet)
+		if err != nil {
+			return fmt.Errorf("fleet %d: %w", fleet, err)
+		}
+		report.Points = append(report.Points, *pt)
+	}
+
+	var rows [][]string
+	for _, pt := range report.Points {
+		rows = append(rows, []string{
+			fmt.Sprint(pt.Sessions),
+			fmt.Sprintf("%.4f", pt.Avail),
+			time.Duration(pt.P50Ns).String(),
+			time.Duration(pt.P99Ns).String(),
+			fmt.Sprint(pt.Evictions),
+			fmt.Sprint(pt.Reloads),
+			fmt.Sprint(pt.Rejected),
+			fmt.Sprintf("%d (%dKiB)", pt.Resident, pt.ResidentB>>10),
+		})
+	}
+	printTable([]string{"sessions", "availability", "p50", "p99", "evictions", "reloads", "shed", "resident"}, rows)
+
+	if baselineFile != "" {
+		if err := checkCapacityBaseline(baselineFile, &report); err != nil {
+			return err
+		}
+	}
+	if benchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbenchmark report written to %s\n", benchOut)
+	}
+	jsonReport = report
+	return nil
+}
+
+// checkCapacityBaseline is the bench-check gate for the capacity curve.
+// Wall-clock latency is too machine-dependent to gate in CI, so the gate
+// holds the curve's structural invariants instead: the measured grid
+// must match the committed one, availability must stay ≥ 99% at every
+// point including the knee, and the over-budget points must actually
+// churn (evictions and transparent reloads observed).
+func checkCapacityBaseline(path string, got *capacityReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var base capacityReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(base.Points) != len(got.Points) {
+		return fmt.Errorf("baseline %s has %d points, measured %d", path, len(base.Points), len(got.Points))
+	}
+	var churn bool
+	for i, pt := range got.Points {
+		if pt.Sessions != base.Points[i].Sessions {
+			return fmt.Errorf("grid drift: point %d is %d sessions, baseline %d",
+				i, pt.Sessions, base.Points[i].Sessions)
+		}
+		if pt.Avail < 0.99 {
+			return fmt.Errorf("availability %.4f at %d sessions below the 99%% floor", pt.Avail, pt.Sessions)
+		}
+		if pt.Rejected == 0 {
+			return fmt.Errorf("no admission rejections at %d sessions: the cap is not enforced", pt.Sessions)
+		}
+		if pt.Evictions > 0 && pt.Reloads > 0 {
+			churn = true
+		}
+	}
+	if !churn {
+		return errors.New("no grid point showed eviction+reload churn: the budget no longer binds")
+	}
+	fmt.Printf("baseline check: availability ≥ 99%% across %d fleet sizes, churn observed at the knee\n",
+		len(got.Points))
+	return nil
+}

@@ -48,6 +48,7 @@ var experiments = []experiment{
 	{"faults", "R1: suggestion availability and latency vs injected service fault rate", expFaults},
 	{"pipeline", "O1: observability — per-stage suggestion latency, tracing overhead, Chrome trace export", expPipeline},
 	{"serve", "O2: telemetry serving — /metrics scrape cost and serving overhead vs unserved baseline", expServe},
+	{"capacity", "C1: multi-tenant capacity — sessions vs p99/availability under a fixed memory budget with LRU eviction", expCapacity},
 }
 
 // statsMode mirrors the -stats flag: experiments that drive a workspace
@@ -93,10 +94,11 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	serveAddr := flag.String("serve", "", "drive a traced demo session and serve its live telemetry on this address (e.g. 127.0.0.1:9464) instead of running experiments")
 	serveWait := flag.Duration("serve-wait", 0, "with -serve: shut the telemetry server down after this long (0 = until SIGINT/SIGTERM)")
+	serveSessions := flag.Int("serve-sessions", 0, "with -serve: host a multi-tenant session manager capped at this many sessions (two tenants pre-seeded) instead of a single demo session")
 	flag.Parse()
 	statsMode = *stats
 	if *serveAddr != "" {
-		if err := runTelemetryServer(*serveAddr, *serveWait); err != nil {
+		if err := runTelemetryServer(*serveAddr, *serveWait, *serveSessions); err != nil {
 			fmt.Fprintf(os.Stderr, "scpbench: -serve: %v\n", err)
 			os.Exit(1)
 		}

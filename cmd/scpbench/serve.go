@@ -12,6 +12,7 @@ import (
 	"syscall"
 	"time"
 
+	"copycat"
 	"copycat/internal/obs/serve"
 )
 
@@ -202,24 +203,57 @@ func expServe() error {
 // demo session through the full pipeline so every surface has data,
 // serves its telemetry on addr, and holds until `wait` elapses (0 =
 // until SIGINT/SIGTERM). The CI smoke job curls this.
-func runTelemetryServer(addr string, wait time.Duration) error {
-	sys, err := pipelineSetup(true)
-	if err != nil {
-		return err
-	}
-	if comps := sys.Workspace.RefreshColumnSuggestions(); len(comps) == 0 {
-		return fmt.Errorf("telemetry session produced no completions")
-	}
+//
+// With -serve-sessions N it serves a multi-tenant host instead: a
+// session manager capped at N sessions with two seeded tenants, so the
+// smoke can walk the /sessions lifecycle, drive the table to the cap to
+// watch /readyz flip to 503, and lint the per-tenant /metrics families.
+func runTelemetryServer(addr string, wait time.Duration, hostSessions int) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if wait > 0 {
 		ctx, cancel = context.WithTimeout(ctx, wait)
 		defer cancel()
 	}
-	srv, err := sys.Serve(ctx, addr)
-	if err != nil {
-		return err
+
+	var srv *copycat.TelemetryServer
+	if hostSessions > 0 {
+		worldCfg := copycat.DefaultWorldConfig()
+		worldCfg.Cities, worldCfg.SheltersPerCity = 3, 3
+		host := copycat.NewDemoHost(worldCfg, copycat.SessionConfig{
+			MaxSessions:   hostSessions,
+			EnableTracing: true,
+		})
+		for _, tenant := range []string{"alice", "bob"} {
+			sys, err := host.Create(tenant)
+			if err != nil {
+				return err
+			}
+			err = capacitySeed(sys)
+			if err == nil && len(sys.Workspace.RefreshColumnSuggestions()) == 0 {
+				err = fmt.Errorf("seed session for %s produced no completions", tenant)
+			}
+			sys.Release()
+			if err != nil {
+				return err
+			}
+		}
+		var err error
+		if srv, err = host.Serve(ctx, addr); err != nil {
+			return err
+		}
+	} else {
+		sys, err := pipelineSetup(true)
+		if err != nil {
+			return err
+		}
+		if comps := sys.Workspace.RefreshColumnSuggestions(); len(comps) == 0 {
+			return fmt.Errorf("telemetry session produced no completions")
+		}
+		if srv, err = sys.Serve(ctx, addr); err != nil {
+			return err
+		}
 	}
-	fmt.Fprintf(os.Stderr, "scpbench: telemetry server on http://%s — /metrics /healthz /readyz /slo /trace/stream /decisions /debug/pprof\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "scpbench: telemetry server on http://%s — /metrics /healthz /readyz /slo /trace/stream /decisions /sessions /debug/pprof\n", srv.Addr())
 	return srv.Wait()
 }

@@ -38,11 +38,10 @@ import (
 	"copycat/internal/modellearn"
 	"copycat/internal/obs"
 	"copycat/internal/obs/serve"
-	"copycat/internal/persist"
 	"copycat/internal/plancache"
 	"copycat/internal/resilience"
 	"copycat/internal/services"
-	"copycat/internal/sourcegraph"
+	"copycat/internal/session"
 	"copycat/internal/table"
 	"copycat/internal/webworld"
 	"copycat/internal/workspace"
@@ -113,7 +112,42 @@ type (
 	World = webworld.World
 	// SiteStyle selects the shelter site's page complexity.
 	SiteStyle = webworld.SiteStyle
+	// Session is the handle all of a user's mutable state hangs off —
+	// the unit of multi-tenant hosting, eviction, and reload.
+	Session = session.Session
+	// SessionState is the state bundle a session owns (workspace,
+	// catalog, type library).
+	SessionState = session.State
+	// SessionFactory builds fresh session state for creates and reloads.
+	SessionFactory = session.Factory
+	// SessionManager hosts many concurrent sessions with LRU eviction
+	// and admission control.
+	SessionManager = session.Manager
+	// SessionConfig sizes a SessionManager.
+	SessionConfig = session.Config
+	// SessionInfo describes one hosted session.
+	SessionInfo = session.Info
+	// SessionStats is the manager-level counter block.
+	SessionStats = session.HostStats
 )
+
+// Session lifecycle sentinels (admission rejections and pin conflicts).
+var (
+	// ErrSessionNotFound reports an unknown or destroyed session ID.
+	ErrSessionNotFound = session.ErrNotFound
+	// ErrSessionBusy reports an evict attempt on a pinned session.
+	ErrSessionBusy = session.ErrBusy
+	// ErrHostCapacity reports a create shed because the session table
+	// is full.
+	ErrHostCapacity = session.ErrCapacity
+	// ErrHostOverloaded reports a create shed by the SLO/breaker-driven
+	// admission control.
+	ErrHostOverloaded = session.ErrOverloaded
+)
+
+// NewSessionManager builds a multi-tenant session manager; see
+// SessionConfig for the caps and substrate handles.
+func NewSessionManager(cfg SessionConfig) *SessionManager { return session.NewManager(cfg) }
 
 // Workspace modes.
 const (
@@ -133,7 +167,11 @@ const (
 )
 
 // System bundles a workspace with its catalog, type library, and (for
-// demo installations) the synthetic world.
+// demo installations) the synthetic world. Since the session refactor a
+// System is a thin view over one Session handle: NewSystem and
+// NewDemoSystem wrap a standalone (unmanaged, never-evicted) session,
+// while Host hands out Systems over managed sessions — the library API
+// and the multi-tenant service share one state model.
 type System struct {
 	Workspace *Workspace
 	Catalog   *Catalog
@@ -145,6 +183,26 @@ type System struct {
 	// FaultRate; nil otherwise. Its elapsed time is the experiment's
 	// simulated latency.
 	Clock *resilience.VirtualClock
+	// Session is the handle owning this system's mutable state — a
+	// standalone handle for NewSystem/NewDemoSystem, a managed one for
+	// systems attached through a Host.
+	Session *Session
+}
+
+// systemFor wraps a session's state in the System facade.
+func systemFor(s *Session, world *World) *System {
+	st := s.State()
+	sys := &System{
+		Workspace: st.Workspace,
+		Catalog:   st.Catalog,
+		Types:     st.Types,
+		World:     world,
+		Session:   s,
+	}
+	if vc, ok := st.Workspace.Clock.(*resilience.VirtualClock); ok {
+		sys.Clock = vc
+	}
+	return sys
 }
 
 // NewSystem creates an empty CopyCat installation: no sources, no
@@ -153,31 +211,18 @@ type System struct {
 func NewSystem() *System {
 	cat := catalog.New()
 	types := modellearn.NewLibrary()
-	return &System{
-		Workspace: workspace.New(cat, types),
-		Catalog:   cat,
-		Types:     types,
-	}
+	st := &session.State{Workspace: workspace.New(cat, types), Catalog: cat, Types: types}
+	return systemFor(session.NewStandalone("local", st), nil)
 }
 
 // DefaultWorldConfig returns the standard demo world sizing.
 func DefaultWorldConfig() WorldConfig { return webworld.DefaultConfig() }
 
-// NewDemoSystem creates a CopyCat installation wired to a synthetic
-// hurricane-relief world: builtin services (zip resolver, geocoder,
-// shelter locator, reverse directory, converters) are registered and the
-// builtin semantic types are pre-trained — the "previously learned
-// knowledge" the prototype ships with.
-//
-// When cfg.FaultRate is positive, every builtin service is wrapped in a
-// deterministic fault injector (seeded transient errors and latency
-// spikes on a virtual clock) and the workspace gets a resilience layer —
-// retries, circuit breakers, graceful row degradation — so the system
-// behaves like the paper's live Google/Yahoo-backed prototype on a bad
-// network day, reproducibly. With FaultRate 0 the system is identical to
-// a plain demo system.
-func NewDemoSystem(cfg WorldConfig) *System {
-	w := webworld.Generate(cfg)
+// newDemoState builds one session's worth of demo state over a shared
+// synthetic world: catalog with builtin services (fault-wrapped when
+// cfg.FaultRate > 0), pre-trained type library, fresh workspace with
+// the resilience layer and virtual clock wired when faults are on.
+func newDemoState(w *webworld.World, cfg WorldConfig) *session.State {
 	cat := catalog.New()
 	svcs := services.Builtin(w)
 	var clock *resilience.VirtualClock
@@ -201,13 +246,7 @@ func NewDemoSystem(cfg WorldConfig) *System {
 	}
 	types := modellearn.NewLibrary()
 	modellearn.TrainBuiltins(types, w)
-	sys := &System{
-		Workspace: workspace.New(cat, types),
-		Catalog:   cat,
-		Types:     types,
-		World:     w,
-		Clock:     clock,
-	}
+	ws := workspace.New(cat, types)
 	if cfg.FaultRate > 0 {
 		seed := cfg.FaultSeed
 		if seed == 0 {
@@ -216,15 +255,101 @@ func NewDemoSystem(cfg WorldConfig) *System {
 		policy := resilience.DefaultPolicy()
 		policy.Seed = seed
 		policy.Clock = clock
-		sys.Workspace.Resilience = resilience.NewCaller(policy, resilience.DefaultBreakerConfig())
+		ws.Resilience = resilience.NewCaller(policy, resilience.DefaultBreakerConfig())
 	}
 	if clock != nil {
 		// Stage latencies and traces run on the same virtual clock as the
 		// injected faults, keeping the whole session deterministic.
-		sys.Workspace.Clock = clock
+		ws.Clock = clock
 	}
-	return sys
+	return &session.State{Workspace: ws, Catalog: cat, Types: types}
 }
+
+// NewDemoSystem creates a CopyCat installation wired to a synthetic
+// hurricane-relief world: builtin services (zip resolver, geocoder,
+// shelter locator, reverse directory, converters) are registered and the
+// builtin semantic types are pre-trained — the "previously learned
+// knowledge" the prototype ships with.
+//
+// When cfg.FaultRate is positive, every builtin service is wrapped in a
+// deterministic fault injector (seeded transient errors and latency
+// spikes on a virtual clock) and the workspace gets a resilience layer —
+// retries, circuit breakers, graceful row degradation — so the system
+// behaves like the paper's live Google/Yahoo-backed prototype on a bad
+// network day, reproducibly. With FaultRate 0 the system is identical to
+// a plain demo system.
+func NewDemoSystem(cfg WorldConfig) *System {
+	w := webworld.Generate(cfg)
+	return systemFor(session.NewStandalone("local", newDemoState(w, cfg)), w)
+}
+
+// DemoFactory returns a SessionFactory producing demo states: the
+// synthetic world is generated once and shared read-only across every
+// session (sites and service data are immutable), while each session
+// gets its own catalog, services, trained types, and workspace. This is
+// the factory behind Host and the capacity benchmarks.
+func DemoFactory(cfg WorldConfig) SessionFactory {
+	w := webworld.Generate(cfg)
+	return func() (*SessionState, error) { return newDemoState(w, cfg), nil }
+}
+
+// Host is a multi-tenant CopyCat service over one shared demo world: a
+// SessionManager whose factory builds demo states, plus the world
+// handle the wrapper applications (browser, spreadsheet) need.
+type Host struct {
+	Manager *SessionManager
+	World   *World
+}
+
+// NewDemoHost builds a host over a fresh demo world. cfg.Factory is
+// overwritten with the world's DemoFactory; all other SessionConfig
+// knobs (caps, budget, clock, SLO, tracing) apply as given.
+func NewDemoHost(world WorldConfig, cfg SessionConfig) *Host {
+	w := webworld.Generate(world)
+	cfg.Factory = func() (*SessionState, error) { return newDemoState(w, world), nil }
+	return &Host{Manager: session.NewManager(cfg), World: w}
+}
+
+// Create admits a new session for tenant and returns the System view
+// over it, already pinned — call Release when done with it.
+func (h *Host) Create(tenant string) (*System, error) {
+	s, err := h.Manager.Create(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return systemFor(s, h.World), nil
+}
+
+// Attach pins an existing session (transparently reloading it from its
+// snapshot if it was evicted) and returns the System view over it —
+// call Release when done.
+func (h *Host) Attach(id string) (*System, error) {
+	s, err := h.Manager.Acquire(id)
+	if err != nil {
+		return nil, err
+	}
+	return systemFor(s, h.World), nil
+}
+
+// Serve starts the telemetry server for the whole host: aggregate
+// metrics and SLO across every session, the shared span stream, and
+// the /sessions lifecycle endpoints with admission-controlled creates.
+func (h *Host) Serve(ctx context.Context, addr string) (*TelemetryServer, error) {
+	srv := serve.New(serve.Config{
+		Metrics: h.Manager.MetricsSnapshot,
+		SLO:     h.Manager.SLO(),
+		Ring:    h.Manager.Ring(),
+		Host:    h.Manager,
+	})
+	if err := srv.Start(ctx, addr); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// Release unpins the system's session (no-op for standalone systems
+// built with NewSystem/NewDemoSystem).
+func (s *System) Release() { s.Session.Release() }
 
 // RegisterService adds a callable service to the catalog and refreshes
 // the source graph's associations.
@@ -347,28 +472,21 @@ func (s *System) OpenSpreadsheet(doc *Document) *Spreadsheet {
 }
 
 // SaveSession serializes the system's learned state — imported relations
-// (with semantic types and keys), the type library, and learned source
-// graph edge costs — as JSON (§1: integrations "persistently saved as an
-// integrated, mediated view").
+// (with semantic types and keys), the type library, learned source graph
+// edge costs, workspace tabs, and plan-cache counters — as JSON (§1:
+// integrations "persistently saved as an integrated, mediated view").
+// This is the same snapshot format the session host evicts to.
 func (s *System) SaveSession() ([]byte, error) {
-	return persist.Save(s.Catalog, s.Types, s.Workspace.Int.Graph)
+	return s.Session.State().Snapshot()
 }
 
 // LoadSession restores a saved session into this system: relations and
 // types are merged into the catalog/library, associations re-discovered,
-// and learned edge costs re-attached. Services are not serialized —
-// register them before loading.
+// learned edge costs re-attached, workspace tabs replayed, and cache
+// counters carried over. Services are not serialized — register them
+// before loading.
 func (s *System) LoadSession(data []byte) error {
-	costs, err := persist.Load(data, s.Catalog, s.Types)
-	if err != nil {
-		return err
-	}
-	s.Workspace.Int.Graph.Discover(sourcegraph.DefaultOptions())
-	persist.ApplyCosts(s.Workspace.Int.Graph, costs)
-	for id, c := range costs {
-		s.Workspace.Int.Mira.SetWeight(id, c)
-	}
-	return nil
+	return s.Session.State().Restore(data)
 }
 
 // RenderMetrics renders a MetricsSnapshot as an aligned human-readable

@@ -1,0 +1,8 @@
+//go:build !race
+
+package copycat_test
+
+// Counterpart to host_race_test.go: without the race detector the fleet
+// test's refresh latencies stay inside the SLO, so a ready host is the
+// only acceptable quiescent state.
+const raceEnabled = false

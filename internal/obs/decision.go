@@ -31,8 +31,9 @@ const (
 // and rank that drove the call.
 type Decision struct {
 	Seq       int     `json:"seq"`
-	Stage     string  `json:"stage"`     // e.g. "suggest.columns", "search.steiner"
-	Candidate string  `json:"candidate"` // edge label / target node
+	Session   string  `json:"session,omitempty"` // owning session handle ("" single-workspace)
+	Stage     string  `json:"stage"`             // e.g. "suggest.columns", "search.steiner"
+	Candidate string  `json:"candidate"`         // edge label / target node
 	Action    Action  `json:"action"`
 	Reason    string  `json:"reason,omitempty"`
 	Cost      float64 `json:"cost,omitempty"`
@@ -63,15 +64,29 @@ const maxDecisions = 4096
 // concurrent use (the parallel candidate executor records into one
 // shared log). A nil *DecisionLog is inert.
 type DecisionLog struct {
-	mu   sync.Mutex
-	next int
-	ds   []Decision
+	mu      sync.Mutex
+	next    int
+	session string
+	ds      []Decision
 }
 
 // NewDecisionLog creates an empty log.
 func NewDecisionLog() *DecisionLog { return &DecisionLog{} }
 
-// Record appends a decision, stamping its sequence number.
+// SetSession stamps every subsequently recorded decision with the
+// owning session's ID, attributing multi-tenant decision streams. The
+// single-workspace facade leaves it empty.
+func (l *DecisionLog) SetSession(id string) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.session = id
+	l.mu.Unlock()
+}
+
+// Record appends a decision, stamping its sequence number and the log's
+// session ID (unless the decision already carries one).
 func (l *DecisionLog) Record(d Decision) {
 	if l == nil {
 		return
@@ -79,6 +94,9 @@ func (l *DecisionLog) Record(d Decision) {
 	l.mu.Lock()
 	l.next++
 	d.Seq = l.next
+	if d.Session == "" {
+		d.Session = l.session
+	}
 	l.ds = append(l.ds, d)
 	if len(l.ds) > maxDecisions {
 		l.ds = append(l.ds[:0:0], l.ds[len(l.ds)/2:]...)

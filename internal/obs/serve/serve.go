@@ -17,6 +17,10 @@
 //	                   response open, streaming spans as they end.
 //	GET /decisions     the decision log as JSONL; ?q= filters by
 //	                   candidate substring.
+//	/sessions          multi-tenant session lifecycle (list, create,
+//	                   attach, evict, destroy) when a session.Manager is
+//	                   wired in; creates are admission-controlled and
+//	                   shed with 503 while the host is overloaded.
 //	GET /debug/pprof/  continuous-profiling endpoints.
 //
 // The package has no opinions about what it serves: every data source
@@ -39,6 +43,7 @@ import (
 
 	"copycat/internal/obs"
 	"copycat/internal/resilience"
+	"copycat/internal/session"
 )
 
 // Config wires the server to its data sources. Any field may be nil;
@@ -55,6 +60,10 @@ type Config struct {
 	Ring *obs.SpanRing
 	// Decisions is the decision log behind /decisions.
 	Decisions *obs.DecisionLog
+	// Host, when non-nil, exposes the multi-tenant session manager: the
+	// /sessions lifecycle endpoints, per-tenant series on /metrics, and
+	// load-shed readiness (/readyz goes 503 while the host is shedding).
+	Host *session.Manager
 	// Health tunes the /healthz thresholds; zero takes defaults.
 	Health HealthConfig
 }
@@ -82,6 +91,11 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /slo", s.handleSLO)
 	mux.HandleFunc("GET /trace/stream", s.handleTraceStream)
 	mux.HandleFunc("GET /decisions", s.handleDecisions)
+	mux.HandleFunc("GET /sessions", s.handleSessionsList)
+	mux.HandleFunc("POST /sessions", s.handleSessionsCreate)
+	mux.HandleFunc("POST /sessions/{id}/attach", s.handleSessionAttach)
+	mux.HandleFunc("POST /sessions/{id}/evict", s.handleSessionEvict)
+	mux.HandleFunc("DELETE /sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -191,6 +205,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Too late for a status change; the client sees a truncated body.
 		return
 	}
+	if s.cfg.Host != nil {
+		writeSessionExposition(w, s.cfg.Host)
+	}
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -212,19 +229,21 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "draining"})
 		return
 	}
+	if s.cfg.Host != nil {
+		if shedding, reason := s.cfg.Host.Shedding(); shedding {
+			writeJSON(w, http.StatusServiceUnavailable,
+				readiness{Reason: "shedding: " + reason})
+			return
+		}
+	}
 	var breakers []resilience.BreakerStatus
 	if s.cfg.Breakers != nil {
 		breakers = s.cfg.Breakers()
 	}
-	open := 0
-	for _, b := range breakers {
-		if b.State == resilience.BreakerOpen {
-			open++
-		}
-	}
-	if len(breakers) > 0 && open*2 > len(breakers) {
+	if resilience.MajorityOpen(breakers) {
 		writeJSON(w, http.StatusServiceUnavailable,
-			readiness{Reason: fmt.Sprintf("%d of %d service breakers open", open, len(breakers))})
+			readiness{Reason: fmt.Sprintf("%d of %d service breakers open",
+				resilience.CountOpen(breakers), len(breakers))})
 		return
 	}
 	writeJSON(w, http.StatusOK, readiness{Ready: true})

@@ -1,0 +1,158 @@
+package serve
+
+import (
+	"errors"
+	"io"
+	"net/http"
+
+	"copycat/internal/session"
+)
+
+// The /sessions surface exposes the multi-tenant session manager over
+// HTTP:
+//
+//	GET    /sessions             host stats + every session's state
+//	POST   /sessions?tenant=x    create (admission-controlled; 503 when
+//	                             the host sheds with Retry-After)
+//	POST   /sessions/{id}/attach pin + transparent reload + unpin (a
+//	                             keep-alive touch; returns the info)
+//	POST   /sessions/{id}/evict  snapshot + drop resident state (409
+//	                             while pinned by a holder)
+//	DELETE /sessions/{id}        destroy the session and its snapshot
+//
+// All handlers 404 when the server was built without a Host.
+
+// sessionList is the GET /sessions response body.
+type sessionList struct {
+	Stats    session.HostStats `json:"stats"`
+	Sessions []session.Info    `json:"sessions"`
+}
+
+type sessionError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) hostOr404(w http.ResponseWriter) *session.Manager {
+	if s.cfg.Host == nil {
+		writeJSON(w, http.StatusNotFound, sessionError{Error: "no session host configured"})
+		return nil
+	}
+	return s.cfg.Host
+}
+
+func (s *Server) handleSessionsList(w http.ResponseWriter, r *http.Request) {
+	m := s.hostOr404(w)
+	if m == nil {
+		return
+	}
+	writeJSON(w, http.StatusOK, sessionList{Stats: m.Stats(), Sessions: m.List()})
+}
+
+func (s *Server) handleSessionsCreate(w http.ResponseWriter, r *http.Request) {
+	m := s.hostOr404(w)
+	if m == nil {
+		return
+	}
+	tenant := r.URL.Query().Get("tenant")
+	if tenant == "" {
+		tenant = "default"
+	}
+	sess, err := m.Create(tenant)
+	if err != nil {
+		if errors.Is(err, session.ErrOverloaded) || errors.Is(err, session.ErrCapacity) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, sessionError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, sessionError{Error: err.Error()})
+		return
+	}
+	sess.Release()
+	info, _ := m.Get(sess.ID())
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleSessionAttach(w http.ResponseWriter, r *http.Request) {
+	m := s.hostOr404(w)
+	if m == nil {
+		return
+	}
+	id := r.PathValue("id")
+	sess, err := m.Acquire(id)
+	if err != nil {
+		if errors.Is(err, session.ErrNotFound) {
+			writeJSON(w, http.StatusNotFound, sessionError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, sessionError{Error: err.Error()})
+		return
+	}
+	sess.Release()
+	info, _ := m.Get(id)
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleSessionEvict(w http.ResponseWriter, r *http.Request) {
+	m := s.hostOr404(w)
+	if m == nil {
+		return
+	}
+	id := r.PathValue("id")
+	switch err := m.Evict(id); {
+	case err == nil:
+		info, _ := m.Get(id)
+		writeJSON(w, http.StatusOK, info)
+	case errors.Is(err, session.ErrNotFound):
+		writeJSON(w, http.StatusNotFound, sessionError{Error: err.Error()})
+	case errors.Is(err, session.ErrBusy):
+		writeJSON(w, http.StatusConflict, sessionError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, sessionError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	m := s.hostOr404(w)
+	if m == nil {
+		return
+	}
+	id := r.PathValue("id")
+	if err := m.Destroy(id); err != nil {
+		if errors.Is(err, session.ErrNotFound) {
+			writeJSON(w, http.StatusNotFound, sessionError{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, sessionError{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// writeSessionExposition appends the per-tenant session families to the
+// /metrics body: one labelled series per session for residency,
+// footprint, refreshes, reloads, and evictions. Family names are
+// disjoint from the host-level copycat_sessions_* families (note the
+// singular), so the combined exposition stays lint-clean.
+func writeSessionExposition(w io.Writer, m *session.Manager) error {
+	b := newExpoBuilder()
+	resident := b.family(MetricNamespace+"_session_resident", "gauge",
+		"1 while the session's state is resident in memory, 0 while evicted.")
+	bytes := b.family(MetricNamespace+"_session_resident_bytes", "gauge",
+		"Estimated resident footprint of the session in bytes.")
+	refreshes := b.family(MetricNamespace+"_session_refreshes_total", "counter",
+		"Suggestion refreshes executed by the session.")
+	reloads := b.family(MetricNamespace+"_session_reloads_total", "counter",
+		"Times the session was transparently reloaded from its snapshot.")
+	evictions := b.family(MetricNamespace+"_session_evictions_total", "counter",
+		"Times the session's resident state was evicted to its snapshot.")
+	for _, info := range m.List() {
+		labels := `{session="` + escapeLabelValue(info.ID) +
+			`",tenant="` + escapeLabelValue(info.Tenant) + `"}`
+		resident.add("", labels, boolGauge(info.Resident))
+		bytes.add("", labels, float64(info.Bytes))
+		refreshes.add("", labels, float64(info.Refreshes))
+		reloads.add("", labels, float64(info.Reloads))
+		evictions.add("", labels, float64(info.Evictions))
+	}
+	return b.write(w)
+}

@@ -18,6 +18,7 @@ import (
 	"copycat/internal/modellearn"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/table"
+	"copycat/internal/workspace"
 )
 
 // cellDump serializes one value with its kind.
@@ -44,6 +45,37 @@ type relationDump struct {
 	Keys    map[string]string `json:"keys,omitempty"`
 }
 
+// TabDump serializes one workspace tab: its committed source node,
+// schema, and concrete (non-suggested) rows. Suggested rows are pending
+// proposals and are recomputed by the next suggestion refresh;
+// provenance expressions are not serialized, so restored rows explain
+// as bare pastes until re-derived.
+type TabDump struct {
+	Name       string       `json:"name"`
+	SourceNode string       `json:"source_node,omitempty"`
+	Columns    []columnDump `json:"columns"`
+	Rows       [][]cellDump `json:"rows"`
+}
+
+// WorkspaceDump serializes the workspace surface — mode, tab set, and
+// active tab — so an evicted session resumes exactly where it was.
+type WorkspaceDump struct {
+	Mode   uint8     `json:"mode"`
+	Active string    `json:"active"`
+	Tabs   []TabDump `json:"tabs"`
+}
+
+// CacheCounters carries the plan cache's lifetime hit/miss/eviction
+// counters across an evict/reload cycle. The cache contents themselves
+// are recomputed (a reloaded session's first refresh runs cold), but
+// the counters stay continuous so hit-rate metrics don't lie after a
+// reload.
+type CacheCounters struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+}
+
 // Session is the serialized form of a CopyCat installation's learned
 // state.
 type Session struct {
@@ -51,15 +83,43 @@ type Session struct {
 	Relations []relationDump         `json:"relations"`
 	Types     []modellearn.ModelDump `json:"types"`
 	EdgeCosts map[string]float64     `json:"edge_costs,omitempty"`
+	// Workspace and PlanCache are the v2 additions; both absent in v1
+	// snapshots (pre-session format) and on Save without extras.
+	Workspace *WorkspaceDump `json:"workspace,omitempty"`
+	PlanCache *CacheCounters `json:"plancache,omitempty"`
 }
 
-// CurrentVersion is the session format version.
-const CurrentVersion = 1
+// CurrentVersion is the session format version. Version 2 added the
+// workspace surface (tabs, mode) and plan-cache counters for session
+// eviction/reload; version 1 snapshots still load (their workspace and
+// cache extras are simply absent).
+const CurrentVersion = 2
+
+// minSupportedVersion is the oldest snapshot format Load still accepts.
+const minSupportedVersion = 1
 
 // Save serializes the catalog's materialized relations, the type
 // library, and the graph's learned edge costs. Any argument may be nil.
 func Save(cat *catalog.Catalog, types *modellearn.Library, g *sourcegraph.Graph) ([]byte, error) {
+	return SaveState(cat, types, g, nil)
+}
+
+// Extras are the v2 additions to a saved session: the workspace surface
+// and the plan-cache counters. Either field (or the whole struct) may
+// be nil.
+type Extras struct {
+	Workspace *WorkspaceDump
+	PlanCache *CacheCounters
+}
+
+// SaveState serializes a full session snapshot: relations, types, edge
+// costs, plus the v2 extras. Any argument may be nil.
+func SaveState(cat *catalog.Catalog, types *modellearn.Library, g *sourcegraph.Graph, extras *Extras) ([]byte, error) {
 	s := Session{Version: CurrentVersion}
+	if extras != nil {
+		s.Workspace = extras.Workspace
+		s.PlanCache = extras.PlanCache
+	}
 	if cat != nil {
 		for _, src := range cat.All() {
 			if src.Kind != catalog.KindRelation || src.Rel == nil {
@@ -122,11 +182,34 @@ func loadCell(c cellDump) table.Value {
 // for re-application via ApplyCosts once the caller has re-discovered the
 // source graph.
 func Load(data []byte, cat *catalog.Catalog, types *modellearn.Library) (map[string]float64, error) {
+	r, err := LoadState(data, cat, types)
+	if err != nil {
+		return nil, err
+	}
+	return r.EdgeCosts, nil
+}
+
+// Restored is what LoadState recovered from a snapshot beyond the
+// catalog/library merge it performed: the saved edge costs, plus the v2
+// extras (nil when loading a v1 snapshot).
+type Restored struct {
+	Version   int
+	EdgeCosts map[string]float64
+	Workspace *WorkspaceDump
+	PlanCache *CacheCounters
+}
+
+// LoadState parses a session of any supported version (1 or 2) and
+// restores it into the given catalog and type library (either may be
+// nil to skip). Migration is by omission: a v1 snapshot simply has no
+// workspace or plan-cache extras, and the caller proceeds with a fresh
+// workspace exactly as the pre-session facade did.
+func LoadState(data []byte, cat *catalog.Catalog, types *modellearn.Library) (*Restored, error) {
 	var s Session
 	if err := json.Unmarshal(data, &s); err != nil {
 		return nil, fmt.Errorf("persist: %w", err)
 	}
-	if s.Version != CurrentVersion {
+	if s.Version < minSupportedVersion || s.Version > CurrentVersion {
 		return nil, fmt.Errorf("persist: unsupported session version %d", s.Version)
 	}
 	if cat != nil {
@@ -152,7 +235,74 @@ func Load(data []byte, cat *catalog.Catalog, types *modellearn.Library) (map[str
 	if types != nil {
 		types.Import(s.Types)
 	}
-	return s.EdgeCosts, nil
+	return &Restored{
+		Version:   s.Version,
+		EdgeCosts: s.EdgeCosts,
+		Workspace: s.Workspace,
+		PlanCache: s.PlanCache,
+	}, nil
+}
+
+// DumpWorkspace captures the workspace surface for a v2 snapshot: the
+// interaction mode, every tab's schema, committed source node, and
+// concrete rows, and which tab is active. Pending suggestions, undo
+// history, and provenance are intentionally not captured — they are
+// recomputed (or reset) on reload; see RestoreWorkspace.
+func DumpWorkspace(w *workspace.Workspace) *WorkspaceDump {
+	if w == nil {
+		return nil
+	}
+	d := &WorkspaceDump{Mode: uint8(w.Mode()), Active: w.ActiveTab().Name}
+	for _, t := range w.Tabs() {
+		td := TabDump{Name: t.Name, SourceNode: t.SourceNode}
+		for _, c := range t.Schema {
+			td.Columns = append(td.Columns, columnDump{Name: c.Name, Kind: uint8(c.Kind), SemType: c.SemType})
+		}
+		for _, r := range t.ConcreteRows() {
+			cells := make([]cellDump, len(r.Cells))
+			for i, v := range r.Cells {
+				cells[i] = dumpCell(v)
+			}
+			td.Rows = append(td.Rows, cells)
+		}
+		d.Tabs = append(d.Tabs, td)
+	}
+	return d
+}
+
+// RestoreWorkspace replays a WorkspaceDump into a (fresh) workspace:
+// tabs are recreated with their schemas, source nodes, and concrete
+// rows, then the saved active tab and mode are re-selected. Restored
+// rows carry no provenance (they explain as bare values until
+// re-derived) and no suggestion state — the next refresh recomputes
+// proposals from the restored source graph, which is exactly what makes
+// an evict/reload cycle output-invisible. A nil dump (v1 snapshot) is a
+// no-op.
+func RestoreWorkspace(w *workspace.Workspace, d *WorkspaceDump) {
+	if w == nil || d == nil {
+		return
+	}
+	for _, td := range d.Tabs {
+		t := w.SelectTab(td.Name)
+		schema := make(table.Schema, len(td.Columns))
+		for i, c := range td.Columns {
+			schema[i] = table.Column{Name: c.Name, Kind: table.Kind(c.Kind), SemType: c.SemType}
+		}
+		t.Schema = schema
+		t.SourceNode = td.SourceNode
+		t.Rows = nil
+		for _, cells := range td.Rows {
+			row := make(table.Tuple, len(cells))
+			for i, c := range cells {
+				row[i] = loadCell(c)
+			}
+			t.Rows = append(t.Rows, workspace.Row{Cells: row})
+		}
+	}
+	if d.Active != "" {
+		w.SelectTab(d.Active)
+	}
+	w.SetMode(workspace.Mode(d.Mode))
 }
 
 // ApplyCosts re-attaches saved edge costs to a (re-discovered) source

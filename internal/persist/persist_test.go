@@ -9,6 +9,7 @@ import (
 	"copycat/internal/sourcegraph"
 	"copycat/internal/table"
 	"copycat/internal/webworld"
+	"copycat/internal/workspace"
 )
 
 func buildState(t *testing.T) (*catalog.Catalog, *modellearn.Library, *sourcegraph.Graph) {
@@ -162,4 +163,92 @@ func TestApplyCostsSkipsUnknownEdges(t *testing.T) {
 	if n != 0 {
 		t.Error("unknown edge should be skipped")
 	}
+}
+
+// TestMigrationV1 pins the pre-session snapshot format: a version-1
+// document (no workspace, no plancache blocks) still loads, delivering
+// its relations, types, and edge costs with nil extras — the migration
+// is by omission.
+func TestMigrationV1(t *testing.T) {
+	v1 := `{
+	 "version": 1,
+	 "relations": [{
+	  "name": "Legacy",
+	  "origin": "import",
+	  "columns": [{"name": "A", "kind": 1}],
+	  "rows": [[{"k": 1, "v": "x"}], [{"k": 1, "v": "y"}]]
+	 }],
+	 "types": [],
+	 "edge_costs": {"some|join|edge|a=b": 0.25}
+	}`
+	cat := catalog.New()
+	r, err := LoadState([]byte(v1), cat, modellearn.NewLibrary())
+	if err != nil {
+		t.Fatalf("v1 snapshot failed to load: %v", err)
+	}
+	if r.Version != 1 {
+		t.Fatalf("Version = %d, want 1", r.Version)
+	}
+	if r.Workspace != nil || r.PlanCache != nil {
+		t.Fatal("v1 snapshot must have nil extras")
+	}
+	if r.EdgeCosts["some|join|edge|a=b"] != 0.25 {
+		t.Fatalf("edge costs lost in migration: %v", r.EdgeCosts)
+	}
+	src := cat.Get("Legacy")
+	if src == nil || src.Rel == nil || len(src.Rel.Rows) != 2 {
+		t.Fatal("v1 relation not restored")
+	}
+}
+
+func TestSaveStateIsV2(t *testing.T) {
+	data, err := SaveState(nil, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 2`) {
+		t.Fatalf("SaveState should stamp version 2:\n%s", data)
+	}
+}
+
+// TestWorkspaceDumpRoundTrip checks the v2 surface: tabs, schemas,
+// source nodes, concrete rows, active tab, and mode survive a
+// dump/restore into a fresh workspace; suggested rows are dropped.
+func TestWorkspaceDumpRoundTrip(t *testing.T) {
+	cat := catalog.New()
+	types := modellearn.NewLibrary()
+	ws := workspace.New(cat, types)
+	tab := ws.ActiveTab()
+	tab.Schema = table.NewSchema("Name", "City")
+	tab.SourceNode = "Shelters"
+	tab.Rows = []workspace.Row{
+		{Cells: table.Tuple{table.S("a"), table.S("x")}},
+		{Cells: table.Tuple{table.S("b"), table.S("y")}, Suggested: true},
+	}
+	ws.SelectTab("Other").Schema = table.NewSchema("K")
+	ws.SelectTab("Sheet1")
+	ws.SetMode(workspace.ModeIntegration)
+
+	d := DumpWorkspace(ws)
+	if len(d.Tabs) != 2 || d.Active != "Sheet1" {
+		t.Fatalf("dump shape: %+v", d)
+	}
+
+	ws2 := workspace.New(catalog.New(), modellearn.NewLibrary())
+	RestoreWorkspace(ws2, d)
+	if ws2.Mode() != workspace.ModeIntegration {
+		t.Fatalf("mode = %v", ws2.Mode())
+	}
+	got := ws2.ActiveTab()
+	if got.Name != "Sheet1" || got.SourceNode != "Shelters" {
+		t.Fatalf("active tab: %+v", got)
+	}
+	if len(got.Rows) != 1 || got.Rows[0].Cells[0].Text() != "a" {
+		t.Fatalf("rows: suggested rows must be dropped, concrete kept: %+v", got.Rows)
+	}
+	if len(ws2.Tabs()) != 2 {
+		t.Fatalf("tab count = %d", len(ws2.Tabs()))
+	}
+	// Restoring a nil dump (v1 snapshot) is a no-op.
+	RestoreWorkspace(ws2, nil)
 }

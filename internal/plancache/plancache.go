@@ -152,6 +152,16 @@ func (c *Cache) Stats() (hits, misses, evictions uint64) {
 	return c.hits, c.misses, c.evictions
 }
 
+// RestoreStats overwrites the lifetime hit/miss/eviction counters. A
+// session reloaded from a persisted snapshot starts with an empty (cold)
+// cache but carries its counters forward, so plancache.hit_rate and the
+// :cache report stay continuous across evict/reload cycles.
+func (c *Cache) RestoreStats(hits, misses, evictions uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits, c.misses, c.evictions = hits, misses, evictions
+}
+
 // HitRate is hits/(hits+misses), or 0 before any lookup.
 func (c *Cache) HitRate() float64 {
 	c.mu.Lock()

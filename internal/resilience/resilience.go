@@ -225,6 +225,28 @@ func (c *Caller) Status() []BreakerStatus {
 	return out
 }
 
+// CountOpen reports how many of the given breakers are open. Paired
+// with MajorityOpen it is the shared overload signal: the telemetry
+// server's readiness probe and the session host's admission control
+// both treat a majority-open breaker set as "the backend services are
+// down, stop taking work".
+func CountOpen(bs []BreakerStatus) int {
+	open := 0
+	for _, b := range bs {
+		if b.State == BreakerOpen {
+			open++
+		}
+	}
+	return open
+}
+
+// MajorityOpen reports whether more than half of the breakers are open
+// (false for an empty set: no services called means no evidence of
+// overload).
+func MajorityOpen(bs []BreakerStatus) bool {
+	return len(bs) > 0 && CountOpen(bs)*2 > len(bs)
+}
+
 // backoff computes the jittered delay before retry number attempt
 // (0-based). Jitter draws from the seeded stream under the mutex.
 func (c *Caller) backoff(attempt int) time.Duration {

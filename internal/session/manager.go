@@ -1,0 +1,525 @@
+package session
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"copycat/internal/obs"
+	"copycat/internal/resilience"
+)
+
+// Config sizes and wires a Manager. Zero values mean "unlimited" for
+// the caps and "defaults" for the substrate handles; only Factory is
+// required.
+type Config struct {
+	// Factory builds the state for new sessions and for reloads.
+	Factory Factory
+	// MaxSessions caps the total session count (resident + evicted).
+	// Creates beyond it are shed with ErrCapacity. 0 = unlimited.
+	MaxSessions int
+	// MaxResident caps how many sessions may be resident at once; the
+	// LRU overflow is evicted to the Store. 0 = unlimited.
+	MaxResident int
+	// MemoryBudget bounds the aggregate resident size estimate in
+	// bytes; crossing it evicts LRU sessions until back under. 0 =
+	// unlimited.
+	MemoryBudget int64
+	// Store receives eviction snapshots; nil installs a MemStore.
+	Store Store
+	// Clock drives recency stamps and the host SLO windows; nil means
+	// the wall clock. Inject a resilience.VirtualClock for deterministic
+	// admission tests.
+	Clock resilience.Clock
+	// SLO overrides the host admission SLO tracker; nil builds one with
+	// obs.DefaultSLOConfig on the manager clock. Its fast-burn alert is
+	// the load-shedding signal.
+	SLO *obs.SLOTracker
+	// Breakers optionally exposes host-level circuit breaker state to
+	// admission control: a majority-open fleet sheds new sessions.
+	Breakers func() []resilience.BreakerStatus
+	// EnableTracing turns on span recording in every hosted workspace;
+	// all sessions publish into the manager's shared span ring, tagged
+	// with their session ID.
+	EnableTracing bool
+}
+
+// Manager hosts many concurrent sessions: it creates them from the
+// factory, pins them for exclusive use on Acquire, keeps the aggregate
+// resident footprint within budget by LRU-evicting unpinned sessions to
+// the Store, reloads evicted sessions transparently on their next
+// Acquire, and sheds new sessions when the host is overloaded.
+type Manager struct {
+	cfg     Config
+	store   Store
+	clock   resilience.Clock
+	slo     *obs.SLOTracker
+	ring    *obs.SpanRing
+	metrics *obs.Registry
+
+	created   atomic.Int64
+	evictions atomic.Int64
+	reloads   atomic.Int64
+	rejected  atomic.Int64
+
+	mu            sync.Mutex // lock order: mu → Session.mu; never inverted
+	sessions      map[string]*Session
+	seq           int64
+	residentCount int
+	residentBytes int64
+}
+
+// NewManager builds a manager. It panics if cfg.Factory is nil — a
+// manager without a way to build state is a programming error, not a
+// runtime condition.
+func NewManager(cfg Config) *Manager {
+	if cfg.Factory == nil {
+		panic("session: Config.Factory is required")
+	}
+	m := &Manager{
+		cfg:      cfg,
+		store:    cfg.Store,
+		clock:    cfg.Clock,
+		slo:      cfg.SLO,
+		ring:     obs.NewSpanRing(obs.DefaultSpanRingSize),
+		metrics:  obs.NewRegistry(),
+		sessions: map[string]*Session{},
+	}
+	if m.store == nil {
+		m.store = NewMemStore()
+	}
+	if m.slo == nil {
+		m.slo = obs.NewSLOTracker(obs.DefaultSLOConfig(), m.now)
+	}
+	return m
+}
+
+func (m *Manager) now() time.Time {
+	if m.clock != nil {
+		return m.clock.Now()
+	}
+	return time.Now()
+}
+
+// SLO exposes the host-level admission SLO tracker (aggregate
+// suggest-refresh latency across every hosted session).
+func (m *Manager) SLO() *obs.SLOTracker { return m.slo }
+
+// Ring exposes the shared span ring every hosted workspace publishes
+// into (spans carry a "session" attribute).
+func (m *Manager) Ring() *obs.SpanRing { return m.ring }
+
+// Store exposes the snapshot store (tests inspect it).
+func (m *Manager) Store() Store { return m.store }
+
+// refreshStage is the stage whose per-session completions both the host
+// SLO and the per-session refresh counters observe.
+const refreshStage = "suggest.refresh"
+
+// wire points a freshly built (or reloaded) state at this session and
+// host: session ID on spans and decisions, the shared span ring, and
+// the stage hook that folds per-session latencies into the host SLO and
+// histograms.
+func (m *Manager) wire(s *Session, st *State) {
+	ws := st.Workspace
+	ws.SessionID = s.id
+	ws.Decisions.SetSession(s.id)
+	ws.SetSpanRing(m.ring)
+	if m.cfg.EnableTracing {
+		ws.EnableTracing()
+	}
+	ws.StageHook = func(stage string, d time.Duration) {
+		if m.slo.Tracks(stage) {
+			m.slo.Observe(d)
+		}
+		m.metrics.Histogram("host.latency." + stage).Observe(d)
+		if stage == refreshStage {
+			s.refreshes.Add(1)
+		}
+	}
+}
+
+// Create admits and builds a new session for a tenant. The returned
+// session is already pinned (as if Acquired) — use its State, then
+// Release it. Sheds with ErrOverloaded when the host SLO fast-burn
+// alert fires (or a breaker majority is open) and with ErrCapacity when
+// the session table is full.
+func (m *Manager) Create(tenant string) (*Session, error) {
+	if shedding, reason := m.Shedding(); shedding {
+		m.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %s", shedErr(reason), reason)
+	}
+	st, err := m.cfg.Factory()
+	if err != nil {
+		return nil, fmt.Errorf("session: factory: %w", err)
+	}
+	now := m.now()
+	s := &Session{tenant: tenant, st: st, created: now, lastUsed: now}
+	s.mgr = m
+	s.useMu.Lock() // pin before publishing so the evictor can't race us
+	m.mu.Lock()
+	m.seq++
+	s.id = fmt.Sprintf("s%06d", m.seq)
+	s.bytes = st.SizeEstimate()
+	m.sessions[s.id] = s
+	m.residentCount++
+	m.residentBytes += s.bytes
+	m.mu.Unlock()
+	m.wire(s, st)
+	m.created.Add(1)
+	m.evictToBudget()
+	return s, nil
+}
+
+// Acquire pins a session for exclusive use, blocking while another
+// holder has it. An evicted session is transparently reloaded from its
+// snapshot: the factory rebuilds services and builtins, then the
+// snapshot replays relations, types, edge weights, tabs, and cache
+// counters on top. Callers must Release when done.
+func (m *Manager) Acquire(id string) (*Session, error) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return nil, ErrNotFound
+	}
+	s.useMu.Lock()
+	s.mu.Lock()
+	destroyed, evicted := s.destroyed, s.st == nil
+	s.mu.Unlock()
+	if destroyed {
+		s.useMu.Unlock()
+		return nil, ErrNotFound
+	}
+	if evicted {
+		if err := m.reload(s); err != nil {
+			s.useMu.Unlock()
+			return nil, err
+		}
+	}
+	s.mu.Lock()
+	s.lastUsed = m.now()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// reload rebuilds an evicted session's state from its snapshot; the
+// caller holds s.useMu.
+func (m *Manager) reload(s *Session) error {
+	data, ok, err := m.store.Load(s.id)
+	if err != nil {
+		return fmt.Errorf("session %s: load snapshot: %w", s.id, err)
+	}
+	if !ok {
+		return fmt.Errorf("session %s: %w", s.id, ErrNoSnapshot)
+	}
+	st, err := m.cfg.Factory()
+	if err != nil {
+		return fmt.Errorf("session %s: factory: %w", s.id, err)
+	}
+	if err := st.Restore(data); err != nil {
+		return fmt.Errorf("session %s: restore: %w", s.id, err)
+	}
+	m.wire(s, st)
+	size := st.SizeEstimate()
+	m.mu.Lock()
+	s.mu.Lock()
+	s.st = st
+	s.bytes = size
+	s.reloads++
+	m.residentCount++
+	m.residentBytes += size
+	s.mu.Unlock()
+	m.mu.Unlock()
+	m.reloads.Add(1)
+	m.evictToBudget()
+	return nil
+}
+
+// release is Session.Release: refresh the footprint estimate and
+// recency, unpin, and rebalance the budget.
+func (m *Manager) release(s *Session) {
+	var size int64
+	s.mu.Lock()
+	st := s.st
+	s.mu.Unlock()
+	if st != nil {
+		size = st.SizeEstimate() // outside locks; the holder still pins the state
+	}
+	m.mu.Lock()
+	s.mu.Lock()
+	if s.st != nil {
+		m.residentBytes += size - s.bytes
+		s.bytes = size
+	}
+	s.lastUsed = m.now()
+	s.mu.Unlock()
+	m.mu.Unlock()
+	s.useMu.Unlock()
+	m.evictToBudget()
+}
+
+// Evict snapshots a session to the store and drops its resident state.
+// Returns ErrBusy if the session is currently pinned (the evictor never
+// blocks behind a holder), and nil if the session is already evicted.
+func (m *Manager) Evict(id string) error {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return ErrNotFound
+	}
+	if !s.useMu.TryLock() {
+		return ErrBusy
+	}
+	defer s.useMu.Unlock()
+	s.mu.Lock()
+	destroyed := s.destroyed
+	s.mu.Unlock()
+	if destroyed {
+		return ErrNotFound
+	}
+	return m.evict(s)
+}
+
+// evict does the snapshot-and-drop; the caller holds s.useMu. A
+// snapshot or store failure leaves the session resident (state loss is
+// worse than budget overshoot).
+func (m *Manager) evict(s *Session) error {
+	s.mu.Lock()
+	st := s.st
+	s.mu.Unlock()
+	if st == nil {
+		return nil // already evicted
+	}
+	data, err := st.Snapshot()
+	if err != nil {
+		return fmt.Errorf("session %s: snapshot: %w", s.id, err)
+	}
+	if err := m.store.Save(s.id, data); err != nil {
+		return fmt.Errorf("session %s: save snapshot: %w", s.id, err)
+	}
+	m.mu.Lock()
+	s.mu.Lock()
+	s.st = nil
+	s.evictions++
+	m.residentCount--
+	m.residentBytes -= s.bytes
+	s.bytes = 0
+	s.mu.Unlock()
+	m.mu.Unlock()
+	m.evictions.Add(1)
+	return nil
+}
+
+// Destroy removes a session entirely: waits for any holder to release,
+// drops its state, and deletes its snapshot. The ID is not reused.
+func (m *Manager) Destroy(id string) error {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return ErrNotFound
+	}
+	s.useMu.Lock()
+	m.mu.Lock()
+	s.mu.Lock()
+	if s.destroyed {
+		s.mu.Unlock()
+		m.mu.Unlock()
+		s.useMu.Unlock()
+		return ErrNotFound
+	}
+	if s.st != nil {
+		m.residentCount--
+		m.residentBytes -= s.bytes
+	}
+	s.st = nil
+	s.bytes = 0
+	s.destroyed = true
+	delete(m.sessions, s.id)
+	s.mu.Unlock()
+	m.mu.Unlock()
+	s.useMu.Unlock()
+	return m.store.Delete(id)
+}
+
+// evictToBudget evicts LRU unpinned sessions until the resident count
+// and byte estimate are back under their caps. Pinned sessions are
+// skipped (TryLock), so a fully pinned fleet can transiently exceed the
+// budget — it converges as holders release.
+func (m *Manager) evictToBudget() {
+	for {
+		victim := m.pickVictim()
+		if victim == nil {
+			return
+		}
+		err := m.evict(victim)
+		victim.useMu.Unlock()
+		if err != nil {
+			return
+		}
+	}
+}
+
+// pickVictim returns the least-recently-used resident session it could
+// pin, or nil when the budget is satisfied or every candidate is busy.
+// The returned session's useMu is held.
+func (m *Manager) pickVictim() *Session {
+	m.mu.Lock()
+	over := (m.cfg.MaxResident > 0 && m.residentCount > m.cfg.MaxResident) ||
+		(m.cfg.MemoryBudget > 0 && m.residentBytes > m.cfg.MemoryBudget)
+	if !over {
+		m.mu.Unlock()
+		return nil
+	}
+	type cand struct {
+		s        *Session
+		lastUsed time.Time
+	}
+	cands := make([]cand, 0, m.residentCount)
+	for _, s := range m.sessions {
+		s.mu.Lock()
+		if s.st != nil && !s.destroyed {
+			cands = append(cands, cand{s, s.lastUsed})
+		}
+		s.mu.Unlock()
+	}
+	m.mu.Unlock()
+	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUsed.Before(cands[j].lastUsed) })
+	for _, c := range cands {
+		if !c.s.useMu.TryLock() {
+			continue
+		}
+		c.s.mu.Lock()
+		ok := c.s.st != nil && !c.s.destroyed
+		c.s.mu.Unlock()
+		if ok {
+			return c.s
+		}
+		c.s.useMu.Unlock()
+	}
+	return nil
+}
+
+// shedErr maps a shed reason to its sentinel error.
+func shedErr(reason string) error {
+	if reason == reasonCapacity {
+		return ErrCapacity
+	}
+	return ErrOverloaded
+}
+
+const reasonCapacity = "session table full"
+
+// Shedding reports whether admission control is currently rejecting new
+// sessions, and why: the host SLO fast-burn alert, a majority of host
+// breakers open, or the session table at MaxSessions.
+func (m *Manager) Shedding() (bool, string) {
+	if st := m.slo.Status(); st.FastAlert {
+		return true, fmt.Sprintf("SLO fast-burn alert (burn %.1f× budget)", st.FastBurn)
+	}
+	if m.cfg.Breakers != nil {
+		if bs := m.cfg.Breakers(); resilience.MajorityOpen(bs) {
+			return true, fmt.Sprintf("%d of %d breakers open", resilience.CountOpen(bs), len(bs))
+		}
+	}
+	if m.cfg.MaxSessions > 0 {
+		m.mu.Lock()
+		full := len(m.sessions) >= m.cfg.MaxSessions
+		m.mu.Unlock()
+		if full {
+			return true, reasonCapacity
+		}
+	}
+	return false, ""
+}
+
+// List describes every session, sorted by ID.
+func (m *Manager) List() []Info {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	infos := make([]Info, len(ss))
+	for i, s := range ss {
+		infos[i] = s.info()
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].ID < infos[j].ID })
+	return infos
+}
+
+// Get describes one session.
+func (m *Manager) Get(id string) (Info, bool) {
+	m.mu.Lock()
+	s := m.sessions[id]
+	m.mu.Unlock()
+	if s == nil {
+		return Info{}, false
+	}
+	return s.info(), true
+}
+
+// HostStats is the manager-level counter block for /metrics, scpbench,
+// and the capacity experiment.
+type HostStats struct {
+	Sessions      int    `json:"sessions"`
+	Resident      int    `json:"resident"`
+	ResidentBytes int64  `json:"resident_bytes"`
+	MemoryBudget  int64  `json:"memory_budget,omitempty"`
+	Created       int64  `json:"created"`
+	Evictions     int64  `json:"evictions"`
+	Reloads       int64  `json:"reloads"`
+	Rejected      int64  `json:"rejected"`
+	Shedding      bool   `json:"shedding"`
+	ShedReason    string `json:"shed_reason,omitempty"`
+}
+
+// Stats snapshots the host counters.
+func (m *Manager) Stats() HostStats {
+	shedding, reason := m.Shedding()
+	m.mu.Lock()
+	st := HostStats{
+		Sessions:      len(m.sessions),
+		Resident:      m.residentCount,
+		ResidentBytes: m.residentBytes,
+		MemoryBudget:  m.cfg.MemoryBudget,
+	}
+	m.mu.Unlock()
+	st.Created = m.created.Load()
+	st.Evictions = m.evictions.Load()
+	st.Reloads = m.reloads.Load()
+	st.Rejected = m.rejected.Load()
+	st.Shedding = shedding
+	st.ShedReason = reason
+	return st
+}
+
+// MetricsSnapshot folds the host registry (aggregate per-stage latency
+// histograms across every session) and the lifecycle counters into one
+// obs.Snapshot — the manager-level analogue of
+// Workspace.MetricsSnapshot, consumed by the telemetry server.
+func (m *Manager) MetricsSnapshot() obs.Snapshot {
+	snap := m.metrics.Snapshot()
+	st := m.Stats()
+	snap.Counters["sessions.created"] = st.Created
+	snap.Counters["sessions.evictions"] = st.Evictions
+	snap.Counters["sessions.reloads"] = st.Reloads
+	snap.Counters["sessions.admission_rejected"] = st.Rejected
+	snap.Gauges["sessions.count"] = float64(st.Sessions)
+	snap.Gauges["sessions.resident"] = float64(st.Resident)
+	snap.Gauges["sessions.resident_bytes"] = float64(st.ResidentBytes)
+	if st.MemoryBudget > 0 {
+		snap.Gauges["sessions.memory_budget_bytes"] = float64(st.MemoryBudget)
+	}
+	shed := 0.0
+	if st.Shedding {
+		shed = 1
+	}
+	snap.Gauges["sessions.shedding"] = shed
+	return snap
+}

@@ -1,0 +1,117 @@
+package session_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"copycat/internal/session"
+	"copycat/internal/simuser"
+	"copycat/internal/webworld"
+)
+
+// TestConcurrentLifecycle hammers one manager from many goroutines —
+// creating, attaching, refreshing, explicitly evicting, listing, and
+// scraping stats — over hundreds of sessions with a tight memory
+// budget, so the LRU evictor runs constantly under contention. Run
+// under -race (make test-race) this is the data-race proof for the
+// pin/evict locking protocol.
+func TestConcurrentLifecycle(t *testing.T) {
+	cfg := webworld.DefaultConfig()
+	cfg.Cities, cfg.SheltersPerCity = 3, 3
+	w := webworld.Generate(cfg)
+	m := session.NewManager(session.Config{
+		Factory: func() (*session.State, error) {
+			e := simuser.NewEnv(w, webworld.StyleTable)
+			return &session.State{Workspace: e.WS, Catalog: e.WS.Cat, Types: e.WS.Types}, nil
+		},
+		MemoryBudget:  2 << 20, // tight: forces steady eviction churn
+		EnableTracing: true,
+	})
+
+	const (
+		nSessions = 200
+		nWorkers  = 8
+		nOps      = 120
+	)
+	// Seed the fleet; every session gets imported state so snapshots are
+	// non-trivial.
+	ids := make([]string, nSessions)
+	var seedWG sync.WaitGroup
+	for g := 0; g < nWorkers; g++ {
+		seedWG.Add(1)
+		go func(g int) {
+			defer seedWG.Done()
+			for i := g; i < nSessions; i += nWorkers {
+				s, err := m.Create(fmt.Sprintf("tenant%02d", i%10))
+				if err != nil {
+					t.Errorf("create %d: %v", i, err)
+					return
+				}
+				if err := simuser.ImportShelters(s.State().Workspace, w, webworld.StyleTable); err != nil {
+					t.Errorf("import %d: %v", i, err)
+				}
+				ids[i] = s.ID()
+				s.Release()
+			}
+		}(g)
+	}
+	seedWG.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	var refreshes, failures atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < nWorkers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 1))
+			for op := 0; op < nOps; op++ {
+				id := ids[rng.Intn(len(ids))]
+				switch rng.Intn(10) {
+				case 0: // explicit evict; ErrBusy is expected under contention
+					if err := m.Evict(id); err != nil && !errors.Is(err, session.ErrBusy) {
+						t.Errorf("evict %s: %v", id, err)
+					}
+				case 1:
+					m.List()
+				case 2:
+					m.Stats()
+					m.MetricsSnapshot()
+				default: // attach (transparent reload), refresh, release
+					s, err := m.Acquire(id)
+					if err != nil {
+						failures.Add(1)
+						t.Errorf("acquire %s: %v", id, err)
+						continue
+					}
+					if n := len(s.State().Workspace.RefreshColumnSuggestions()); n == 0 {
+						failures.Add(1)
+						t.Errorf("session %s: no suggestions after attach", id)
+					}
+					refreshes.Add(1)
+					s.Release()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := m.Stats()
+	if st.Evictions == 0 || st.Reloads == 0 {
+		t.Fatalf("expected eviction churn under the tight budget: %+v", st)
+	}
+	if st.ResidentBytes > 2<<20 {
+		t.Fatalf("resident estimate %d over budget after quiescence", st.ResidentBytes)
+	}
+	if refreshes.Load() == 0 || failures.Load() != 0 {
+		t.Fatalf("refreshes=%d failures=%d", refreshes.Load(), failures.Load())
+	}
+	t.Logf("fleet: %d sessions, %d refreshes, %d evictions, %d reloads, resident %d (%dB)",
+		st.Sessions, refreshes.Load(), st.Evictions, st.Reloads, st.Resident, st.ResidentBytes)
+}

@@ -1,0 +1,71 @@
+package session
+
+import "sync"
+
+// Store persists evicted sessions' snapshots. Implementations must be
+// safe for concurrent use; the manager saves and loads from many
+// acquire/evict paths at once.
+type Store interface {
+	// Save persists a snapshot under the session's ID, replacing any
+	// previous one.
+	Save(id string, data []byte) error
+	// Load returns the snapshot for id and whether one exists.
+	Load(id string) ([]byte, bool, error)
+	// Delete discards the snapshot for id (no-op when absent).
+	Delete(id string) error
+}
+
+// MemStore is the default in-process Store: a mutex-guarded map. It
+// models the durable tier without touching disk, which keeps tests and
+// benchmarks hermetic; a deployment would substitute a file- or
+// object-store-backed implementation.
+type MemStore struct {
+	mu    sync.Mutex
+	snaps map[string][]byte
+	bytes int64
+}
+
+// NewMemStore creates an empty in-memory snapshot store.
+func NewMemStore() *MemStore {
+	return &MemStore{snaps: map[string][]byte{}}
+}
+
+// Save implements Store.
+func (s *MemStore) Save(id string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytes += int64(len(data)) - int64(len(s.snaps[id]))
+	s.snaps[id] = data
+	return nil
+}
+
+// Load implements Store.
+func (s *MemStore) Load(id string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.snaps[id]
+	return data, ok, nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.bytes -= int64(len(s.snaps[id]))
+	delete(s.snaps, id)
+	return nil
+}
+
+// Len reports the number of stored snapshots.
+func (s *MemStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.snaps)
+}
+
+// Bytes reports the aggregate size of stored snapshots.
+func (s *MemStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}

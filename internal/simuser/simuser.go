@@ -47,6 +47,42 @@ func NewEnv(w *webworld.World, style webworld.SiteStyle) *Env {
 	}
 }
 
+// ImportShelters drives the standard two-shelter import into an
+// arbitrary workspace: paste two shelter rows from the site in the
+// given style, extend across the site, accept the generalized rows, and
+// switch to integration mode — leaving the workspace one
+// RefreshColumnSuggestions call away from column proposals. It is the
+// per-session body of the multi-tenant capacity experiments: every
+// hosted session runs this once after creation.
+func ImportShelters(ws *workspace.Workspace, w *webworld.World, style webworld.SiteStyle) error {
+	brows := wrappers.NewBrowser(ws.Clip, w.ShelterSite(style))
+	s0, s1 := w.Shelters[0], w.Shelters[1]
+	if style == webworld.StyleForm {
+		if err := brows.SubmitForm(0, s0.City); err != nil {
+			return err
+		}
+	}
+	sel, err := brows.CopyRows([][]string{
+		{s0.Name, s0.Street, s0.City},
+		{s1.Name, s1.Street, s1.City},
+	})
+	if err != nil {
+		return err
+	}
+	if err := ws.Paste(sel); err != nil {
+		return err
+	}
+	ws.ExtendAcrossSite()
+	if ws.RowSuggestions().Count == 0 {
+		return fmt.Errorf("simuser: no row suggestions (style %s)", style)
+	}
+	if err := ws.AcceptRows(); err != nil {
+		return err
+	}
+	ws.SetMode(workspace.ModeIntegration)
+	return nil
+}
+
 // TaskResult reports the E1 comparison for one scripted session.
 type TaskResult struct {
 	SCPKeystrokes    int

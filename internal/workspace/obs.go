@@ -34,6 +34,17 @@ func (w *Workspace) EnableTracing() {
 // receives spans while tracing is enabled.
 func (w *Workspace) SpanRing() *obs.SpanRing { return w.spanRing }
 
+// SetSpanRing replaces the live-span buffer, so a session manager can
+// point many workspaces at one shared host ring and stream every
+// tenant's spans from a single /trace/stream. Call before
+// EnableTracing; the trace publishes into whichever ring was current
+// when tracing was enabled.
+func (w *Workspace) SetSpanRing(r *obs.SpanRing) {
+	if r != nil {
+		w.spanRing = r
+	}
+}
+
 // DisableTracing stops span recording (the trace collected so far is
 // discarded).
 func (w *Workspace) DisableTracing() { w.trace = nil }
@@ -56,12 +67,16 @@ func (w *Workspace) TraceTo(out io.Writer) error { return w.trace.WriteChrome(ou
 // all of them.
 func (w *Workspace) stage(name string) (*obs.Span, func()) {
 	sp := w.trace.Start(name, "stage")
+	if w.SessionID != "" {
+		sp.SetAttr("session", w.SessionID)
+	}
 	h := w.Metrics.Histogram("latency." + name)
 	slo := w.SLO
 	if slo != nil && !slo.Tracks(name) {
 		slo = nil
 	}
-	if sp == nil && h == nil && slo == nil {
+	hook := w.StageHook
+	if sp == nil && h == nil && slo == nil && hook == nil {
 		return nil, func() {}
 	}
 	start := w.now()
@@ -69,6 +84,9 @@ func (w *Workspace) stage(name string) (*obs.Span, func()) {
 		d := w.now().Sub(start)
 		h.Observe(d)
 		slo.Observe(d)
+		if hook != nil {
+			hook(name, d)
+		}
 		sp.End()
 	}
 }

@@ -162,6 +162,16 @@ type Workspace struct {
 	// means the wall clock. Inject a resilience.VirtualClock for
 	// deterministic traces.
 	Clock resilience.Clock
+	// SessionID identifies the session handle that owns this workspace in
+	// a multi-tenant host. When set, every stage span carries it as the
+	// "session" attribute (so a followed /trace/stream interleaving many
+	// tenants stays attributable). "" for the single-workspace facade.
+	SessionID string
+	// StageHook, when non-nil, observes every completed pipeline stage
+	// (name + duration) in addition to this workspace's own histograms
+	// and SLO tracker. The session manager uses it to fold per-session
+	// latencies into host-level admission-control SLOs.
+	StageHook func(stage string, d time.Duration)
 
 	// trace is the active span tracer; nil (the default) disables
 	// tracing at ~zero cost. Managed by EnableTracing/DisableTracing.
