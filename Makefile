@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-check obs-smoke serve-smoke serve-bench sessions-smoke check
+.PHONY: all build vet test test-race bench bench-check obs-smoke serve-smoke serve-bench sessions-smoke durability-smoke check
 
 all: check
 
@@ -86,6 +86,31 @@ sessions-smoke:
 	curl -sf http://127.0.0.1:19465/sessions | grep -q '"tenant": "bob"' && \
 	echo "sessions-smoke: ok"
 
+# Durable-host smoke: boot the session host with a file-backed store on
+# a fresh directory, evict a seeded session so its snapshot hits disk,
+# stop the server with SIGTERM (which checkpoints the resident fleet),
+# then restart over the same directory and attach the evicted session
+# through its on-disk snapshot — the kill-and-restart story end to end,
+# with the tenant label surviving.
+durability-smoke:
+	$(GO) build -o bin/scpbench ./cmd/scpbench
+	rm -rf bin/durability-store && \
+	./bin/scpbench -serve 127.0.0.1:19466 -serve-sessions 8 -store-dir bin/durability-store -serve-wait 60s & \
+	PID=$$!; trap 'kill $$PID 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do curl -sf -o /dev/null http://127.0.0.1:19466/readyz && break; sleep 0.2; done; \
+	curl -sf -X POST http://127.0.0.1:19466/sessions/s000001/evict | grep -q '"resident": false' && \
+	curl -sf http://127.0.0.1:19466/metrics | grep -q 'copycat_sessions_store_snapshots 1' && \
+	kill $$PID && wait $$PID 2>/dev/null; \
+	test -f bin/durability-store/s000001.snap && \
+	test -f bin/durability-store/s000002.snap && \
+	./bin/scpbench -serve 127.0.0.1:19466 -serve-sessions 8 -store-dir bin/durability-store -serve-wait 60s & \
+	PID=$$!; trap 'kill $$PID 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do curl -sf -o /dev/null http://127.0.0.1:19466/readyz && break; sleep 0.2; done; \
+	curl -sf http://127.0.0.1:19466/sessions | grep -q '"tenant": "alice"' && \
+	curl -sf -X POST http://127.0.0.1:19466/sessions/s000001/attach | grep -q '"resident": true' && \
+	curl -sf -X POST 'http://127.0.0.1:19466/sessions?tenant=smoke' | grep -q '"id": "s000003"' && \
+	echo "durability-smoke: ok"
+
 # Incremental-refresh regression gate: run the warm/cold pipeline
 # comparison (which also proves warm ≡ cold over lockstep twin sessions),
 # fail if the warm refresh p99 regressed more than 10% against the
@@ -94,9 +119,13 @@ sessions-smoke:
 # BENCH_6.json, failing if availability drops below 99% at any point,
 # the admission cap stops rejecting, or the memory budget stops forcing
 # eviction/reload churn at the knee; the curve is refreshed in place.
+# Finally the durability gate: re-run the durable-store experiment
+# against the committed BENCH_7.json, failing if the on-disk compression
+# ratio drops below 2× or the rebuilt host stops recovering the fleet.
 bench-check:
 	$(GO) run ./cmd/scpbench -exp pipeline -warm -cold -baseline BENCH_4.json -bench-out BENCH_4.json
 	$(GO) run ./cmd/scpbench -exp capacity -baseline BENCH_6.json -bench-out BENCH_6.json
+	$(GO) run ./cmd/scpbench -exp durability -baseline BENCH_7.json -bench-out BENCH_7.json
 
 # Tier-1 gate: everything a PR must keep green.
 check: build vet test test-race

@@ -45,6 +45,7 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 	// session so the evictor may reclaim it.
 	var host *copycat.Host
 	hosted := false
+	storeDir := "" // :session store <dir>: durable snapshot tier for the lazily built host
 	rebind := func(ns *copycat.System) {
 		if hosted {
 			sys.Release()
@@ -58,6 +59,15 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 	defer func() {
 		if hosted {
 			sys.Release()
+		}
+		// A durable host checkpoints its resident fleet on the way out,
+		// so a later REPL over the same store dir can attach everything.
+		if host != nil && storeDir != "" {
+			if n, err := host.Manager.Checkpoint(); err != nil {
+				fmt.Fprintf(out, "checkpoint: %v\n", err)
+			} else if n > 0 {
+				fmt.Fprintf(out, "checkpointed %d sessions to %s\n", n, storeDir)
+			}
 		}
 	}()
 
@@ -356,7 +366,7 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 			}
 		case ":session", "session":
 			// :session | :session new [tenant] | :session attach <id> |
-			// :session list | :session evict <id>
+			// :session list | :session evict <id> | :session store <dir>
 			switch {
 			case len(args) == 0:
 				if hosted {
@@ -364,9 +374,27 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 				} else {
 					fmt.Fprintln(out, "session local (standalone)")
 				}
+			case args[0] == "store" && len(args) == 2:
+				// Must land before the host exists: the store is wired in
+				// when the first `:session new` builds the manager.
+				if host != nil {
+					err = fmt.Errorf("host already running; :session store must come before the first :session new")
+					break
+				}
+				storeDir = args[1]
+				fmt.Fprintf(out, "session store set to %s — the host will persist snapshots there\n", storeDir)
 			case args[0] == "new" && len(args) <= 2:
 				if host == nil {
-					host = copycat.NewDemoHost(cfg, copycat.SessionConfig{})
+					if storeDir != "" {
+						if host, err = copycat.NewDurableDemoHost(cfg, copycat.SessionConfig{}, storeDir); err != nil {
+							break
+						}
+						if recovered := host.Manager.Stats().Recovered; recovered > 0 {
+							fmt.Fprintf(out, "recovered %d sessions from %s (attach by id)\n", recovered, storeDir)
+						}
+					} else {
+						host = copycat.NewDemoHost(cfg, copycat.SessionConfig{})
+					}
 				}
 				tenant := "default"
 				if len(args) == 2 {
@@ -415,7 +443,7 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 					fmt.Fprintf(out, "session %s evicted to its snapshot\n", args[1])
 				}
 			default:
-				err = fmt.Errorf("usage: :session [new [tenant] | attach <id> | list | evict <id>]")
+				err = fmt.Errorf("usage: :session [new [tenant] | attach <id> | list | evict <id> | store <dir>]")
 			}
 		case ":why", "why":
 			needle := strings.Join(args, " ")
@@ -530,7 +558,7 @@ func printHelp(out io.Writer) {
   :why [candidate]           decision log: why candidates were pruned/suggested/rejected
   :serve <addr>|off          live telemetry server (/metrics /healthz /trace/stream ...)
   :slo                       suggestion-refresh latency objective: burn rates and alerts
-  :session [sub]             multi-tenant session hosting: new [tenant] | attach <id> | list | evict <id>
+  :session [sub]             multi-tenant session hosting: new [tenant] | attach <id> | list | evict <id> | store <dir>
   quit
 `)
 }

@@ -222,6 +222,57 @@ func TestReplSessionCommands(t *testing.T) {
 	}
 }
 
+// TestReplDurableSessionStore walks the durable-host story across two
+// REPL processes: the first sets a store dir, hosts two sessions, and
+// checkpoints them on quit; the second, pointed at the same dir,
+// recovers both and attaches one with its workspace intact.
+func TestReplDurableSessionStore(t *testing.T) {
+	dir := t.TempDir()
+	out := drive(t, strings.Join([]string{
+		":session store " + dir,
+		":session new alice",
+		"open shelters",
+		"copy Sunset Recreation Center | 335 NW Copans Rd | Mangrove Lakes",
+		"paste",
+		"accept",
+		":session new bob",
+		":session evict s000001",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"session store set to " + dir,
+		"session s000001 created (tenant alice)",
+		"tab committed as source",
+		"session s000001 evicted to its snapshot",
+		"checkpointed 1 sessions to " + dir, // bob; alice is already on disk
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("first transcript missing %q:\n%s", want, out)
+		}
+	}
+
+	// Second REPL over the same directory: both sessions recover.
+	out = drive(t, strings.Join([]string{
+		":session store " + dir,
+		":session new carol",
+		":session attach s000001",
+		"tabs",
+		":session store " + dir, // too late: host already running
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"recovered 2 sessions from " + dir,
+		"session s000003 created (tenant carol)",
+		"attached to session s000001 — workspace switched",
+		"Sheet1 (30 rows)",
+		"error:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("second transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestReplServeAndSLOCommands(t *testing.T) {
 	out := drive(t, strings.Join([]string{
 		":slo",

@@ -49,6 +49,7 @@ var experiments = []experiment{
 	{"pipeline", "O1: observability — per-stage suggestion latency, tracing overhead, Chrome trace export", expPipeline},
 	{"serve", "O2: telemetry serving — /metrics scrape cost and serving overhead vs unserved baseline", expServe},
 	{"capacity", "C1: multi-tenant capacity — sessions vs p99/availability under a fixed memory budget with LRU eviction", expCapacity},
+	{"durability", "D1: durable session store — evict/reload cost, on-disk compression ratio, crash recovery of the whole fleet", expDurability},
 }
 
 // statsMode mirrors the -stats flag: experiments that drive a workspace
@@ -95,10 +96,11 @@ func main() {
 	serveAddr := flag.String("serve", "", "drive a traced demo session and serve its live telemetry on this address (e.g. 127.0.0.1:9464) instead of running experiments")
 	serveWait := flag.Duration("serve-wait", 0, "with -serve: shut the telemetry server down after this long (0 = until SIGINT/SIGTERM)")
 	serveSessions := flag.Int("serve-sessions", 0, "with -serve: host a multi-tenant session manager capped at this many sessions (two tenants pre-seeded) instead of a single demo session")
+	storeDir := flag.String("store-dir", "", "with -serve-sessions: back the host with a durable file store at this directory — existing sessions are recovered on boot and the fleet is checkpointed to disk on shutdown")
 	flag.Parse()
 	statsMode = *stats
 	if *serveAddr != "" {
-		if err := runTelemetryServer(*serveAddr, *serveWait, *serveSessions); err != nil {
+		if err := runTelemetryServer(*serveAddr, *serveWait, *serveSessions, *storeDir); err != nil {
 			fmt.Fprintf(os.Stderr, "scpbench: -serve: %v\n", err)
 			os.Exit(1)
 		}

@@ -208,7 +208,11 @@ func expServe() error {
 // session manager capped at N sessions with two seeded tenants, so the
 // smoke can walk the /sessions lifecycle, drive the table to the cap to
 // watch /readyz flip to 503, and lint the per-tenant /metrics families.
-func runTelemetryServer(addr string, wait time.Duration, hostSessions int) error {
+// Adding -store-dir makes that host durable: sessions already in the
+// store are recovered instead of re-seeding, and the resident fleet is
+// checkpointed to disk when the server stops — so a kill + restart over
+// the same directory serves the same sessions.
+func runTelemetryServer(addr string, wait time.Duration, hostSessions int, storeDir string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if wait > 0 {
@@ -217,25 +221,46 @@ func runTelemetryServer(addr string, wait time.Duration, hostSessions int) error
 	}
 
 	var srv *copycat.TelemetryServer
+	var checkpoint func()
 	if hostSessions > 0 {
 		worldCfg := copycat.DefaultWorldConfig()
 		worldCfg.Cities, worldCfg.SheltersPerCity = 3, 3
-		host := copycat.NewDemoHost(worldCfg, copycat.SessionConfig{
+		sessionCfg := copycat.SessionConfig{
 			MaxSessions:   hostSessions,
 			EnableTracing: true,
-		})
-		for _, tenant := range []string{"alice", "bob"} {
-			sys, err := host.Create(tenant)
-			if err != nil {
+		}
+		var host *copycat.Host
+		if storeDir != "" {
+			var err error
+			if host, err = copycat.NewDurableDemoHost(worldCfg, sessionCfg, storeDir); err != nil {
 				return err
 			}
-			err = capacitySeed(sys)
-			if err == nil && len(sys.Workspace.RefreshColumnSuggestions()) == 0 {
-				err = fmt.Errorf("seed session for %s produced no completions", tenant)
+			checkpoint = func() {
+				if n, err := host.Manager.Checkpoint(); err != nil {
+					fmt.Fprintf(os.Stderr, "scpbench: shutdown checkpoint: %v\n", err)
+				} else {
+					fmt.Fprintf(os.Stderr, "scpbench: checkpointed %d sessions to %s\n", n, storeDir)
+				}
 			}
-			sys.Release()
-			if err != nil {
-				return err
+		} else {
+			host = copycat.NewDemoHost(worldCfg, sessionCfg)
+		}
+		if recovered := host.Manager.Stats().Recovered; recovered > 0 {
+			fmt.Fprintf(os.Stderr, "scpbench: recovered %d sessions from %s\n", recovered, storeDir)
+		} else {
+			for _, tenant := range []string{"alice", "bob"} {
+				sys, err := host.Create(tenant)
+				if err != nil {
+					return err
+				}
+				err = capacitySeed(sys)
+				if err == nil && len(sys.Workspace.RefreshColumnSuggestions()) == 0 {
+					err = fmt.Errorf("seed session for %s produced no completions", tenant)
+				}
+				sys.Release()
+				if err != nil {
+					return err
+				}
 			}
 		}
 		var err error
@@ -255,5 +280,9 @@ func runTelemetryServer(addr string, wait time.Duration, hostSessions int) error
 		}
 	}
 	fmt.Fprintf(os.Stderr, "scpbench: telemetry server on http://%s — /metrics /healthz /readyz /slo /trace/stream /decisions /sessions /debug/pprof\n", srv.Addr())
-	return srv.Wait()
+	err := srv.Wait()
+	if checkpoint != nil {
+		checkpoint()
+	}
+	return err
 }

@@ -129,6 +129,15 @@ type (
 	SessionInfo = session.Info
 	// SessionStats is the manager-level counter block.
 	SessionStats = session.HostStats
+	// SessionStore persists evicted sessions' snapshots.
+	SessionStore = session.Store
+	// SessionFileStore is the durable snapshot tier: one
+	// gzip-compressed, CRC-checked file per snapshot, written
+	// atomically, with corrupt files quarantined instead of poisoning
+	// reloads.
+	SessionFileStore = session.FileStore
+	// SessionStoreStats reports a snapshot store's contents and health.
+	SessionStoreStats = session.StoreStats
 )
 
 // Session lifecycle sentinels (admission rejections and pin conflicts).
@@ -308,6 +317,28 @@ func NewDemoHost(world WorldConfig, cfg SessionConfig) *Host {
 	w := webworld.Generate(world)
 	cfg.Factory = func() (*SessionState, error) { return newDemoState(w, world), nil }
 	return &Host{Manager: session.NewManager(cfg), World: w}
+}
+
+// NewFileSessionStore opens (creating if needed) a durable snapshot
+// store rooted at dir; pass it as SessionConfig.Store to make a host
+// survive restarts.
+func NewFileSessionStore(dir string) (*SessionFileStore, error) {
+	return session.NewFileStore(dir)
+}
+
+// NewDurableDemoHost is NewDemoHost over a file-backed snapshot store
+// rooted at storeDir. Because the demo world is generated
+// deterministically from its WorldConfig, a host rebuilt over the same
+// directory (after a crash or restart) recovers every on-disk session:
+// they are re-registered as evicted and transparently reloaded on
+// their next Attach.
+func NewDurableDemoHost(world WorldConfig, cfg SessionConfig, storeDir string) (*Host, error) {
+	fs, err := session.NewFileStore(storeDir)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Store = fs
+	return NewDemoHost(world, cfg), nil
 }
 
 // Create admits a new session for tenant and returns the System view

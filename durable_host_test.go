@@ -1,0 +1,60 @@
+package copycat_test
+
+// Facade-level durability test: a durable demo host checkpointed to a
+// store directory and rebuilt over it — the crash/restart story as an
+// application embedding the library would drive it.
+
+import (
+	"testing"
+
+	"copycat"
+)
+
+func TestDurableDemoHostSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	world := hostWorldConfig()
+
+	h1, err := copycat.NewDurableDemoHost(world, copycat.SessionConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := h1.Create("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := sys.Session.ID()
+	if err := seedSystem(sys); err != nil {
+		t.Fatal(err)
+	}
+	want := len(sys.Workspace.RefreshColumnSuggestions())
+	if want == 0 {
+		t.Fatal("no suggestions after seeding")
+	}
+	sys.Release()
+	if n, err := h1.Manager.Checkpoint(); err != nil || n != 1 {
+		t.Fatalf("Checkpoint = %d, %v", n, err)
+	}
+
+	// Same directory, fresh process: the session is back, evicted, and
+	// reloads transparently on Attach.
+	h2, err := copycat.NewDurableDemoHost(world, copycat.SessionConfig{}, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, ok := h2.Manager.Get(id)
+	if !ok || info.Resident || info.Tenant != "alice" {
+		t.Fatalf("recovered info = %+v ok=%v", info, ok)
+	}
+	sys2, err := h2.Attach(id)
+	if err != nil {
+		t.Fatalf("Attach after restart: %v", err)
+	}
+	defer sys2.Release()
+	if got := len(sys2.Workspace.RefreshColumnSuggestions()); got != want {
+		t.Fatalf("suggestions after restart = %d, want %d", got, want)
+	}
+	st := h2.Manager.Store().(*copycat.SessionFileStore).Stats()
+	if st.Snapshots != 1 || st.CompressionRatio() < 2 {
+		t.Fatalf("store stats after restart: %+v (ratio %.2f)", st, st.CompressionRatio())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"sort"
 
 	"copycat/internal/session"
 )
@@ -145,6 +146,10 @@ func writeSessionExposition(w io.Writer, m *session.Manager) error {
 		"Times the session was transparently reloaded from its snapshot.")
 	evictions := b.family(MetricNamespace+"_session_evictions_total", "counter",
 		"Times the session's resident state was evicted to its snapshot.")
+	tenantResident := b.family(MetricNamespace+"_tenant_resident_sessions", "gauge",
+		"Resident sessions per tenant — the series the TenantResidentQuota fairness policy protects.")
+	perTenant := map[string]int{}
+	var tenants []string
 	for _, info := range m.List() {
 		labels := `{session="` + escapeLabelValue(info.ID) +
 			`",tenant="` + escapeLabelValue(info.Tenant) + `"}`
@@ -153,6 +158,17 @@ func writeSessionExposition(w io.Writer, m *session.Manager) error {
 		refreshes.add("", labels, float64(info.Refreshes))
 		reloads.add("", labels, float64(info.Reloads))
 		evictions.add("", labels, float64(info.Evictions))
+		if _, seen := perTenant[info.Tenant]; !seen {
+			tenants = append(tenants, info.Tenant)
+			perTenant[info.Tenant] = 0
+		}
+		if info.Resident {
+			perTenant[info.Tenant]++
+		}
+	}
+	sort.Strings(tenants)
+	for _, tenant := range tenants {
+		tenantResident.add("", `{tenant="`+escapeLabelValue(tenant)+`"}`, float64(perTenant[tenant]))
 	}
 	return b.write(w)
 }

@@ -142,6 +142,10 @@ func TestMetricsPerTenantSeriesLint(t *testing.T) {
 		`copycat_session_resident{session="s000001",tenant="alice"} 0`,
 		`copycat_session_resident{session="s000002",tenant="bob"} 1`,
 		`copycat_session_reloads_total{session="s000001",tenant="alice"}`,
+		`copycat_tenant_resident_sessions{tenant="alice"} 0`,
+		`copycat_tenant_resident_sessions{tenant="bob"} 1`,
+		`copycat_sessions_store_snapshots 1`,
+		`copycat_sessions_store_compression_ratio`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("exposition missing %q", want)

@@ -1,0 +1,59 @@
+package persist
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// Snapshot compression framing. Session snapshots are JSON (very
+// repetitive: repeated column names, cell kind tags, edge IDs), so the
+// durable store gzips them before they hit disk. A one-byte format
+// marker prefixes the compressed payload; raw JSON can never start with
+// that byte (a JSON document opens with '{', '[', whitespace, or a
+// scalar), so MemStore-era uncompressed snapshots — and files written
+// by hand or by older builds — still load through the same path.
+
+// FrameGzip marks a gzip-compressed snapshot payload. The value is an
+// ASCII SOH, unreachable as the first byte of any JSON document.
+const FrameGzip byte = 0x01
+
+// Compress frames data as a gzip-compressed snapshot payload. The
+// result always starts with FrameGzip; pass it to Decompress (or any
+// frame-aware reader) to get the original bytes back.
+func Compress(data []byte) []byte {
+	var buf bytes.Buffer
+	buf.WriteByte(FrameGzip)
+	zw, _ := gzip.NewWriterLevel(&buf, gzip.BestSpeed)
+	zw.Write(data)
+	zw.Close()
+	return buf.Bytes()
+}
+
+// Decompress undoes Compress. Unframed payloads (no FrameGzip marker)
+// pass through untouched, which is what keeps raw MemStore-era
+// snapshots loadable; a framed payload that fails to inflate is a
+// corruption error.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) == 0 || data[0] != FrameGzip {
+		return data, nil
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(data[1:]))
+	if err != nil {
+		return nil, fmt.Errorf("persist: corrupt gzip frame: %w", err)
+	}
+	out, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, fmt.Errorf("persist: corrupt gzip frame: %w", err)
+	}
+	if err := zr.Close(); err != nil {
+		return nil, fmt.Errorf("persist: corrupt gzip frame: %w", err)
+	}
+	return out, nil
+}
+
+// Compressed reports whether data carries the gzip frame marker.
+func Compressed(data []byte) bool {
+	return len(data) > 0 && data[0] == FrameGzip
+}

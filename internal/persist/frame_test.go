@@ -1,0 +1,77 @@
+package persist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	for _, in := range [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("{}"),
+		[]byte(strings.Repeat(`{"name":"Shelter","street":"Main St","city":"Springfield"}`, 200)),
+		{0x00, 0x01, 0xFF, 0xFE}, // binary payloads survive too
+	} {
+		framed := Compress(in)
+		if len(in) > 0 && !Compressed(framed) {
+			t.Fatalf("Compress output missing frame marker: % x", framed[:1])
+		}
+		out, err := Decompress(framed)
+		if err != nil {
+			t.Fatalf("Decompress: %v", err)
+		}
+		if !bytes.Equal(out, in) {
+			t.Fatalf("round trip mangled %d bytes -> %d bytes", len(in), len(out))
+		}
+	}
+}
+
+// Unframed payloads — MemStore-era raw JSON snapshots — must pass
+// through Decompress untouched.
+func TestFrameRawPassthrough(t *testing.T) {
+	raw := []byte(`{"version":1,"relations":[]}`)
+	out, err := Decompress(raw)
+	if err != nil {
+		t.Fatalf("Decompress raw: %v", err)
+	}
+	if !bytes.Equal(out, raw) {
+		t.Fatal("raw JSON snapshot was altered by Decompress")
+	}
+	if Compressed(raw) {
+		t.Fatal("raw JSON misdetected as framed")
+	}
+}
+
+func TestFrameCorruptionIsAnError(t *testing.T) {
+	framed := Compress([]byte(strings.Repeat("abc", 100)))
+	// Truncate mid-stream and flip a byte inside the deflate data.
+	for _, bad := range [][]byte{
+		framed[:len(framed)/2],
+		append(append([]byte{}, framed[:5]...), 0xDE, 0xAD),
+	} {
+		if _, err := Decompress(bad); err == nil {
+			t.Fatalf("corrupt frame (%d bytes) decompressed without error", len(bad))
+		}
+	}
+}
+
+func TestFrameCompressesRealSnapshots(t *testing.T) {
+	// A realistic snapshot shape: repeated keys and cell tags, like the
+	// persist JSON format produces.
+	var b strings.Builder
+	b.WriteString(`{"version":2,"relations":[{"name":"Shelters","rows":[`)
+	for i := 0; i < 500; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(`[{"k":1,"v":"Grace Church Shelter"},{"k":1,"v":"12 Main St"},{"k":1,"v":"Springfield"}]`)
+	}
+	b.WriteString(`]}]}`)
+	raw := []byte(b.String())
+	framed := Compress(raw)
+	if ratio := float64(len(raw)) / float64(len(framed)); ratio < 2 {
+		t.Fatalf("compression ratio %.2f on repetitive JSON, want >= 2", ratio)
+	}
+}

@@ -27,7 +27,19 @@ type Config struct {
 	// bytes; crossing it evicts LRU sessions until back under. 0 =
 	// unlimited.
 	MemoryBudget int64
-	// Store receives eviction snapshots; nil installs a MemStore.
+	// TenantResidentQuota is the per-tenant resident allowance the
+	// evictor protects: while any tenant holds more resident sessions
+	// than the quota, victims are picked from the most-over-quota
+	// tenant first (LRU within it), so one noisy tenant's create storm
+	// cannot flush quiet tenants' sessions below their quota. When no
+	// tenant is over quota the evictor falls back to global LRU. 0
+	// disables fairness (pure global LRU).
+	TenantResidentQuota int
+	// Store receives eviction snapshots; nil installs a MemStore. A
+	// store that can enumerate its snapshots (ListingStore, e.g.
+	// FileStore) turns construction into crash recovery: NewManager
+	// re-registers every on-disk session as evicted, so Acquire after
+	// a restart transparently reloads it.
 	Store Store
 	// Clock drives recency stamps and the host SLO windows; nil means
 	// the wall clock. Inject a resilience.VirtualClock for deterministic
@@ -59,10 +71,12 @@ type Manager struct {
 	ring    *obs.SpanRing
 	metrics *obs.Registry
 
-	created   atomic.Int64
-	evictions atomic.Int64
-	reloads   atomic.Int64
-	rejected  atomic.Int64
+	created     atomic.Int64
+	evictions   atomic.Int64
+	reloads     atomic.Int64
+	rejected    atomic.Int64
+	evictErrors atomic.Int64
+	recovered   atomic.Int64
 
 	mu            sync.Mutex // lock order: mu → Session.mu; never inverted
 	sessions      map[string]*Session
@@ -93,7 +107,48 @@ func NewManager(cfg Config) *Manager {
 	if m.slo == nil {
 		m.slo = obs.NewSLOTracker(obs.DefaultSLOConfig(), m.now)
 	}
+	m.recover()
 	return m
+}
+
+// recover re-registers every snapshot the store already holds as an
+// evicted session — the crash-recovery path for durable stores. It is
+// a no-op for stores that can't enumerate themselves (MemStore). The
+// ID sequence advances past the recovered IDs so new creates never
+// collide with on-disk sessions.
+func (m *Manager) recover() {
+	ls, ok := m.store.(ListingStore)
+	if !ok {
+		return
+	}
+	ids, err := ls.List()
+	if err != nil {
+		return
+	}
+	ms, hasMeta := m.store.(MetaStore)
+	now := m.now()
+	m.mu.Lock()
+	for _, id := range ids {
+		if _, exists := m.sessions[id]; exists {
+			continue
+		}
+		s := &Session{id: id, mgr: m, created: now, lastUsed: now}
+		if hasMeta {
+			if meta, ok := ms.Meta(id); ok {
+				s.tenant = meta.Tenant
+				if !meta.Created.IsZero() {
+					s.created = meta.Created
+				}
+			}
+		}
+		m.sessions[id] = s
+		var n int64
+		if _, err := fmt.Sscanf(id, "s%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+		m.recovered.Add(1)
+	}
+	m.mu.Unlock()
 }
 
 func (m *Manager) now() time.Time {
@@ -160,6 +215,15 @@ func (m *Manager) Create(tenant string) (*Session, error) {
 	s.mgr = m
 	s.useMu.Lock() // pin before publishing so the evictor can't race us
 	m.mu.Lock()
+	// Re-verify capacity at insert time: the Shedding() check above ran
+	// before the factory, and concurrent Creates may have filled the
+	// table since — without this recheck a create race exceeds the cap.
+	if m.cfg.MaxSessions > 0 && len(m.sessions) >= m.cfg.MaxSessions {
+		m.mu.Unlock()
+		s.useMu.Unlock()
+		m.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %s", ErrCapacity, reasonCapacity)
+	}
 	m.seq++
 	s.id = fmt.Sprintf("s%06d", m.seq)
 	s.bytes = st.SizeEstimate()
@@ -298,6 +362,12 @@ func (m *Manager) evict(s *Session) error {
 	if err != nil {
 		return fmt.Errorf("session %s: snapshot: %w", s.id, err)
 	}
+	if ms, ok := m.store.(MetaStore); ok {
+		s.mu.Lock()
+		meta := SnapshotMeta{Tenant: s.tenant, Created: s.created}
+		s.mu.Unlock()
+		ms.SetMeta(s.id, meta)
+	}
 	if err := m.store.Save(s.id, data); err != nil {
 		return fmt.Errorf("session %s: save snapshot: %w", s.id, err)
 	}
@@ -346,28 +416,46 @@ func (m *Manager) Destroy(id string) error {
 	return m.store.Delete(id)
 }
 
-// evictToBudget evicts LRU unpinned sessions until the resident count
-// and byte estimate are back under their caps. Pinned sessions are
-// skipped (TryLock), so a fully pinned fleet can transiently exceed the
-// budget — it converges as holders release.
+// evictToBudget evicts unpinned sessions until the resident count and
+// byte estimate are back under their caps. Pinned sessions are skipped
+// (TryLock), so a fully pinned fleet can transiently exceed the budget
+// — it converges as holders release. A victim whose snapshot or store
+// write fails stays resident (state loss is worse than budget
+// overshoot) but does not abort the sweep: its recency is touched so
+// the LRU order doesn't immediately re-pick it, the failure is counted
+// in sessions.evict_errors, and the sweep moves on to the next victim.
 func (m *Manager) evictToBudget() {
+	var failed map[*Session]bool
 	for {
-		victim := m.pickVictim()
+		victim := m.pickVictim(failed)
 		if victim == nil {
 			return
 		}
 		err := m.evict(victim)
-		victim.useMu.Unlock()
 		if err != nil {
-			return
+			m.evictErrors.Add(1)
+			victim.mu.Lock()
+			victim.lastUsed = m.now()
+			victim.mu.Unlock()
+			if failed == nil {
+				failed = map[*Session]bool{}
+			}
+			failed[victim] = true
 		}
+		victim.useMu.Unlock()
 	}
 }
 
-// pickVictim returns the least-recently-used resident session it could
-// pin, or nil when the budget is satisfied or every candidate is busy.
-// The returned session's useMu is held.
-func (m *Manager) pickVictim() *Session {
+// pickVictim returns the next resident session to evict, or nil when
+// the budget is satisfied or every candidate is busy or excluded. The
+// returned session's useMu is held.
+//
+// Victim order: with TenantResidentQuota set and at least one tenant
+// over its quota, only over-quota tenants' sessions are candidates,
+// most-over-quota tenant first, LRU within it — an over-quota storm
+// pays for its own evictions instead of flushing quiet tenants.
+// Otherwise (no quota, or everyone within quota) plain global LRU.
+func (m *Manager) pickVictim(exclude map[*Session]bool) *Session {
 	m.mu.Lock()
 	over := (m.cfg.MaxResident > 0 && m.residentCount > m.cfg.MaxResident) ||
 		(m.cfg.MemoryBudget > 0 && m.residentBytes > m.cfg.MemoryBudget)
@@ -377,18 +465,60 @@ func (m *Manager) pickVictim() *Session {
 	}
 	type cand struct {
 		s        *Session
+		tenant   string
 		lastUsed time.Time
 	}
 	cands := make([]cand, 0, m.residentCount)
+	residents := map[string]int{} // resident count per tenant, pinned included
 	for _, s := range m.sessions {
 		s.mu.Lock()
 		if s.st != nil && !s.destroyed {
-			cands = append(cands, cand{s, s.lastUsed})
+			residents[s.tenant]++
+			if !exclude[s] {
+				cands = append(cands, cand{s, s.tenant, s.lastUsed})
+			}
 		}
 		s.mu.Unlock()
 	}
 	m.mu.Unlock()
-	sort.Slice(cands, func(i, j int) bool { return cands[i].lastUsed.Before(cands[j].lastUsed) })
+	overage := func(tenant string) int {
+		if m.cfg.TenantResidentQuota <= 0 {
+			return 0
+		}
+		if d := residents[tenant] - m.cfg.TenantResidentQuota; d > 0 {
+			return d
+		}
+		return 0
+	}
+	anyOver := false
+	for t := range residents {
+		if overage(t) > 0 {
+			anyOver = true
+			break
+		}
+	}
+	if anyOver {
+		// Hard fairness: while someone is over quota, within-quota
+		// tenants' sessions are not victims at all — even if every
+		// over-quota candidate is pinned right now, we leave the budget
+		// transiently exceeded and converge on a later sweep.
+		kept := cands[:0]
+		for _, c := range cands {
+			if overage(c.tenant) > 0 {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if oi, oj := overage(cands[i].tenant), overage(cands[j].tenant); oi != oj {
+			return oi > oj
+		}
+		if !cands[i].lastUsed.Equal(cands[j].lastUsed) {
+			return cands[i].lastUsed.Before(cands[j].lastUsed)
+		}
+		return cands[i].s.id < cands[j].s.id
+	})
 	for _, c := range cands {
 		if !c.s.useMu.TryLock() {
 			continue
@@ -404,6 +534,47 @@ func (m *Manager) pickVictim() *Session {
 	return nil
 }
 
+// Checkpoint evicts every resident, unpinned session to the store —
+// the graceful-shutdown path of a durable host, and the bulk step of
+// the durability benchmark. It returns how many sessions were evicted;
+// failures don't abort the sweep (they're counted in
+// sessions.evict_errors) and the first one is returned. Pinned
+// sessions are skipped.
+func (m *Manager) Checkpoint() (int, error) {
+	m.mu.Lock()
+	ss := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		ss = append(ss, s)
+	}
+	m.mu.Unlock()
+	sort.Slice(ss, func(i, j int) bool { return ss[i].id < ss[j].id })
+	n := 0
+	var firstErr error
+	for _, s := range ss {
+		if !s.useMu.TryLock() {
+			continue
+		}
+		s.mu.Lock()
+		resident := s.st != nil && !s.destroyed
+		s.mu.Unlock()
+		if !resident {
+			s.useMu.Unlock()
+			continue
+		}
+		err := m.evict(s)
+		s.useMu.Unlock()
+		if err != nil {
+			m.evictErrors.Add(1)
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		n++
+	}
+	return n, firstErr
+}
+
 // shedErr maps a shed reason to its sentinel error.
 func shedErr(reason string) error {
 	if reason == reasonCapacity {
@@ -414,10 +585,10 @@ func shedErr(reason string) error {
 
 const reasonCapacity = "session table full"
 
-// Shedding reports whether admission control is currently rejecting new
-// sessions, and why: the host SLO fast-burn alert, a majority of host
-// breakers open, or the session table at MaxSessions.
-func (m *Manager) Shedding() (bool, string) {
+// softShedding evaluates the table-independent shed signals (SLO
+// fast-burn, breaker majority); both have their own synchronization,
+// so this runs outside m.mu.
+func (m *Manager) softShedding() (bool, string) {
 	if st := m.slo.Status(); st.FastAlert {
 		return true, fmt.Sprintf("SLO fast-burn alert (burn %.1f× budget)", st.FastBurn)
 	}
@@ -426,13 +597,28 @@ func (m *Manager) Shedding() (bool, string) {
 			return true, fmt.Sprintf("%d of %d breakers open", resilience.CountOpen(bs), len(bs))
 		}
 	}
-	if m.cfg.MaxSessions > 0 {
-		m.mu.Lock()
-		full := len(m.sessions) >= m.cfg.MaxSessions
-		m.mu.Unlock()
-		if full {
-			return true, reasonCapacity
-		}
+	return false, ""
+}
+
+// sheddingCapacityLocked is the table-full check against a table size
+// read under m.mu — Stats uses it so the shed flag and the session
+// count come from the same locked snapshot.
+func (m *Manager) sheddingCapacityLocked(tableLen int) bool {
+	return m.cfg.MaxSessions > 0 && tableLen >= m.cfg.MaxSessions
+}
+
+// Shedding reports whether admission control is currently rejecting new
+// sessions, and why: the host SLO fast-burn alert, a majority of host
+// breakers open, or the session table at MaxSessions.
+func (m *Manager) Shedding() (bool, string) {
+	if shedding, reason := m.softShedding(); shedding {
+		return shedding, reason
+	}
+	m.mu.Lock()
+	full := m.sheddingCapacityLocked(len(m.sessions))
+	m.mu.Unlock()
+	if full {
+		return true, reasonCapacity
 	}
 	return false, ""
 }
@@ -473,15 +659,20 @@ type HostStats struct {
 	MemoryBudget  int64  `json:"memory_budget,omitempty"`
 	Created       int64  `json:"created"`
 	Evictions     int64  `json:"evictions"`
+	EvictErrors   int64  `json:"evict_errors,omitempty"`
 	Reloads       int64  `json:"reloads"`
+	Recovered     int64  `json:"recovered,omitempty"`
 	Rejected      int64  `json:"rejected"`
 	Shedding      bool   `json:"shedding"`
 	ShedReason    string `json:"shed_reason,omitempty"`
 }
 
-// Stats snapshots the host counters.
+// Stats snapshots the host counters. The shedding flag and the session
+// count are taken in one m.mu critical section, so a snapshot can
+// never report capacity shedding alongside a below-cap table (or the
+// reverse).
 func (m *Manager) Stats() HostStats {
-	shedding, reason := m.Shedding()
+	shedding, reason := m.softShedding()
 	m.mu.Lock()
 	st := HostStats{
 		Sessions:      len(m.sessions),
@@ -489,10 +680,15 @@ func (m *Manager) Stats() HostStats {
 		ResidentBytes: m.residentBytes,
 		MemoryBudget:  m.cfg.MemoryBudget,
 	}
+	if !shedding && m.sheddingCapacityLocked(st.Sessions) {
+		shedding, reason = true, reasonCapacity
+	}
 	m.mu.Unlock()
 	st.Created = m.created.Load()
 	st.Evictions = m.evictions.Load()
+	st.EvictErrors = m.evictErrors.Load()
 	st.Reloads = m.reloads.Load()
+	st.Recovered = m.recovered.Load()
 	st.Rejected = m.rejected.Load()
 	st.Shedding = shedding
 	st.ShedReason = reason
@@ -508,7 +704,9 @@ func (m *Manager) MetricsSnapshot() obs.Snapshot {
 	st := m.Stats()
 	snap.Counters["sessions.created"] = st.Created
 	snap.Counters["sessions.evictions"] = st.Evictions
+	snap.Counters["sessions.evict_errors"] = st.EvictErrors
 	snap.Counters["sessions.reloads"] = st.Reloads
+	snap.Counters["sessions.recovered"] = st.Recovered
 	snap.Counters["sessions.admission_rejected"] = st.Rejected
 	snap.Gauges["sessions.count"] = float64(st.Sessions)
 	snap.Gauges["sessions.resident"] = float64(st.Resident)
@@ -516,10 +714,22 @@ func (m *Manager) MetricsSnapshot() obs.Snapshot {
 	if st.MemoryBudget > 0 {
 		snap.Gauges["sessions.memory_budget_bytes"] = float64(st.MemoryBudget)
 	}
+	if m.cfg.TenantResidentQuota > 0 {
+		snap.Gauges["sessions.tenant_resident_quota"] = float64(m.cfg.TenantResidentQuota)
+	}
 	shed := 0.0
 	if st.Shedding {
 		shed = 1
 	}
 	snap.Gauges["sessions.shedding"] = shed
+	if ss, ok := m.store.(StatsStore); ok {
+		sst := ss.Stats()
+		snap.Counters["sessions.store_load_errors"] = sst.LoadErrors
+		snap.Gauges["sessions.store_snapshots"] = float64(sst.Snapshots)
+		snap.Gauges["sessions.store_disk_bytes"] = float64(sst.DiskBytes)
+		snap.Gauges["sessions.store_raw_bytes"] = float64(sst.RawBytes)
+		snap.Gauges["sessions.store_compression_ratio"] = sst.CompressionRatio()
+		snap.Gauges["sessions.store_quarantined"] = float64(sst.Quarantined)
+	}
 	return snap
 }

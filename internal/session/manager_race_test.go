@@ -20,6 +20,17 @@ import (
 // under -race (make test-race) this is the data-race proof for the
 // pin/evict locking protocol.
 func TestConcurrentLifecycle(t *testing.T) {
+	t.Run("mem", func(t *testing.T) { concurrentLifecycle(t, session.NewMemStore()) })
+	t.Run("file", func(t *testing.T) {
+		fs, err := session.NewFileStore(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		concurrentLifecycle(t, fs)
+	})
+}
+
+func concurrentLifecycle(t *testing.T, store session.Store) {
 	cfg := webworld.DefaultConfig()
 	cfg.Cities, cfg.SheltersPerCity = 3, 3
 	w := webworld.Generate(cfg)
@@ -28,6 +39,7 @@ func TestConcurrentLifecycle(t *testing.T) {
 			e := simuser.NewEnv(w, webworld.StyleTable)
 			return &session.State{Workspace: e.WS, Catalog: e.WS.Cat, Types: e.WS.Types}, nil
 		},
+		Store:         store,
 		MemoryBudget:  2 << 20, // tight: forces steady eviction churn
 		EnableTracing: true,
 	})

@@ -191,47 +191,69 @@ func TestMemoryBudgetEviction(t *testing.T) {
 	}
 }
 
+// testStores enumerates the Store implementations the lifecycle
+// property tests must hold over: the in-memory default and the durable
+// file tier (which adds compression framing, headers, and disk I/O to
+// the snapshot path).
+func testStores(t *testing.T) map[string]func() session.Store {
+	t.Helper()
+	return map[string]func() session.Store{
+		"mem": func() session.Store { return session.NewMemStore() },
+		"file": func() session.Store {
+			fs, err := session.NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		},
+	}
+}
+
 // TestEvictReloadIdenticalSuggestions is the property test behind the
 // "transparent reload" claim: across seeded random accept/reject
 // feedback, a session's suggestion list after evict+reload is identical
 // to the one it would have produced had it stayed resident — learned
-// MIRA weights, tabs, and relations all survive the round trip.
+// MIRA weights, tabs, and relations all survive the round trip. It
+// holds over both stores: the durable tier's gzip framing and header
+// checks are invisible to the suggestions.
 func TestEvictReloadIdenticalSuggestions(t *testing.T) {
 	w := testWorld()
-	for _, seed := range []int64{1, 7, 42} {
-		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
-			m := session.NewManager(session.Config{Factory: demoFactory(w)})
-			s, err := m.Create("prop")
-			if err != nil {
-				t.Fatal(err)
-			}
-			mustImport(t, w, s.State())
-			rng := rand.New(rand.NewSource(seed))
-			for round := 0; round < 4; round++ {
-				ws := s.State().Workspace
-				comps := ws.RefreshColumnSuggestions()
-				if len(comps) > 1 {
-					// Random feedback: reject one of the top-2 proposals so
-					// the MIRA weights actually move each round.
-					if err := ws.RejectColumn(rng.Intn(2)); err != nil {
-						t.Fatalf("round %d: reject: %v", round, err)
+	for storeName, newStore := range testStores(t) {
+		for _, seed := range []int64{1, 7, 42} {
+			t.Run(fmt.Sprintf("%s/seed%d", storeName, seed), func(t *testing.T) {
+				m := session.NewManager(session.Config{Factory: demoFactory(w), Store: newStore()})
+				s, err := m.Create("prop")
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustImport(t, w, s.State())
+				rng := rand.New(rand.NewSource(seed))
+				for round := 0; round < 4; round++ {
+					ws := s.State().Workspace
+					comps := ws.RefreshColumnSuggestions()
+					if len(comps) > 1 {
+						// Random feedback: reject one of the top-2 proposals so
+						// the MIRA weights actually move each round.
+						if err := ws.RejectColumn(rng.Intn(2)); err != nil {
+							t.Fatalf("round %d: reject: %v", round, err)
+						}
+					}
+					want := completionsDigest(ws)
+					s.Release()
+					if err := m.Evict(s.ID()); err != nil {
+						t.Fatalf("round %d: evict: %v", round, err)
+					}
+					if s, err = m.Acquire(s.ID()); err != nil {
+						t.Fatalf("round %d: acquire: %v", round, err)
+					}
+					if got := completionsDigest(s.State().Workspace); got != want {
+						t.Fatalf("round %d: suggestions diverged after reload\nwant:\n%s\ngot:\n%s",
+							round, want, got)
 					}
 				}
-				want := completionsDigest(ws)
 				s.Release()
-				if err := m.Evict(s.ID()); err != nil {
-					t.Fatalf("round %d: evict: %v", round, err)
-				}
-				if s, err = m.Acquire(s.ID()); err != nil {
-					t.Fatalf("round %d: acquire: %v", round, err)
-				}
-				if got := completionsDigest(s.State().Workspace); got != want {
-					t.Fatalf("round %d: suggestions diverged after reload\nwant:\n%s\ngot:\n%s",
-						round, want, got)
-				}
-			}
-			s.Release()
-		})
+			})
+		}
 	}
 }
 

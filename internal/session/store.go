@@ -1,6 +1,9 @@
 package session
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Store persists evicted sessions' snapshots. Implementations must be
 // safe for concurrent use; the manager saves and loads from many
@@ -15,10 +18,60 @@ type Store interface {
 	Delete(id string) error
 }
 
+// SnapshotMeta is the sidecar record a durable store keeps per
+// snapshot so a manager rebuilt over the store can re-register the
+// session under its original identity, not just its ID.
+type SnapshotMeta struct {
+	Tenant  string    `json:"tenant,omitempty"`
+	Created time.Time `json:"created,omitempty"`
+}
+
+// Optional store capabilities. The manager type-asserts for these and
+// degrades gracefully when a Store doesn't provide them: without
+// ListingStore there is no crash recovery, without MetaStore recovered
+// sessions lose their tenant label, without StatsStore the store
+// gauges are absent from /metrics.
+type (
+	// ListingStore enumerates the snapshot IDs currently persisted —
+	// the crash-recovery seam: NewManager re-registers every listed ID
+	// as an evicted session.
+	ListingStore interface {
+		List() ([]string, error)
+	}
+	// MetaStore persists per-snapshot metadata alongside the payload.
+	MetaStore interface {
+		SetMeta(id string, meta SnapshotMeta)
+		Meta(id string) (SnapshotMeta, bool)
+	}
+	// StatsStore reports aggregate store health for telemetry.
+	StatsStore interface {
+		Stats() StoreStats
+	}
+)
+
+// StoreStats is a point-in-time report of a snapshot store's contents
+// and health, exported as gauges on /metrics.
+type StoreStats struct {
+	Snapshots   int   `json:"snapshots"`
+	DiskBytes   int64 `json:"disk_bytes"` // stored (compressed) bytes incl. framing
+	RawBytes    int64 `json:"raw_bytes"`  // uncompressed snapshot bytes
+	LoadErrors  int64 `json:"load_errors"`
+	Quarantined int64 `json:"quarantined"`
+}
+
+// CompressionRatio is raw/stored bytes (1.0 means uncompressed, 0 when
+// the store is empty).
+func (s StoreStats) CompressionRatio() float64 {
+	if s.DiskBytes == 0 {
+		return 0
+	}
+	return float64(s.RawBytes) / float64(s.DiskBytes)
+}
+
 // MemStore is the default in-process Store: a mutex-guarded map. It
 // models the durable tier without touching disk, which keeps tests and
-// benchmarks hermetic; a deployment would substitute a file- or
-// object-store-backed implementation.
+// benchmarks hermetic; deployments substitute FileStore (or an
+// object-store-backed implementation).
 type MemStore struct {
 	mu    sync.Mutex
 	snaps map[string][]byte
@@ -68,4 +121,12 @@ func (s *MemStore) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.bytes
+}
+
+// Stats implements StatsStore. MemStore keeps snapshots uncompressed,
+// so raw and stored bytes coincide.
+func (s *MemStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{Snapshots: len(s.snaps), DiskBytes: s.bytes, RawBytes: s.bytes}
 }
