@@ -26,7 +26,7 @@ test:
 # 1000-session fleet sustaining refreshes under a binding memory budget
 # while /metrics is scraped and the span stream followed.
 test-race:
-	$(GO) test -race -timeout 20m ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/obs/serve ./internal/plancache ./internal/session ./internal/simuser .
+	$(GO) test -race -timeout 20m ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/obs/serve ./internal/plancache ./internal/scenario ./internal/session ./internal/simuser .
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .
@@ -119,13 +119,18 @@ durability-smoke:
 # BENCH_6.json, failing if availability drops below 99% at any point,
 # the admission cap stops rejecting, or the memory budget stops forcing
 # eviction/reload churn at the knee; the curve is refreshed in place.
-# Finally the durability gate: re-run the durable-store experiment
+# Then the durability gate: re-run the durable-store experiment
 # against the committed BENCH_7.json, failing if the on-disk compression
 # ratio drops below 2× or the rebuilt host stops recovering the fleet.
+# Finally the accuracy gate: score the scenario corpus (warm and cold
+# runs must agree exactly) against the committed BENCH_8.json, failing
+# on grid/scenario drift, lost convergence, or a mean-MRR/recall drop
+# beyond 0.05.
 bench-check:
 	$(GO) run ./cmd/scpbench -exp pipeline -warm -cold -baseline BENCH_4.json -bench-out BENCH_4.json
 	$(GO) run ./cmd/scpbench -exp capacity -baseline BENCH_6.json -bench-out BENCH_6.json
 	$(GO) run ./cmd/scpbench -exp durability -baseline BENCH_7.json -bench-out BENCH_7.json
+	$(GO) run ./cmd/scpbench -exp accuracy -baseline BENCH_8.json -bench-out BENCH_8.json
 
 # Tier-1 gate: everything a PR must keep green.
 check: build vet test test-race

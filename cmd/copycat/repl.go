@@ -335,6 +335,8 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 			}
 		case ":slo", "slo":
 			fmt.Fprint(out, copycat.RenderSLO(sys.SLO()))
+		case ":quality", "quality":
+			fmt.Fprint(out, copycat.RenderQuality(sys.Quality()))
 		case ":serve", "serve":
 			// :serve <addr> | :serve off | :serve (status)
 			switch {
@@ -558,6 +560,7 @@ func printHelp(out io.Writer) {
   :why [candidate]           decision log: why candidates were pruned/suggested/rejected
   :serve <addr>|off          live telemetry server (/metrics /healthz /trace/stream ...)
   :slo                       suggestion-refresh latency objective: burn rates and alerts
+  :quality                   live suggestion quality: acceptance rate, rank of accepted, rounds to accept
   :session [sub]             multi-tenant session hosting: new [tenant] | attach <id> | list | evict <id> | store <dir>
   quit
 `)

@@ -158,6 +158,7 @@ func TestReplHelpListsObservabilityCommands(t *testing.T) {
 		":why":     "decision log",
 		":serve":   "live telemetry server",
 		":slo":     "latency objective",
+		":quality": "live suggestion quality",
 		":session": "multi-tenant session hosting",
 	} {
 		found := false
@@ -300,6 +301,42 @@ func TestReplServeAndSLOCommands(t *testing.T) {
 	out = drive(t, ":serve 127.0.0.1:0\nquit\n")
 	if !strings.Contains(out, "telemetry server on") {
 		t.Errorf("serve failed:\n%s", out)
+	}
+}
+
+// TestReplQualityCommand is the golden check on :quality — a session
+// that accepts a row completion, rejects one column suggestion and
+// accepts another must show up in the live quality report with the
+// right per-surface counts, and undoing the column accept must land in
+// the accepts-undone line.
+func TestReplQualityCommand(t *testing.T) {
+	out := drive(t, strings.Join([]string{
+		":quality", // empty report up front, not an error
+		"open shelters",
+		"copy Sunset Recreation Center | 335 NW Copans Rd | Mangrove Lakes",
+		"paste",
+		"accept", // rows surface: 1 accept
+		"mode integration",
+		"cols",
+		"rejectcol 0", // columns surface: 1 reject
+		"acceptcol 0", // columns surface: 1 accept
+		":quality",
+		"undo", // reverses the column accept
+		":quality",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"suggestion quality: 0 accepts / 0 rejects (acceptance rate 0.000)",
+		"suggestion quality: 2 accepts / 1 rejects",
+		"columns 1/1",
+		"rows 1/0",
+		"rank of accepted",
+		"rounds to accept",
+		"accepts undone         1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
 	}
 }
 

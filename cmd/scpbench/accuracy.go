@@ -1,0 +1,197 @@
+package main
+
+// The accuracy experiment (Q1 in EXPERIMENTS.md): suggestion quality
+// measured offline over the seeded scenario corpus. Every scenario has
+// a known ground-truth query or completion, so the harness can grade
+// the system the way an IR benchmark grades a ranker — precision@k,
+// recall, MRR / rank-of-correct — plus the paper's own axis, feedback
+// rounds to convergence. The corpus is replayed twice, warm and cold
+// (plan cache on/off), and the two runs must produce identical metrics:
+// the cache must never change what is suggested, only how fast.
+// `-bench-out BENCH_8.json` persists the report; `-baseline
+// BENCH_8.json` is the bench-check regression gate.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"copycat/internal/scenario"
+)
+
+// Accuracy grid: seed, suggestion depth, and feedback-round budget.
+const (
+	accuracySeed      = 42
+	accuracyK         = 3
+	accuracyMaxRounds = 8
+)
+
+// accuracyReport is what -bench-out persists as BENCH_8.json.
+type accuracyReport struct {
+	Experiment       string             `json:"experiment"`
+	Seed             int64              `json:"seed"`
+	K                int                `json:"k"`
+	MaxRounds        int                `json:"max_rounds"`
+	Scenarios        []scenario.Metrics `json:"scenarios"`
+	WebRelate        int                `json:"webrelate_scenarios"`
+	SmartInt         int                `json:"smartint_scenarios"`
+	MeanPrecisionAtK float64            `json:"mean_precision_at_k"`
+	MeanRecall       float64            `json:"mean_recall"`
+	MeanMRR          float64            `json:"mean_mrr"`
+	MeanRounds       float64            `json:"mean_rounds_to_convergence"`
+	Converged        int                `json:"converged"`
+}
+
+// scoreCorpus builds and scores the whole corpus at one cache setting.
+func scoreCorpus(cold bool) ([]scenario.Metrics, error) {
+	scs, err := scenario.Corpus(scenario.Config{Seed: accuracySeed, Cold: cold})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]scenario.Metrics, len(scs))
+	for i, s := range scs {
+		if out[i], err = scenario.Score(s, accuracyK, accuracyMaxRounds); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// expAccuracy scores the scenario corpus; honors
+// -json/-bench-out/-baseline.
+func expAccuracy() error {
+	warm, err := scoreCorpus(false)
+	if err != nil {
+		return err
+	}
+	// Warm/cold cross-check: the plan cache must be invisible in the
+	// metrics, not just in the suggestion text.
+	cold, err := scoreCorpus(true)
+	if err != nil {
+		return err
+	}
+	if len(cold) != len(warm) {
+		return fmt.Errorf("warm run scored %d scenarios, cold %d", len(warm), len(cold))
+	}
+	for i := range warm {
+		if warm[i] != cold[i] {
+			return fmt.Errorf("scenario %s: warm metrics %+v != cold metrics %+v",
+				warm[i].Scenario, warm[i], cold[i])
+		}
+	}
+
+	report := accuracyReport{
+		Experiment: "accuracy",
+		Seed:       accuracySeed,
+		K:          accuracyK,
+		MaxRounds:  accuracyMaxRounds,
+		Scenarios:  warm,
+	}
+	for _, m := range warm {
+		switch m.Kind {
+		case scenario.KindWebRelate:
+			report.WebRelate++
+		case scenario.KindSmartInt:
+			report.SmartInt++
+		}
+		report.MeanPrecisionAtK += m.PrecisionAtK
+		report.MeanRecall += m.Recall
+		report.MeanMRR += m.MRR
+		report.MeanRounds += float64(m.Rounds)
+		if m.Converged {
+			report.Converged++
+		}
+	}
+	if n := float64(len(warm)); n > 0 {
+		report.MeanPrecisionAtK /= n
+		report.MeanRecall /= n
+		report.MeanMRR /= n
+		report.MeanRounds /= n
+	}
+
+	rows := make([][]string, 0, len(warm))
+	for _, m := range warm {
+		conv := "no"
+		if m.Converged {
+			conv = "yes"
+		}
+		rows = append(rows, []string{
+			m.Scenario, m.Kind, fmt.Sprint(m.RankOfCorrect),
+			f("%.3f", m.PrecisionAtK), f("%.3f", m.Recall), f("%.3f", m.MRR),
+			fmt.Sprint(m.Rounds), conv,
+		})
+	}
+	printTable([]string{"scenario", "kind", "rank", "p@3", "recall", "mrr", "rounds", "converged"}, rows)
+	fmt.Printf("\nmeans: p@%d=%.3f recall=%.3f mrr=%.3f rounds=%.2f; %d/%d converged (warm == cold)\n",
+		report.K, report.MeanPrecisionAtK, report.MeanRecall, report.MeanMRR,
+		report.MeanRounds, report.Converged, len(warm))
+
+	if baselineFile != "" {
+		if err := checkAccuracyBaseline(baselineFile, &report); err != nil {
+			return err
+		}
+	}
+	if benchOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(benchOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("\nbenchmark report written to %s\n", benchOut)
+	}
+	jsonReport = report
+	return nil
+}
+
+// accuracyTolerance is the allowed slack on the mean MRR/recall gates:
+// the metrics are deterministic for a fixed seed, but small intended
+// ranking changes shouldn't force a baseline bump for sub-tolerance
+// drift.
+const accuracyTolerance = 0.05
+
+// checkAccuracyBaseline is the bench-check gate for the accuracy
+// experiment. The corpus is deterministic, so the gate holds the
+// structural invariants: the scenario set must match the committed
+// report name for name, at least as many scenarios must converge, and
+// the mean MRR and recall must not regress beyond the tolerance.
+func checkAccuracyBaseline(path string, got *accuracyReport) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	var base accuracyReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if got.Seed != base.Seed || got.K != base.K || got.MaxRounds != base.MaxRounds {
+		return fmt.Errorf("grid drift: measured seed=%d k=%d rounds=%d, baseline seed=%d k=%d rounds=%d",
+			got.Seed, got.K, got.MaxRounds, base.Seed, base.K, base.MaxRounds)
+	}
+	if len(got.Scenarios) != len(base.Scenarios) {
+		return fmt.Errorf("corpus drift: measured %d scenarios, baseline %d",
+			len(got.Scenarios), len(base.Scenarios))
+	}
+	for i := range base.Scenarios {
+		if got.Scenarios[i].Scenario != base.Scenarios[i].Scenario {
+			return fmt.Errorf("corpus drift at %d: measured %q, baseline %q",
+				i, got.Scenarios[i].Scenario, base.Scenarios[i].Scenario)
+		}
+	}
+	if got.Converged < base.Converged {
+		return fmt.Errorf("convergence regression: %d scenarios converged, baseline %d",
+			got.Converged, base.Converged)
+	}
+	if got.MeanMRR < base.MeanMRR-accuracyTolerance {
+		return fmt.Errorf("MRR regression: mean %.3f, baseline %.3f (tolerance %.2f)",
+			got.MeanMRR, base.MeanMRR, accuracyTolerance)
+	}
+	if got.MeanRecall < base.MeanRecall-accuracyTolerance {
+		return fmt.Errorf("recall regression: mean %.3f, baseline %.3f (tolerance %.2f)",
+			got.MeanRecall, base.MeanRecall, accuracyTolerance)
+	}
+	fmt.Printf("baseline check: %d/%d converged, mean mrr %.3f (baseline %.3f), mean recall %.3f (baseline %.3f)\n",
+		got.Converged, len(got.Scenarios), got.MeanMRR, base.MeanMRR, got.MeanRecall, base.MeanRecall)
+	return nil
+}

@@ -50,6 +50,7 @@ var experiments = []experiment{
 	{"serve", "O2: telemetry serving — /metrics scrape cost and serving overhead vs unserved baseline", expServe},
 	{"capacity", "C1: multi-tenant capacity — sessions vs p99/availability under a fixed memory budget with LRU eviction", expCapacity},
 	{"durability", "D1: durable session store — evict/reload cost, on-disk compression ratio, crash recovery of the whole fleet", expDurability},
+	{"accuracy", "Q1: suggestion-quality accuracy over the scenario corpus — precision@k, recall, MRR, feedback rounds to convergence", expAccuracy},
 }
 
 // statsMode mirrors the -stats flag: experiments that drive a workspace

@@ -138,6 +138,13 @@ type (
 	SessionFileStore = session.FileStore
 	// SessionStoreStats reports a snapshot store's contents and health.
 	SessionStoreStats = session.StoreStats
+	// QualityStats is the rolling suggestion-quality report: acceptance
+	// rate, per-surface accept/reject counts, rank-of-accepted
+	// histogram, and feedback rounds to accept.
+	QualityStats = obs.QualityStats
+	// QualityReport is the /quality response body: host-level
+	// QualityStats plus a per-tenant breakdown on hosted installations.
+	QualityReport = serve.QualityReport
 )
 
 // Session lifecycle sentinels (admission rejections and pin conflicts).
@@ -371,6 +378,12 @@ func (h *Host) Serve(ctx context.Context, addr string) (*TelemetryServer, error)
 		SLO:     h.Manager.SLO(),
 		Ring:    h.Manager.Ring(),
 		Host:    h.Manager,
+		Quality: func() serve.QualityReport {
+			return serve.QualityReport{
+				QualityStats: h.Manager.Quality(),
+				Tenants:      h.Manager.TenantQuality(),
+			}
+		},
 	})
 	if err := srv.Start(ctx, addr); err != nil {
 		return nil, err
@@ -430,6 +443,14 @@ func (s *System) Breakers() []BreakerStatus {
 	return s.Workspace.Resilience.Status()
 }
 
+// Quality reports the session's rolling suggestion-quality stats:
+// acceptance rate, per-surface accept/reject counts, rank-of-accepted
+// histogram, and feedback rounds to accept (the REPL's :quality
+// command).
+func (s *System) Quality() QualityStats {
+	return s.Workspace.QualityStats()
+}
+
 // Serve starts the live telemetry server on addr (":0" picks a free
 // port; read it back with Addr on the returned server). It exposes the
 // full observability surface of this system — unified metrics in
@@ -444,6 +465,9 @@ func (s *System) Serve(ctx context.Context, addr string) (*TelemetryServer, erro
 		SLO:       s.Workspace.SLO,
 		Ring:      s.Workspace.SpanRing(),
 		Decisions: s.Workspace.Decisions,
+		Quality: func() serve.QualityReport {
+			return serve.QualityReport{QualityStats: s.Workspace.QualityStats()}
+		},
 	})
 	if err := srv.Start(ctx, addr); err != nil {
 		return nil, err
@@ -527,6 +551,10 @@ var RenderMetrics = workspace.RenderMetrics
 // RenderSLO renders an SLOStatus as an aligned human-readable report
 // (the REPL's :slo command).
 var RenderSLO = workspace.RenderSLO
+
+// RenderQuality renders a QualityStats as an aligned human-readable
+// report (the REPL's :quality command).
+var RenderQuality = workspace.RenderQuality
 
 // Export helpers (the §8 "export to common application formats").
 var (

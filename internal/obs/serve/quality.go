@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"sort"
+
+	"copycat/internal/obs"
+)
+
+// QualityReport is the GET /quality response body: the rolling
+// suggestion-quality stats (acceptance rate, rank-of-accepted
+// histogram, rounds-to-accept) for the whole host, plus a per-tenant
+// breakdown when a session manager is wired in.
+type QualityReport struct {
+	obs.QualityStats
+	Tenants map[string]obs.QualityStats `json:"tenants,omitempty"`
+}
+
+// handleQuality serves the live quality report as JSON. 404 when the
+// server was built without a Quality source.
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Quality == nil {
+		writeJSON(w, http.StatusNotFound, sessionError{Error: "no quality source configured"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.cfg.Quality())
+}
+
+// writeQualityExposition appends the per-tenant suggestion-quality
+// families to the /metrics body. The host-level quality.* counters and
+// gauges already arrive through the metrics snapshot
+// (QualityTracker.Fold); this adds only the tenant-labelled series, so
+// the combined exposition stays lint-clean.
+func writeQualityExposition(w io.Writer, rep QualityReport) error {
+	if len(rep.Tenants) == 0 {
+		return nil
+	}
+	b := newExpoBuilder()
+	accepts := b.family(MetricNamespace+"_tenant_feedback_accepts_total", "counter",
+		"Suggestions (columns, queries, rows, tuples) accepted per tenant.")
+	rejects := b.family(MetricNamespace+"_tenant_feedback_rejects_total", "counter",
+		"Suggestions rejected per tenant.")
+	rate := b.family(MetricNamespace+"_tenant_acceptance_rate", "gauge",
+		"Rolling acceptance rate per tenant: accepts / (accepts + rejects).")
+	tenants := make([]string, 0, len(rep.Tenants))
+	for t := range rep.Tenants {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		st := rep.Tenants[t]
+		labels := `{tenant="` + escapeLabelValue(t) + `"}`
+		accepts.add("", labels, float64(st.TotalAccepts))
+		rejects.add("", labels, float64(st.TotalRejects))
+		rate.add("", labels, st.AcceptanceRate)
+	}
+	return b.write(w)
+}

@@ -13,6 +13,9 @@
 //	GET /readyz        readiness: 503 while draining or when a majority
 //	                   of service breakers are open.
 //	GET /slo           the SLO tracker's full status as JSON.
+//	GET /quality       live suggestion-quality report as JSON: rolling
+//	                   acceptance rate, rank-of-accepted histogram,
+//	                   rounds-to-accept, per-tenant breakdown.
 //	GET /trace/stream  buffered spans as JSONL; ?follow=1 keeps the
 //	                   response open, streaming spans as they end.
 //	GET /decisions     the decision log as JSONL; ?q= filters by
@@ -64,6 +67,10 @@ type Config struct {
 	// /sessions lifecycle endpoints, per-tenant series on /metrics, and
 	// load-shed readiness (/readyz goes 503 while the host is shedding).
 	Host *session.Manager
+	// Quality, when non-nil, serves the live suggestion-quality report
+	// on /quality and appends its per-tenant counter families to
+	// /metrics.
+	Quality func() QualityReport
 	// Health tunes the /healthz thresholds; zero takes defaults.
 	Health HealthConfig
 }
@@ -89,6 +96,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /slo", s.handleSLO)
+	mux.HandleFunc("GET /quality", s.handleQuality)
 	mux.HandleFunc("GET /trace/stream", s.handleTraceStream)
 	mux.HandleFunc("GET /decisions", s.handleDecisions)
 	mux.HandleFunc("GET /sessions", s.handleSessionsList)
@@ -207,6 +215,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cfg.Host != nil {
 		writeSessionExposition(w, s.cfg.Host)
+	}
+	if s.cfg.Quality != nil {
+		writeQualityExposition(w, s.cfg.Quality())
 	}
 }
 

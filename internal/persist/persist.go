@@ -16,6 +16,7 @@ import (
 
 	"copycat/internal/catalog"
 	"copycat/internal/modellearn"
+	"copycat/internal/obs"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/table"
 	"copycat/internal/workspace"
@@ -87,6 +88,11 @@ type Session struct {
 	// snapshots (pre-session format) and on Save without extras.
 	Workspace *WorkspaceDump `json:"workspace,omitempty"`
 	PlanCache *CacheCounters `json:"plancache,omitempty"`
+	// Quality carries the session's suggestion-quality counters
+	// (acceptance rate, rank-of-accepted, rounds-to-accept) across an
+	// evict/reload cycle, like PlanCache does for cache counters.
+	// Absent in snapshots taken before quality telemetry existed.
+	Quality *obs.QualityStats `json:"quality,omitempty"`
 }
 
 // CurrentVersion is the session format version. Version 2 added the
@@ -110,6 +116,7 @@ func Save(cat *catalog.Catalog, types *modellearn.Library, g *sourcegraph.Graph)
 type Extras struct {
 	Workspace *WorkspaceDump
 	PlanCache *CacheCounters
+	Quality   *obs.QualityStats
 }
 
 // SaveState serializes a full session snapshot: relations, types, edge
@@ -119,6 +126,7 @@ func SaveState(cat *catalog.Catalog, types *modellearn.Library, g *sourcegraph.G
 	if extras != nil {
 		s.Workspace = extras.Workspace
 		s.PlanCache = extras.PlanCache
+		s.Quality = extras.Quality
 	}
 	if cat != nil {
 		for _, src := range cat.All() {
@@ -197,6 +205,7 @@ type Restored struct {
 	EdgeCosts map[string]float64
 	Workspace *WorkspaceDump
 	PlanCache *CacheCounters
+	Quality   *obs.QualityStats
 }
 
 // LoadState parses a session of any supported version (1 or 2) and
@@ -240,6 +249,7 @@ func LoadState(data []byte, cat *catalog.Catalog, types *modellearn.Library) (*R
 		EdgeCosts: s.EdgeCosts,
 		Workspace: s.Workspace,
 		PlanCache: s.PlanCache,
+		Quality:   s.Quality,
 	}, nil
 }
 

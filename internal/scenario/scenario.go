@@ -1,0 +1,128 @@
+// Package scenario provides a corpus of seeded integration scenarios
+// with known ground-truth answers, replayable end to end — the
+// measurement substrate for the suggestion-quality accuracy harness
+// (scpbench -exp accuracy) and the BENCH_8.json regression gate.
+//
+// Each scenario wraps a deterministic webworld (or synthetic graph)
+// task in a uniform shape: a Ranked function returning the system's
+// current top-k suggestions with the ground-truth answer marked, and a
+// Feedback function applying one round of scripted-user feedback the
+// way internal/simuser drives the workspace. Score replays the loop
+// and reports the standard retrieval metrics — precision@k, recall,
+// MRR / rank-of-correct — plus feedback-rounds-to-convergence, the
+// paper's own evaluation axis ("as little as one item of feedback for
+// a single query", §8).
+//
+// Three scenario families cover the related-work framings named in the
+// paper: shelter-demo variants (the §8 walkthrough at different site
+// styles), WebRelate-style joins over string-transformed values
+// (noisy contact↔shelter linkage vs a cheaper stale directory), and
+// SmartInt-style stitching across fragmented narrow sources (a wide
+// relation split into fragments reachable through a fresh or a stale
+// bridge).
+package scenario
+
+import "fmt"
+
+// Scenario kinds, one per related-work framing.
+const (
+	KindShelter   = "shelter"   // §8 demo: column completions after the shelter import
+	KindWebRelate = "webrelate" // WebRelate-style string-transformation join
+	KindSmartInt  = "smartint"  // SmartInt-style stitching of fragmented sources
+	KindFamily    = "family"    // E2 query family: feedback generalization
+)
+
+// Candidate is one ranked suggestion as the scorer sees it: a stable
+// name, the system's cost, and whether it is the ground-truth answer.
+type Candidate struct {
+	Name    string
+	Cost    float64
+	Correct bool
+}
+
+// Scenario is one replayable task with known ground truth.
+type Scenario struct {
+	Name string
+	Kind string
+	Desc string
+	// Relevant is the number of ground-truth-correct candidates in the
+	// full candidate space — the recall denominator.
+	Relevant int
+	// Ranked returns the system's current top-k suggestions, best
+	// first. Calling it is side-effect-free on the ranking (it may
+	// recompute caches) so Score can poll it between feedback rounds.
+	Ranked func(k int) ([]Candidate, error)
+	// Feedback applies one round of scripted-user feedback given the
+	// ranking just returned by Ranked (accept the correct answer when
+	// visible, otherwise reject the top wrong suggestion — the same
+	// moves the paper's demo user makes).
+	Feedback func(ranked []Candidate) error
+}
+
+// Metrics is the per-scenario accuracy report. RankOfCorrect is
+// 1-based over the initial (pre-feedback) ranking; 0 means the correct
+// answer was absent from the top k, in which case MRR is 0 too. Rounds
+// counts feedback rounds until the top-1 suggestion is correct
+// (0 = correct immediately); when the scenario does not converge
+// within the round budget, Rounds is the budget and Converged is
+// false.
+type Metrics struct {
+	Scenario      string  `json:"scenario"`
+	Kind          string  `json:"kind"`
+	RankOfCorrect int     `json:"rank_of_correct"`
+	PrecisionAtK  float64 `json:"precision_at_k"`
+	Recall        float64 `json:"recall"`
+	MRR           float64 `json:"mrr"`
+	Rounds        int     `json:"rounds_to_convergence"`
+	Converged     bool    `json:"converged"`
+}
+
+// Score replays one scenario: it grades the initial ranking, then
+// drives the feedback loop until the top suggestion is correct or
+// maxRounds rounds are spent.
+func Score(s Scenario, k, maxRounds int) (Metrics, error) {
+	m := Metrics{Scenario: s.Name, Kind: s.Kind}
+	ranked, err := s.Ranked(k)
+	if err != nil {
+		return m, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	hits := 0
+	for i, c := range ranked {
+		if c.Correct {
+			hits++
+			if m.RankOfCorrect == 0 {
+				m.RankOfCorrect = i + 1
+				m.MRR = 1 / float64(i+1)
+			}
+		}
+	}
+	if k > 0 {
+		m.PrecisionAtK = float64(hits) / float64(k)
+	}
+	if s.Relevant > 0 {
+		m.Recall = float64(hits) / float64(s.Relevant)
+		// Several visible candidates can all be correct (any route via
+		// the right bridge counts); recall is coverage, not a tally.
+		if m.Recall > 1 {
+			m.Recall = 1
+		}
+	}
+	for r := 0; ; r++ {
+		if len(ranked) > 0 && ranked[0].Correct {
+			m.Rounds = r
+			m.Converged = true
+			return m, nil
+		}
+		if r >= maxRounds {
+			break
+		}
+		if err := s.Feedback(ranked); err != nil {
+			return m, fmt.Errorf("scenario %s: feedback round %d: %w", s.Name, r, err)
+		}
+		if ranked, err = s.Ranked(k); err != nil {
+			return m, fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+	}
+	m.Rounds = maxRounds
+	return m, nil
+}

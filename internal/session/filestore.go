@@ -9,9 +9,11 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"copycat/internal/persist"
 )
@@ -38,12 +40,21 @@ import (
 type FileStore struct {
 	root string
 
+	// QuarantineKeep caps how many files are retained under
+	// quarantine/; the oldest beyond the cap are deleted. Quarantined
+	// snapshots are forensic evidence, not data the system needs, so
+	// the directory must not grow without bound. Zero means
+	// DefaultQuarantineKeep; set before first use.
+	QuarantineKeep int
+
 	mu    sync.Mutex
 	sizes map[string]fileSizes    // id → raw/stored byte sizes
 	meta  map[string]SnapshotMeta // id → manifest record
 
 	loadErrors  atomic.Int64
 	quarantined atomic.Int64
+	gcRemoved   atomic.Int64 // files deleted by Delete, reopen GC, and quarantine pruning
+	quarCount   atomic.Int64 // files currently under quarantine/
 }
 
 type fileSizes struct {
@@ -72,6 +83,10 @@ const (
 // CRC, or decompression checks on Load and was moved to quarantine.
 var ErrCorruptSnapshot = errors.New("session: corrupt snapshot (quarantined)")
 
+// DefaultQuarantineKeep is the quarantine retention cap applied when
+// FileStore.QuarantineKeep is zero.
+const DefaultQuarantineKeep = 32
+
 // NewFileStore opens (creating if needed) a durable snapshot store
 // rooted at dir. Existing snapshots are indexed and the manifest (if
 // any) is loaded, so the store — and a Manager built over it — resumes
@@ -95,20 +110,105 @@ func NewFileStore(dir string) (*FileStore, error) {
 	}
 	for _, e := range entries {
 		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, snapSuffix) {
+		if e.IsDir() {
+			continue
+		}
+		if !strings.HasSuffix(name, snapSuffix) {
+			// Orphaned temp files (snapshot or manifest writes cut short
+			// by a crash before the rename) are debris; sweep them.
+			if strings.Contains(name, ".tmp-") {
+				if os.Remove(filepath.Join(dir, name)) == nil {
+					s.gcRemoved.Add(1)
+				}
+			}
 			continue
 		}
 		id := strings.TrimSuffix(name, snapSuffix)
+		if s.meta[id].Destroyed {
+			// Finish a Delete interrupted between the tombstone flush and
+			// the file removal: the session was destroyed, not evicted.
+			if os.Remove(filepath.Join(dir, name)) == nil {
+				s.gcRemoved.Add(1)
+			}
+			continue
+		}
 		s.sizes[id] = s.scanSizes(filepath.Join(dir, name))
 	}
-	// Drop manifest entries whose snapshot is gone (deleted or
-	// quarantined under a previous process).
+	// Drop manifest entries whose snapshot is gone (deleted,
+	// quarantined, or tombstone-collected under a previous process).
+	pruned := false
 	for id := range s.meta {
 		if _, ok := s.sizes[id]; !ok {
 			delete(s.meta, id)
+			pruned = true
 		}
 	}
+	if pruned {
+		s.mu.Lock()
+		s.flushManifestLocked()
+		s.mu.Unlock()
+	}
+	s.initQuarantine()
 	return s, nil
+}
+
+// initQuarantine counts the files already under quarantine/ and applies
+// the retention cap, so a store reopened over an old directory starts
+// with an accurate gauge and a bounded footprint.
+func (s *FileStore) initQuarantine() {
+	entries, err := os.ReadDir(filepath.Join(s.root, quarantineDir))
+	if err != nil {
+		return // no quarantine directory yet
+	}
+	n := int64(0)
+	for _, e := range entries {
+		if !e.IsDir() {
+			n++
+		}
+	}
+	s.quarCount.Store(n)
+	s.pruneQuarantine()
+}
+
+// pruneQuarantine deletes the oldest quarantined files beyond the
+// retention cap. Best-effort: a file that cannot be listed or removed
+// is skipped and retried on the next prune.
+func (s *FileStore) pruneQuarantine() {
+	keep := s.QuarantineKeep
+	if keep <= 0 {
+		keep = DefaultQuarantineKeep
+	}
+	if s.quarCount.Load() <= int64(keep) {
+		return
+	}
+	qdir := filepath.Join(s.root, quarantineDir)
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		return
+	}
+	type qfile struct {
+		name string
+		mod  time.Time
+	}
+	files := make([]qfile, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		fi, err := e.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, qfile{e.Name(), fi.ModTime()})
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mod.Before(files[j].mod) })
+	for len(files) > keep {
+		if os.Remove(filepath.Join(qdir, files[0].name)) == nil {
+			s.gcRemoved.Add(1)
+		}
+		files = files[1:]
+	}
+	s.quarCount.Store(int64(len(files)))
 }
 
 // Dir returns the store's root directory.
@@ -247,6 +347,7 @@ func (s *FileStore) quarantine(id, reason string) error {
 		if err := os.Rename(s.path(id), dst); err == nil {
 			moved = dst
 			s.quarantined.Add(1)
+			s.quarCount.Add(1)
 		}
 	}
 	if moved == "" {
@@ -258,18 +359,32 @@ func (s *FileStore) quarantine(id, reason string) error {
 	delete(s.meta, id)
 	s.flushManifestLocked()
 	s.mu.Unlock()
+	s.pruneQuarantine()
 	if moved != "" {
 		return fmt.Errorf("%w: %s: %s (moved to %s)", ErrCorruptSnapshot, id, reason, moved)
 	}
 	return fmt.Errorf("%w: %s: %s", ErrCorruptSnapshot, id, reason)
 }
 
-// Delete implements Store.
+// Delete implements Store. The removal is crash-safe: the manifest
+// entry is tombstoned (Destroyed) and flushed before the file goes, so
+// a crash between the two steps leaves a marker the next NewFileStore
+// finishes collecting instead of reviving a destroyed session's
+// snapshot. Only then is the entry dropped from the manifest entirely.
 func (s *FileStore) Delete(id string) error {
 	if err := validID(id); err != nil {
 		return err
 	}
-	if err := os.Remove(s.path(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+	s.mu.Lock()
+	m := s.meta[id]
+	m.Destroyed = true
+	s.meta[id] = m
+	s.flushManifestLocked()
+	s.mu.Unlock()
+	switch err := os.Remove(s.path(id)); {
+	case err == nil:
+		s.gcRemoved.Add(1)
+	case !errors.Is(err, os.ErrNotExist):
 		return fmt.Errorf("session: filestore delete %s: %w", id, err)
 	}
 	s.mu.Lock()
@@ -326,6 +441,8 @@ func (s *FileStore) Stats() StoreStats {
 	s.mu.Unlock()
 	st.LoadErrors = s.loadErrors.Load()
 	st.Quarantined = s.quarantined.Load()
+	st.GCRemoved = s.gcRemoved.Load()
+	st.QuarantineFiles = s.quarCount.Load()
 	return st
 }
 

@@ -1,0 +1,295 @@
+package session_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"copycat/internal/session"
+)
+
+// TestFileStoreDeleteRemovesSnapshot: Delete takes the .snap off disk,
+// drops the manifest entry, and counts the removal in the GC gauge —
+// destroyed sessions must not leak storage.
+func TestFileStoreDeleteRemovesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := session.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.SetMeta("s000001", session.SnapshotMeta{Tenant: "alice"})
+	if err := fs.Save("s000001", repetitiveSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete("s000001"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snapPath(fs, "s000001")); !os.IsNotExist(err) {
+		t.Fatalf("snapshot file survived Delete: %v", err)
+	}
+	if _, ok := fs.Meta("s000001"); ok {
+		t.Fatal("manifest entry survived Delete")
+	}
+	if st := fs.Stats(); st.GCRemoved != 1 {
+		t.Fatalf("GCRemoved = %d, want 1", st.GCRemoved)
+	}
+	// Deleting an id with no snapshot is a no-op, not an error.
+	if err := fs.Delete("s000099"); err != nil {
+		t.Fatalf("Delete missing: %v", err)
+	}
+}
+
+// TestFileStoreReopenCollectsTombstone simulates a crash between the
+// tombstone flush and the file removal: the next open must finish the
+// delete instead of reviving the destroyed session.
+func TestFileStoreReopenCollectsTombstone(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := session.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("s000001", repetitiveSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("s000002", repetitiveSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// The crash left the tombstone on disk but the snapshot still there.
+	fs.SetMeta("s000001", session.SnapshotMeta{Tenant: "alice", Destroyed: true})
+
+	fs2, err := session.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snapPath(fs2, "s000001")); !os.IsNotExist(err) {
+		t.Fatalf("tombstoned snapshot survived reopen: %v", err)
+	}
+	if _, ok := fs2.Meta("s000001"); ok {
+		t.Fatal("tombstone survived reopen")
+	}
+	ids, err := fs2.List()
+	if err != nil || len(ids) != 1 || ids[0] != "s000002" {
+		t.Fatalf("List after tombstone GC = %v, %v", ids, err)
+	}
+	if st := fs2.Stats(); st.GCRemoved != 1 {
+		t.Fatalf("GCRemoved = %d, want 1", st.GCRemoved)
+	}
+	// The untouched session still loads.
+	if _, ok, err := fs2.Load("s000002"); !ok || err != nil {
+		t.Fatalf("Load survivor = ok=%v err=%v", ok, err)
+	}
+}
+
+// TestFileStoreReopenSweepsOrphanTemps: temp files cut short by a
+// crash before their rename are debris; reopen removes them without
+// touching real snapshots.
+func TestFileStoreReopenSweepsOrphanTemps(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := session.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Save("s000001", repetitiveSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	for _, orphan := range []string{"s000002.tmp-1234567", "manifest.json.tmp-7654321"} {
+		if err := os.WriteFile(filepath.Join(dir, orphan), []byte("half-written"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fs2, err := session.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("orphan temp survived reopen: %s", e.Name())
+		}
+	}
+	if st := fs2.Stats(); st.GCRemoved != 2 {
+		t.Fatalf("GCRemoved = %d, want 2", st.GCRemoved)
+	}
+	if _, ok, err := fs2.Load("s000001"); !ok || err != nil {
+		t.Fatalf("real snapshot lost to the sweep: ok=%v err=%v", ok, err)
+	}
+}
+
+// TestQuarantineRetentionCap: the quarantine directory is forensic
+// evidence, not storage the host owes anyone — beyond the cap the
+// oldest files go, and the gauge tracks what is actually on disk.
+func TestQuarantineRetentionCap(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := session.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs.QuarantineKeep = 2
+	for _, id := range []string{"s000001", "s000002", "s000003", "s000004"} {
+		if err := fs.Save(id, repetitiveSnapshot()); err != nil {
+			t.Fatal(err)
+		}
+		// Corrupt it so the next Load quarantines.
+		if err := os.WriteFile(snapPath(fs, id), []byte("\x00garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok, err := fs.Load(id); ok || err == nil {
+			t.Fatalf("Load(%s) corrupt = ok=%v err=%v", id, ok, err)
+		}
+	}
+	qdir := filepath.Join(dir, "quarantine")
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("quarantine holds %d files, want 2 (cap)", len(entries))
+	}
+	st := fs.Stats()
+	if st.QuarantineFiles != 2 {
+		t.Fatalf("QuarantineFiles gauge = %d, want 2", st.QuarantineFiles)
+	}
+	if st.Quarantined != 4 {
+		t.Fatalf("Quarantined = %d, want 4 (lifetime counter keeps counting)", st.Quarantined)
+	}
+	// 4 quarantined, cap 2 → 2 pruned.
+	if st.GCRemoved != 2 {
+		t.Fatalf("GCRemoved = %d, want 2", st.GCRemoved)
+	}
+}
+
+// TestQuarantinePrunedOnReopen: a store reopened over a directory whose
+// quarantine outgrew the default cap trims it oldest-first on open.
+func TestQuarantinePrunedOnReopen(t *testing.T) {
+	dir := t.TempDir()
+	qdir := filepath.Join(dir, "quarantine")
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	total := session.DefaultQuarantineKeep + 8
+	for i := 0; i < total; i++ {
+		name := filepath.Join(qdir, quarName(i))
+		if err := os.WriteFile(name, []byte("evidence"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so oldest-first is deterministic.
+		mod := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(name, mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs, err := session.NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(qdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != session.DefaultQuarantineKeep {
+		t.Fatalf("quarantine holds %d files after reopen, want %d", len(entries), session.DefaultQuarantineKeep)
+	}
+	// The 8 oldest are the ones that went.
+	for _, e := range entries {
+		for i := 0; i < 8; i++ {
+			if e.Name() == quarName(i) {
+				t.Fatalf("oldest file %s survived the prune", e.Name())
+			}
+		}
+	}
+	st := fs.Stats()
+	if st.QuarantineFiles != int64(session.DefaultQuarantineKeep) {
+		t.Fatalf("QuarantineFiles gauge = %d, want %d", st.QuarantineFiles, session.DefaultQuarantineKeep)
+	}
+	if st.GCRemoved != 8 {
+		t.Fatalf("GCRemoved = %d, want 8", st.GCRemoved)
+	}
+}
+
+func quarName(i int) string {
+	return "q" + string(rune('a'+i/10)) + string(rune('0'+i%10)) + ".snap"
+}
+
+// TestReloadPreservesQualityCounters: a session's suggestion-quality
+// counters ride the persist payload, so an evict/reload cycle keeps the
+// acceptance history continuous (like the plan-cache counters do).
+func TestReloadPreservesQualityCounters(t *testing.T) {
+	w := testWorld()
+	m := session.NewManager(session.Config{Factory: demoFactory(w)})
+	s, err := m.Create("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustImport(t, w, s.State())
+	ws := s.State().Workspace
+	ws.RefreshColumnSuggestions()
+	if err := ws.RejectColumn(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.AcceptColumn(0); err != nil {
+		t.Fatal(err)
+	}
+	before := ws.QualityStats()
+	if before.TotalAccepts == 0 || before.TotalRejects == 0 {
+		t.Fatalf("no quality activity to carry: %+v", before)
+	}
+	s.Release()
+	if err := m.Evict(s.ID()); err != nil {
+		t.Fatal(err)
+	}
+	s, err = m.Acquire(s.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Release()
+	after := s.State().Workspace.QualityStats()
+	if before.TotalAccepts != after.TotalAccepts || before.TotalRejects != after.TotalRejects ||
+		before.MeanAcceptedRank != after.MeanAcceptedRank || before.MeanRounds != after.MeanRounds ||
+		before.AcceptsUndone != after.AcceptsUndone {
+		t.Fatalf("quality counters lost across reload:\nbefore %+v\nafter  %+v", before, after)
+	}
+}
+
+// TestManagerDestroyRemovesSnapshot: Destroy on an evicted session must
+// take its snapshot off disk (via the store's crash-safe Delete) and
+// surface the removal in the host metrics.
+func TestManagerDestroyRemovesSnapshot(t *testing.T) {
+	w := testWorld()
+	dir := t.TempDir()
+	m := fileBackedManager(t, dir, session.Config{Factory: demoFactory(w)})
+	s, err := m.Create("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustImport(t, w, s.State())
+	id := s.ID()
+	s.Release()
+	if err := m.Evict(id); err != nil {
+		t.Fatal(err)
+	}
+	snap := filepath.Join(dir, id+".snap")
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("evicted session has no snapshot: %v", err)
+	}
+	if err := m.Destroy(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snap); !os.IsNotExist(err) {
+		t.Fatalf("snapshot survived Destroy: %v", err)
+	}
+	if got := m.MetricsSnapshot().Counters["sessions.store_gc_removed"]; got != 1 {
+		t.Fatalf("sessions.store_gc_removed = %d, want 1", got)
+	}
+	// A manager reopened over the directory must not resurrect it.
+	m2 := fileBackedManager(t, dir, session.Config{Factory: demoFactory(w)})
+	if _, ok := m2.Get(id); ok {
+		t.Fatalf("destroyed session %s resurrected on recovery", id)
+	}
+}

@@ -78,6 +78,14 @@ type Manager struct {
 	evictErrors atomic.Int64
 	recovered   atomic.Int64
 
+	// quality aggregates suggestion-quality events across the whole
+	// host; tenantQuality keeps one tracker per tenant label. Both live
+	// on the manager (not the workspaces) so the counters survive
+	// session eviction and destruction.
+	quality   *obs.QualityTracker
+	qmu       sync.Mutex
+	tenantQ   map[string]*obs.QualityTracker
+
 	mu            sync.Mutex // lock order: mu → Session.mu; never inverted
 	sessions      map[string]*Session
 	seq           int64
@@ -99,6 +107,8 @@ func NewManager(cfg Config) *Manager {
 		slo:      cfg.SLO,
 		ring:     obs.NewSpanRing(obs.DefaultSpanRingSize),
 		metrics:  obs.NewRegistry(),
+		quality:  obs.NewQualityTracker(),
+		tenantQ:  map[string]*obs.QualityTracker{},
 		sessions: map[string]*Session{},
 	}
 	if m.store == nil {
@@ -194,6 +204,40 @@ func (m *Manager) wire(s *Session, st *State) {
 			s.refreshes.Add(1)
 		}
 	}
+	tq := m.tenantTracker(s.tenant)
+	ws.QualityHook = func(ev obs.QualityEvent) {
+		m.quality.Observe(ev)
+		tq.Observe(ev)
+	}
+}
+
+// tenantTracker returns (creating if needed) the per-tenant quality
+// tracker for a tenant label.
+func (m *Manager) tenantTracker(tenant string) *obs.QualityTracker {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	t, ok := m.tenantQ[tenant]
+	if !ok {
+		t = obs.NewQualityTracker()
+		m.tenantQ[tenant] = t
+	}
+	return t
+}
+
+// Quality snapshots the host-wide suggestion-quality telemetry
+// aggregated across every session this manager has hosted.
+func (m *Manager) Quality() obs.QualityStats { return m.quality.Snapshot() }
+
+// TenantQuality snapshots the per-tenant quality trackers. Tenants that
+// have produced no feedback yet are absent.
+func (m *Manager) TenantQuality() map[string]obs.QualityStats {
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	out := make(map[string]obs.QualityStats, len(m.tenantQ))
+	for tenant, t := range m.tenantQ {
+		out[tenant] = t.Snapshot()
+	}
+	return out
 }
 
 // Create admits and builds a new session for a tenant. The returned
@@ -725,11 +769,14 @@ func (m *Manager) MetricsSnapshot() obs.Snapshot {
 	if ss, ok := m.store.(StatsStore); ok {
 		sst := ss.Stats()
 		snap.Counters["sessions.store_load_errors"] = sst.LoadErrors
+		snap.Counters["sessions.store_gc_removed"] = sst.GCRemoved
 		snap.Gauges["sessions.store_snapshots"] = float64(sst.Snapshots)
 		snap.Gauges["sessions.store_disk_bytes"] = float64(sst.DiskBytes)
 		snap.Gauges["sessions.store_raw_bytes"] = float64(sst.RawBytes)
 		snap.Gauges["sessions.store_compression_ratio"] = sst.CompressionRatio()
 		snap.Gauges["sessions.store_quarantined"] = float64(sst.Quarantined)
+		snap.Gauges["sessions.store_quarantine_files"] = float64(sst.QuarantineFiles)
 	}
+	m.quality.Fold(snap)
 	return snap
 }

@@ -76,6 +76,8 @@ func (st *State) Snapshot() ([]byte, error) {
 		h, m, e := pc.Stats()
 		extras.PlanCache = &persist.CacheCounters{Hits: h, Misses: m, Evictions: e}
 	}
+	q := st.Workspace.Quality.Snapshot()
+	extras.Quality = &q
 	return persist.SaveState(st.Catalog, st.Types, st.Workspace.Int.Graph, extras)
 }
 
@@ -100,6 +102,9 @@ func (st *State) Restore(data []byte) error {
 	persist.RestoreWorkspace(ws, r.Workspace)
 	if r.PlanCache != nil && ws.PlanCache != nil {
 		ws.PlanCache.RestoreStats(r.PlanCache.Hits, r.PlanCache.Misses, r.PlanCache.Evictions)
+	}
+	if r.Quality != nil {
+		ws.Quality.Restore(*r.Quality)
 	}
 	return nil
 }

@@ -24,6 +24,11 @@ type Store interface {
 type SnapshotMeta struct {
 	Tenant  string    `json:"tenant,omitempty"`
 	Created time.Time `json:"created,omitempty"`
+	// Destroyed is the GC tombstone: set (and flushed) before the
+	// snapshot file is removed, so a crash between the two steps leaves
+	// a marker the next open can finish collecting instead of reviving
+	// a destroyed session.
+	Destroyed bool `json:"destroyed,omitempty"`
 }
 
 // Optional store capabilities. The manager type-asserts for these and
@@ -57,6 +62,14 @@ type StoreStats struct {
 	RawBytes    int64 `json:"raw_bytes"`  // uncompressed snapshot bytes
 	LoadErrors  int64 `json:"load_errors"`
 	Quarantined int64 `json:"quarantined"`
+	// GCRemoved counts files the store garbage-collected: destroyed
+	// sessions' snapshots, tombstoned snapshots swept on reopen,
+	// orphaned temp files, and quarantined files pruned past the
+	// retention cap.
+	GCRemoved int64 `json:"gc_removed"`
+	// QuarantineFiles is the current number of files held under
+	// quarantine/ (bounded by the retention cap).
+	QuarantineFiles int64 `json:"quarantine_files"`
 }
 
 // CompressionRatio is raw/stored bytes (1.0 means uncompressed, 0 when

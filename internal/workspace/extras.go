@@ -8,6 +8,7 @@ import (
 	"copycat/internal/engine"
 	"copycat/internal/intlearn"
 	"copycat/internal/mira"
+	"copycat/internal/obs"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/table"
 	"copycat/internal/transform"
@@ -35,7 +36,7 @@ func (w *Workspace) DiscoverTransform(examples map[int]string) []transform.Candi
 // every row with the candidate's output. The new column's provenance is
 // each row's own (a computed value derives from the same inputs).
 func (w *Workspace) ApplyTransform(cand transform.Candidate, columnName string) error {
-	w.checkpoint()
+	w.checkpoint(opTransform)
 	w.Keys.Accept()
 	t := w.ActiveTab()
 	if t.Schema.Index(columnName) >= 0 {
@@ -77,6 +78,7 @@ func (w *Workspace) DemoteSuggestedTuple(compIdx, rowIdx int) error {
 	}
 	c.Result.Rows = append(c.Result.Rows[:rowIdx], c.Result.Rows[rowIdx+1:]...)
 	w.demotions[c.Edge.ID]++
+	w.qualityReject(obs.FeedbackTuples)
 	if w.demotions[c.Edge.ID] > (len(c.Result.Rows)+w.demotions[c.Edge.ID])/2 {
 		return w.RejectColumn(compIdx)
 	}
@@ -104,13 +106,16 @@ func (w *Workspace) PromoteSuggestedTuple(compIdx, rowIdx int) error {
 	for id, wgt := range w.Int.Mira.Snapshot() {
 		w.Int.Graph.SetCost(id, wgt)
 	}
+	w.qualityEvent(obs.QualityEvent{Kind: obs.FeedbackTuples, Accepted: true, Rank: -1})
 	return nil
 }
 
 // ---------------------------------------------------------------- undo (§5)
 
-// snapshot captures the active tab and mode for undo.
+// snapshot captures the active tab and mode for undo, labelled with the
+// operation that took it (so an undone accept is attributable).
 type snapshot struct {
+	op             string
 	mode           Mode
 	active         int
 	tabName        string
@@ -126,9 +131,10 @@ const maxUndo = 32
 // checkpoint records the current state of the active tab. Mutating
 // operations call it so the user can "undo ... portions of what they
 // have demonstrated" (§5 "Advanced interactions").
-func (w *Workspace) checkpoint() {
+func (w *Workspace) checkpoint(op string) {
 	t := w.ActiveTab()
 	snap := snapshot{
+		op:         op,
 		mode:       w.mode,
 		active:     w.active,
 		tabName:    t.Name,
@@ -179,6 +185,7 @@ func (w *Workspace) Undo() error {
 		rel.Name = tab.SourceNode
 		w.Cat.AddRelation(rel, "workspace")
 	}
+	w.qualityUndo(snap.op)
 	return nil
 }
 
@@ -326,7 +333,7 @@ func (w *Workspace) ChooseAlternative(rowIdx int) (int, error) {
 	if len(leaves) == 0 {
 		return 0, fmt.Errorf("workspace: row %d has no base tuple", rowIdx)
 	}
-	w.checkpoint()
+	w.checkpoint(opChoose)
 	w.Keys.Click()
 	base := string(leaves[0])
 	kept := t.Rows[:0]

@@ -40,6 +40,7 @@ func (w *Workspace) pasteIntegration(sel docmodel.Selection) error {
 			return err
 		}
 		w.pendingQueries = qs
+		w.qualityRound()
 		w.annotateActiveTab()
 		return nil
 	}
@@ -117,7 +118,7 @@ func (w *Workspace) AcceptQuery(i int) error {
 	if err != nil {
 		return err
 	}
-	w.checkpoint()
+	w.checkpoint(opAcceptQuery)
 	w.Keys.Accept()
 	ec, cancel := w.execCtx("execute.query")
 	ec.Stats().PlansExecuted.Add(1)
@@ -155,6 +156,7 @@ func (w *Workspace) AcceptQuery(i int) error {
 		out.Rows = append(out.Rows, Row{Cells: a.Row, Prov: a.Prov})
 	}
 	w.pendingQueries = nil
+	w.qualityAccept(obs.FeedbackQueries, i)
 	return nil
 }
 
@@ -180,6 +182,7 @@ func (w *Workspace) RejectQuery(i int) error {
 	rest = append(rest, w.pendingQueries[:i]...)
 	rest = append(rest, w.pendingQueries[i+1:]...)
 	w.pendingQueries = rest
+	w.qualityReject(obs.FeedbackQueries)
 	return nil
 }
 
@@ -196,6 +199,7 @@ func (w *Workspace) RefreshColumnSuggestions() []intlearn.Completion {
 	ec, cancel := w.execCtx("suggest.refresh")
 	w.pendingCols = w.Int.ColumnCompletionsCtx(ec, base, []string{t.SourceNode})
 	cancel()
+	w.qualityRound()
 	return w.pendingCols
 }
 
@@ -212,9 +216,10 @@ func (w *Workspace) SuggestionDrops() []intlearn.CandidateDrop { return w.Int.La
 // appended to the active tab, values fill in per row, provenance carries
 // the derivation, and feedback re-ranks the alternatives.
 func (w *Workspace) AcceptColumn(i int) error {
-	w.checkpoint()
+	w.checkpoint(opAcceptColumn)
 	w.Keys.Accept()
 	if i < 0 || i >= len(w.pendingCols) {
+		w.dropCheckpoint()
 		return fmt.Errorf("workspace: no pending column %d", i)
 	}
 	chosen := w.pendingCols[i]
@@ -259,6 +264,7 @@ func (w *Workspace) AcceptColumn(i int) error {
 	}
 	w.pendingCols = nil
 	w.mode = ModeIntegration
+	w.qualityAccept(obs.FeedbackColumns, i)
 	return nil
 }
 
@@ -282,6 +288,7 @@ func (w *Workspace) RejectColumn(i int) error {
 	rest = append(rest, w.pendingCols[:i]...)
 	rest = append(rest, w.pendingCols[i+1:]...)
 	w.pendingCols = rest
+	w.qualityReject(obs.FeedbackColumns)
 	return nil
 }
 

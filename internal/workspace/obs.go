@@ -137,6 +137,7 @@ func (w *Workspace) MetricsSnapshot() obs.Snapshot {
 		snap.Gauges["plancache.entries"] = float64(w.PlanCache.Len())
 		snap.Gauges["plancache.hit_rate"] = w.PlanCache.HitRate()
 	}
+	w.Quality.Fold(snap)
 	return snap
 }
 

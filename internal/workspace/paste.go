@@ -5,6 +5,7 @@ import (
 
 	"copycat/internal/docmodel"
 	"copycat/internal/modellearn"
+	"copycat/internal/obs"
 	"copycat/internal/provenance"
 	"copycat/internal/sourcegraph"
 	"copycat/internal/structlearn"
@@ -17,7 +18,7 @@ import (
 // source while a tab is already bound to a different source switches the
 // workspace into integration mode (§2.1).
 func (w *Workspace) Paste(sel docmodel.Selection) error {
-	w.checkpoint()
+	w.checkpoint(opPaste)
 	w.Keys.Paste(sel)
 	t := w.ActiveTab()
 
@@ -183,17 +184,22 @@ func (w *Workspace) RowSuggestions() RowSuggestionInfo {
 // import is committed to the catalog so the integration learner can use
 // the source.
 func (w *Workspace) AcceptRows() error {
-	w.checkpoint()
+	w.checkpoint(opAcceptRows)
 	w.Keys.Accept()
 	t := w.ActiveTab()
 	if len(t.SuggestedRows()) == 0 {
+		w.dropCheckpoint()
 		return fmt.Errorf("workspace: no suggested rows to accept")
 	}
 	for i := range t.Rows {
 		t.Rows[i].Suggested = false
 	}
 	w.annotateActiveTab()
-	return w.CommitImport()
+	if err := w.CommitImport(); err != nil {
+		return err
+	}
+	w.qualityAccept(obs.FeedbackRows, 0)
+	return nil
 }
 
 // RejectRows rejects the current row suggestions; the structure learner
@@ -207,6 +213,7 @@ func (w *Workspace) RejectRows() error {
 	}
 	lrn.Reject()
 	w.refreshRowSuggestions()
+	w.qualityReject(obs.FeedbackRows)
 	return nil
 }
 

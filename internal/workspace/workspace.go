@@ -172,6 +172,16 @@ type Workspace struct {
 	// and SLO tracker. The session manager uses it to fold per-session
 	// latencies into host-level admission-control SLOs.
 	StageHook func(stage string, d time.Duration)
+	// Quality accumulates live suggestion-quality telemetry (acceptance
+	// rate, rank-of-accepted histogram, rounds-to-accept) from every
+	// accept/reject/undo. Always non-nil after New; folded into
+	// MetricsSnapshot as the "quality.*" families.
+	Quality *obs.QualityTracker
+	// QualityHook, when non-nil, observes every quality event in
+	// addition to the workspace's own tracker. The session manager uses
+	// it to aggregate host-level and per-tenant quality counters that
+	// survive session eviction.
+	QualityHook func(ev obs.QualityEvent)
 
 	// trace is the active span tracer; nil (the default) disables
 	// tracing at ~zero cost. Managed by EnableTracing/DisableTracing.
@@ -195,6 +205,9 @@ type Workspace struct {
 	demotions map[string]int
 	// undoStack holds snapshots for Undo.
 	undoStack []snapshot
+	// roundsSinceAccept counts suggestion refreshes since the last
+	// accepted suggestion — the live rounds-to-accept numerator.
+	roundsSinceAccept int
 	// views are the saved mediated views by name.
 	views map[string]*intlearn.Query
 }
@@ -220,6 +233,7 @@ func New(cat *catalog.Catalog, types *modellearn.Library) *Workspace {
 		PlanCache:      plancache.New(DefaultPlanCacheSize),
 		Metrics:        obs.NewRegistry(),
 		Decisions:      obs.NewDecisionLog(),
+		Quality:        obs.NewQualityTracker(),
 		spanRing:       obs.NewSpanRing(obs.DefaultSpanRingSize),
 		structLearners: map[string]*structlearn.Learner{},
 		demotions:      map[string]int{},
@@ -305,7 +319,7 @@ func (w *Workspace) SetCell(row, col int, value string) error {
 	if row < 0 || row >= len(t.Rows) || col < 0 || col >= len(t.Schema) {
 		return fmt.Errorf("workspace: cell (%d,%d) out of range", row, col)
 	}
-	w.checkpoint()
+	w.checkpoint(opEdit)
 	w.Keys.Type(value)
 	t.Rows[row].Cells[col] = table.ParseValue(value)
 	t.Rows[row].Suggested = false
