@@ -122,15 +122,20 @@ durability-smoke:
 # Then the durability gate: re-run the durable-store experiment
 # against the committed BENCH_7.json, failing if the on-disk compression
 # ratio drops below 2× or the rebuilt host stops recovering the fleet.
-# Finally the accuracy gate: score the scenario corpus (warm and cold
+# Then the accuracy gate: score the scenario corpus (warm and cold
 # runs must agree exactly) against the committed BENCH_8.json, failing
 # on grid/scenario drift, lost convergence, or a mean-MRR/recall drop
-# beyond 0.05.
+# beyond 0.05. Finally the scale gate: sweep the 1x/10x/100x worlds
+# against the committed BENCH_9.json, failing if the tiered first-answer
+# p99 regresses past 2x, SPCSH/exact top-1 agreement drops, or the
+# within-run tiered-vs-exact speedup falls under the per-scale floor
+# (≥10x on the 100x world).
 bench-check:
 	$(GO) run ./cmd/scpbench -exp pipeline -warm -cold -baseline BENCH_4.json -bench-out BENCH_4.json
 	$(GO) run ./cmd/scpbench -exp capacity -baseline BENCH_6.json -bench-out BENCH_6.json
 	$(GO) run ./cmd/scpbench -exp durability -baseline BENCH_7.json -bench-out BENCH_7.json
 	$(GO) run ./cmd/scpbench -exp accuracy -baseline BENCH_8.json -bench-out BENCH_8.json
+	$(GO) run ./cmd/scpbench -exp scale -baseline BENCH_9.json -bench-out BENCH_9.json
 
 # Tier-1 gate: everything a PR must keep green.
 check: build vet test test-race

@@ -51,6 +51,7 @@ var experiments = []experiment{
 	{"capacity", "C1: multi-tenant capacity — sessions vs p99/availability under a fixed memory budget with LRU eviction", expCapacity},
 	{"durability", "D1: durable session store — evict/reload cost, on-disk compression ratio, crash recovery of the whole fleet", expDurability},
 	{"accuracy", "Q1: suggestion-quality accuracy over the scenario corpus — precision@k, recall, MRR, feedback rounds to convergence", expAccuracy},
+	{"scale", "S1: scale-out suggestion serving — first-answer p50/p99, allocs/op and SPCSH-vs-exact agreement on 1x/10x/100x worlds", expScale},
 }
 
 // statsMode mirrors the -stats flag: experiments that drive a workspace
@@ -66,6 +67,7 @@ var (
 	warmMode       bool    // -warm: time the incremental (plan-cached) refresh loop
 	coldMode       bool    // -cold: time the recompute-everything refresh loop
 	baselineFile   string  // -baseline: fail if warm p99 regresses >10% vs this report
+	scaleGridFlag  string  // -scale-grid: world sizes the scale experiment sweeps
 
 	// jsonReport collects whatever the last experiment wants to expose
 	// under -json; marshaled to the real stdout after all experiments ran.
@@ -92,6 +94,7 @@ func main() {
 	flag.BoolVar(&warmMode, "warm", false, "pipeline: time the warm (incremental, plan-cached) refresh loop")
 	flag.BoolVar(&coldMode, "cold", false, "pipeline: time the cold (recompute-everything) refresh loop")
 	flag.StringVar(&baselineFile, "baseline", "", "pipeline: fail if the warm refresh p99 regresses >10% against this committed report (JSON)")
+	flag.StringVar(&scaleGridFlag, "scale-grid", scaleDefaultGrid, "scale: comma-separated world-size multipliers to sweep (CI uses the reduced 1,10 grid)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	serveAddr := flag.String("serve", "", "drive a traced demo session and serve its live telemetry on this address (e.g. 127.0.0.1:9464) instead of running experiments")

@@ -7,6 +7,7 @@
 package intlearn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -91,6 +92,16 @@ type Learner struct {
 	MaxExactNodes int
 	// PruneFrac is the non-promising-edge pruning fraction for SPCSH.
 	PruneFrac float64
+	// TierTerminals caps the terminal count answered inline by the exact
+	// solver (Dreyfus–Wagner is exponential in terminals); at or above
+	// it the tiered policy applies even on small graphs.
+	TierTerminals int
+	// RefineMaxNodes/RefineMaxTerminals bound the hybrid tier: when a
+	// query is answered from SPCSH and the problem fits these limits (and
+	// a plan cache is available to surface the re-rank), an exact top-k
+	// refinement runs in the background.
+	RefineMaxNodes     int
+	RefineMaxTerminals int
 
 	dropMu    sync.Mutex
 	lastDrops []CandidateDrop // candidates dropped by the last completion pass
@@ -113,6 +124,13 @@ type Learner struct {
 	// inputs moved" (the plans_invalidated counter).
 	fpMu   sync.Mutex
 	lastFP map[string]uint64
+
+	// Background exact refinement (hybrid tier): one in-flight refine per
+	// memo key, solving on a cloned Steiner graph so foreground weight
+	// patches never race, publishing re-ranks through the plan cache.
+	refineMu       sync.Mutex
+	refineInFlight map[uint64]bool
+	refineWG       sync.WaitGroup
 }
 
 // LastDrops reports the candidates dropped (with reasons) by the most
@@ -137,12 +155,15 @@ func (l *Learner) setDrops(d []CandidateDrop) {
 // weights, so e.g. schema-matcher confidences carry into the ranking.
 func New(g *sourcegraph.Graph) *Learner {
 	l := &Learner{
-		Graph:         g,
-		Mira:          mira.New(sourcegraph.DefaultCost),
-		Linker:        linkage.NewLinker(),
-		LinkThreshold: 0.55,
-		MaxExactNodes: 30,
-		PruneFrac:     0.2,
+		Graph:              g,
+		Mira:               mira.New(sourcegraph.DefaultCost),
+		Linker:             linkage.NewLinker(),
+		LinkThreshold:      0.55,
+		MaxExactNodes:      30,
+		PruneFrac:          0.2,
+		TierTerminals:      DefaultTierTerminals,
+		RefineMaxNodes:     DefaultRefineMaxNodes,
+		RefineMaxTerminals: DefaultRefineMaxTerminals,
 	}
 	for _, e := range g.Edges() {
 		if e.Cost != sourcegraph.DefaultCost {
@@ -693,9 +714,26 @@ func (l *Learner) TopQueriesCtx(ec *engine.ExecCtx, terminals []string, k int) (
 		}
 		terms = append(terms, i)
 	}
-	solve := steiner.CtxSolver(steiner.ExactCtx)
-	if g.N() > l.MaxExactNodes {
+	tier := l.solverTier(g.N(), len(terms), cache != nil)
+	var solve steiner.CtxSolver
+	switch tier {
+	case TierExact:
+		solve = steiner.CtxSolver(steiner.ExactCtx)
+	case TierHybrid:
+		// Answer now from the heuristic (no pruning pass — the point is
+		// latency); exact refinement follows in the background.
+		solve = steiner.CtxSolver(steiner.SPCSHCtx)
+	default: // TierHeuristic
 		solve = steiner.ApproxCtx(l.PruneFrac)
+	}
+	if d := ec.Decisions(); d != nil {
+		d.Record(obs.Decision{
+			Stage: "solver.tier", Candidate: fmt.Sprintf("n=%d t=%d k=%d", g.N(), len(terms), k),
+			Action: obs.ActionSuggested, Reason: tier,
+		})
+	}
+	if reg := ec.Metrics(); reg != nil {
+		reg.Counter("solver.tier." + tier).Inc()
 	}
 	var m steiner.Metrics
 	trees, err := steiner.TopKCtx(ec.Context(), g, terms, k, solve, &m)
@@ -705,21 +743,7 @@ func (l *Learner) TopQueriesCtx(ec *engine.ExecCtx, terminals []string, k int) (
 	}
 	var out []*Query
 	for _, tr := range trees {
-		q := &Query{}
-		for _, id := range tr.Edges {
-			q.Edges = append(q.Edges, ix.edges[id])
-		}
-		nodeSet := map[string]bool{}
-		for _, v := range tr.Nodes(g) {
-			nodeSet[ix.names[v]] = true
-		}
-		for _, t := range terminals {
-			nodeSet[t] = true
-		}
-		for n := range nodeSet {
-			q.Nodes = append(q.Nodes, n)
-		}
-		sort.Strings(q.Nodes)
+		q := queryFromTree(tr, g, ix, terminals)
 		q.Cost = l.Mira.Cost(q.EdgeIDs())
 		out = append(out, q)
 	}
@@ -728,9 +752,133 @@ func (l *Learner) TopQueriesCtx(ec *engine.ExecCtx, terminals []string, k int) (
 		// hand copies of the outer slice to callers.
 		cache.Put(memoKey, append([]*Query(nil), out...))
 	}
+	if tier == TierHybrid && cache != nil {
+		l.spawnRefineLocked(ec, cache, memoKey, g, ix, terms, terminals, k)
+	}
 	recordQueryDecisions(ec.Decisions(), out)
 	return out, nil
 }
+
+// Tier names, as recorded in the decision log ("solver.tier" stage) and
+// the solver.tier.* metric counters.
+const (
+	TierExact     = "exact"     // small problem: exact top-k inline
+	TierHybrid    = "tiered"    // SPCSH now, exact refine in background
+	TierHeuristic = "heuristic" // SPCSH with pruning only
+)
+
+// Default tier thresholds (see the corresponding Learner fields).
+const (
+	DefaultTierTerminals      = 8
+	DefaultRefineMaxNodes     = 5000
+	DefaultRefineMaxTerminals = 10
+)
+
+// solverTier picks the solving strategy: exact stays inline while both
+// the node count (§4.2's "relatively small" regime) and the terminal
+// count (the DP is exponential in terminals) are low; past that, answer
+// from the heuristic immediately and — when the problem is still worth
+// an exact pass and a plan cache exists to publish the re-rank — refine
+// in the background.
+func (l *Learner) solverTier(n, t int, canRefine bool) string {
+	if n <= l.MaxExactNodes && t < l.TierTerminals {
+		return TierExact
+	}
+	if canRefine && n <= l.RefineMaxNodes && t <= l.RefineMaxTerminals {
+		return TierHybrid
+	}
+	return TierHeuristic
+}
+
+// queryFromTree converts a Steiner tree into a Query (cost unset): its
+// source-graph edges plus the sorted node set, terminals always
+// included (a single-edge tree still names both endpoints).
+func queryFromTree(tr *steiner.Tree, g *steiner.Graph, ix *steinerIndex, terminals []string) *Query {
+	q := &Query{}
+	for _, id := range tr.Edges {
+		q.Edges = append(q.Edges, ix.edges[id])
+	}
+	nodeSet := map[string]bool{}
+	for _, v := range tr.Nodes(g) {
+		nodeSet[ix.names[v]] = true
+	}
+	for _, t := range terminals {
+		nodeSet[t] = true
+	}
+	for n := range nodeSet {
+		q.Nodes = append(q.Nodes, n)
+	}
+	sort.Strings(q.Nodes)
+	return q
+}
+
+// spawnRefineLocked starts the background exact refinement for a hybrid-
+// tier answer. Callers hold steinMu: the Steiner graph is cloned under
+// the lock (its own edge table, shared immutable topology) and the MIRA
+// weights snapshotted, so the goroutine touches no live learner state.
+// The refined ranking lands in the plan cache under the same memo key —
+// the key pins the graph generations, so any intervening feedback moves
+// future lookups to a new key and the stale publish is inert. One refine
+// per key is in flight at a time; WaitRefines joins them all.
+func (l *Learner) spawnRefineLocked(ec *engine.ExecCtx, cache *plancache.Cache, memoKey uint64, g *steiner.Graph, ix *steinerIndex, terms []int, terminals []string, k int) {
+	l.refineMu.Lock()
+	if l.refineInFlight == nil {
+		l.refineInFlight = map[uint64]bool{}
+	}
+	if l.refineInFlight[memoKey] {
+		l.refineMu.Unlock()
+		return
+	}
+	l.refineInFlight[memoKey] = true
+	l.refineMu.Unlock()
+
+	gc := g.Clone()
+	weights := l.Mira.Snapshot()
+	termsCopy := append([]int(nil), terms...)
+	namesCopy := append([]string(nil), terminals...)
+	reg := ec.Metrics()
+	l.refineWG.Add(1)
+	go func() {
+		defer l.refineWG.Done()
+		defer func() {
+			l.refineMu.Lock()
+			delete(l.refineInFlight, memoKey)
+			l.refineMu.Unlock()
+		}()
+		trees, err := steiner.TopKCtx(context.Background(), gc, termsCopy, k, steiner.CtxSolver(steiner.ExactCtx), nil)
+		if err != nil || len(trees) == 0 {
+			if reg != nil {
+				reg.Counter("solver.refine.failed").Inc()
+			}
+			return
+		}
+		out := make([]*Query, 0, len(trees))
+		for _, tr := range trees {
+			q := queryFromTree(tr, gc, ix, namesCopy)
+			// Cost from the weight snapshot — exactly Mira.Cost as of the
+			// generation the memo key pins.
+			c := 0.0
+			for _, id := range q.EdgeIDs() {
+				if w, ok := weights[id]; ok {
+					c += w
+				} else {
+					c += sourcegraph.DefaultCost
+				}
+			}
+			q.Cost = c
+			out = append(out, q)
+		}
+		cache.Put(memoKey, out)
+		if reg != nil {
+			reg.Counter("solver.refine.completed").Inc()
+		}
+	}()
+}
+
+// WaitRefines blocks until every background exact refinement spawned so
+// far has finished — the determinism hook for tests, scenarios, and the
+// scale experiment.
+func (l *Learner) WaitRefines() { l.refineWG.Wait() }
 
 // recordQueryDecisions logs the ranked query list; it runs identically on
 // the solved and memoized paths so warm and cold refreshes leave the same

@@ -24,7 +24,8 @@ type Config struct {
 
 // Corpus builds the full scenario set: three shelter-demo variants,
 // two WebRelate-style join scenarios, two SmartInt-style stitching
-// scenarios, and one query-family scenario.
+// scenarios, one query-family scenario, and one 10x-world scale
+// scenario exercising the tiered solver path.
 func Corpus(cfg Config) ([]Scenario, error) {
 	var out []Scenario
 	for _, sh := range []struct {
@@ -48,6 +49,7 @@ func Corpus(cfg Config) ([]Scenario, error) {
 		smartintZip(w),
 		smartintPhone(w),
 		familyScenario(),
+		scaleStitch(cfg),
 	)
 	return out, nil
 }

@@ -1,0 +1,51 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"copycat/internal/catalog"
+	"copycat/internal/intlearn"
+	"copycat/internal/sourcegraph"
+)
+
+// TestScaleScenarioUsesTieredPath pins the property the scale scenario
+// exists for: its source graph is larger than the learner's exact-solve
+// threshold but within the refinement bounds, so every Ranked poll runs
+// the tiered (heuristic-then-exact) path rather than the inline exact
+// solver.
+func TestScaleScenarioUsesTieredPath(t *testing.T) {
+	nodes := scaleChainCities * 7 // 6 fragments + 1 decoy per chain
+	lrn := intlearn.New(sourcegraph.New(catalog.New()))
+	if nodes <= lrn.MaxExactNodes {
+		t.Fatalf("scale scenario has %d sources, within the exact threshold %d — not exercising the tiered path",
+			nodes, lrn.MaxExactNodes)
+	}
+	if nodes > lrn.RefineMaxNodes {
+		t.Fatalf("scale scenario has %d sources, beyond the refine bound %d — would fall back to the pruning heuristic",
+			nodes, lrn.RefineMaxNodes)
+	}
+
+	s := scaleStitch(Config{Seed: testSeed})
+	ranked, err := s.Ranked(testK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) == 0 {
+		t.Fatal("no ranked queries")
+	}
+	// The stale shortcut is the cheap trap: it must lead the initial
+	// ranking with the fresh end-to-end stitch visible behind it.
+	if ranked[0].Correct {
+		t.Errorf("decoy should outrank the fresh chain before feedback: %+v", ranked[0])
+	}
+	sawCorrect := false
+	for _, c := range ranked {
+		if c.Correct && strings.Contains(c.Name, "_f3") {
+			sawCorrect = true // full chain includes the middle fragments
+		}
+	}
+	if !sawCorrect {
+		t.Errorf("fresh end-to-end stitch not in the top %d: %+v", testK, ranked)
+	}
+}

@@ -30,6 +30,7 @@ const (
 	KindWebRelate = "webrelate" // WebRelate-style string-transformation join
 	KindSmartInt  = "smartint"  // SmartInt-style stitching of fragmented sources
 	KindFamily    = "family"    // E2 query family: feedback generalization
+	KindScale     = "scale"     // 10x-world stitching on the tiered solver path
 )
 
 // Candidate is one ranked suggestion as the scorer sees it: a stable

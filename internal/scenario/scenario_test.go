@@ -49,7 +49,7 @@ func TestCorpusShape(t *testing.T) {
 		names[s.Name] = true
 		kinds[s.Kind]++
 		switch s.Kind {
-		case KindShelter, KindWebRelate, KindSmartInt, KindFamily:
+		case KindShelter, KindWebRelate, KindSmartInt, KindFamily, KindScale:
 		default:
 			t.Errorf("scenario %s has unknown kind %q", s.Name, s.Kind)
 		}

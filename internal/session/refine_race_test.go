@@ -1,0 +1,144 @@
+package session_test
+
+import (
+	"errors"
+	"testing"
+
+	"copycat/internal/catalog"
+	"copycat/internal/docmodel"
+	"copycat/internal/intlearn"
+	"copycat/internal/modellearn"
+	"copycat/internal/session"
+	"copycat/internal/sourcegraph"
+	"copycat/internal/table"
+	"copycat/internal/workspace"
+)
+
+// tieredState builds a minimal three-source catalog (a fresh direct join
+// and a cheaper stale two-hop decoy) whose learner is forced onto the
+// tiered solver path, so every integration paste answers from SPCSH and
+// spawns a background exact refinement.
+func tieredState() (*session.State, error) {
+	cat := catalog.New()
+	names := table.NewRelation("Names", table.NewSchema("Name", "K"))
+	for _, r := range [][]string{{"Shelter Alpha", "K1"}, {"Shelter Beta", "K2"}, {"Shelter Gamma", "K3"}} {
+		names.MustAppend(table.FromStrings(r))
+	}
+	cat.AddRelation(names, "fragment")
+	status := table.NewRelation("StatusByKey", table.NewSchema("K", "Status"))
+	for _, r := range [][]string{{"K1", "open"}, {"K2", "full"}, {"K3", "closed"}} {
+		status.MustAppend(table.FromStrings(r))
+	}
+	cat.AddRelation(status, "fragment")
+	stale := table.NewRelation("StaleMap", table.NewSchema("Name", "K"))
+	for _, r := range [][]string{{"Alpha House", "K2"}, {"Beta House", "K3"}, {"Gamma House", "K1"}} {
+		stale.MustAppend(table.FromStrings(r))
+	}
+	cat.AddRelation(stale, "stale-mirror")
+
+	ws := workspace.New(cat, modellearn.NewLibrary())
+	g := ws.Int.Graph
+	g.AddEdge(sourcegraph.Edge{From: "Names", To: "StatusByKey", Kind: sourcegraph.KindJoin,
+		FromCols: []string{"K"}, ToCols: []string{"K"}, Cost: 0.6})
+	g.AddEdge(sourcegraph.Edge{From: "Names", To: "StaleMap", Kind: sourcegraph.KindJoin,
+		FromCols: []string{"Name"}, ToCols: []string{"Name"}, Cost: 0.2})
+	g.AddEdge(sourcegraph.Edge{From: "StaleMap", To: "StatusByKey", Kind: sourcegraph.KindJoin,
+		FromCols: []string{"K"}, ToCols: []string{"K"}, Cost: 0.2})
+	// Force the tiered path: the 3-node graph is "too big" for inline
+	// exact, small enough to refine in the background.
+	ws.Int.MaxExactNodes = 1
+	return &session.State{Workspace: ws, Catalog: cat, Types: ws.Types}, nil
+}
+
+// TestRefineRaceAcceptRejectEvict is the -race proof for the background
+// exact refinement: a refine in flight must never race an accept, a
+// reject, a refresh poll, a snapshot-on-evict, or a reload — and once
+// the session detaches, a late-finishing refine must not re-rank the
+// reloaded workspace (it publishes only into the detached workspace's
+// plan cache, which dies with it).
+func TestRefineRaceAcceptRejectEvict(t *testing.T) {
+	m := session.NewManager(session.Config{
+		Factory:      tieredState,
+		Store:        session.NewMemStore(),
+		MemoryBudget: 64 << 20,
+	})
+	s, err := m.Create("tenant")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.ID()
+	sel := docmodel.Selection{Cells: [][]string{{"Shelter Alpha", "open"}}}
+
+	// Every cycle's learner is kept so all in-flight refines can be
+	// joined at the end, after their workspaces have been detached.
+	var detached []*intlearn.Learner
+	for i := 0; i < 12; i++ {
+		ws := s.State().Workspace
+		detached = append(detached, ws.Int)
+		ws.SelectTab("Sheet1")
+		ws.SetMode(workspace.ModeIntegration)
+		if err := ws.Paste(sel); err != nil {
+			t.Fatal(err)
+		}
+		if len(ws.PendingQueries()) == 0 {
+			t.Fatal("integration paste proposed no queries")
+		}
+		if ws.Metrics.Counter("solver.tier."+intlearn.TierHybrid).Load() == 0 {
+			t.Fatal("paste did not take the tiered solver path")
+		}
+		// User feedback races the refine this paste just spawned.
+		switch i % 3 {
+		case 0:
+			if err := ws.AcceptQuery(0); err != nil {
+				t.Fatal(err)
+			}
+		case 1:
+			if err := ws.RejectQuery(0); err != nil {
+				t.Fatal(err)
+			}
+			// The re-poll spawns a second refine under the post-feedback
+			// memo key while the first may still be running.
+			if _, err := ws.RefreshQuerySuggestions(); err != nil {
+				t.Fatal(err)
+			}
+		case 2:
+			// Detach immediately: the snapshot-on-evict below races the
+			// refine with no feedback in between.
+		}
+		s.Release()
+		// Evict (snapshot + drop) while refines may be in flight, then
+		// transparently reload.
+		if err := m.Evict(id); err != nil && !errors.Is(err, session.ErrBusy) {
+			t.Fatal(err)
+		}
+		if s, err = m.Acquire(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Join every refine spawned against now-detached workspaces; none may
+	// re-rank the live session.
+	ws := s.State().Workspace
+	before := len(ws.PendingQueries())
+	for _, l := range detached {
+		l.WaitRefines()
+	}
+	if got := len(ws.PendingQueries()); got != before {
+		t.Fatalf("detached refine re-ranked the live workspace: %d pending queries, was %d", got, before)
+	}
+	// The reloaded workspace has no outstanding integration paste, so a
+	// poll is a no-op, not a stale re-rank.
+	qs, err := ws.RefreshQuerySuggestions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != before {
+		t.Fatalf("refresh after reload changed the proposals: %d, was %d", len(qs), before)
+	}
+	s.Release()
+
+	st := m.Stats()
+	if st.Evictions == 0 || st.Reloads == 0 {
+		t.Fatalf("expected evict/reload churn: %+v", st)
+	}
+}

@@ -95,6 +95,16 @@ type Graph struct {
 	gen       uint64
 	structGen uint64
 	edgeGen   map[string]uint64
+
+	// adjCache memoizes EdgesAt's sorted incidence lists; it is valid
+	// while the graph generation matches adjGen-1 (cost order can move
+	// on any generation bump). allCache memoizes Edges' sorted edge
+	// list; it survives cost updates and dies only on structural change.
+	// Both return shared slices — callers iterate, never mutate.
+	adjCache map[string][]*Edge
+	adjGen   uint64
+	allCache []*Edge
+	allGen   uint64
 }
 
 // New creates an empty graph over a catalog.
@@ -165,8 +175,13 @@ func edgeID(e Edge) string {
 // Edge returns the edge with the given ID, or nil.
 func (g *Graph) Edge(id string) *Edge { return g.edges[id] }
 
-// Edges returns all edges sorted by ID (deterministic).
+// Edges returns all edges sorted by ID (deterministic). The slice is
+// cached until the edge set changes structurally; callers must treat it
+// as read-only.
 func (g *Graph) Edges() []*Edge {
+	if g.allCache != nil && g.allGen == g.structGen+1 {
+		return g.allCache
+	}
 	ids := make([]string, 0, len(g.edges))
 	for id := range g.edges {
 		ids = append(ids, id)
@@ -176,11 +191,26 @@ func (g *Graph) Edges() []*Edge {
 	for i, id := range ids {
 		out[i] = g.edges[id]
 	}
+	g.allCache, g.allGen = out, g.structGen+1
 	return out
 }
 
 // EdgesAt returns the edges incident to a node, sorted by cost then ID.
+// Lists are cached per node and invalidated by any generation bump
+// (cost updates can reorder them); callers must treat the slice as
+// read-only. On large worlds this turns the per-refresh re-sort of
+// every node's incidence list into a hash lookup.
 func (g *Graph) EdgesAt(node string) []*Edge {
+	if g.adjGen != g.gen+1 {
+		if g.adjCache == nil {
+			g.adjCache = map[string][]*Edge{}
+		} else {
+			clear(g.adjCache)
+		}
+		g.adjGen = g.gen + 1
+	} else if out, ok := g.adjCache[node]; ok {
+		return out
+	}
 	ids := g.byNode[node]
 	out := make([]*Edge, 0, len(ids))
 	for _, id := range ids {
@@ -192,6 +222,7 @@ func (g *Graph) EdgesAt(node string) []*Edge {
 		}
 		return out[i].ID < out[j].ID
 	})
+	g.adjCache[node] = out
 	return out
 }
 

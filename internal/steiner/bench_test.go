@@ -1,0 +1,106 @@
+package steiner
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchGraph builds a deterministic sparse "stitching" graph shaped like
+// the scale-world source graphs: nChains chains of chainLen nodes hang
+// off a shared backbone, with a few random cross edges. Terminals are
+// spread across chain tails — the worst case for the metric-closure
+// heuristic (every terminal needs its own Dijkstra).
+func benchGraph(nChains, chainLen, nTerms int, seed int64) (*Graph, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + nChains*chainLen
+	g := NewGraph(n)
+	for c := 0; c < nChains; c++ {
+		prev := 0 // backbone root
+		for i := 0; i < chainLen; i++ {
+			node := 1 + c*chainLen + i
+			g.AddEdge(prev, node, 0.5+rng.Float64())
+			prev = node
+		}
+	}
+	// Sparse cross links between chains.
+	for i := 0; i < nChains; i++ {
+		u := 1 + rng.Intn(n-1)
+		v := 1 + rng.Intn(n-1)
+		if u != v {
+			g.AddEdge(u, v, 1.0+rng.Float64())
+		}
+	}
+	terms := make([]int, 0, nTerms)
+	for t := 0; t < nTerms; t++ {
+		c := (t * nChains) / nTerms
+		terms = append(terms, 1+c*chainLen+chainLen-1) // chain tail
+	}
+	return g, terms
+}
+
+// BenchmarkSPCSHCtx measures the heuristic solver at 1x and 10x graph
+// and terminal scale — the per-suggestion hot path on large worlds.
+func BenchmarkSPCSHCtx(b *testing.B) {
+	for _, sc := range []struct {
+		name           string
+		chains, len, t int
+	}{
+		{"1x", 12, 5, 4},
+		{"10x", 120, 5, 40},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			g, terms := benchGraph(sc.chains, sc.len, sc.t, 7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := SPCSH(g, terms, nil); !ok {
+					b.Fatal("infeasible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactCtx measures the Dreyfus–Wagner solver at 1x and 10x
+// terminal counts (its cost is exponential in terminals, so the graph
+// stays small).
+func BenchmarkExactCtx(b *testing.B) {
+	for _, sc := range []struct {
+		name           string
+		chains, len, t int
+	}{
+		{"1x", 12, 5, 4},
+		{"10x", 12, 5, 8},
+	} {
+		b.Run(sc.name, func(b *testing.B) {
+			g, terms := benchGraph(sc.chains, sc.len, sc.t, 7)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := Exact(g, terms, nil); !ok {
+					b.Fatal("infeasible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTopKSPCSH measures the full Lawler enumeration over the
+// heuristic solver on the 10x graph — the tiered first-answer path.
+func BenchmarkTopKSPCSH(b *testing.B) {
+	g, terms := benchGraph(120, 5, 12, 7)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if trees := TopK(g, terms, 3, SPCSH); len(trees) == 0 {
+			b.Fatal("no trees")
+		}
+	}
+}
+
+func ExampleGraph_benchShape() {
+	g, terms := benchGraph(12, 5, 4, 7)
+	fmt.Println(g.N(), g.M(), len(terms))
+	// Output: 61 72 4
+}

@@ -1,0 +1,76 @@
+package steiner
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSPCSHDeterministicStructure pins the satellite fix: under the
+// pooled/CSR representation SPCSH must pick the same tree — cost AND
+// edge set — every run, even on graphs dense with equal-cost edges
+// (where the old map-ordered Kruskal input made tie-breaking depend on
+// map iteration order).
+func TestSPCSHDeterministicStructure(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		g, terms := tieGraph(seed)
+		var refKey string
+		var refCost float64
+		for run := 0; run < 3; run++ {
+			tr, ok := SPCSH(g, terms, nil)
+			if !ok {
+				t.Fatalf("seed %d run %d: infeasible", seed, run)
+			}
+			if run == 0 {
+				refKey, refCost = tr.Key(), tr.Cost
+				continue
+			}
+			if tr.Cost != refCost {
+				t.Fatalf("seed %d run %d: cost %v != %v", seed, run, tr.Cost, refCost)
+			}
+			if tr.Key() != refKey {
+				t.Fatalf("seed %d run %d: structure %q != %q", seed, run, tr.Key(), refKey)
+			}
+		}
+	}
+}
+
+// TestSPCSHDeterministicUnderBans exercises the same property through
+// the Lawler enumeration, where ban sets are built per subproblem and
+// concurrent workers share the scratch pool.
+func TestSPCSHDeterministicUnderBans(t *testing.T) {
+	g, terms := tieGraph(7)
+	ref := TopK(g, terms, 4, SPCSH)
+	for run := 0; run < 3; run++ {
+		got := TopK(g, terms, 4, SPCSH)
+		if len(got) != len(ref) {
+			t.Fatalf("run %d: %d trees != %d", run, len(got), len(ref))
+		}
+		for i := range got {
+			if got[i].Key() != ref[i].Key() || got[i].Cost != ref[i].Cost {
+				t.Fatalf("run %d tree %d: %q/%v != %q/%v",
+					run, i, got[i].Key(), got[i].Cost, ref[i].Key(), ref[i].Cost)
+			}
+		}
+	}
+}
+
+// tieGraph builds a seeded graph where most edges share one of three
+// costs, maximizing tie-break opportunities in the subgraph MST.
+func tieGraph(seed int64) (*Graph, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	const n = 40
+	g := NewGraph(n)
+	costs := []float64{1.0, 1.0, 1.0, 2.0, 2.0, 3.0}
+	// Ring so the graph is connected, then random chords.
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, costs[rng.Intn(len(costs))])
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v, costs[rng.Intn(len(costs))])
+		}
+	}
+	terms := []int{0, n / 4, n / 2, 3 * n / 4, n - 3}
+	return g, terms
+}

@@ -1,7 +1,6 @@
 package steiner
 
 import (
-	"container/heap"
 	"context"
 	"math"
 	"runtime"
@@ -30,6 +29,11 @@ func Exact(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
 // for cancellation between terminal subsets, so an expired suggestion
 // deadline aborts the search instead of grinding through 3^t states.
 // Cancellation reports ok=false (no tree).
+//
+// The DP tables are flattened into two pooled backing arrays ((2^t)·n
+// entries each) instead of 2^t per-subset slices, and the relaxation
+// heap is reused across subsets, so repeated calls — the Lawler fan-out
+// solves one subproblem per tree edge — stop hammering the allocator.
 func ExactCtx(ctx context.Context, g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
 	if ctx != nil && ctx.Err() != nil {
 		return nil, false
@@ -46,97 +50,107 @@ func ExactCtx(ctx context.Context, g *Graph, terminals []int, banned map[int]boo
 	rest := terminals[1:]
 	full := (1 << t) - 1
 
+	cs := g.topo()
+	s := g.getScratch()
+	defer g.putScratch(s)
+	n := g.n
+	ban := s.banBits(banned, len(g.edges))
+
 	inf := math.Inf(1)
-	// dp[S][v]: min cost of a tree spanning {rest[i] : i∈S} ∪ {v}.
-	dp := make([][]float64, full+1)
-	type pred struct {
-		kind byte // 0 none, 1 extend, 2 merge
-		u    int  // extend: neighbor
-		edge int  // extend: edge id
-		s1   int  // merge: first sub-subset
+	// dp[S·n+v]: min cost of a tree spanning {rest[i] : i∈S} ∪ {v}.
+	size := (full + 1) * n
+	s.dp = growF64(s.dp, size)
+	if cap(s.pr) < size {
+		s.pr = make([]pred, size)
+	} else {
+		s.pr = s.pr[:size]
+		clear(s.pr)
 	}
-	pr := make([][]pred, full+1)
-	for s := 0; s <= full; s++ {
-		dp[s] = make([]float64, g.n)
-		pr[s] = make([]pred, g.n)
-		for v := range dp[s] {
-			dp[s][v] = inf
-		}
+	dp, pr := s.dp, s.pr
+	for i := range dp {
+		dp[i] = inf
 	}
 	for i, term := range rest {
-		dp[1<<i][term] = 0
+		dp[(1<<i)*n+term] = 0
 	}
-	for s := 1; s <= full; s++ {
-		if s&15 == 0 && ctx.Err() != nil {
+	for sub := 1; sub <= full; sub++ {
+		if sub&15 == 0 && ctx.Err() != nil {
 			return nil, false
 		}
+		row := sub * n
 		// Merge step: combine sub-subsets at a shared node.
-		for s1 := (s - 1) & s; s1 > 0; s1 = (s1 - 1) & s {
-			s2 := s ^ s1
+		for s1 := (sub - 1) & sub; s1 > 0; s1 = (s1 - 1) & sub {
+			s2 := sub ^ s1
 			if s1 < s2 {
 				continue // each unordered partition once
 			}
-			for v := 0; v < g.n; v++ {
-				if dp[s1][v] == inf || dp[s2][v] == inf {
+			r1, r2 := s1*n, s2*n
+			for v := 0; v < n; v++ {
+				if dp[r1+v] == inf || dp[r2+v] == inf {
 					continue
 				}
-				if c := dp[s1][v] + dp[s2][v]; c < dp[s][v] {
-					dp[s][v] = c
-					pr[s][v] = pred{kind: 2, s1: s1}
+				if c := dp[r1+v] + dp[r2+v]; c < dp[row+v] {
+					dp[row+v] = c
+					pr[row+v] = pred{kind: 2, s1: int32(s1)}
 				}
 			}
 		}
 		// Extend step: Dijkstra over the graph within this subset.
-		pq := &costHeap{}
-		for v := 0; v < g.n; v++ {
-			if dp[s][v] < inf {
-				heap.Push(pq, costItem{cost: dp[s][v], v: v})
+		h := s.heap[:0]
+		for v := 0; v < n; v++ {
+			if dp[row+v] < inf {
+				h.push(costItem{cost: dp[row+v], v: v})
 			}
 		}
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(costItem)
-			if it.cost > dp[s][it.v] {
+		for len(h) > 0 {
+			it := h.pop()
+			if it.cost > dp[row+it.v] {
 				continue
 			}
-			for _, h := range g.adj[it.v] {
-				if banned[h.edge] {
+			for i := cs.rowStart[it.v]; i < cs.rowStart[it.v+1]; i++ {
+				e := cs.eid[i]
+				if banHas(ban, e) {
 					continue
 				}
-				c := it.cost + g.Edge(h.edge).Cost
-				if c < dp[s][h.to] {
-					dp[s][h.to] = c
-					pr[s][h.to] = pred{kind: 1, u: it.v, edge: h.edge}
-					heap.Push(pq, costItem{cost: c, v: h.to})
+				c := it.cost + g.edges[e].Cost
+				to := int(cs.to[i])
+				if c < dp[row+to] {
+					dp[row+to] = c
+					pr[row+to] = pred{kind: 1, u: int32(it.v), edge: e}
+					h.push(costItem{cost: c, v: to})
 				}
 			}
 		}
+		s.heap = h[:0]
 	}
-	if dp[full][root] == inf {
+	if dp[full*n+root] == inf {
 		return nil, false
 	}
-	// Reconstruct the edge set.
-	edgeSet := map[int]bool{}
-	var rec func(s, v int)
-	rec = func(s, v int) {
+	// Reconstruct the edge set (epoch-stamped dedup, deterministic walk).
+	s.bumpEdgeEpoch(len(g.edges))
+	ids := s.ids[:0]
+	var rec func(sub, v int)
+	rec = func(sub, v int) {
 		for {
-			p := pr[s][v]
+			p := pr[sub*n+v]
 			switch p.kind {
 			case 1:
-				edgeSet[p.edge] = true
-				v = p.u
+				if s.edgeStamp[p.edge] != s.edgeEpoch {
+					s.edgeStamp[p.edge] = s.edgeEpoch
+					ids = append(ids, int(p.edge))
+				}
+				v = int(p.u)
 			case 2:
-				rec(p.s1, v)
-				s = s ^ p.s1
+				rec(int(p.s1), v)
+				sub = sub ^ int(p.s1)
 			default:
 				return
 			}
 		}
 	}
 	rec(full, root)
-	tree := &Tree{}
-	for id := range edgeSet {
-		tree.Edges = append(tree.Edges, id)
-	}
+	s.ids = ids
+	tree := &Tree{Edges: append([]int(nil), ids...)}
 	// Canonical order keeps tie-breaking (and thus top-k enumeration)
 	// deterministic across runs.
 	sort.Ints(tree.Edges)
@@ -180,18 +194,57 @@ type costItem struct {
 	v    int
 }
 
+// costHeap is a binary min-heap ordered by cost. push/pop mirror
+// container/heap's sift order exactly (so pop order — and therefore
+// tie-breaking — matches the previous implementation) without boxing
+// every item in an interface, which dominated solver allocations.
 type costHeap []costItem
 
-func (h costHeap) Len() int           { return len(h) }
-func (h costHeap) Less(i, j int) bool { return h[i].cost < h[j].cost }
-func (h costHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *costHeap) Push(x any)        { *h = append(*h, x.(costItem)) }
-func (h *costHeap) Pop() any {
+func (h *costHeap) push(it costItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
+
+func (h *costHeap) pop() costItem {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+	n := len(old) - 1
+	old[0], old[n] = old[n], old[0]
+	h.down(0, n)
+	it := (*h)[n]
+	*h = (*h)[:n]
 	return it
+}
+
+func (h *costHeap) up(j int) {
+	a := *h
+	for {
+		i := (j - 1) / 2
+		if i == j || !(a[j].cost < a[i].cost) {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		j = i
+	}
+}
+
+func (h *costHeap) down(i0, n int) {
+	a := *h
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && a[j2].cost < a[j1].cost {
+			j = j2
+		}
+		if !(a[j].cost < a[i].cost) {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		i = j
+	}
 }
 
 // Solver computes one Steiner tree under a ban set; Exact and SPCSH both
@@ -277,14 +330,16 @@ func TopKCtx(ctx context.Context, g *Graph, terminals []int, k int, solve CtxSol
 		return nil, nil
 	}
 	workers := runtime.GOMAXPROCS(0)
-	pq := &candHeap{}
-	heap.Push(pq, candHeapItem{tree: first, banned: map[int]bool{}})
+	sem := make(chan struct{}, workers)
+	pq := candHeap{}
+	pq.push(candHeapItem{tree: first, banned: map[int]bool{}})
 	seen := map[string]bool{}
-	for pq.Len() > 0 && len(out) < k {
+	var children []*candHeapItem
+	for len(pq) > 0 && len(out) < k {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		c := heap.Pop(pq).(candHeapItem)
+		c := pq.pop()
 		key := c.tree.Key()
 		if seen[key] {
 			m.Duplicates.Add(1)
@@ -293,9 +348,13 @@ func TopKCtx(ctx context.Context, g *Graph, terminals []int, k int, solve CtxSol
 		seen[key] = true
 		out = append(out, c.tree)
 		// Solve the |Edges| exclusion subproblems concurrently, then push
-		// the surviving children in edge order for determinism.
-		children := make([]*candHeapItem, len(c.tree.Edges))
-		sem := make(chan struct{}, workers)
+		// the surviving children in edge order for determinism. The
+		// result slots are reused across iterations.
+		if cap(children) < len(c.tree.Edges) {
+			children = make([]*candHeapItem, len(c.tree.Edges))
+		}
+		children = children[:len(c.tree.Edges)]
+		clear(children)
 		var wg sync.WaitGroup
 		for idx, e := range c.tree.Edges {
 			wg.Add(1)
@@ -325,7 +384,7 @@ func TopKCtx(ctx context.Context, g *Graph, terminals []int, k int, solve CtxSol
 		}
 		for _, ch := range children {
 			if ch != nil {
-				heap.Push(pq, *ch)
+				pq.push(*ch)
 			}
 		}
 	}
@@ -358,16 +417,46 @@ type candHeapItem = struct {
 	banned map[int]bool
 }
 
+// candHeap mirrors container/heap's sift order (same tie-breaking as the
+// boxed implementation it replaces) over the enumeration frontier.
 type candHeap []candHeapItem
 
-func (h candHeap) Len() int           { return len(h) }
-func (h candHeap) Less(i, j int) bool { return h[i].tree.Cost < h[j].tree.Cost }
-func (h candHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x any)        { *h = append(*h, x.(candHeapItem)) }
-func (h *candHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h *candHeap) push(it candHeapItem) {
+	*h = append(*h, it)
+	a := *h
+	j := len(a) - 1
+	for {
+		i := (j - 1) / 2
+		if i == j || !(a[j].tree.Cost < a[i].tree.Cost) {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		j = i
+	}
+}
+
+func (h *candHeap) pop() candHeapItem {
+	a := *h
+	n := len(a) - 1
+	a[0], a[n] = a[n], a[0]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && a[j2].tree.Cost < a[j1].tree.Cost {
+			j = j2
+		}
+		if !(a[j].tree.Cost < a[i].tree.Cost) {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		i = j
+	}
+	it := a[n]
+	a[n] = candHeapItem{}
+	*h = a[:n]
 	return it
 }

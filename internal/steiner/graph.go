@@ -11,20 +11,42 @@ package steiner
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 )
 
 // Graph is an undirected multigraph with non-negative edge costs. Nodes
 // are integers 0..N-1 (callers map source-graph node names onto them).
+//
+// Internally the adjacency is a CSR (compressed sparse row) layout built
+// lazily from the interned edge list: one flat neighbor array plus a
+// per-node offset table, rebuilt only when an edge is added. Costs live
+// in the edge table, so SetEdgeCost never invalidates the topology.
+// Per-solve working memory (Dijkstra dist/via/prev rows, heaps, ban
+// bitsets, union-find and degree arrays, the Dreyfus–Wagner DP tables)
+// is pooled on the graph and reused across solver calls, including the
+// concurrent subproblems of the Lawler fan-out.
 type Graph struct {
 	n     int
-	adj   [][]half
 	edges []EdgeInfo
+
+	csrMu sync.Mutex
+	csrP  atomic.Pointer[csr]
+	pool  sync.Pool // *scratch
 }
 
-type half struct {
-	to   int
-	edge int
+// csr is the immutable flattened adjacency: the neighbors of node v are
+// to[rowStart[v]:rowStart[v+1]], reached over edge eid[i]. Within a row,
+// neighbors appear in edge-id order — the same order the old slice-of-
+// slices adjacency had, so relaxation (and therefore tie-breaking) is
+// unchanged. A built csr is never mutated; AddEdge drops the pointer and
+// the next solve rebuilds.
+type csr struct {
+	rowStart []int32
+	to       []int32
+	eid      []int32
 }
 
 // EdgeInfo describes one edge.
@@ -35,7 +57,7 @@ type EdgeInfo struct {
 
 // NewGraph creates a graph with n nodes.
 func NewGraph(n int) *Graph {
-	return &Graph{n: n, adj: make([][]half, n)}
+	return &Graph{n: n}
 }
 
 // N returns the node count.
@@ -55,10 +77,7 @@ func (g *Graph) AddEdge(u, v int, cost float64) int {
 	}
 	id := len(g.edges)
 	g.edges = append(g.edges, EdgeInfo{U: u, V: v, Cost: cost})
-	g.adj[u] = append(g.adj[u], half{to: v, edge: id})
-	if u != v {
-		g.adj[v] = append(g.adj[v], half{to: u, edge: id})
-	}
+	g.csrP.Store(nil)
 	return id
 }
 
@@ -68,7 +87,8 @@ func (g *Graph) Edge(id int) EdgeInfo { return g.edges[id] }
 // SetEdgeCost updates an existing edge's cost in place, letting callers
 // that cache a built graph patch weights instead of reallocating the
 // whole structure. It panics on a negative cost or unknown ID —
-// programmer errors, same contract as AddEdge.
+// programmer errors, same contract as AddEdge. The CSR topology is
+// untouched: cost patches are free.
 func (g *Graph) SetEdgeCost(id int, cost float64) {
 	if id < 0 || id >= len(g.edges) {
 		panic(fmt.Sprintf("steiner: edge id out of range: %d (m=%d)", id, len(g.edges)))
@@ -77,6 +97,187 @@ func (g *Graph) SetEdgeCost(id int, cost float64) {
 		panic(fmt.Sprintf("steiner: negative edge cost %f", cost))
 	}
 	g.edges[id].Cost = cost
+}
+
+// Clone returns an independent copy: its own edge table (so SetEdgeCost
+// and AddEdge on either side never race) sharing the immutable CSR
+// topology when one is already built. Background refinement solves on a
+// clone while the live graph keeps taking weight updates.
+func (g *Graph) Clone() *Graph {
+	ng := &Graph{n: g.n, edges: append([]EdgeInfo(nil), g.edges...)}
+	if cs := g.csrP.Load(); cs != nil {
+		ng.csrP.Store(cs)
+	}
+	return ng
+}
+
+// topo returns the CSR adjacency, building it under the mutex on first
+// use after a structural change. Concurrent solvers share one build.
+func (g *Graph) topo() *csr {
+	if cs := g.csrP.Load(); cs != nil {
+		return cs
+	}
+	g.csrMu.Lock()
+	defer g.csrMu.Unlock()
+	if cs := g.csrP.Load(); cs != nil {
+		return cs
+	}
+	cs := buildCSR(g.n, g.edges)
+	g.csrP.Store(cs)
+	return cs
+}
+
+func buildCSR(n int, edges []EdgeInfo) *csr {
+	rowStart := make([]int32, n+1)
+	halves := 0
+	for _, e := range edges {
+		rowStart[e.U+1]++
+		halves++
+		if e.U != e.V {
+			rowStart[e.V+1]++
+			halves++
+		}
+	}
+	for i := 0; i < n; i++ {
+		rowStart[i+1] += rowStart[i]
+	}
+	to := make([]int32, halves)
+	eid := make([]int32, halves)
+	next := make([]int32, n)
+	copy(next, rowStart[:n])
+	// Iterating edges in id order fills each row in edge-id order.
+	for id, e := range edges {
+		p := next[e.U]
+		to[p], eid[p] = int32(e.V), int32(id)
+		next[e.U]++
+		if e.U != e.V {
+			p = next[e.V]
+			to[p], eid[p] = int32(e.U), int32(id)
+			next[e.V]++
+		}
+	}
+	return &csr{rowStart: rowStart, to: to, eid: eid}
+}
+
+// getScratch borrows pooled per-solve working memory; callers must
+// return it with putScratch when the solve is done (never retaining
+// references into it inside returned Trees).
+func (g *Graph) getScratch() *scratch {
+	if v := g.pool.Get(); v != nil {
+		return v.(*scratch)
+	}
+	return &scratch{}
+}
+
+func (g *Graph) putScratch(s *scratch) { g.pool.Put(s) }
+
+// scratch is the reusable working set of one solver invocation. Fields
+// grow monotonically and are re-stamped or re-zeroed per use; epoch
+// stamps make the node/edge mark arrays O(1) to "clear".
+type scratch struct {
+	// SPCSH: flat t×n Dijkstra rows.
+	dist []float64
+	via  []int32
+	prev []int32
+	// Shared priority queue storage.
+	heap costHeap
+	// Ban bitset over edge ids.
+	ban []uint64
+	// Epoch-stamped edge set (path-union dedup, DP reconstruction).
+	edgeStamp []uint32
+	edgeEpoch uint32
+	// Epoch-stamped node array with an int payload (union-find parents,
+	// degrees, DFS visited).
+	nodeStamp []uint32
+	nodeEpoch uint32
+	nodeVal   []int32
+	// Reusable edge-id list and DFS stack.
+	ids   []int
+	stack []int32
+	// Prim over the terminal closure.
+	inTree   []bool
+	best     []float64
+	bestFrom []int32
+	pickFrom []int32
+	pickTo   []int32
+	// Dreyfus–Wagner DP tables, flattened to single allocations.
+	dp []float64
+	pr []pred
+}
+
+type pred struct {
+	kind byte  // 0 none, 1 extend, 2 merge
+	u    int32 // extend: neighbor
+	edge int32 // extend: edge id
+	s1   int32 // merge: first sub-subset
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+// bumpEdgeEpoch invalidates the edge mark set in O(1) (full clear only
+// on the once-per-4B wraparound).
+func (s *scratch) bumpEdgeEpoch(m int) {
+	s.edgeStamp = growU32(s.edgeStamp, m)
+	s.edgeEpoch++
+	if s.edgeEpoch == 0 {
+		clear(s.edgeStamp)
+		s.edgeEpoch = 1
+	}
+}
+
+// bumpNodeEpoch invalidates the node mark/payload array in O(1).
+func (s *scratch) bumpNodeEpoch(n int) {
+	s.nodeStamp = growU32(s.nodeStamp, n)
+	s.nodeVal = growI32(s.nodeVal, n)
+	s.nodeEpoch++
+	if s.nodeEpoch == 0 {
+		clear(s.nodeStamp)
+		s.nodeEpoch = 1
+	}
+}
+
+// banBits converts the caller's ban map into the pooled bitset; nil when
+// there are no bans so the hot loop skips the test entirely.
+func (s *scratch) banBits(banned map[int]bool, m int) []uint64 {
+	if len(banned) == 0 {
+		return nil
+	}
+	words := (m + 63) / 64
+	if cap(s.ban) < words {
+		s.ban = make([]uint64, words)
+	} else {
+		s.ban = s.ban[:words]
+		clear(s.ban)
+	}
+	for id, on := range banned {
+		if on && id >= 0 && id < m {
+			s.ban[id>>6] |= 1 << (uint(id) & 63)
+		}
+	}
+	return s.ban
+}
+
+func banHas(ban []uint64, id int32) bool {
+	return ban != nil && ban[id>>6]&(1<<(uint(id)&63)) != 0
 }
 
 // Tree is a Steiner tree: a set of edge IDs and its total cost.
@@ -89,29 +290,36 @@ type Tree struct {
 func (t *Tree) Key() string {
 	ids := append([]int(nil), t.Edges...)
 	sort.Ints(ids)
-	parts := make([]string, len(ids))
+	var b strings.Builder
+	b.Grow(len(ids) * 4)
 	for i, id := range ids {
-		parts[i] = fmt.Sprint(id)
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(id))
 	}
-	return strings.Join(parts, ",")
+	return b.String()
 }
 
 // Nodes returns the sorted set of nodes touched by the tree (terminals of
 // a single-terminal tree yield that terminal only if an edge touches it;
 // callers should special-case single-terminal queries).
 func (t *Tree) Nodes(g *Graph) []int {
-	set := map[int]bool{}
+	out := make([]int, 0, 2*len(t.Edges))
 	for _, id := range t.Edges {
 		e := g.Edge(id)
-		set[e.U] = true
-		set[e.V] = true
-	}
-	out := make([]int, 0, len(set))
-	for v := range set {
-		out = append(out, v)
+		out = append(out, e.U, e.V)
 	}
 	sort.Ints(out)
-	return out
+	// Dedupe in place (sorted).
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
 }
 
 // recompute rebuilds the cost from the edge set.
@@ -128,22 +336,31 @@ func (g *Graph) connectedToAll(terminals []int, banned map[int]bool) bool {
 	if len(terminals) == 0 {
 		return true
 	}
-	seen := make([]bool, g.n)
-	stack := []int{terminals[0]}
-	seen[terminals[0]] = true
+	cs := g.topo()
+	s := g.getScratch()
+	defer g.putScratch(s)
+	ban := s.banBits(banned, len(g.edges))
+	s.bumpNodeEpoch(g.n)
+	if cap(s.stack) < g.n {
+		s.stack = make([]int32, 0, g.n)
+	}
+	stack := s.stack[:0]
+	stack = append(stack, int32(terminals[0]))
+	s.nodeStamp[terminals[0]] = s.nodeEpoch
 	for len(stack) > 0 {
 		v := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, h := range g.adj[v] {
-			if banned[h.edge] || seen[h.to] {
+		for i := cs.rowStart[v]; i < cs.rowStart[v+1]; i++ {
+			if banHas(ban, cs.eid[i]) || s.nodeStamp[cs.to[i]] == s.nodeEpoch {
 				continue
 			}
-			seen[h.to] = true
-			stack = append(stack, h.to)
+			s.nodeStamp[cs.to[i]] = s.nodeEpoch
+			stack = append(stack, cs.to[i])
 		}
 	}
+	s.stack = stack[:0]
 	for _, t := range terminals {
-		if !seen[t] {
+		if s.nodeStamp[t] != s.nodeEpoch {
 			return false
 		}
 	}

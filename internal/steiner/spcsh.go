@@ -1,7 +1,6 @@
 package steiner
 
 import (
-	"container/heap"
 	"context"
 	"math"
 	"sort"
@@ -19,173 +18,225 @@ func SPCSH(g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
 // SPCSHCtx is SPCSH under a context: cancellation is checked between the
 // per-terminal Dijkstra runs (the dominant cost on large graphs) and
 // reports ok=false.
+//
+// All working memory (the t×n Dijkstra rows, the heap, the Kruskal
+// union-find, the ban bitset) comes from the graph's scratch pool, so a
+// steady-state call allocates only the returned Tree. The result is
+// deterministic: edge sets are collected in pick order and deduped with
+// epoch stamps (never map iteration), and the subgraph MST breaks cost
+// ties by edge id.
 func SPCSHCtx(ctx context.Context, g *Graph, terminals []int, banned map[int]bool) (*Tree, bool) {
 	terminals = dedupeTerminals(terminals)
 	if len(terminals) <= 1 {
 		return &Tree{}, true
 	}
-	// Dijkstra from each terminal, remembering the edge used to reach
-	// each node so paths can be expanded.
-	type sssp struct {
-		dist []float64
-		via  []int // edge id used to reach node, -1 at source
-		prev []int
-	}
-	runs := make([]sssp, len(terminals))
-	for i, s := range terminals {
+	cs := g.topo()
+	s := g.getScratch()
+	defer g.putScratch(s)
+
+	n, t := g.n, len(terminals)
+	ban := s.banBits(banned, len(g.edges))
+
+	// Dijkstra from each terminal into one flat t×n block, remembering
+	// the edge used to reach each node so paths can be expanded.
+	s.dist = growF64(s.dist, t*n)
+	s.via = growI32(s.via, t*n)
+	s.prev = growI32(s.prev, t*n)
+	for i, src := range terminals {
 		if ctx.Err() != nil {
 			return nil, false
 		}
-		runs[i] = dijkstra(g, s, banned)
+		s.dijkstra(cs, g.edges, src, ban, i*n, n)
 	}
-	// Prim's MST over the terminal closure.
-	inTree := make([]bool, len(terminals))
+
+	// Prim's MST over the terminal closure, O(t²): best[j] tracks the
+	// cheapest closure edge from the grown tree to terminal j.
+	if cap(s.inTree) < t {
+		s.inTree = make([]bool, t)
+	}
+	inTree := s.inTree[:t]
+	clear(inTree)
+	s.best = growF64(s.best, t)
+	s.bestFrom = growI32(s.bestFrom, t)
+	s.pickFrom = growI32(s.pickFrom, t)
+	s.pickTo = growI32(s.pickTo, t)
 	inTree[0] = true
-	type pick struct{ from, to int }
-	picks := make([]pick, 0, len(terminals)-1)
-	for len(picks) < len(terminals)-1 {
-		best, bi, bj := math.Inf(1), -1, -1
-		for i := range terminals {
-			if !inTree[i] {
-				continue
-			}
-			for j := range terminals {
-				if inTree[j] {
-					continue
-				}
-				if d := runs[i].dist[terminals[j]]; d < best {
-					best, bi, bj = d, i, j
-				}
+	for j := 1; j < t; j++ {
+		s.best[j] = s.dist[terminals[j]] // row 0
+		s.bestFrom[j] = 0
+	}
+	picks := 0
+	for picks < t-1 {
+		bd, bj := math.Inf(1), -1
+		for j := 1; j < t; j++ {
+			if !inTree[j] && s.best[j] < bd {
+				bd, bj = s.best[j], j
 			}
 		}
-		if bi < 0 {
+		if bj < 0 {
 			return nil, false // disconnected
 		}
 		inTree[bj] = true
-		picks = append(picks, pick{from: bi, to: bj})
-	}
-	// Expand closure edges into graph paths; union the edge sets.
-	edgeSet := map[int]bool{}
-	for _, p := range picks {
-		r := runs[p.from]
-		v := terminals[p.to]
-		for r.via[v] >= 0 {
-			edgeSet[r.via[v]] = true
-			v = r.prev[v]
+		s.pickFrom[picks] = s.bestFrom[bj]
+		s.pickTo[picks] = int32(bj)
+		picks++
+		base := bj * n
+		for j := 1; j < t; j++ {
+			if !inTree[j] {
+				if d := s.dist[base+terminals[j]]; d < s.best[j] {
+					s.best[j] = d
+					s.bestFrom[j] = int32(bj)
+				}
+			}
 		}
 	}
-	tree := &Tree{}
-	for id := range edgeSet {
-		tree.Edges = append(tree.Edges, id)
+
+	// Expand closure edges into graph paths; union the edge sets with
+	// epoch stamps (deterministic collection order).
+	s.bumpEdgeEpoch(len(g.edges))
+	ids := s.ids[:0]
+	for p := 0; p < picks; p++ {
+		base := int(s.pickFrom[p]) * n
+		v := terminals[s.pickTo[p]]
+		for s.via[base+v] >= 0 {
+			e := s.via[base+v]
+			if s.edgeStamp[e] != s.edgeEpoch {
+				s.edgeStamp[e] = s.edgeEpoch
+				ids = append(ids, int(e))
+			}
+			v = int(s.prev[base+v])
+		}
 	}
 	// MST of the expanded subgraph (Kruskal) removes any cycles the
 	// overlapping shortest paths introduced, then non-terminal leaves are
 	// pruned away.
-	tree.Edges = subgraphMST(g, tree.Edges)
-	prune(g, tree, terminals)
+	ids = s.subgraphMST(g, ids)
+	ids = s.prune(g, ids, terminals)
+	s.ids = ids
+
+	tree := &Tree{Edges: append([]int(nil), ids...)}
 	sort.Ints(tree.Edges)
 	tree.recompute(g)
 	return tree, true
 }
 
-// subgraphMST runs Kruskal restricted to the given edge IDs.
-func subgraphMST(g *Graph, ids []int) []int {
-	sort.SliceStable(ids, func(a, b int) bool { return g.Edge(ids[a]).Cost < g.Edge(ids[b]).Cost })
-	parent := map[int]int{}
-	var find func(x int) int
-	find = func(x int) int {
-		if p, ok := parent[x]; ok && p != x {
-			r := find(p)
-			parent[x] = r
-			return r
-		}
-		if _, ok := parent[x]; !ok {
-			parent[x] = x
-		}
-		return parent[x]
-	}
-	var out []int
-	for _, id := range ids {
-		e := g.Edge(id)
-		ru, rv := find(e.U), find(e.V)
-		if ru == rv {
-			continue
-		}
-		parent[ru] = rv
-		out = append(out, id)
-	}
-	return out
-}
-
-// prune repeatedly removes non-terminal leaves (and breaks cycles by
-// preferring a spanning subset) from the tree's edge set.
-func prune(g *Graph, tree *Tree, terminals []int) {
-	isTerm := map[int]bool{}
-	for _, t := range terminals {
-		isTerm[t] = true
-	}
-	for {
-		deg := map[int]int{}
-		for _, id := range tree.Edges {
-			e := g.Edge(id)
-			deg[e.U]++
-			deg[e.V]++
-		}
-		removed := false
-		kept := tree.Edges[:0]
-		for _, id := range tree.Edges {
-			e := g.Edge(id)
-			if (deg[e.U] == 1 && !isTerm[e.U]) || (deg[e.V] == 1 && !isTerm[e.V]) {
-				removed = true
-				continue
-			}
-			kept = append(kept, id)
-		}
-		tree.Edges = kept
-		if !removed {
-			return
-		}
-	}
-}
-
-func dijkstra(g *Graph, src int, banned map[int]bool) struct {
-	dist []float64
-	via  []int
-	prev []int
-} {
-	dist := make([]float64, g.n)
-	via := make([]int, g.n)
-	prev := make([]int, g.n)
+// dijkstra runs one single-source shortest-path pass into the scratch
+// rows at offset base (length n), using the pooled heap.
+func (s *scratch) dijkstra(cs *csr, edges []EdgeInfo, src int, ban []uint64, base, n int) {
+	dist := s.dist[base : base+n]
+	via := s.via[base : base+n]
+	prev := s.prev[base : base+n]
+	inf := math.Inf(1)
 	for i := range dist {
-		dist[i] = math.Inf(1)
+		dist[i] = inf
 		via[i] = -1
 		prev[i] = -1
 	}
 	dist[src] = 0
-	pq := &costHeap{{cost: 0, v: src}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(costItem)
+	h := s.heap[:0]
+	h.push(costItem{cost: 0, v: src})
+	for len(h) > 0 {
+		it := h.pop()
 		if it.cost > dist[it.v] {
 			continue
 		}
-		for _, h := range g.adj[it.v] {
-			if banned[h.edge] {
+		for i := cs.rowStart[it.v]; i < cs.rowStart[it.v+1]; i++ {
+			e := cs.eid[i]
+			if banHas(ban, e) {
 				continue
 			}
-			c := it.cost + g.Edge(h.edge).Cost
-			if c < dist[h.to] {
-				dist[h.to] = c
-				via[h.to] = h.edge
-				prev[h.to] = it.v
-				heap.Push(pq, costItem{cost: c, v: h.to})
+			c := it.cost + edges[e].Cost
+			to := cs.to[i]
+			if c < dist[to] {
+				dist[to] = c
+				via[to] = e
+				prev[to] = int32(it.v)
+				h.push(costItem{cost: c, v: int(to)})
 			}
 		}
 	}
-	return struct {
-		dist []float64
-		via  []int
-		prev []int
-	}{dist, via, prev}
+	s.heap = h[:0]
+}
+
+// subgraphMST runs Kruskal restricted to the given edge IDs, breaking
+// cost ties by edge id so the chosen structure never depends on the
+// collection order of the input.
+func (s *scratch) subgraphMST(g *Graph, ids []int) []int {
+	sort.Slice(ids, func(a, b int) bool {
+		ca, cb := g.edges[ids[a]].Cost, g.edges[ids[b]].Cost
+		if ca != cb {
+			return ca < cb
+		}
+		return ids[a] < ids[b]
+	})
+	s.bumpNodeEpoch(g.n)
+	// Union-find over the epoch-stamped node payload array.
+	find := func(x int32) int32 {
+		for s.nodeStamp[x] == s.nodeEpoch && s.nodeVal[x] != x {
+			x = s.nodeVal[x]
+		}
+		return x
+	}
+	w := 0
+	for _, id := range ids {
+		e := g.edges[id]
+		ru, rv := find(int32(e.U)), find(int32(e.V))
+		if ru == rv && s.nodeStamp[ru] == s.nodeEpoch {
+			continue
+		}
+		if ru == rv { // both unseen singletons of the same node (self loop)
+			continue
+		}
+		s.nodeStamp[ru], s.nodeVal[ru] = s.nodeEpoch, rv
+		if s.nodeStamp[rv] != s.nodeEpoch {
+			s.nodeStamp[rv], s.nodeVal[rv] = s.nodeEpoch, rv
+		}
+		ids[w] = id
+		w++
+	}
+	return ids[:w]
+}
+
+// prune repeatedly removes non-terminal leaves from the edge set, using
+// the epoch-stamped node array for degrees and terminal membership
+// (payload bit 0: terminal, remaining bits: degree<<1).
+func (s *scratch) prune(g *Graph, ids []int, terminals []int) []int {
+	for {
+		s.bumpNodeEpoch(g.n)
+		mark := func(v int, delta int32) {
+			if s.nodeStamp[v] != s.nodeEpoch {
+				s.nodeStamp[v] = s.nodeEpoch
+				s.nodeVal[v] = 0
+			}
+			s.nodeVal[v] += delta
+		}
+		for _, t := range terminals {
+			mark(t, 1) // terminal bit
+		}
+		for _, id := range ids {
+			e := g.edges[id]
+			mark(e.U, 2)
+			mark(e.V, 2)
+		}
+		leafNonTerm := func(v int) bool {
+			return s.nodeVal[v]>>1 == 1 && s.nodeVal[v]&1 == 0
+		}
+		removed := false
+		w := 0
+		for _, id := range ids {
+			e := g.edges[id]
+			if leafNonTerm(e.U) || leafNonTerm(e.V) {
+				removed = true
+				continue
+			}
+			ids[w] = id
+			w++
+		}
+		ids = ids[:w]
+		if !removed {
+			return ids
+		}
+	}
 }
 
 // PruneExpensive returns a ban set covering the most expensive fraction of

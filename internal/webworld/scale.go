@@ -1,0 +1,114 @@
+package webworld
+
+import "fmt"
+
+// This file is the size-parameterized world mode: the same seeded
+// Config, scaled to hundreds of cities and thousands of narrow sources,
+// plus SmartInt-style stitching chains — fragmented shelter databases
+// that must be joined end to end to answer a query, each with a stale
+// decoy shortcut. Chain content is a pure function of city/chain/hop
+// indices and the already-generated shelters, so enabling chains never
+// perturbs the RNG stream of the base world: a scaled world at scale 1
+// contains the demo world bit for bit.
+
+// ChainRel is one narrow fragment relation of a stitching chain.
+type ChainRel struct {
+	Name string
+	Cols []string
+	Rows [][]string
+}
+
+// StitchChain is one SmartInt-style fragmented-source chain for a city:
+// Rels[0] maps shelter Name to the first synthetic key, middle fragments
+// hop key to key, and the last fragment maps the final key to Status.
+// Joining Rels end to end answers "status for shelter" with fresh data.
+// Decoy is a stale shortcut relation bridging the first key directly to
+// the last, with every row rotated one shelter off — cheap-looking and
+// wrong, the ground-truth trap for the tiered solver path.
+type StitchChain struct {
+	City  string
+	Rels  []ChainRel
+	Decoy ChainRel
+}
+
+// ScaledConfig returns the demo config scaled by the given factor:
+// scale 1 is the §8 demo world plus one 6-hop stitching chain per city;
+// 10 and 100 grow cities (and with them shelters, contacts, and chain
+// fragments) linearly — the 10–100x worlds of the scale experiment.
+func ScaledConfig(scale int) Config {
+	cfg := DefaultConfig()
+	if scale < 1 {
+		scale = 1
+	}
+	cfg.Cities *= scale
+	cfg.Supplies *= scale
+	cfg.Roads *= scale
+	cfg.ChainsPerCity = 1
+	cfg.ChainLen = 6
+	return cfg
+}
+
+// chainKey is the synthetic join key linking hop h to hop h+1 of a chain
+// for one shelter — deterministic, unique per (city, chain, hop, row).
+func chainKey(ci, chain, hop, row int) string {
+	return fmt.Sprintf("K%03d-%d-%d-%03d", ci, chain, hop, row)
+}
+
+// buildChains fills w.Chains from the generated shelters. No RNG: chain
+// structure derives entirely from indices and shelter fields.
+func buildChains(w *World, cfg Config) {
+	if cfg.ChainsPerCity <= 0 || cfg.ChainLen < 3 {
+		return
+	}
+	for ci := range w.Cities {
+		city := w.Cities[ci].Name
+		shelters := w.SheltersIn(city)
+		if len(shelters) == 0 {
+			continue
+		}
+		for ch := 0; ch < cfg.ChainsPerCity; ch++ {
+			sc := StitchChain{City: city}
+			L := cfg.ChainLen
+			relName := func(hop int) string {
+				return fmt.Sprintf("Stitch_%03d_%d_f%d", ci, ch, hop)
+			}
+			keyCol := func(hop int) string { return fmt.Sprintf("Key%d", hop) }
+			for hop := 0; hop < L; hop++ {
+				var rel ChainRel
+				rel.Name = relName(hop)
+				switch {
+				case hop == 0:
+					rel.Cols = []string{"Name", keyCol(1)}
+				case hop == L-1:
+					rel.Cols = []string{keyCol(L - 1), "Status"}
+				default:
+					rel.Cols = []string{keyCol(hop), keyCol(hop + 1)}
+				}
+				for row, s := range shelters {
+					switch {
+					case hop == 0:
+						rel.Rows = append(rel.Rows, []string{s.Name, chainKey(ci, ch, 1, row)})
+					case hop == L-1:
+						rel.Rows = append(rel.Rows, []string{chainKey(ci, ch, L-1, row), s.Status})
+					default:
+						rel.Rows = append(rel.Rows, []string{chainKey(ci, ch, hop, row), chainKey(ci, ch, hop+1, row)})
+					}
+				}
+				sc.Rels = append(sc.Rels, rel)
+			}
+			// Stale shortcut: first key straight to last key, rotated one
+			// shelter off — the pairings predate the storm re-keying.
+			sc.Decoy = ChainRel{
+				Name: fmt.Sprintf("Stitch_%03d_%d_stale", ci, ch),
+				Cols: []string{keyCol(1), keyCol(L - 1)},
+			}
+			for row := range shelters {
+				sc.Decoy.Rows = append(sc.Decoy.Rows, []string{
+					chainKey(ci, ch, 1, row),
+					chainKey(ci, ch, L-1, (row+1)%len(shelters)),
+				})
+			}
+			w.Chains = append(w.Chains, sc)
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package webworld
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The scaled mode must leave the demo world untouched: chains derive
+// from indices only, so a scale-1 world contains the default world's
+// cities/shelters/contacts bit for bit.
+func TestScaledConfigPreservesBaseWorld(t *testing.T) {
+	base := Generate(DefaultConfig())
+	scaled := Generate(ScaledConfig(1))
+	if !reflect.DeepEqual(base.Cities, scaled.Cities) {
+		t.Fatal("scale-1 cities differ from the demo world")
+	}
+	if !reflect.DeepEqual(base.Shelters, scaled.Shelters) {
+		t.Fatal("scale-1 shelters differ from the demo world")
+	}
+	if !reflect.DeepEqual(base.Contacts, scaled.Contacts) {
+		t.Fatal("scale-1 contacts differ from the demo world")
+	}
+	if len(scaled.Chains) != len(scaled.Cities) {
+		t.Fatalf("want one chain per city, got %d chains for %d cities",
+			len(scaled.Chains), len(scaled.Cities))
+	}
+}
+
+func TestScaledWorldDeterministic(t *testing.T) {
+	a := Generate(ScaledConfig(10))
+	b := Generate(ScaledConfig(10))
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("scaled generation is not deterministic")
+	}
+}
+
+func TestScaledWorldSizes(t *testing.T) {
+	for _, scale := range []int{1, 10, 100} {
+		cfg := ScaledConfig(scale)
+		w := Generate(cfg)
+		if got, want := len(w.Cities), 6*scale; got != want {
+			t.Fatalf("scale %d: %d cities, want %d", scale, got, want)
+		}
+		if got, want := len(w.Shelters), 6*scale*5; got != want {
+			t.Fatalf("scale %d: %d shelters, want %d", scale, got, want)
+		}
+		if got, want := len(w.Chains), 6*scale; got != want {
+			t.Fatalf("scale %d: %d chains, want %d", scale, got, want)
+		}
+		// City names must be unique even past the name-pool size.
+		seen := map[string]bool{}
+		for _, c := range w.Cities {
+			if seen[c.Name] {
+				t.Fatalf("scale %d: duplicate city %q", scale, c.Name)
+			}
+			seen[c.Name] = true
+		}
+	}
+}
+
+func TestStitchChainShape(t *testing.T) {
+	w := Generate(ScaledConfig(1))
+	for _, sc := range w.Chains {
+		if len(sc.Rels) != 6 {
+			t.Fatalf("chain for %s: %d rels, want 6", sc.City, len(sc.Rels))
+		}
+		first, last := sc.Rels[0], sc.Rels[len(sc.Rels)-1]
+		if first.Cols[0] != "Name" || last.Cols[1] != "Status" {
+			t.Fatalf("chain for %s: endpoints %v … %v", sc.City, first.Cols, last.Cols)
+		}
+		// Interior hops link key columns pairwise.
+		for h := 0; h < len(sc.Rels)-1; h++ {
+			if sc.Rels[h].Cols[1] != sc.Rels[h+1].Cols[0] {
+				t.Fatalf("chain for %s: hop %d key %q != next hop key %q",
+					sc.City, h, sc.Rels[h].Cols[1], sc.Rels[h+1].Cols[0])
+			}
+		}
+		// Decoy bridges first to last key, and its pairings are rotated
+		// (stale): no decoy row may match the fresh composition.
+		fresh := map[string]string{}
+		for i := range sc.Rels[0].Rows {
+			k := sc.Rels[0].Rows[i][1]
+			fresh[k] = sc.Rels[len(sc.Rels)-2].Rows[i][1]
+		}
+		if len(sc.Decoy.Rows) == 0 {
+			t.Fatalf("chain for %s: empty decoy", sc.City)
+		}
+		for _, row := range sc.Decoy.Rows {
+			if fresh[row[0]] == row[1] {
+				t.Fatalf("chain for %s: decoy row %v matches fresh data", sc.City, row)
+			}
+		}
+	}
+}

@@ -85,6 +85,12 @@ type Config struct {
 	FaultRate float64
 	// FaultSeed selects the fault pattern (defaults to Seed when zero).
 	FaultSeed int64
+
+	// ChainsPerCity/ChainLen enable the SmartInt-style stitching chains
+	// of the scaled world mode (see ScaledConfig). Zero means no chains;
+	// the base world is unchanged either way.
+	ChainsPerCity int
+	ChainLen      int
 }
 
 // DefaultConfig matches the paper's "moderate number of Web and document
@@ -101,6 +107,7 @@ type World struct {
 	Contacts []Contact
 	Supplies []Supply
 	Roads    []RoadCondition
+	Chains   []StitchChain
 }
 
 var (
@@ -128,6 +135,12 @@ func Generate(cfg Config) *World {
 	usedCity := map[string]bool{}
 	for len(w.Cities) < cfg.Cities {
 		name := cityFirst[rng.Intn(len(cityFirst))] + " " + citySecond[rng.Intn(len(citySecond))]
+		// The name pool holds 120 combinations; past 100 cities the
+		// rejection loop would never terminate, so scaled worlds number
+		// the cities instead (small worlds keep the original stream).
+		if cfg.Cities > 100 {
+			name = fmt.Sprintf("%s %d", name, len(w.Cities))
+		}
 		if usedCity[name] {
 			continue
 		}
@@ -221,6 +234,7 @@ func Generate(cfg Config) *World {
 			Status: roadStates[rng.Intn(len(roadStates))],
 		})
 	}
+	buildChains(w, cfg)
 	return w
 }
 

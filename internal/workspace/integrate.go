@@ -40,6 +40,7 @@ func (w *Workspace) pasteIntegration(sel docmodel.Selection) error {
 			return err
 		}
 		w.pendingQueries = qs
+		w.queryTerminals = terminals
 		w.qualityRound()
 		w.annotateActiveTab()
 		return nil
@@ -102,6 +103,28 @@ func relContains(rel *table.Relation, v string) bool {
 // mode), best first.
 func (w *Workspace) PendingQueries() []*intlearn.Query { return w.pendingQueries }
 
+// RefreshQuerySuggestions re-runs the top-query search for the sources
+// behind the last integration paste and replaces the pending proposals.
+// On large graphs the tiered solver answers the first search with the
+// SPCSH heuristic while an exact refinement runs in the background;
+// polling this surfaces the refined ranking once it lands in the plan
+// cache. It is a no-op (returning the current proposals) when no
+// integration paste is outstanding or a query was already accepted.
+func (w *Workspace) RefreshQuerySuggestions() ([]*intlearn.Query, error) {
+	if len(w.queryTerminals) == 0 {
+		return w.pendingQueries, nil
+	}
+	ec, cancel := w.execCtx("search.queries")
+	qs, err := w.Int.TopQueriesCtx(ec, w.queryTerminals, 3)
+	cancel()
+	if err != nil {
+		return w.pendingQueries, err
+	}
+	w.pendingQueries = qs
+	w.annotateActiveTab()
+	return w.pendingQueries, nil
+}
+
 // AcceptQuery accepts the i-th proposed query: its results replace the
 // active tab's contents (becoming the query-output pane of §2.1), and the
 // feedback re-ranks the source graph.
@@ -156,6 +179,7 @@ func (w *Workspace) AcceptQuery(i int) error {
 		out.Rows = append(out.Rows, Row{Cells: a.Row, Prov: a.Prov})
 	}
 	w.pendingQueries = nil
+	w.queryTerminals = nil
 	w.qualityAccept(obs.FeedbackQueries, i)
 	return nil
 }

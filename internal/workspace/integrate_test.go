@@ -1,11 +1,17 @@
 package workspace
 
 import (
+	"strings"
 	"testing"
 	"time"
 
+	"copycat/internal/docmodel"
 	"copycat/internal/intlearn"
+	"copycat/internal/modellearn"
+	"copycat/internal/sourcegraph"
 	"copycat/internal/table"
+	"copycat/internal/webworld"
+	"copycat/internal/wrappers"
 )
 
 // TestAcceptQueryInvalidIndexLeavesNoCheckpoint is a regression test:
@@ -73,6 +79,86 @@ func TestRejectQueryDoesNotCorruptReturnedSlices(t *testing.T) {
 	}
 	if got := e.ws.PendingQueries(); len(got) != 2 || got[0].Nodes[0] != "B" {
 		t.Errorf("reject should drop the first query, got %v", got)
+	}
+}
+
+// TestRefreshQuerySuggestions drives a real integration paste, then
+// polls RefreshQuerySuggestions: the poll must re-propose for the same
+// terminals (surfacing any background exact refinement on large graphs)
+// and become a no-op once a query is accepted.
+func TestRefreshQuerySuggestions(t *testing.T) {
+	e := newEnv(t, webworld.StyleTable)
+	e.pasteShelters(t, 2)
+	e.ws.RenameColumn(0, "Name")
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	e.ws.SelectTab("Contacts")
+	e.ws.SetMode(ModeImport)
+	sheet := wrappers.NewSpreadsheet(e.ws.Clip, e.w.ContactsSpreadsheet())
+	sel, err := sheet.CopyRange(1, 0, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.Paste(sel); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ws.AcceptRows(); err != nil {
+		t.Fatal(err)
+	}
+	ct := e.ws.ActiveTab()
+	for i, c := range ct.Schema {
+		switch c.Name {
+		case "Organization":
+			e.ws.SetColumnType(i, modellearn.TypeOrgName)
+		case "Contact":
+			e.ws.SetColumnType(i, modellearn.TypePersonName)
+		}
+	}
+	e.ws.SelectTab("Sheet1")
+	e.ws.SetColumnType(0, modellearn.TypeOrgName)
+	e.ws.Int.Graph.Discover(sourcegraph.DefaultOptions())
+
+	c0 := e.w.Contacts[0]
+	sel2 := docmodel.Selection{Cells: [][]string{{
+		e.w.Shelters[0].Name, e.w.Shelters[0].Street, e.w.Shelters[0].City, c0.Person,
+	}}}
+	e.ws.SelectTab("Joined")
+	e.ws.SetMode(ModeIntegration)
+	if err := e.ws.Paste(sel2); err != nil {
+		t.Fatal(err)
+	}
+	first := e.ws.PendingQueries()
+	if len(first) == 0 {
+		t.Fatal("no queries proposed for the joined paste")
+	}
+	if len(e.ws.queryTerminals) < 2 {
+		t.Fatalf("paste did not record query terminals: %v", e.ws.queryTerminals)
+	}
+
+	// Polling re-proposes for the same terminals; nothing changed, so the
+	// top query is stable.
+	qs, err := e.ws.RefreshQuerySuggestions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) == 0 {
+		t.Fatal("refresh dropped the proposals")
+	}
+	if got, want := strings.Join(qs[0].Nodes, "+"), strings.Join(first[0].Nodes, "+"); got != want {
+		t.Errorf("refresh changed the top query with no new information: %s != %s", got, want)
+	}
+
+	if err := e.ws.AcceptQuery(0); err != nil {
+		t.Fatal(err)
+	}
+	// Accept clears the outstanding paste; further polls are no-ops.
+	qs, err = e.ws.RefreshQuerySuggestions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 0 {
+		t.Errorf("refresh after accept should be a no-op, got %d proposals", len(qs))
 	}
 }
 

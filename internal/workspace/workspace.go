@@ -200,6 +200,10 @@ type Workspace struct {
 	pendingCols []intlearn.Completion
 	// pendingQueries are the current row-explanation query proposals.
 	pendingQueries []*intlearn.Query
+	// queryTerminals are the sources behind the last integration paste;
+	// RefreshQuerySuggestions re-asks the learner for them so background
+	// exact refinement (the tiered solver) can surface re-ranks.
+	queryTerminals []string
 	// demotions counts per-edge tuple demotions for aggregation into
 	// completion-level rejection.
 	demotions map[string]int
