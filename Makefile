@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test test-race bench bench-check obs-smoke serve-smoke serve-bench sessions-smoke durability-smoke check
+.PHONY: all build vet test test-race bench bench-check obs-smoke serve-smoke serve-bench sessions-smoke durability-smoke incident-smoke check
 
 all: check
 
@@ -26,7 +26,7 @@ test:
 # 1000-session fleet sustaining refreshes under a binding memory budget
 # while /metrics is scraped and the span stream followed.
 test-race:
-	$(GO) test -race -timeout 20m ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/obs/serve ./internal/plancache ./internal/scenario ./internal/session ./internal/simuser .
+	$(GO) test -race -timeout 20m ./internal/engine ./internal/intlearn ./internal/steiner ./internal/workspace ./internal/resilience ./internal/services ./internal/obs ./internal/obs/flight ./internal/obs/serve ./internal/plancache ./internal/scenario ./internal/session ./internal/simuser .
 
 bench:
 	$(GO) test -bench . -benchtime 2s -run '^$$' .
@@ -111,6 +111,31 @@ durability-smoke:
 	curl -sf -X POST 'http://127.0.0.1:19466/sessions?tenant=smoke' | grep -q '"id": "s000003"' && \
 	echo "durability-smoke: ok"
 
+# Flight-recorder incident smoke: boot the telemetry server with a 90%
+# service fault rate and an incident directory, wait for a breaker to
+# open and the flight recorder to capture, then verify the whole
+# post-mortem path: /incidents lists a breaker.open bundle, the full
+# bundle is served by id, a self-contained JSON bundle landed on disk,
+# `scpbench -analyze-incident` reconstructs the timeline naming the
+# breaker transition, /metrics passes the exposition lint and exports a
+# non-zero copycat_incidents_captured_total.
+incident-smoke:
+	$(GO) build -o bin/scpbench ./cmd/scpbench
+	$(GO) build -o bin/expolint ./cmd/expolint
+	rm -rf bin/incidents && \
+	./bin/scpbench -serve 127.0.0.1:19467 -serve-faults 0.9 -incident-dir bin/incidents -serve-wait 60s & \
+	trap 'kill %1 2>/dev/null' EXIT; \
+	for i in $$(seq 1 100); do curl -s http://127.0.0.1:19467/incidents | grep -q '"trigger": "breaker.open"' && break; sleep 0.2; done; \
+	curl -sf http://127.0.0.1:19467/incidents | grep -q '"trigger": "breaker.open"' && \
+	ID=$$(curl -sf http://127.0.0.1:19467/incidents | grep -o '"id": "inc-[^"]*breaker-open"' | head -1 | cut -d'"' -f4) && \
+	curl -sf http://127.0.0.1:19467/incidents/$$ID | grep -q '"runtime"' && \
+	test -f bin/incidents/$$ID.json && \
+	./bin/scpbench -analyze-incident bin/incidents/$$ID.json | grep -q -- '-> open' && \
+	./bin/scpbench -analyze-incident bin/incidents/$$ID.json | grep -q 'trigger   breaker.open' && \
+	curl -sf http://127.0.0.1:19467/metrics | ./bin/expolint && \
+	curl -sf http://127.0.0.1:19467/metrics | grep -qE 'copycat_incidents_captured_total [1-9]' && \
+	echo "incident-smoke: ok"
+
 # Incremental-refresh regression gate: run the warm/cold pipeline
 # comparison (which also proves warm ≡ cold over lockstep twin sessions),
 # fail if the warm refresh p99 regressed more than 10% against the
@@ -129,13 +154,17 @@ durability-smoke:
 # against the committed BENCH_9.json, failing if the tiered first-answer
 # p99 regresses past 2x, SPCSH/exact top-1 agreement drops, or the
 # within-run tiered-vs-exact speedup falls under the per-scale floor
-# (≥10x on the 100x world).
+# (≥10x on the 100x world). Finally the flight-recorder gate: re-run
+# the attached-vs-detached cold-loop comparison, failing if always-on
+# incident recording costs more than 2%; BENCH_10.json is refreshed in
+# place.
 bench-check:
 	$(GO) run ./cmd/scpbench -exp pipeline -warm -cold -baseline BENCH_4.json -bench-out BENCH_4.json
 	$(GO) run ./cmd/scpbench -exp capacity -baseline BENCH_6.json -bench-out BENCH_6.json
 	$(GO) run ./cmd/scpbench -exp durability -baseline BENCH_7.json -bench-out BENCH_7.json
 	$(GO) run ./cmd/scpbench -exp accuracy -baseline BENCH_8.json -bench-out BENCH_8.json
 	$(GO) run ./cmd/scpbench -exp scale -baseline BENCH_9.json -bench-out BENCH_9.json
+	$(GO) run ./cmd/scpbench -exp flight -overhead-budget 0.02 -bench-out BENCH_10.json
 
 # Tier-1 gate: everything a PR must keep green.
 check: build vet test test-race

@@ -447,6 +447,30 @@ func repl(seed int64, in io.Reader, out io.Writer) error {
 			default:
 				err = fmt.Errorf("usage: :session [new [tenant] | attach <id> | list | evict <id> | store <dir>]")
 			}
+		case ":incidents", "incidents":
+			// :incidents | :incidents <id>
+			rec := sys.FlightRecorder()
+			switch {
+			case len(args) == 0:
+				list := rec.Incidents()
+				if len(list) == 0 {
+					fmt.Fprintln(out, "no incidents captured (flight recorder is armed)")
+					break
+				}
+				for _, s := range list {
+					fmt.Fprintf(out, "  %s  %-18s  %s\n", s.ID, s.Trigger, s.Reason)
+				}
+				fmt.Fprintln(out, "use `:incidents <id>` for the post-mortem timeline")
+			case len(args) == 1:
+				inc, ok := rec.Incident(args[0])
+				if !ok {
+					err = fmt.Errorf("unknown incident %q (try `:incidents`)", args[0])
+					break
+				}
+				fmt.Fprint(out, copycat.RenderIncident(inc))
+			default:
+				err = fmt.Errorf("usage: :incidents [id]")
+			}
 		case ":why", "why":
 			needle := strings.Join(args, " ")
 			lines := sys.Why(needle)
@@ -561,6 +585,7 @@ func printHelp(out io.Writer) {
   :serve <addr>|off          live telemetry server (/metrics /healthz /trace/stream ...)
   :slo                       suggestion-refresh latency objective: burn rates and alerts
   :quality                   live suggestion quality: acceptance rate, rank of accepted, rounds to accept
+  :incidents [id]            flight-recorder incidents: list bundles or render one post-mortem timeline
   :session [sub]             multi-tenant session hosting: new [tenant] | attach <id> | list | evict <id> | store <dir>
   quit
 `)

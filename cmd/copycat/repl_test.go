@@ -152,14 +152,15 @@ func TestReplSaveLoadRoundTrip(t *testing.T) {
 func TestReplHelpListsObservabilityCommands(t *testing.T) {
 	out := drive(t, "help\nquit\n")
 	for cmd, blurb := range map[string]string{
-		":metrics": "unified metrics",
-		":cache":   "plan-result cache state",
-		":trace":   "record pipeline spans",
-		":why":     "decision log",
-		":serve":   "live telemetry server",
-		":slo":     "latency objective",
-		":quality": "live suggestion quality",
-		":session": "multi-tenant session hosting",
+		":metrics":   "unified metrics",
+		":cache":     "plan-result cache state",
+		":trace":     "record pipeline spans",
+		":why":       "decision log",
+		":serve":     "live telemetry server",
+		":slo":       "latency objective",
+		":quality":   "live suggestion quality",
+		":session":   "multi-tenant session hosting",
+		":incidents": "flight-recorder incidents",
 	} {
 		found := false
 		for _, line := range strings.Split(out, "\n") {
@@ -382,5 +383,28 @@ func TestReplObservabilityCommands(t *testing.T) {
 	out = drive(t, ":trace save "+filepath.Join(dir, "no.json")+"\nquit\n")
 	if !strings.Contains(out, "error:") {
 		t.Errorf("save without tracing should report an error:\n%s", out)
+	}
+}
+
+// TestReplIncidentsCommand covers the :incidents surface on a healthy
+// session: the empty list states the recorder is armed, an unknown id
+// is an error, and extra arguments report usage instead of crashing.
+func TestReplIncidentsCommand(t *testing.T) {
+	out := drive(t, strings.Join([]string{
+		":incidents",
+		":incidents inc-000001-breaker-open",
+		":incidents a b",
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"no incidents captured (flight recorder is armed)",
+		"unknown incident",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("transcript missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "error:"); n < 2 {
+		t.Errorf("unknown id and bad usage should both report errors, got %d:\n%s", n, out)
 	}
 }

@@ -28,45 +28,52 @@ const (
 
 // accuracyReport is what -bench-out persists as BENCH_8.json.
 type accuracyReport struct {
-	Experiment       string             `json:"experiment"`
-	Seed             int64              `json:"seed"`
-	K                int                `json:"k"`
-	MaxRounds        int                `json:"max_rounds"`
-	Scenarios        []scenario.Metrics `json:"scenarios"`
-	WebRelate        int                `json:"webrelate_scenarios"`
-	SmartInt         int                `json:"smartint_scenarios"`
-	MeanPrecisionAtK float64            `json:"mean_precision_at_k"`
-	MeanRecall       float64            `json:"mean_recall"`
-	MeanMRR          float64            `json:"mean_mrr"`
-	MeanRounds       float64            `json:"mean_rounds_to_convergence"`
-	Converged        int                `json:"converged"`
+	Experiment string             `json:"experiment"`
+	Seed       int64              `json:"seed"`
+	K          int                `json:"k"`
+	MaxRounds  int                `json:"max_rounds"`
+	Scenarios  []scenario.Metrics `json:"scenarios"`
+	// Rounds holds each scenario's per-round accuracy curve (round 0 =
+	// initial ranking, then one entry per feedback round), parallel to
+	// Scenarios. Additive: baselines written before this field existed
+	// simply decode it empty, and the gate never compares it.
+	Rounds           [][]scenario.RoundMetrics `json:"rounds,omitempty"`
+	WebRelate        int                       `json:"webrelate_scenarios"`
+	SmartInt         int                       `json:"smartint_scenarios"`
+	MeanPrecisionAtK float64                   `json:"mean_precision_at_k"`
+	MeanRecall       float64                   `json:"mean_recall"`
+	MeanMRR          float64                   `json:"mean_mrr"`
+	MeanRounds       float64                   `json:"mean_rounds_to_convergence"`
+	Converged        int                       `json:"converged"`
 }
 
-// scoreCorpus builds and scores the whole corpus at one cache setting.
-func scoreCorpus(cold bool) ([]scenario.Metrics, error) {
+// scoreCorpus builds and scores the whole corpus at one cache setting,
+// returning both the headline metrics and the per-round curves.
+func scoreCorpus(cold bool) ([]scenario.Metrics, [][]scenario.RoundMetrics, error) {
 	scs, err := scenario.Corpus(scenario.Config{Seed: accuracySeed, Cold: cold})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	out := make([]scenario.Metrics, len(scs))
+	rounds := make([][]scenario.RoundMetrics, len(scs))
 	for i, s := range scs {
-		if out[i], err = scenario.Score(s, accuracyK, accuracyMaxRounds); err != nil {
-			return nil, err
+		if out[i], rounds[i], err = scenario.ScoreWithRounds(s, accuracyK, accuracyMaxRounds); err != nil {
+			return nil, nil, err
 		}
 	}
-	return out, nil
+	return out, rounds, nil
 }
 
 // expAccuracy scores the scenario corpus; honors
 // -json/-bench-out/-baseline.
 func expAccuracy() error {
-	warm, err := scoreCorpus(false)
+	warm, warmRounds, err := scoreCorpus(false)
 	if err != nil {
 		return err
 	}
 	// Warm/cold cross-check: the plan cache must be invisible in the
 	// metrics, not just in the suggestion text.
-	cold, err := scoreCorpus(true)
+	cold, coldRounds, err := scoreCorpus(true)
 	if err != nil {
 		return err
 	}
@@ -78,6 +85,19 @@ func expAccuracy() error {
 			return fmt.Errorf("scenario %s: warm metrics %+v != cold metrics %+v",
 				warm[i].Scenario, warm[i], cold[i])
 		}
+		// The per-round curves must match too: the cache changing how
+		// fast feedback converges would be a correctness bug even if the
+		// endpoints agree.
+		if len(warmRounds[i]) != len(coldRounds[i]) {
+			return fmt.Errorf("scenario %s: warm run graded %d rounds, cold %d",
+				warm[i].Scenario, len(warmRounds[i]), len(coldRounds[i]))
+		}
+		for r := range warmRounds[i] {
+			if warmRounds[i][r] != coldRounds[i][r] {
+				return fmt.Errorf("scenario %s round %d: warm %+v != cold %+v",
+					warm[i].Scenario, r, warmRounds[i][r], coldRounds[i][r])
+			}
+		}
 	}
 
 	report := accuracyReport{
@@ -86,6 +106,7 @@ func expAccuracy() error {
 		K:          accuracyK,
 		MaxRounds:  accuracyMaxRounds,
 		Scenarios:  warm,
+		Rounds:     warmRounds,
 	}
 	for _, m := range warm {
 		switch m.Kind {
@@ -125,6 +146,28 @@ func expAccuracy() error {
 	fmt.Printf("\nmeans: p@%d=%.3f recall=%.3f mrr=%.3f rounds=%.2f; %d/%d converged (warm == cold)\n",
 		report.K, report.MeanPrecisionAtK, report.MeanRecall, report.MeanMRR,
 		report.MeanRounds, report.Converged, len(warm))
+
+	// Accuracy curve: mean MRR per feedback round, over the scenarios
+	// still in the loop at that round (converged scenarios stop being
+	// graded, so later rounds average over fewer, harder scenarios).
+	maxRound := 0
+	for _, rs := range warmRounds {
+		if len(rs) > maxRound {
+			maxRound = len(rs)
+		}
+	}
+	fmt.Print("mean mrr by round:")
+	for r := 0; r < maxRound; r++ {
+		sum, n := 0.0, 0
+		for _, rs := range warmRounds {
+			if r < len(rs) {
+				sum += rs[r].MRR
+				n++
+			}
+		}
+		fmt.Printf("  r%d=%.3f(%d)", r, sum/float64(n), n)
+	}
+	fmt.Println()
 
 	if baselineFile != "" {
 		if err := checkAccuracyBaseline(baselineFile, &report); err != nil {

@@ -42,16 +42,16 @@ var capacityFleets = []int{4, 16, 48}
 type capacityPoint struct {
 	Sessions  int     `json:"sessions"`
 	Workers   int     `json:"workers"`
-	Attempts  int64   `json:"attempts"`            // attach+refresh operations attempted
-	Successes int64   `json:"successes"`           // operations that returned suggestions
-	Avail     float64 `json:"availability"`        // successes / attempts
+	Attempts  int64   `json:"attempts"`     // attach+refresh operations attempted
+	Successes int64   `json:"successes"`    // operations that returned suggestions
+	Avail     float64 `json:"availability"` // successes / attempts
 	P50Ns     int64   `json:"attach_refresh_p50_ns"`
 	P99Ns     int64   `json:"attach_refresh_p99_ns"`
-	Evictions int64   `json:"evictions"`           // sessions pushed to snapshots
-	Reloads   int64   `json:"reloads"`             // transparent reloads on attach
-	Rejected  int64   `json:"admission_rejected"`  // creates shed at the full table
-	Resident  int     `json:"resident"`            // resident sessions after quiescence
-	ResidentB int64   `json:"resident_bytes"`      // estimated resident footprint
+	Evictions int64   `json:"evictions"`          // sessions pushed to snapshots
+	Reloads   int64   `json:"reloads"`            // transparent reloads on attach
+	Rejected  int64   `json:"admission_rejected"` // creates shed at the full table
+	Resident  int     `json:"resident"`           // resident sessions after quiescence
+	ResidentB int64   `json:"resident_bytes"`     // estimated resident footprint
 }
 
 // capacityReport is what -bench-out persists as BENCH_6.json.

@@ -52,6 +52,7 @@ var experiments = []experiment{
 	{"durability", "D1: durable session store — evict/reload cost, on-disk compression ratio, crash recovery of the whole fleet", expDurability},
 	{"accuracy", "Q1: suggestion-quality accuracy over the scenario corpus — precision@k, recall, MRR, feedback rounds to convergence", expAccuracy},
 	{"scale", "S1: scale-out suggestion serving — first-answer p50/p99, allocs/op and SPCSH-vs-exact agreement on 1x/10x/100x worlds", expScale},
+	{"flight", "O3: flight recorder — always-on incident capture overhead vs a detached recorder on the cold refresh loop", expFlight},
 }
 
 // statsMode mirrors the -stats flag: experiments that drive a workspace
@@ -101,10 +102,20 @@ func main() {
 	serveWait := flag.Duration("serve-wait", 0, "with -serve: shut the telemetry server down after this long (0 = until SIGINT/SIGTERM)")
 	serveSessions := flag.Int("serve-sessions", 0, "with -serve: host a multi-tenant session manager capped at this many sessions (two tenants pre-seeded) instead of a single demo session")
 	storeDir := flag.String("store-dir", "", "with -serve-sessions: back the host with a durable file store at this directory — existing sessions are recovered on boot and the fleet is checkpointed to disk on shutdown")
+	serveFaults := flag.Float64("serve-faults", 0, "with -serve: wrap the demo session's services in the deterministic fault injector at this transient-error rate and drive refreshes until a breaker opens, so the flight recorder captures a real incident before serving")
+	incidentDir := flag.String("incident-dir", "", "with -serve: persist flight-recorder incident bundles to this directory (bounded; oldest pruned)")
+	analyzeBundle := flag.String("analyze-incident", "", "render the post-mortem timeline of an on-disk incident bundle (JSON) and exit")
 	flag.Parse()
 	statsMode = *stats
+	if *analyzeBundle != "" {
+		if err := analyzeIncident(*analyzeBundle); err != nil {
+			fmt.Fprintf(os.Stderr, "scpbench: -analyze-incident: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *serveAddr != "" {
-		if err := runTelemetryServer(*serveAddr, *serveWait, *serveSessions, *storeDir); err != nil {
+		if err := runTelemetryServer(*serveAddr, *serveWait, *serveSessions, *storeDir, *serveFaults, *incidentDir); err != nil {
 			fmt.Fprintf(os.Stderr, "scpbench: -serve: %v\n", err)
 			os.Exit(1)
 		}

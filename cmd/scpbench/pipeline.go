@@ -37,7 +37,14 @@ type pipelineReport struct {
 // and switch to integration mode. Returns the system ready for
 // suggestion refreshes.
 func pipelineSetup(traced bool) (*copycat.System, error) {
-	sys := copycat.NewDemoSystem(copycat.DefaultWorldConfig())
+	return pipelineSetupWith(copycat.DefaultWorldConfig(), traced)
+}
+
+// pipelineSetupWith is pipelineSetup over an explicit world config, so
+// fault-injecting callers (-serve-faults, the flight experiment's smoke
+// sibling) can reuse the same scenario.
+func pipelineSetupWith(cfg copycat.WorldConfig, traced bool) (*copycat.System, error) {
+	sys := copycat.NewDemoSystem(cfg)
 	if traced {
 		sys.EnableTracing() // before the pastes, so the learn stages land in the trace
 	}

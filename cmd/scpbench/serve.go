@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"copycat"
+	"copycat/internal/obs/flight"
 	"copycat/internal/obs/serve"
 )
 
@@ -212,7 +213,15 @@ func expServe() error {
 // store are recovered instead of re-seeding, and the resident fleet is
 // checkpointed to disk when the server stops — so a kill + restart over
 // the same directory serves the same sessions.
-func runTelemetryServer(addr string, wait time.Duration, hostSessions int, storeDir string) error {
+//
+// With -serve-faults R the single-session path wraps every builtin
+// service in the deterministic fault injector at rate R and drives
+// suggestion refreshes until a circuit breaker opens, so by the time the
+// server is listening the flight recorder has already captured a real
+// breaker-open incident — the CI incident-smoke job relies on this.
+// -incident-dir persists every captured bundle to disk, and SIGQUIT
+// triggers an operator-requested capture at any point while serving.
+func runTelemetryServer(addr string, wait time.Duration, hostSessions int, storeDir string, faults float64, incidentDir string) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 	if wait > 0 {
@@ -222,12 +231,14 @@ func runTelemetryServer(addr string, wait time.Duration, hostSessions int, store
 
 	var srv *copycat.TelemetryServer
 	var checkpoint func()
+	var rec *copycat.IncidentRecorder
 	if hostSessions > 0 {
 		worldCfg := copycat.DefaultWorldConfig()
 		worldCfg.Cities, worldCfg.SheltersPerCity = 3, 3
 		sessionCfg := copycat.SessionConfig{
 			MaxSessions:   hostSessions,
 			EnableTracing: true,
+			IncidentDir:   incidentDir,
 		}
 		var host *copycat.Host
 		if storeDir != "" {
@@ -263,23 +274,70 @@ func runTelemetryServer(addr string, wait time.Duration, hostSessions int, store
 				}
 			}
 		}
+		rec = host.Manager.Flight()
 		var err error
 		if srv, err = host.Serve(ctx, addr); err != nil {
 			return err
 		}
 	} else {
-		sys, err := pipelineSetup(true)
+		cfg := copycat.DefaultWorldConfig()
+		if faults > 0 {
+			cfg.FaultRate = faults
+			cfg.FaultSeed = 7
+		}
+		sys, err := pipelineSetupWith(cfg, true)
 		if err != nil {
 			return err
 		}
-		if comps := sys.Workspace.RefreshColumnSuggestions(); len(comps) == 0 {
+		rec = sys.FlightRecorder()
+		if incidentDir != "" {
+			rec.SetDir(incidentDir)
+		}
+		if faults > 0 {
+			// Drive refreshes until a breaker opens (the injector's
+			// transient bursts trip it quickly at smoke rates), so the
+			// flight recorder has a breaker-open incident to serve. Under
+			// faults a refresh can legitimately return zero completions, so
+			// skip the completions check here.
+			opened := false
+			for i := 0; i < 50 && !opened; i++ {
+				sys.Workspace.RefreshColumnSuggestions()
+				for _, b := range sys.Breakers() {
+					if b.StateName == "open" {
+						opened = true
+						break
+					}
+				}
+			}
+			if !opened {
+				return fmt.Errorf("no breaker opened after fault-injected refreshes (rate %.2f)", faults)
+			}
+			fmt.Fprintf(os.Stderr, "scpbench: fault injection tripped a breaker; %d incident(s) captured\n", rec.Captured())
+		} else if comps := sys.Workspace.RefreshColumnSuggestions(); len(comps) == 0 {
 			return fmt.Errorf("telemetry session produced no completions")
 		}
 		if srv, err = sys.Serve(ctx, addr); err != nil {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "scpbench: telemetry server on http://%s — /metrics /healthz /readyz /slo /trace/stream /decisions /sessions /debug/pprof\n", srv.Addr())
+
+	// SIGQUIT is the operator's "capture now" button: snapshot the flight
+	// recorder's timeline into an incident bundle without stopping the
+	// server.
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	defer signal.Stop(quit)
+	go func() {
+		for range quit {
+			if id, ok := rec.Trigger(flight.TriggerSignal, "operator SIGQUIT", "", ""); ok {
+				fmt.Fprintf(os.Stderr, "scpbench: SIGQUIT captured incident %s\n", id)
+			} else {
+				fmt.Fprintln(os.Stderr, "scpbench: SIGQUIT capture suppressed (cooldown)")
+			}
+		}
+	}()
+
+	fmt.Fprintf(os.Stderr, "scpbench: telemetry server on http://%s — /metrics /healthz /readyz /slo /trace/stream /decisions /incidents /sessions /debug/pprof\n", srv.Addr())
 	err := srv.Wait()
 	if checkpoint != nil {
 		checkpoint()

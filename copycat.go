@@ -27,6 +27,7 @@ package copycat
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"time"
 
@@ -37,6 +38,7 @@ import (
 	"copycat/internal/intlearn"
 	"copycat/internal/modellearn"
 	"copycat/internal/obs"
+	"copycat/internal/obs/flight"
 	"copycat/internal/obs/serve"
 	"copycat/internal/plancache"
 	"copycat/internal/resilience"
@@ -145,6 +147,19 @@ type (
 	// QualityReport is the /quality response body: host-level
 	// QualityStats plus a per-tenant breakdown on hosted installations.
 	QualityReport = serve.QualityReport
+	// IncidentRecorder is the always-on flight recorder: it retains the
+	// recent spans, decisions, metric snapshots, and lifecycle events,
+	// and captures self-contained incident bundles when a trigger rule
+	// (SLO fast-burn, breaker open, eviction failure, refine failure,
+	// store quarantine, SIGQUIT) fires.
+	IncidentRecorder = flight.Recorder
+	// Incident is one captured incident bundle: trigger, pre/post metric
+	// snapshots with counter deltas, the retained timeline, per-session
+	// and per-tenant attribution, and runtime stats.
+	Incident = flight.Incident
+	// IncidentSummary describes one captured incident (the GET /incidents
+	// list and the REPL :incidents table).
+	IncidentSummary = flight.Summary
 )
 
 // Session lifecycle sentinels (admission rejections and pin conflicts).
@@ -272,6 +287,7 @@ func newDemoState(w *webworld.World, cfg WorldConfig) *session.State {
 		policy.Seed = seed
 		policy.Clock = clock
 		ws.Resilience = resilience.NewCaller(policy, resilience.DefaultBreakerConfig())
+		wireBreakerIncidents(ws)
 	}
 	if clock != nil {
 		// Stage latencies and traces run on the same virtual clock as the
@@ -279,6 +295,26 @@ func newDemoState(w *webworld.World, cfg WorldConfig) *session.State {
 		ws.Clock = clock
 	}
 	return &session.State{Workspace: ws, Catalog: cat, Types: types}
+}
+
+// wireBreakerIncidents points the resilience caller's breaker
+// transitions at the workspace's flight recorder: every transition
+// becomes a lifecycle event in the retained timeline, and a breaker
+// opening triggers an incident capture. The closure reads ws.Flight()
+// per transition, so a session manager that later swaps in the shared
+// host recorder (SetFlight) redirects the feed too.
+func wireBreakerIncidents(ws *Workspace) {
+	if ws.Resilience == nil {
+		return
+	}
+	ws.Resilience.SetBreakerTransitionHook(func(service string, from, to resilience.BreakerState) {
+		rec := ws.Flight()
+		detail := fmt.Sprintf("%s: %s -> %s", service, from, to)
+		rec.RecordEvent(flight.EventBreaker, ws.SessionID, "", detail)
+		if to == resilience.BreakerOpen {
+			rec.Trigger(flight.TriggerBreakerOpen, detail, ws.SessionID, "")
+		}
+	})
 }
 
 // NewDemoSystem creates a CopyCat installation wired to a synthetic
@@ -374,10 +410,12 @@ func (h *Host) Attach(id string) (*System, error) {
 // the /sessions lifecycle endpoints with admission-controlled creates.
 func (h *Host) Serve(ctx context.Context, addr string) (*TelemetryServer, error) {
 	srv := serve.New(serve.Config{
-		Metrics: h.Manager.MetricsSnapshot,
-		SLO:     h.Manager.SLO(),
-		Ring:    h.Manager.Ring(),
-		Host:    h.Manager,
+		Metrics:   h.Manager.MetricsSnapshot,
+		SLO:       h.Manager.SLO(),
+		Ring:      h.Manager.Ring(),
+		Host:      h.Manager,
+		Decisions: h.Manager.Decisions(),
+		Incidents: h.Manager.Flight(),
 		Quality: func() serve.QualityReport {
 			return serve.QualityReport{
 				QualityStats: h.Manager.Quality(),
@@ -443,6 +481,13 @@ func (s *System) Breakers() []BreakerStatus {
 	return s.Workspace.Resilience.Status()
 }
 
+// FlightRecorder exposes the session's always-on flight recorder —
+// the incident-capture surface behind GET /incidents and the REPL's
+// :incidents command.
+func (s *System) FlightRecorder() *IncidentRecorder {
+	return s.Workspace.Flight()
+}
+
 // Quality reports the session's rolling suggestion-quality stats:
 // acceptance rate, per-surface accept/reject counts, rank-of-accepted
 // histogram, and feedback rounds to accept (the REPL's :quality
@@ -465,6 +510,7 @@ func (s *System) Serve(ctx context.Context, addr string) (*TelemetryServer, erro
 		SLO:       s.Workspace.SLO,
 		Ring:      s.Workspace.SpanRing(),
 		Decisions: s.Workspace.Decisions,
+		Incidents: s.Workspace.Flight(),
 		Quality: func() serve.QualityReport {
 			return serve.QualityReport{QualityStats: s.Workspace.QualityStats()}
 		},
@@ -555,6 +601,16 @@ var RenderSLO = workspace.RenderSLO
 // RenderQuality renders a QualityStats as an aligned human-readable
 // report (the REPL's :quality command).
 var RenderQuality = workspace.RenderQuality
+
+// RenderIncident renders a captured incident bundle as a human-readable
+// post-mortem: the trigger, runtime state, the causal timeline with
+// degraded spans flagged, per-session attribution, and counter deltas
+// (the REPL's :incidents command and scpbench -analyze-incident).
+var RenderIncident = flight.RenderTimeline
+
+// ReadIncidentBundle loads an incident bundle from a JSON file written
+// by the flight recorder's incident dir.
+var ReadIncidentBundle = flight.ReadBundle
 
 // Export helpers (the §8 "export to common application formats").
 var (

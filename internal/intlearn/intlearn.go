@@ -131,6 +131,12 @@ type Learner struct {
 	refineMu       sync.Mutex
 	refineInFlight map[uint64]bool
 	refineWG       sync.WaitGroup
+
+	// RefineFailHook, when non-nil, observes background exact-refinement
+	// failures with a reason (the flight recorder's incident trigger).
+	// Set it before the first refresh; the refine goroutine captures the
+	// hook at spawn time.
+	RefineFailHook func(reason string)
 }
 
 // LastDrops reports the candidates dropped (with reasons) by the most
@@ -837,6 +843,7 @@ func (l *Learner) spawnRefineLocked(ec *engine.ExecCtx, cache *plancache.Cache, 
 	termsCopy := append([]int(nil), terms...)
 	namesCopy := append([]string(nil), terminals...)
 	reg := ec.Metrics()
+	failHook := l.RefineFailHook
 	l.refineWG.Add(1)
 	go func() {
 		defer l.refineWG.Done()
@@ -849,6 +856,13 @@ func (l *Learner) spawnRefineLocked(ec *engine.ExecCtx, cache *plancache.Cache, 
 		if err != nil || len(trees) == 0 {
 			if reg != nil {
 				reg.Counter("solver.refine.failed").Inc()
+			}
+			if failHook != nil {
+				reason := "exact refinement returned no trees"
+				if err != nil {
+					reason = err.Error()
+				}
+				failHook(reason)
 			}
 			return
 		}

@@ -68,6 +68,7 @@ type DecisionLog struct {
 	next    int
 	session string
 	ds      []Decision
+	sink    func(Decision)
 }
 
 // NewDecisionLog creates an empty log.
@@ -82,6 +83,18 @@ func (l *DecisionLog) SetSession(id string) {
 	}
 	l.mu.Lock()
 	l.session = id
+	l.mu.Unlock()
+}
+
+// SetSink installs a live observer called with every recorded decision
+// after it is stamped (the flight recorder's feed). The sink runs
+// outside the log's lock; nil removes it.
+func (l *DecisionLog) SetSink(fn func(Decision)) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = fn
 	l.mu.Unlock()
 }
 
@@ -101,7 +114,11 @@ func (l *DecisionLog) Record(d Decision) {
 	if len(l.ds) > maxDecisions {
 		l.ds = append(l.ds[:0:0], l.ds[len(l.ds)/2:]...)
 	}
+	sink := l.sink
 	l.mu.Unlock()
+	if sink != nil {
+		sink(d)
+	}
 }
 
 // Decisions returns a copy of the log, oldest first.

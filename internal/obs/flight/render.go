@@ -1,0 +1,201 @@
+package flight
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"copycat/internal/obs"
+)
+
+// maxTimelineLines bounds the rendered timeline; older entries beyond
+// it are summarized as an omission count.
+const maxTimelineLines = 120
+
+// timelineLine is one merged entry of the rendered timeline.
+type timelineLine struct {
+	atNs int64
+	seq  int64 // tie-break within the same nanosecond
+	text string
+}
+
+// RenderTimeline renders a captured incident bundle as a human-readable
+// post-mortem: the trigger, runtime state, the causal timeline
+// (lifecycle events, decisions, and spans merged chronologically, with
+// degraded spans flagged), per-session attribution, and the counter
+// deltas between the pre and post metric snapshots.
+func RenderTimeline(inc *Incident) string {
+	if inc == nil {
+		return "no incident\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "incident %s\n", inc.ID)
+	fmt.Fprintf(&b, "  trigger   %s", inc.Trigger)
+	if inc.Reason != "" {
+		fmt.Fprintf(&b, " — %s", inc.Reason)
+	}
+	b.WriteByte('\n')
+	at := time.Unix(0, inc.CapturedAtNs).UTC()
+	fmt.Fprintf(&b, "  captured  %s (unix_ns %d)\n", at.Format(time.RFC3339Nano), inc.CapturedAtNs)
+	if inc.Session != "" || inc.Tenant != "" {
+		fmt.Fprintf(&b, "  session   %s", orDash(inc.Session))
+		if inc.Tenant != "" {
+			fmt.Fprintf(&b, " (tenant %s)", inc.Tenant)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "  runtime   %d goroutines, heap %s, %d GCs, GOMAXPROCS %d\n",
+		inc.Runtime.Goroutines, formatBytes(inc.Runtime.HeapAllocBytes), inc.Runtime.NumGC, inc.Runtime.GOMAXPROCS)
+
+	lines := mergeTimeline(inc)
+	fmt.Fprintf(&b, "\ntimeline (%d events, %d spans, %d decisions; dt relative to capture):\n",
+		len(inc.Events), len(inc.Spans), len(inc.Decisions))
+	if len(lines) == 0 {
+		b.WriteString("  (empty)\n")
+	}
+	if over := len(lines) - maxTimelineLines; over > 0 {
+		fmt.Fprintf(&b, "  … %d earlier entries omitted\n", over)
+		lines = lines[over:]
+	}
+	for _, ln := range lines {
+		fmt.Fprintf(&b, "  %s  %s\n", formatOffset(ln.atNs-inc.CapturedAtNs), ln.text)
+	}
+
+	if len(inc.Sessions) > 0 {
+		b.WriteString("\nsessions:\n")
+		for _, id := range sortedAttrKeys(inc.Sessions) {
+			a := inc.Sessions[id]
+			fmt.Fprintf(&b, "  %-12s events=%d spans=%d decisions=%d\n", id, a.Events, a.Spans, a.Decisions)
+		}
+	}
+	if len(inc.Tenants) > 0 {
+		b.WriteString("\ntenants:\n")
+		for _, id := range sortedAttrKeys(inc.Tenants) {
+			a := inc.Tenants[id]
+			fmt.Fprintf(&b, "  %-12s events=%d spans=%d decisions=%d\n", id, a.Events, a.Spans, a.Decisions)
+		}
+	}
+	if len(inc.CounterDeltas) > 0 {
+		fmt.Fprintf(&b, "\ncounter deltas (pre → post, pre taken %s before capture):\n",
+			time.Duration(inc.PreAgeNs).Round(time.Millisecond))
+		keys := make([]string, 0, len(inc.CounterDeltas))
+		for k := range inc.CounterDeltas {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-32s %+d\n", k, inc.CounterDeltas[k])
+		}
+	}
+	return b.String()
+}
+
+// mergeTimeline flattens events, spans, and decisions into one
+// chronological list.
+func mergeTimeline(inc *Incident) []timelineLine {
+	lines := make([]timelineLine, 0, len(inc.Events)+len(inc.Spans)+len(inc.Decisions))
+	for _, e := range inc.Events {
+		text := fmt.Sprintf("event     %s", e.Kind)
+		if e.Detail != "" {
+			text += " — " + e.Detail
+		}
+		text += attrSuffix(e.Session, e.Tenant)
+		lines = append(lines, timelineLine{atNs: e.AtNs, seq: e.Seq, text: text})
+	}
+	for _, s := range inc.Spans {
+		lines = append(lines, timelineLine{atNs: s.AtNs, seq: s.Span.Seq, text: spanLine(s.Span)})
+	}
+	for _, d := range inc.Decisions {
+		dec := d.Decision
+		text := fmt.Sprintf("decision  [%s] %s %s", dec.Stage, dec.Action, dec.Candidate)
+		if dec.Reason != "" {
+			text += " — " + dec.Reason
+		}
+		text += attrSuffix(dec.Session, "")
+		lines = append(lines, timelineLine{atNs: d.AtNs, seq: int64(dec.Seq), text: text})
+	}
+	sort.SliceStable(lines, func(i, j int) bool {
+		if lines[i].atNs != lines[j].atNs {
+			return lines[i].atNs < lines[j].atNs
+		}
+		return lines[i].seq < lines[j].seq
+	})
+	return lines
+}
+
+// spanLine renders one span, flagging degraded ones (an "error" attr or
+// a tripped breaker) so the failure path stands out in the timeline.
+func spanLine(sp obs.SpanEvent) string {
+	var flags []string
+	session := ""
+	for _, a := range sp.Attrs {
+		switch a.Key {
+		case "error":
+			flags = append(flags, "error="+a.Value)
+		case "breaker":
+			flags = append(flags, "breaker="+a.Value)
+		case "session":
+			session = a.Value
+		}
+	}
+	text := fmt.Sprintf("span      %s %s", sp.Name, time.Duration(sp.DurNs).Round(time.Microsecond))
+	if len(flags) > 0 {
+		text += " DEGRADED (" + strings.Join(flags, ", ") + ")"
+	}
+	text += attrSuffix(session, "")
+	return text
+}
+
+func attrSuffix(session, tenant string) string {
+	var parts []string
+	if session != "" {
+		parts = append(parts, "session="+session)
+	}
+	if tenant != "" {
+		parts = append(parts, "tenant="+tenant)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, " ") + "]"
+}
+
+// formatOffset renders a timeline offset relative to capture, signed
+// and fixed-width enough to scan.
+func formatOffset(dNs int64) string {
+	d := time.Duration(dNs).Round(time.Microsecond)
+	if d >= 0 {
+		return fmt.Sprintf("%12s", "+"+d.String())
+	}
+	return fmt.Sprintf("%12s", d.String())
+}
+
+func formatBytes(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func sortedAttrKeys(m map[string]Attribution) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

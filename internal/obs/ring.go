@@ -24,11 +24,12 @@ type SpanEvent struct {
 // stream subscribers read forward from a cursor, waiting on a broadcast
 // channel for more. Safe for concurrent use; a nil *SpanRing is inert.
 type SpanRing struct {
-	mu     sync.Mutex
-	cap    int
-	buf    []SpanEvent
-	next   int64 // sequence number the next published span receives
-	notify chan struct{}
+	mu      sync.Mutex
+	cap     int
+	buf     []SpanEvent
+	next    int64 // sequence number the next published span receives
+	notify  chan struct{}
+	dropped int64 // spans slow subscribers missed (cursor fell off the ring)
 }
 
 // DefaultSpanRingSize bounds the live-span buffer: enough for several
@@ -68,8 +69,9 @@ func (r *SpanRing) Publish(ev SpanEvent) {
 // Since returns a copy of every buffered event with Seq >= cursor, the
 // cursor to resume from, and a channel that closes on the next Publish
 // — the subscriber loop is: drain, write, select on wait/ctx, repeat.
-// A subscriber that fell behind the ring's capacity silently resumes at
-// the oldest retained span.
+// A subscriber that fell behind the ring's capacity resumes at the
+// oldest retained span; the spans it missed are counted in Dropped()
+// (exported as the spans.dropped counter) so the loss is observable.
 func (r *SpanRing) Since(cursor int64) (events []SpanEvent, next int64, wait <-chan struct{}) {
 	if r == nil {
 		closed := make(chan struct{})
@@ -80,6 +82,12 @@ func (r *SpanRing) Since(cursor int64) (events []SpanEvent, next int64, wait <-c
 	defer r.mu.Unlock()
 	first := r.next - int64(len(r.buf))
 	if cursor < first {
+		// cursor > 0 distinguishes a lagging subscriber from a fresh one
+		// (fresh subscribers start at 0, which is legitimately below
+		// `first` once the ring has wrapped).
+		if cursor > 0 {
+			r.dropped += first - cursor
+		}
 		cursor = first
 	}
 	if cursor < r.next {
@@ -96,6 +104,17 @@ func (r *SpanRing) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.buf)
+}
+
+// Dropped reports how many spans slow subscribers have missed in total
+// (cursor fell behind the ring's retention).
+func (r *SpanRing) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Cap reports the ring's capacity.

@@ -136,3 +136,60 @@ func TestTraceSinkPublishesEndedSpans(t *testing.T) {
 		t.Fatalf("ring should sit at capacity, len=%d", ring.Len())
 	}
 }
+
+// TestSpanRingDroppedCountsSlowSubscribers is the spans.dropped
+// contract: a subscriber whose cursor fell off the ring resumes at the
+// oldest retained span and the miss is counted, while fresh subscribers
+// (cursor 0 on an already-wrapped ring) are not counted as losses.
+func TestSpanRingDroppedCountsSlowSubscribers(t *testing.T) {
+	ring := NewSpanRing(4)
+	for i := 0; i < 2; i++ {
+		ring.Publish(SpanEvent{Name: "early"})
+	}
+	_, cursor, _ := ring.Since(0) // subscriber caught up at seq 2
+	if cursor != 2 {
+		t.Fatalf("cursor = %d, want 2", cursor)
+	}
+
+	// The ring wraps while the subscriber sleeps: seqs 2..7 are gone
+	// except the last 4 (6..9 retained, first=6).
+	for i := 0; i < 8; i++ {
+		ring.Publish(SpanEvent{Name: "burst"})
+	}
+
+	// A fresh subscriber starting at 0 is not a loss.
+	if events, _, _ := ring.Since(0); len(events) != 4 {
+		t.Fatalf("fresh subscriber got %d events, want 4", len(events))
+	}
+	if got := ring.Dropped(); got != 0 {
+		t.Fatalf("fresh subscriber counted as dropped: %d", got)
+	}
+
+	// The lagging subscriber resumes at the oldest retained span and its
+	// 4 missed spans (seqs 2..5) are counted.
+	events, next, _ := ring.Since(cursor)
+	if len(events) != 4 || next != 10 {
+		t.Fatalf("lagging subscriber got %d events next=%d, want 4 events next=10", len(events), next)
+	}
+	if events[0].Seq != 6 {
+		t.Fatalf("resumed at seq %d, want 6 (oldest retained)", events[0].Seq)
+	}
+	if got := ring.Dropped(); got != 4 {
+		t.Fatalf("Dropped = %d, want 4", got)
+	}
+
+	// Losses accumulate across subscribers.
+	for i := 0; i < 6; i++ {
+		ring.Publish(SpanEvent{Name: "more"})
+	}
+	ring.Since(next) // next=10, first=12 → 2 more dropped
+	if got := ring.Dropped(); got != 6 {
+		t.Fatalf("Dropped = %d, want 6", got)
+	}
+
+	// Nil ring stays inert.
+	var nilRing *SpanRing
+	if got := nilRing.Dropped(); got != 0 {
+		t.Fatalf("nil ring Dropped = %d", got)
+	}
+}

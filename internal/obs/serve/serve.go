@@ -20,6 +20,8 @@
 //	                   response open, streaming spans as they end.
 //	GET /decisions     the decision log as JSONL; ?q= filters by
 //	                   candidate substring.
+//	GET /incidents     flight-recorder incident summaries, newest first;
+//	                   GET /incidents/{id} fetches one full bundle.
 //	/sessions          multi-tenant session lifecycle (list, create,
 //	                   attach, evict, destroy) when a session.Manager is
 //	                   wired in; creates are admission-controlled and
@@ -45,6 +47,7 @@ import (
 	"time"
 
 	"copycat/internal/obs"
+	"copycat/internal/obs/flight"
 	"copycat/internal/resilience"
 	"copycat/internal/session"
 )
@@ -63,6 +66,9 @@ type Config struct {
 	Ring *obs.SpanRing
 	// Decisions is the decision log behind /decisions.
 	Decisions *obs.DecisionLog
+	// Incidents is the flight recorder behind GET /incidents (list) and
+	// GET /incidents/{id} (fetch one bundle).
+	Incidents *flight.Recorder
 	// Host, when non-nil, exposes the multi-tenant session manager: the
 	// /sessions lifecycle endpoints, per-tenant series on /metrics, and
 	// load-shed readiness (/readyz goes 503 while the host is shedding).
@@ -99,6 +105,8 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /quality", s.handleQuality)
 	mux.HandleFunc("GET /trace/stream", s.handleTraceStream)
 	mux.HandleFunc("GET /decisions", s.handleDecisions)
+	mux.HandleFunc("GET /incidents", s.handleIncidentsList)
+	mux.HandleFunc("GET /incidents/{id}", s.handleIncidentGet)
 	mux.HandleFunc("GET /sessions", s.handleSessionsList)
 	mux.HandleFunc("POST /sessions", s.handleSessionsCreate)
 	mux.HandleFunc("POST /sessions/{id}/attach", s.handleSessionAttach)
@@ -319,6 +327,28 @@ func (s *Server) handleDecisions(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// handleIncidentsList serves the captured incident bundles' summaries,
+// newest first (an empty array with no flight recorder wired).
+func (s *Server) handleIncidentsList(w http.ResponseWriter, r *http.Request) {
+	list := s.cfg.Incidents.Incidents()
+	if list == nil {
+		list = []flight.Summary{}
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleIncidentGet serves one incident bundle by ID — the same JSON
+// document the on-disk incident dir holds.
+func (s *Server) handleIncidentGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	inc, ok := s.cfg.Incidents.Incident(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown incident " + id})
+		return
+	}
+	writeJSON(w, http.StatusOK, inc)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"copycat/internal/obs"
+	"copycat/internal/obs/flight"
 	"copycat/internal/resilience"
 )
 
@@ -466,4 +467,61 @@ func ExampleWriteExposition() {
 	// # HELP copycat_engine_rows_in_total Cumulative count of engine.rows_in.
 	// # TYPE copycat_engine_rows_in_total counter
 	// copycat_engine_rows_in_total 2
+}
+
+// TestIncidentsEndpoints checks GET /incidents (list, newest first) and
+// GET /incidents/{id} (full bundle / 404), plus the nil-recorder and
+// empty-list shapes.
+func TestIncidentsEndpoints(t *testing.T) {
+	rec := flight.New(flight.Config{Cooldown: time.Millisecond, Clock: func() time.Time { return time.Unix(500, 0) }})
+	rec.RecordEvent(flight.EventBreaker, "s1", "", "geocoder: closed -> open")
+	id, ok := rec.Trigger(flight.TriggerBreakerOpen, "geocoder tripped", "s1", "acme")
+	if !ok {
+		t.Fatal("trigger should capture")
+	}
+	s := New(Config{Incidents: rec})
+
+	get := func(srv *Server, path string) (int, string) {
+		w := httptest.NewRecorder()
+		srv.Handler().ServeHTTP(w, httptest.NewRequest("GET", path, nil))
+		return w.Code, w.Body.String()
+	}
+
+	code, body := get(s, "/incidents")
+	if code != http.StatusOK {
+		t.Fatalf("GET /incidents = %d", code)
+	}
+	var list []flight.Summary
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("list is not JSON: %v\n%s", err, body)
+	}
+	if len(list) != 1 || list[0].ID != id || list[0].Trigger != flight.TriggerBreakerOpen {
+		t.Fatalf("list = %+v", list)
+	}
+
+	code, body = get(s, "/incidents/"+id)
+	if code != http.StatusOK {
+		t.Fatalf("GET /incidents/%s = %d", id, code)
+	}
+	var inc flight.Incident
+	if err := json.Unmarshal([]byte(body), &inc); err != nil {
+		t.Fatalf("bundle is not JSON: %v", err)
+	}
+	if inc.ID != id || inc.Session != "s1" || inc.Tenant != "acme" || len(inc.Events) != 1 {
+		t.Fatalf("bundle = %+v", inc)
+	}
+
+	if code, _ = get(s, "/incidents/inc-999999-nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown incident = %d, want 404", code)
+	}
+
+	// No recorder wired: the list is an empty JSON array, not an error.
+	empty := New(Config{})
+	code, body = get(empty, "/incidents")
+	if code != http.StatusOK || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("nil recorder list = %d %q, want 200 []", code, body)
+	}
+	if code, _ = get(empty, "/incidents/x"); code != http.StatusNotFound {
+		t.Fatalf("nil recorder fetch = %d, want 404", code)
+	}
 }

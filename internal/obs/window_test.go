@@ -207,3 +207,75 @@ func TestSLOTrackerNilAndDefaults(t *testing.T) {
 		t.Fatal("status should render")
 	}
 }
+
+// fakeClock is a hand-set clock for jump tests that VirtualClock (which
+// only advances) cannot express.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Set(t time.Time) {
+	c.mu.Lock()
+	c.now = t
+	c.mu.Unlock()
+}
+
+// TestWindowHistogramLargeClockJumps drives rotation across virtual
+// clock jumps far beyond the window — many whole windows forward, exact
+// slot multiples, and a backwards jump (a virtual clock injected after
+// construction re-anchoring to epoch). The ring must clear stale slots,
+// stay consistent, and keep accepting observations on the new timeline.
+func TestWindowHistogramLargeClockJumps(t *testing.T) {
+	clock := &fakeClock{now: time.Unix(1_000_000, 0)}
+	bounds := []time.Duration{10 * time.Millisecond, 100 * time.Millisecond}
+	w := NewWindowHistogram(bounds, time.Minute, 6, clock.Now)
+
+	// A jump of thousands of windows clears everything in one rotate,
+	// without walking the ring step by step.
+	w.Observe(5 * time.Millisecond)
+	clock.Set(clock.Now().Add(5000 * time.Minute))
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count after 5000-window jump = %d, want 0", got)
+	}
+	w.Observe(50 * time.Millisecond)
+	if got := w.Count(); got != 1 {
+		t.Fatalf("count after landing = %d, want 1", got)
+	}
+
+	// An exact multiple of the slot width expires precisely the slots it
+	// should: the observation is 6 slots old once exactly one window has
+	// passed, so it is gone, and one taken half a window ago remains.
+	clock.Set(clock.Now().Add(30 * time.Second))
+	w.Observe(5 * time.Millisecond)
+	clock.Set(clock.Now().Add(30 * time.Second))
+	if got := w.Count(); got != 1 {
+		t.Fatalf("count at exactly one window = %d, want 1 (old slot expired)", got)
+	}
+
+	// A backwards jump (virtual clock injected after construction) resets
+	// and re-anchors instead of stalling until the clock catches up.
+	clock.Set(time.Unix(0, 0))
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count after backwards jump = %d, want 0", got)
+	}
+	w.Observe(time.Millisecond)
+	w.Observe(200 * time.Millisecond)
+	if got := w.Count(); got != 2 {
+		t.Fatalf("count on the re-anchored timeline = %d, want 2", got)
+	}
+	// The re-anchored timeline rotates normally from here.
+	clock.Set(time.Unix(0, 0).Add(61 * time.Second))
+	if got := w.Count(); got != 0 {
+		t.Fatalf("count one window after re-anchor = %d, want 0", got)
+	}
+	if above, total := w.AboveThreshold(10 * time.Millisecond); above != 0 || total != 0 {
+		t.Fatalf("AboveThreshold after expiry = (%d, %d), want (0, 0)", above, total)
+	}
+}

@@ -78,6 +78,11 @@ type Breaker struct {
 	successes int // consecutive probe successes while half-open
 	openedAt  time.Time
 	trips     int64
+	// onTransition observes state changes (the flight recorder's feed).
+	// It is invoked AFTER b.mu is released: observers snapshot metrics,
+	// which walks back into Breaker.State, so calling under the lock
+	// would deadlock.
+	onTransition func(from, to BreakerState)
 }
 
 // NewBreaker builds a breaker on the given clock (SystemClock if nil).
@@ -88,19 +93,34 @@ func NewBreaker(cfg BreakerConfig, clock Clock) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults(), clock: clock}
 }
 
+// SetTransitionHook installs fn, called after every state change with
+// the (from, to) pair, outside the breaker's lock. nil removes it.
+func (b *Breaker) SetTransitionHook(fn func(from, to BreakerState)) {
+	b.mu.Lock()
+	b.onTransition = fn
+	b.mu.Unlock()
+}
+
 // Allow reports whether a call may proceed: nil, or ErrBreakerOpen while
 // the breaker is open. An open breaker whose cooldown has elapsed moves
 // to half-open and admits the probe.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if b.state == BreakerOpen {
 		if b.clock.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			b.mu.Unlock()
 			return ErrBreakerOpen
 		}
 		b.state = BreakerHalfOpen
 		b.successes = 0
+		hook := b.onTransition
+		b.mu.Unlock()
+		if hook != nil {
+			hook(BreakerOpen, BreakerHalfOpen)
+		}
+		return nil
 	}
+	b.mu.Unlock()
 	return nil
 }
 
@@ -108,16 +128,22 @@ func (b *Breaker) Allow() error {
 // call.
 func (b *Breaker) Success() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	closed := false
 	switch b.state {
 	case BreakerHalfOpen:
 		b.successes++
 		if b.successes >= b.cfg.HalfOpenProbes {
 			b.state = BreakerClosed
 			b.failures = 0
+			closed = true
 		}
 	default:
 		b.failures = 0
+	}
+	hook := b.onTransition
+	b.mu.Unlock()
+	if closed && hook != nil {
+		hook(BreakerHalfOpen, BreakerClosed)
 	}
 }
 
@@ -126,15 +152,25 @@ func (b *Breaker) Success() {
 // half-open).
 func (b *Breaker) Failure() {
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var from BreakerState
+	tripped := false
 	switch b.state {
 	case BreakerHalfOpen:
+		from = BreakerHalfOpen
 		b.trip()
+		tripped = true
 	case BreakerClosed:
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
+			from = BreakerClosed
 			b.trip()
+			tripped = true
 		}
+	}
+	hook := b.onTransition
+	b.mu.Unlock()
+	if tripped && hook != nil {
+		hook(from, BreakerOpen)
 	}
 }
 

@@ -160,6 +160,9 @@ type Caller struct {
 	mu       sync.Mutex
 	rng      *rand.Rand
 	breakers map[string]*Breaker
+	// onTransition, when set, is installed on every breaker (existing and
+	// future) with the owning service's name bound in.
+	onTransition func(service string, from, to BreakerState)
 }
 
 // NewCaller builds a caller from a policy and breaker config; zero
@@ -181,9 +184,38 @@ func (c *Caller) Breaker(service string) *Breaker {
 	b, ok := c.breakers[service]
 	if !ok {
 		b = NewBreaker(c.bcfg, c.policy.Clock)
+		if fn := c.onTransition; fn != nil {
+			svc := service
+			b.SetTransitionHook(func(from, to BreakerState) { fn(svc, from, to) })
+		}
 		c.breakers[service] = b
 	}
 	return b
+}
+
+// SetBreakerTransitionHook installs fn on every breaker this caller
+// owns, existing and future, bound to the owning service's name. The
+// hook fires after each state change, outside all breaker locks (it is
+// allowed to read Caller.Status / snapshot metrics). nil removes it.
+func (c *Caller) SetBreakerTransitionHook(fn func(service string, from, to BreakerState)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.onTransition = fn
+	existing := make(map[string]*Breaker, len(c.breakers))
+	for name, b := range c.breakers {
+		existing[name] = b
+	}
+	c.mu.Unlock()
+	for name, b := range existing {
+		if fn == nil {
+			b.SetTransitionHook(nil)
+			continue
+		}
+		svc := name
+		b.SetTransitionHook(func(from, to BreakerState) { fn(svc, from, to) })
+	}
 }
 
 // BreakerStatus is a point-in-time report of one service's breaker,

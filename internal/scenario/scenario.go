@@ -78,25 +78,55 @@ type Metrics struct {
 	Converged     bool    `json:"converged"`
 }
 
+// RoundMetrics grades the ranking as it stood at one point in the
+// feedback loop: Round 0 is the initial (pre-feedback) ranking, round r
+// the ranking after r rounds of feedback. Together the rounds for one
+// scenario form its accuracy curve — how fast feedback pulls the
+// correct answer up, not just where it started and whether it ended on
+// top.
+type RoundMetrics struct {
+	Round         int     `json:"round"`
+	RankOfCorrect int     `json:"rank_of_correct"`
+	PrecisionAtK  float64 `json:"precision_at_k"`
+	MRR           float64 `json:"mrr"`
+}
+
+// gradeRanking scores one ranking snapshot: correct candidates in the
+// top k, the 1-based rank of the first correct one (0 = absent), and
+// the reciprocal of that rank.
+func gradeRanking(ranked []Candidate) (hits, rank int, mrr float64) {
+	for i, c := range ranked {
+		if c.Correct {
+			hits++
+			if rank == 0 {
+				rank = i + 1
+				mrr = 1 / float64(i+1)
+			}
+		}
+	}
+	return hits, rank, mrr
+}
+
 // Score replays one scenario: it grades the initial ranking, then
 // drives the feedback loop until the top suggestion is correct or
 // maxRounds rounds are spent.
 func Score(s Scenario, k, maxRounds int) (Metrics, error) {
+	m, _, err := ScoreWithRounds(s, k, maxRounds)
+	return m, err
+}
+
+// ScoreWithRounds is Score plus the per-round accuracy curve: the
+// returned slice holds one RoundMetrics per graded ranking (round 0 =
+// initial; one more per feedback round applied). Metrics stays exactly
+// what Score returns, so existing comparisons remain valid.
+func ScoreWithRounds(s Scenario, k, maxRounds int) (Metrics, []RoundMetrics, error) {
 	m := Metrics{Scenario: s.Name, Kind: s.Kind}
 	ranked, err := s.Ranked(k)
 	if err != nil {
-		return m, fmt.Errorf("scenario %s: %w", s.Name, err)
+		return m, nil, fmt.Errorf("scenario %s: %w", s.Name, err)
 	}
-	hits := 0
-	for i, c := range ranked {
-		if c.Correct {
-			hits++
-			if m.RankOfCorrect == 0 {
-				m.RankOfCorrect = i + 1
-				m.MRR = 1 / float64(i+1)
-			}
-		}
-	}
+	hits, rank, mrr := gradeRanking(ranked)
+	m.RankOfCorrect, m.MRR = rank, mrr
 	if k > 0 {
 		m.PrecisionAtK = float64(hits) / float64(k)
 	}
@@ -108,22 +138,32 @@ func Score(s Scenario, k, maxRounds int) (Metrics, error) {
 			m.Recall = 1
 		}
 	}
+	grade := func(round int, ranked []Candidate) RoundMetrics {
+		h, rk, rr := gradeRanking(ranked)
+		rm := RoundMetrics{Round: round, RankOfCorrect: rk, MRR: rr}
+		if k > 0 {
+			rm.PrecisionAtK = float64(h) / float64(k)
+		}
+		return rm
+	}
+	rounds := []RoundMetrics{grade(0, ranked)}
 	for r := 0; ; r++ {
 		if len(ranked) > 0 && ranked[0].Correct {
 			m.Rounds = r
 			m.Converged = true
-			return m, nil
+			return m, rounds, nil
 		}
 		if r >= maxRounds {
 			break
 		}
 		if err := s.Feedback(ranked); err != nil {
-			return m, fmt.Errorf("scenario %s: feedback round %d: %w", s.Name, r, err)
+			return m, rounds, fmt.Errorf("scenario %s: feedback round %d: %w", s.Name, r, err)
 		}
 		if ranked, err = s.Ranked(k); err != nil {
-			return m, fmt.Errorf("scenario %s: %w", s.Name, err)
+			return m, rounds, fmt.Errorf("scenario %s: %w", s.Name, err)
 		}
+		rounds = append(rounds, grade(r+1, ranked))
 	}
 	m.Rounds = maxRounds
-	return m, nil
+	return m, rounds, nil
 }

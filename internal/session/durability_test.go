@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 
+	"copycat/internal/obs/flight"
 	"copycat/internal/session"
 )
 
@@ -368,4 +370,70 @@ func TestCheckpointEvictsEverything(t *testing.T) {
 		t.Fatalf("resident after checkpoint = %d, want 1 (the pinned one)", st.Resident)
 	}
 	pinned.Release()
+}
+
+// TestEvictFailureIsAttributed pins the attribution fix: a failed
+// eviction used to bump sessions.evict_errors with no record of which
+// session or tenant was the victim. The failure must now land in the
+// host decision log naming the victim, in the flight recorder's
+// timeline, and in a captured evict.error incident carrying the
+// session/tenant pair.
+func TestEvictFailureIsAttributed(t *testing.T) {
+	w := testWorld()
+	fl := &flakyStore{Store: session.NewMemStore(), failIDs: map[string]bool{"s000001": true}}
+	m := session.NewManager(session.Config{Factory: demoFactory(w), MaxResident: 2, Store: fl})
+	for i := 0; i < 4; i++ {
+		s, err := m.Create("acme")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+	}
+	if st := m.Stats(); st.EvictErrors == 0 {
+		t.Fatal("injected save failure not counted in EvictErrors")
+	}
+
+	// Decision log: the victim and its tenant are named.
+	found := false
+	for _, d := range m.Decisions().Decisions() {
+		if d.Stage == "session.evict" && d.Candidate == "s000001" && d.Session == "s000001" {
+			if !strings.Contains(d.Reason, "acme") || !strings.Contains(d.Reason, "injected save failure") {
+				t.Errorf("evict-error decision reason lacks tenant or cause: %+v", d)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no evict-error decision names the victim: %+v", m.Decisions().Decisions())
+	}
+
+	// Flight recorder: the timeline event and the captured incident both
+	// carry the attribution.
+	rec := m.Flight()
+	var sums []flight.Summary
+	for _, s := range rec.Incidents() {
+		if s.Trigger == flight.TriggerEvictError {
+			sums = append(sums, s)
+		}
+	}
+	if len(sums) == 0 {
+		t.Fatal("evict failure did not capture an evict.error incident")
+	}
+	if sums[0].Session != "s000001" || sums[0].Tenant != "acme" {
+		t.Errorf("incident attribution = session %q tenant %q, want s000001/acme",
+			sums[0].Session, sums[0].Tenant)
+	}
+	inc, ok := rec.Incident(sums[0].ID)
+	if !ok {
+		t.Fatal("captured incident not fetchable")
+	}
+	hasEvent := false
+	for _, e := range inc.Events {
+		if e.Kind == flight.EventEvictError && e.Session == "s000001" && e.Tenant == "acme" {
+			hasEvent = true
+		}
+	}
+	if !hasEvent {
+		t.Errorf("bundle timeline lacks the attributed evict-error event: %+v", inc.Events)
+	}
 }

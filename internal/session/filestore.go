@@ -50,6 +50,9 @@ type FileStore struct {
 	mu    sync.Mutex
 	sizes map[string]fileSizes    // id → raw/stored byte sizes
 	meta  map[string]SnapshotMeta // id → manifest record
+	// onQuarantine observes quarantined snapshots (SetQuarantineHook);
+	// called outside s.mu.
+	onQuarantine func(id, reason string)
 
 	loadErrors  atomic.Int64
 	quarantined atomic.Int64
@@ -358,12 +361,25 @@ func (s *FileStore) quarantine(id, reason string) error {
 	delete(s.sizes, id)
 	delete(s.meta, id)
 	s.flushManifestLocked()
+	hook := s.onQuarantine
 	s.mu.Unlock()
 	s.pruneQuarantine()
+	if hook != nil {
+		hook(id, reason)
+	}
 	if moved != "" {
 		return fmt.Errorf("%w: %s: %s (moved to %s)", ErrCorruptSnapshot, id, reason, moved)
 	}
 	return fmt.Errorf("%w: %s: %s", ErrCorruptSnapshot, id, reason)
+}
+
+// SetQuarantineHook installs fn, called (outside the store's lock)
+// whenever a corrupt snapshot is moved to quarantine — the session
+// manager wires the flight recorder's store-corruption trigger here.
+func (s *FileStore) SetQuarantineHook(fn func(id, reason string)) {
+	s.mu.Lock()
+	s.onQuarantine = fn
+	s.mu.Unlock()
 }
 
 // Delete implements Store. The removal is crash-safe: the manifest

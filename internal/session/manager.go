@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"copycat/internal/obs"
+	"copycat/internal/obs/flight"
 	"copycat/internal/resilience"
 )
 
@@ -56,6 +57,9 @@ type Config struct {
 	// all sessions publish into the manager's shared span ring, tagged
 	// with their session ID.
 	EnableTracing bool
+	// IncidentDir, when set, makes the host flight recorder persist
+	// incident bundles to this directory (bounded; oldest pruned).
+	IncidentDir string
 }
 
 // Manager hosts many concurrent sessions: it creates them from the
@@ -70,6 +74,14 @@ type Manager struct {
 	slo     *obs.SLOTracker
 	ring    *obs.SpanRing
 	metrics *obs.Registry
+	// flight is the host flight recorder every hosted workspace shares:
+	// spans, decisions, and lifecycle events from all sessions land in
+	// one timeline, and trigger rules capture incident bundles from it.
+	flight *flight.Recorder
+	// decisions is the host-level decision log: manager lifecycle
+	// decisions (which session failed to evict, and why) that belong to
+	// no single workspace.
+	decisions *obs.DecisionLog
 
 	created     atomic.Int64
 	evictions   atomic.Int64
@@ -82,9 +94,9 @@ type Manager struct {
 	// host; tenantQuality keeps one tracker per tenant label. Both live
 	// on the manager (not the workspaces) so the counters survive
 	// session eviction and destruction.
-	quality   *obs.QualityTracker
-	qmu       sync.Mutex
-	tenantQ   map[string]*obs.QualityTracker
+	quality *obs.QualityTracker
+	qmu     sync.Mutex
+	tenantQ map[string]*obs.QualityTracker
 
 	mu            sync.Mutex // lock order: mu → Session.mu; never inverted
 	sessions      map[string]*Session
@@ -116,6 +128,20 @@ func NewManager(cfg Config) *Manager {
 	}
 	if m.slo == nil {
 		m.slo = obs.NewSLOTracker(obs.DefaultSLOConfig(), m.now)
+	}
+	m.decisions = obs.NewDecisionLog()
+	m.flight = flight.New(flight.Config{
+		Clock:    m.now,
+		Metrics:  m.MetricsSnapshot,
+		Registry: m.metrics,
+		Dir:      cfg.IncidentDir,
+	})
+	m.decisions.SetSink(m.flight.ObserveDecision)
+	if qs, ok := m.store.(interface{ SetQuarantineHook(func(id, reason string)) }); ok {
+		qs.SetQuarantineHook(func(id, reason string) {
+			m.flight.RecordEvent(flight.EventQuarantine, id, "", reason)
+			m.flight.Trigger(flight.TriggerStoreQuarantine, fmt.Sprintf("%s: %s", id, reason), id, "")
+		})
 	}
 	m.recover()
 	return m
@@ -179,6 +205,14 @@ func (m *Manager) Ring() *obs.SpanRing { return m.ring }
 // Store exposes the snapshot store (tests inspect it).
 func (m *Manager) Store() Store { return m.store }
 
+// Flight exposes the host flight recorder (always-on incident capture
+// shared by every hosted session).
+func (m *Manager) Flight() *flight.Recorder { return m.flight }
+
+// Decisions exposes the host-level decision log (manager lifecycle
+// decisions such as eviction-failure attribution).
+func (m *Manager) Decisions() *obs.DecisionLog { return m.decisions }
+
 // refreshStage is the stage whose per-session completions both the host
 // SLO and the per-session refresh counters observe.
 const refreshStage = "suggest.refresh"
@@ -192,12 +226,21 @@ func (m *Manager) wire(s *Session, st *State) {
 	ws.SessionID = s.id
 	ws.Decisions.SetSession(s.id)
 	ws.SetSpanRing(m.ring)
+	// All hosted workspaces share the host flight recorder, so one
+	// incident bundle carries the whole fleet's recent timeline with
+	// per-session attribution.
+	ws.SetFlight(m.flight)
 	if m.cfg.EnableTracing {
 		ws.EnableTracing()
 	}
 	ws.StageHook = func(stage string, d time.Duration) {
 		if m.slo.Tracks(stage) {
 			m.slo.Observe(d)
+			if m.flight.Armed(flight.TriggerSLOFastBurn) {
+				if st := m.slo.Status(); st.FastAlert {
+					m.flight.Trigger(flight.TriggerSLOFastBurn, "host "+st.String(), s.id, s.tenant)
+				}
+			}
 		}
 		m.metrics.Histogram("host.latency." + stage).Observe(d)
 		if stage == refreshStage {
@@ -248,6 +291,7 @@ func (m *Manager) TenantQuality() map[string]obs.QualityStats {
 func (m *Manager) Create(tenant string) (*Session, error) {
 	if shedding, reason := m.Shedding(); shedding {
 		m.rejected.Add(1)
+		m.flight.RecordEvent(flight.EventShed, "", tenant, reason)
 		return nil, fmt.Errorf("%w: %s", shedErr(reason), reason)
 	}
 	st, err := m.cfg.Factory()
@@ -266,6 +310,7 @@ func (m *Manager) Create(tenant string) (*Session, error) {
 		m.mu.Unlock()
 		s.useMu.Unlock()
 		m.rejected.Add(1)
+		m.flight.RecordEvent(flight.EventShed, "", tenant, reasonCapacity)
 		return nil, fmt.Errorf("%w: %s", ErrCapacity, reasonCapacity)
 	}
 	m.seq++
@@ -425,7 +470,32 @@ func (m *Manager) evict(s *Session) error {
 	s.mu.Unlock()
 	m.mu.Unlock()
 	m.evictions.Add(1)
+	s.mu.Lock()
+	tenant := s.tenant
+	s.mu.Unlock()
+	m.flight.RecordEvent(flight.EventEvict, s.id, tenant, "evicted to store")
 	return nil
+}
+
+// noteEvictFailure attributes a failed eviction: the victim's session
+// and tenant IDs go to the host decision log (so operators can see
+// *which* session failed to evict, not just that sessions.evict_errors
+// moved) and to the flight recorder, whose evict-error trigger captures
+// an incident bundle. Callers must not hold m.mu.
+func (m *Manager) noteEvictFailure(s *Session, err error) {
+	s.mu.Lock()
+	tenant := s.tenant
+	s.mu.Unlock()
+	m.decisions.Record(obs.Decision{
+		Stage:     "session.evict",
+		Candidate: s.id,
+		Session:   s.id,
+		Action:    obs.ActionDropped,
+		Reason:    fmt.Sprintf("tenant %q: %v", tenant, err),
+		Rank:      -1,
+	})
+	m.flight.RecordEvent(flight.EventEvictError, s.id, tenant, err.Error())
+	m.flight.Trigger(flight.TriggerEvictError, err.Error(), s.id, tenant)
 }
 
 // Destroy removes a session entirely: waits for any holder to release,
@@ -481,6 +551,7 @@ func (m *Manager) evictToBudget() {
 			victim.mu.Lock()
 			victim.lastUsed = m.now()
 			victim.mu.Unlock()
+			m.noteEvictFailure(victim, err)
 			if failed == nil {
 				failed = map[*Session]bool{}
 			}
@@ -609,6 +680,7 @@ func (m *Manager) Checkpoint() (int, error) {
 		s.useMu.Unlock()
 		if err != nil {
 			m.evictErrors.Add(1)
+			m.noteEvictFailure(s, err)
 			if firstErr == nil {
 				firstErr = err
 			}
@@ -752,6 +824,7 @@ func (m *Manager) MetricsSnapshot() obs.Snapshot {
 	snap.Counters["sessions.reloads"] = st.Reloads
 	snap.Counters["sessions.recovered"] = st.Recovered
 	snap.Counters["sessions.admission_rejected"] = st.Rejected
+	snap.Counters["spans.dropped"] = m.ring.Dropped()
 	snap.Gauges["sessions.count"] = float64(st.Sessions)
 	snap.Gauges["sessions.resident"] = float64(st.Resident)
 	snap.Gauges["sessions.resident_bytes"] = float64(st.ResidentBytes)

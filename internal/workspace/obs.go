@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"copycat/internal/obs"
+	"copycat/internal/obs/flight"
 )
 
 // now reads the workspace clock (wall clock unless one was injected —
@@ -22,11 +23,14 @@ func (w *Workspace) now() time.Time {
 // EnableTracing starts recording spans for every pipeline stage into a
 // fresh trace on the workspace clock. Until called, tracing is disabled
 // and costs nothing beyond a nil check per stage. Ended spans also feed
-// the live span ring, so an attached telemetry server streams them as
-// they happen.
+// the live span ring (so an attached telemetry server streams them as
+// they happen) and the flight recorder's retained timeline.
 func (w *Workspace) EnableTracing() {
 	w.trace = obs.NewTrace(w.Clock)
-	w.trace.SetSink(w.spanRing.Publish)
+	w.trace.SetSink(func(ev obs.SpanEvent) {
+		w.spanRing.Publish(ev)
+		w.flight.ObserveSpan(ev)
+	})
 }
 
 // SpanRing exposes the live-span buffer the telemetry server's
@@ -44,6 +48,16 @@ func (w *Workspace) SetSpanRing(r *obs.SpanRing) {
 		w.spanRing = r
 	}
 }
+
+// Flight exposes the workspace's flight recorder (the always-on
+// incident capturer). Nil only after SetFlight(nil) detached it.
+func (w *Workspace) Flight() *flight.Recorder { return w.flight }
+
+// SetFlight replaces the flight recorder: a session manager points many
+// workspaces at one shared host recorder, and the overhead experiment
+// passes nil to detach recording entirely (every feed tolerates a nil
+// recorder). Call between refreshes, not during one.
+func (w *Workspace) SetFlight(r *flight.Recorder) { w.flight = r }
 
 // DisableTracing stops span recording (the trace collected so far is
 // discarded).
@@ -84,6 +98,13 @@ func (w *Workspace) stage(name string) (*obs.Span, func()) {
 		d := w.now().Sub(start)
 		h.Observe(d)
 		slo.Observe(d)
+		if slo != nil && w.flight.Armed(flight.TriggerSLOFastBurn) {
+			// Armed is a cheap cooldown pre-check, so the SLO status (three
+			// window merges) is only computed when a capture could happen.
+			if st := slo.Status(); st.FastAlert {
+				w.flight.Trigger(flight.TriggerSLOFastBurn, st.String(), w.SessionID, "")
+			}
+		}
 		if hook != nil {
 			hook(name, d)
 		}
@@ -127,6 +148,7 @@ func (w *Workspace) MetricsSnapshot() obs.Snapshot {
 	snap.Counters["engine.retries"] = es.Retries
 	snap.Counters["engine.breaker_trips"] = es.BreakerTrips
 	snap.Counters["engine.degraded_rows"] = es.DegradedRows
+	snap.Counters["spans.dropped"] = w.spanRing.Dropped()
 	if w.SvcCache != nil {
 		snap.Gauges["cache.entries"] = float64(w.SvcCache.Len())
 	}

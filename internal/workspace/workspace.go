@@ -21,6 +21,7 @@ import (
 	"copycat/internal/intlearn"
 	"copycat/internal/modellearn"
 	"copycat/internal/obs"
+	"copycat/internal/obs/flight"
 	"copycat/internal/plancache"
 	"copycat/internal/provenance"
 	"copycat/internal/resilience"
@@ -189,6 +190,13 @@ type Workspace struct {
 	// spanRing buffers ended spans for live streaming (/trace/stream);
 	// EnableTracing plugs it into the trace as a sink.
 	spanRing *obs.SpanRing
+	// flight is the always-on flight recorder: it retains recent spans,
+	// decisions, and lifecycle events, and captures incident bundles when
+	// a trigger rule fires. New installs a workspace-local recorder; a
+	// session manager replaces it with the shared host recorder via
+	// SetFlight. nil (via SetFlight(nil)) detaches recording entirely —
+	// the overhead experiment's control arm.
+	flight *flight.Recorder
 
 	mode   Mode
 	tabs   []*Tab
@@ -245,6 +253,24 @@ func New(cat *catalog.Catalog, types *modellearn.Library) *Workspace {
 	// The tracker reads w.now at observe time, so a clock injected after
 	// New (NewDemoSystem installs the virtual clock last) still drives it.
 	w.SLO = obs.NewSLOTracker(obs.DefaultSLOConfig(), w.now)
+	// The flight recorder likewise reads w.now per record, so it follows
+	// a late-injected virtual clock (and re-anchors its cooldowns when
+	// the clock jumps backwards to the virtual epoch).
+	w.flight = flight.New(flight.Config{
+		Clock:    w.now,
+		Metrics:  w.MetricsSnapshot,
+		Registry: w.Metrics,
+	})
+	// Every recorded decision streams into whichever recorder is current
+	// (the closure re-reads w.flight, so SetFlight redirects it too).
+	w.Decisions.SetSink(func(d obs.Decision) { w.flight.ObserveDecision(d) })
+	// Background exact-refinement failures are an incident trigger: the
+	// refine goroutine captured this hook at spawn, so it reports into
+	// the recorder that owned the workspace when the refresh started.
+	w.Int.RefineFailHook = func(reason string) {
+		w.flight.RecordEvent(flight.EventRefineFailed, w.SessionID, "", reason)
+		w.flight.Trigger(flight.TriggerRefineFailure, reason, w.SessionID, "")
+	}
 	w.tabs = []*Tab{{Name: "Sheet1", Schema: table.Schema{}}}
 	return w
 }
